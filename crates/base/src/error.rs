@@ -1,0 +1,64 @@
+//! Error types shared across the workspace.
+
+use crate::ids::RequestId;
+use core::fmt;
+use std::error::Error;
+
+/// Why a *baseline* client's `issue()` failed. The e-Transaction client
+/// never returns these — masking them is the abstraction's purpose (§1).
+/// They exist to make the comparison protocols honest about their weaker
+/// guarantees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IssueError {
+    /// The client timed out waiting for an answer. The request may or may
+    /// not have executed — exactly the ambiguity the paper's introduction
+    /// describes ("this does not convey what had actually happened").
+    Timeout {
+        /// The request whose fate is unknown.
+        request: RequestId,
+    },
+    /// The server reported a failure before completing.
+    ServerException {
+        /// The failed request.
+        request: RequestId,
+        /// Server-provided reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IssueError::Timeout { request } => {
+                write!(f, "request {request} timed out; outcome unknown")
+            }
+            IssueError::ServerException { request, reason } => {
+                write!(f, "request {request} failed at the server: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for IssueError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn errors_display_and_are_std_errors() {
+        let req = RequestId { client: NodeId(0), seq: 1 };
+        let e = IssueError::Timeout { request: req };
+        assert!(format!("{e}").contains("outcome unknown"));
+        let e2 = IssueError::ServerException { request: req, reason: "db down".into() };
+        assert!(format!("{e2}").contains("db down"));
+        let _: &dyn Error = &e;
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IssueError>();
+    }
+}

@@ -1,0 +1,262 @@
+//! Process, request, result and register identities.
+//!
+//! The paper (§2) distinguishes three kinds of processes — clients `c_i`,
+//! application servers `a_i`, and database servers `s_i` — and identifies
+//! every result (and its transaction) with an integer `j`. Because this
+//! implementation supports many clients and many concurrent requests, the
+//! paper's integer `j` generalises to [`ResultId`], which nests the issuing
+//! client and request: `(client, request seq, attempt j)`.
+
+use core::fmt;
+
+/// Identity of a process (any tier). Flat id space; the harness assigns
+/// contiguous ids per role and records the mapping in a [`Topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// The tier a process belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Front-end client (browser-like; diskless).
+    Client,
+    /// Stateless middle-tier application server.
+    AppServer,
+    /// Back-end database server (stateful, XA-style).
+    DbServer,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Client => "client",
+            Role::AppServer => "appserver",
+            Role::DbServer => "dbserver",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unique identity of a client request (§2 "each request is uniquely
+/// identified"). A client issues requests one at a time, so `seq` increases
+/// monotonically per client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId {
+    /// Issuing client.
+    pub client: NodeId,
+    /// Per-client sequence number, starting at 1.
+    pub seq: u64,
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#r{}", self.client, self.seq)
+    }
+}
+
+/// Unique identity of one *result* (equivalently, of its transaction): the
+/// paper's integer `j`, scoped to the request it belongs to. Attempt numbers
+/// start at 1 and increase every time the client sees an abort and retries
+/// (Figure 2, line 10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResultId {
+    /// The request this result answers.
+    pub request: RequestId,
+    /// The paper's `j`: which try this is, starting at 1.
+    pub attempt: u32,
+}
+
+impl ResultId {
+    /// First attempt for a request.
+    pub fn first(request: RequestId) -> Self {
+        ResultId { request, attempt: 1 }
+    }
+
+    /// The identifier the client moves to after an abort (Figure 2 line 10).
+    pub fn next_attempt(self) -> Self {
+        ResultId { request: self.request, attempt: self.attempt + 1 }
+    }
+}
+
+impl fmt::Display for ResultId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/j{}", self.request, self.attempt)
+    }
+}
+
+/// Which of the two write-once register arrays a register belongs to (§4,
+/// Figure 4): `regA[j]` records the application server that owns attempt `j`,
+/// `regD[j]` records the decision (result, outcome) for attempt `j`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegKind {
+    /// `regA` — owner election register.
+    Owner,
+    /// `regD` — decision register.
+    Decision,
+}
+
+impl fmt::Display for RegKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RegKind::Owner => "regA",
+            RegKind::Decision => "regD",
+        })
+    }
+}
+
+/// Identity of one write-once register — also the identity of the consensus
+/// instance that implements it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId {
+    /// Which array.
+    pub kind: RegKind,
+    /// Which slot (the paper's `j`, fully scoped).
+    pub rid: ResultId,
+}
+
+impl RegId {
+    /// `regA[rid]`.
+    pub fn owner(rid: ResultId) -> Self {
+        RegId { kind: RegKind::Owner, rid }
+    }
+    /// `regD[rid]`.
+    pub fn decision(rid: ResultId) -> Self {
+        RegId { kind: RegKind::Decision, rid }
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.kind, self.rid)
+    }
+}
+
+/// Handle for a pending timer, returned by [`crate::Context::set_timer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+/// Static description of who is who in a run: the membership lists the
+/// paper's algorithms take as givens (`alist`, `dlist`, the client set).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Topology {
+    /// All client processes.
+    pub clients: Vec<NodeId>,
+    /// All application servers (`alist`), in order; index 0 is the default
+    /// primary `a1`.
+    pub app_servers: Vec<NodeId>,
+    /// All database servers (`dlist`).
+    pub db_servers: Vec<NodeId>,
+}
+
+impl Topology {
+    /// Builds a topology with the given tier sizes, assigning contiguous ids:
+    /// clients first, then app servers, then database servers.
+    pub fn new(clients: usize, app_servers: usize, db_servers: usize) -> Self {
+        let mut next = 0u32;
+        let mut take = |n: usize| {
+            let v: Vec<NodeId> = (0..n).map(|i| NodeId(next + i as u32)).collect();
+            next += n as u32;
+            v
+        };
+        Topology {
+            clients: take(clients),
+            app_servers: take(app_servers),
+            db_servers: take(db_servers),
+        }
+    }
+
+    /// Total number of processes.
+    pub fn len(&self) -> usize {
+        self.clients.len() + self.app_servers.len() + self.db_servers.len()
+    }
+
+    /// True when the topology has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The default primary application server `a1` (Figure 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has no application servers.
+    pub fn primary(&self) -> NodeId {
+        self.app_servers[0]
+    }
+
+    /// Role of a node in this topology, if it belongs to it.
+    pub fn role(&self, node: NodeId) -> Option<Role> {
+        if self.clients.contains(&node) {
+            Some(Role::Client)
+        } else if self.app_servers.contains(&node) {
+            Some(Role::AppServer)
+        } else if self.db_servers.contains(&node) {
+            Some(Role::DbServer)
+        } else {
+            None
+        }
+    }
+
+    /// Size of a majority quorum among application servers (§4 assumes a
+    /// majority of app servers are correct).
+    pub fn app_majority(&self) -> usize {
+        self.app_servers.len() / 2 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_assigns_contiguous_ids() {
+        let t = Topology::new(1, 3, 2);
+        assert_eq!(t.clients, vec![NodeId(0)]);
+        assert_eq!(t.app_servers, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.db_servers, vec![NodeId(4), NodeId(5)]);
+        assert_eq!(t.len(), 6);
+        assert!(!t.is_empty());
+        assert_eq!(t.primary(), NodeId(1));
+    }
+
+    #[test]
+    fn topology_roles() {
+        let t = Topology::new(1, 3, 2);
+        assert_eq!(t.role(NodeId(0)), Some(Role::Client));
+        assert_eq!(t.role(NodeId(2)), Some(Role::AppServer));
+        assert_eq!(t.role(NodeId(5)), Some(Role::DbServer));
+        assert_eq!(t.role(NodeId(9)), None);
+    }
+
+    #[test]
+    fn majority_sizes() {
+        assert_eq!(Topology::new(1, 3, 1).app_majority(), 2);
+        assert_eq!(Topology::new(1, 4, 1).app_majority(), 3);
+        assert_eq!(Topology::new(1, 5, 1).app_majority(), 3);
+        assert_eq!(Topology::new(1, 7, 1).app_majority(), 4);
+    }
+
+    #[test]
+    fn result_id_attempt_chain() {
+        let rid = ResultId::first(RequestId { client: NodeId(0), seq: 7 });
+        assert_eq!(rid.attempt, 1);
+        let next = rid.next_attempt();
+        assert_eq!(next.attempt, 2);
+        assert_eq!(next.request, rid.request);
+        assert!(rid < next);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty_and_stable() {
+        let rid = ResultId::first(RequestId { client: NodeId(3), seq: 2 });
+        assert_eq!(format!("{rid}"), "n3#r2/j1");
+        assert_eq!(format!("{}", RegId::owner(rid)), "regA[n3#r2/j1]");
+        assert_eq!(format!("{}", RegId::decision(rid)), "regD[n3#r2/j1]");
+        assert_eq!(format!("{}", Role::AppServer), "appserver");
+    }
+}

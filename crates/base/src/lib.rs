@@ -1,0 +1,49 @@
+//! # etx-base — shared vocabulary for the e-Transactions workspace
+//!
+//! This crate holds everything that every tier of the three-tier system must
+//! agree on: process identities, time, request/result/decision values, the
+//! wire-message vocabulary, write-ahead-log record formats, configuration
+//! knobs, trace events, and the runtime abstraction ([`Context`] /
+//! [`Process`]) that protocol state machines are written against.
+//!
+//! The paper this workspace reproduces is Frølund & Guerraoui,
+//! *"Implementing e-Transactions with Asynchronous Replication"* (DSN 2000).
+//! Section references in doc comments (e.g. "§3", "Figure 5") point into that
+//! paper.
+//!
+//! ## Design notes
+//!
+//! * All wire messages live here, in [`msg`], as one [`msg::Payload`] enum
+//!   with per-layer sub-enums. Every protocol in the workspace shares a
+//!   single simulated wire, so a central vocabulary avoids `Any`-downcasts
+//!   and keeps the simulation kernel monomorphic.
+//! * Protocol code never talks to a concrete runtime: it receives
+//!   [`runtime::Event`]s and drives a [`runtime::Context`]. The deterministic
+//!   simulator in `etx-sim` is one implementation of that interface.
+//!
+//! ```
+//! use etx_base::ids::{NodeId, RequestId, ResultId};
+//!
+//! let client = NodeId(0);
+//! let req = RequestId { client, seq: 1 };
+//! let rid = ResultId { request: req, attempt: 1 };
+//! assert_eq!(rid.next_attempt().attempt, 2);
+//! ```
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod msg;
+pub mod runtime;
+pub mod time;
+pub mod trace;
+pub mod value;
+pub mod wal;
+
+pub use config::{CostModel, FdConfig, ProtocolConfig};
+pub use error::IssueError;
+pub use ids::{NodeId, RegId, RegKind, RequestId, ResultId, Role};
+pub use msg::Payload;
+pub use runtime::{Context, Event, Process};
+pub use time::{Dur, Time};
+pub use value::{Decision, Outcome, Request, ResultValue, Vote};

@@ -1,0 +1,305 @@
+//! The wire-message vocabulary shared by every protocol in the workspace.
+//!
+//! Message names follow the paper's pseudo-code: `[Request, request, j]`,
+//! `[Result, j, decision]`, `[Prepare, j]`, `[Vote, j, vote]`,
+//! `[Decide, j, outcome]`, `[AckDecide, j]`, `[Ready]` (Figures 2–6), plus
+//! the consensus messages that implement wo-registers, failure-detector
+//! heartbeats, and the extra messages used by the comparison protocols of
+//! Appendix 3 (2PC and primary-backup).
+
+use crate::ids::{RegId, RequestId, ResultId};
+use crate::value::{Decision, DbOp, ExecStatus, Outcome, RegValue, Request, Vote};
+
+/// Everything that can travel on the simulated wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// Client → application server.
+    Client(ClientMsg),
+    /// Application server → client.
+    App(AppMsg),
+    /// Application server → database server.
+    Db(DbMsg),
+    /// Database server → application server.
+    DbReply(DbReplyMsg),
+    /// Application server ↔ application server (wo-register consensus).
+    Consensus(ConsensusMsg),
+    /// Failure-detector traffic among application servers.
+    Fd(FdMsg),
+    /// Primary-backup baseline traffic (Appendix 3, Figure 7c).
+    Pb(PbMsg),
+}
+
+impl Payload {
+    /// Background traffic (heartbeats) is excluded from causal-depth
+    /// accounting so that "communication steps as seen by the client"
+    /// (Figure 7) counts only protocol messages.
+    pub fn is_background(&self) -> bool {
+        matches!(self, Payload::Fd(_))
+    }
+
+    /// Short label for traces and message-count tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Payload::Client(ClientMsg::Request { .. }) => "Request",
+            Payload::App(AppMsg::Result { .. }) => "Result",
+            Payload::App(AppMsg::Exception { .. }) => "Exception",
+            Payload::Db(DbMsg::Exec { .. }) => "Exec",
+            Payload::Db(DbMsg::Prepare { .. }) => "Prepare",
+            Payload::Db(DbMsg::Decide { .. }) => "Decide",
+            Payload::Db(DbMsg::CommitOnePhase { .. }) => "Commit1P",
+            Payload::DbReply(DbReplyMsg::ExecReply { .. }) => "ExecReply",
+            Payload::DbReply(DbReplyMsg::Vote { .. }) => "Vote",
+            Payload::DbReply(DbReplyMsg::AckDecide { .. }) => "AckDecide",
+            Payload::DbReply(DbReplyMsg::AckCommitOnePhase { .. }) => "AckCommit1P",
+            Payload::DbReply(DbReplyMsg::Ready) => "Ready",
+            Payload::Consensus(ConsensusMsg::Estimate { .. }) => "CEstimate",
+            Payload::Consensus(ConsensusMsg::Propose { .. }) => "CPropose",
+            Payload::Consensus(ConsensusMsg::Ack { .. }) => "CAck",
+            Payload::Consensus(ConsensusMsg::Nack { .. }) => "CNack",
+            Payload::Consensus(ConsensusMsg::Decide { .. }) => "CDecide",
+            Payload::Consensus(ConsensusMsg::DecideReq { .. }) => "CDecideReq",
+            Payload::Fd(FdMsg::Heartbeat { .. }) => "Heartbeat",
+            Payload::Pb(PbMsg::Start { .. }) => "PbStart",
+            Payload::Pb(PbMsg::AckStart { .. }) => "PbAckStart",
+            Payload::Pb(PbMsg::Outcome { .. }) => "PbOutcome",
+            Payload::Pb(PbMsg::AckOutcome { .. }) => "PbAckOutcome",
+        }
+    }
+}
+
+/// Client-originated messages (Figure 2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMsg {
+    /// `[Request, request, j]` — submit attempt `j` of a request.
+    Request {
+        /// The request (business-logic script included).
+        request: Request,
+        /// The paper's `j`.
+        attempt: u32,
+    },
+}
+
+/// Application-server → client messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AppMsg {
+    /// `[Result, j, decision]` — the outcome of attempt `j` (Figure 4
+    /// terminate(), line 7).
+    Result {
+        /// Which attempt this answers.
+        rid: ResultId,
+        /// The decided (result, outcome) pair.
+        decision: Decision,
+    },
+    /// Failure notification used by the *unreliable* baseline and 2PC
+    /// clients only: the e-Transaction protocol never raises exceptions to
+    /// the end user — that is its whole point.
+    Exception {
+        /// The request that failed.
+        request: RequestId,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// Application-server → database messages (Figure 3 inputs, plus the
+/// business-logic manipulation the paper abstracts as `compute()`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbMsg {
+    /// Execute business-logic operations inside branch `rid` (transient
+    /// manipulation; not committed).
+    Exec {
+        /// Transaction branch.
+        rid: ResultId,
+        /// Operations to run.
+        ops: Vec<DbOp>,
+        /// Whether the branch runs under XA bracketing (AR and 2PC do; the
+        /// unreliable baseline does not). Figure 8 shows the XA path costs a
+        /// few extra milliseconds of SQL time.
+        xa: bool,
+    },
+    /// `[Prepare, j]` — request a vote.
+    Prepare {
+        /// Transaction branch.
+        rid: ResultId,
+    },
+    /// `[Decide, j, outcome]` — deliver the decision.
+    Decide {
+        /// Transaction branch.
+        rid: ResultId,
+        /// Commit or abort.
+        outcome: Outcome,
+    },
+    /// One-phase commit used by the unreliable baseline (Figure 7a): commit
+    /// immediately, no vote.
+    CommitOnePhase {
+        /// Transaction branch.
+        rid: ResultId,
+    },
+}
+
+/// Database → application-server messages (Figure 3 outputs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbReplyMsg {
+    /// Results of an `Exec` batch.
+    ExecReply {
+        /// Transaction branch.
+        rid: ResultId,
+        /// Per-op outputs or a conflict notice.
+        status: ExecStatus,
+    },
+    /// `[Vote, j, vote]`.
+    Vote {
+        /// Transaction branch.
+        rid: ResultId,
+        /// Yes or no.
+        vote: Vote,
+    },
+    /// `[AckDecide, j]` — the decision was applied durably.
+    AckDecide {
+        /// Transaction branch.
+        rid: ResultId,
+        /// The outcome that was applied (for tracing/assertions).
+        outcome: Outcome,
+    },
+    /// Baseline's one-phase commit acknowledgement.
+    AckCommitOnePhase {
+        /// Transaction branch.
+        rid: ResultId,
+        /// Whether the commit succeeded.
+        ok: bool,
+    },
+    /// `[Ready]` — recovery notification (Figure 3 line 2): "I crashed and
+    /// came back; anything I had not prepared is gone."
+    Ready,
+}
+
+/// Messages of the rotating-coordinator consensus that implements
+/// wo-registers (§4; one instance per register).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConsensusMsg {
+    /// Phase 1: participant → coordinator of `round`; carries the
+    /// participant's current estimate and the round in which it was adopted.
+    Estimate {
+        /// Register / consensus instance.
+        inst: RegId,
+        /// Destination round.
+        round: u32,
+        /// Current estimate, if any.
+        est: Option<RegValue>,
+        /// Round in which `est` was adopted (0 = initial).
+        ts: u32,
+    },
+    /// Phase 2: coordinator → all; proposes a value for the round.
+    Propose {
+        /// Register / consensus instance.
+        inst: RegId,
+        /// Round number.
+        round: u32,
+        /// Proposed value.
+        value: RegValue,
+    },
+    /// Phase 3 positive reply: participant adopted the proposal.
+    Ack {
+        /// Register / consensus instance.
+        inst: RegId,
+        /// Round number.
+        round: u32,
+    },
+    /// Phase 3 negative reply: participant suspects the coordinator and
+    /// moved on.
+    Nack {
+        /// Register / consensus instance.
+        inst: RegId,
+        /// Round the participant abandoned.
+        round: u32,
+    },
+    /// Decision dissemination (reliable broadcast, also re-sent on demand).
+    Decide {
+        /// Register / consensus instance.
+        inst: RegId,
+        /// Decided value.
+        value: RegValue,
+    },
+    /// Pull request: "if this instance is decided, tell me" — implements the
+    /// liveness half of the wo-register `read()` specification.
+    DecideReq {
+        /// Register / consensus instance.
+        inst: RegId,
+    },
+}
+
+/// Failure-detector traffic (heartbeat-based ◇P among application servers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdMsg {
+    /// Periodic liveness beacon.
+    Heartbeat {
+        /// Monotonic per-sender sequence number.
+        seq: u64,
+    },
+}
+
+/// Primary-backup replication messages (the comparison protocol the authors
+/// adapted from their TR \[18\]; Appendix 3, Figure 7c).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbMsg {
+    /// Primary → backup: a request entered processing.
+    Start {
+        /// Attempt being processed.
+        rid: ResultId,
+        /// The request itself (so the backup can take over).
+        request: Request,
+    },
+    /// Backup → primary: start recorded.
+    AckStart {
+        /// Attempt acknowledged.
+        rid: ResultId,
+    },
+    /// Primary → backup: the decision for the attempt.
+    Outcome {
+        /// Attempt decided.
+        rid: ResultId,
+        /// Decision reached.
+        decision: Decision,
+    },
+    /// Backup → primary: outcome recorded.
+    AckOutcome {
+        /// Attempt acknowledged.
+        rid: ResultId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, RequestId};
+    use crate::value::RequestScript;
+
+    fn rid() -> ResultId {
+        ResultId::first(RequestId { client: NodeId(0), seq: 1 })
+    }
+
+    #[test]
+    fn background_classification() {
+        assert!(Payload::Fd(FdMsg::Heartbeat { seq: 1 }).is_background());
+        assert!(!Payload::Db(DbMsg::Prepare { rid: rid() }).is_background());
+    }
+
+    #[test]
+    fn labels_are_distinct_for_protocol_phases() {
+        let labels = [
+            Payload::Client(ClientMsg::Request {
+                request: Request { id: rid().request, script: RequestScript::default() },
+                attempt: 1,
+            })
+            .label(),
+            Payload::Db(DbMsg::Prepare { rid: rid() }).label(),
+            Payload::Db(DbMsg::Decide { rid: rid(), outcome: Outcome::Commit }).label(),
+            Payload::DbReply(DbReplyMsg::Ready).label(),
+            Payload::Consensus(ConsensusMsg::DecideReq { inst: RegId::owner(rid()) }).label(),
+        ];
+        let mut dedup = labels.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

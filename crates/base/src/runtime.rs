@@ -1,0 +1,234 @@
+//! The runtime abstraction protocol state machines are written against.
+//!
+//! The paper's pseudo-code uses blocking threads (`cobegin`/`coend`,
+//! `wait until`). This implementation turns every participant into an
+//! event-driven state machine: a [`Process`] receives [`Event`]s (messages,
+//! timers, lifecycle notifications) and reacts through a [`Context`]
+//! (sending messages, arming timers, reading the clock, tracing).
+//!
+//! Writing protocols against `dyn Context` keeps them runtime-agnostic: the
+//! deterministic simulator in `etx-sim` is the primary host, but the same
+//! state machines could be driven by a thread-per-node or async runtime.
+
+use crate::ids::{NodeId, RegId, ResultId, TimerId};
+use crate::msg::Payload;
+use crate::time::{Dur, Time};
+use crate::trace::TraceKind;
+use crate::wal::StableRecord;
+
+/// What a timer means when it fires. Like [`Payload`], timer vocabulary is
+/// centralised so the simulation kernel stays monomorphic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimerTag {
+    /// Client back-off expired without a result: broadcast the request to
+    /// all application servers (Figure 2 lines 5–6).
+    ClientBackoff {
+        /// Attempt the back-off was armed for.
+        rid: ResultId,
+    },
+    /// Client periodic re-broadcast while still waiting (keeps liveness
+    /// under crash/recovery without violating the paper's structure).
+    ClientRebroadcast {
+        /// Attempt being waited on.
+        rid: ResultId,
+    },
+    /// Application server retransmits `[Decide]` until every database
+    /// acknowledges (Figure 4 terminate() repeat-loop).
+    TerminateRetry {
+        /// Attempt being terminated.
+        rid: ResultId,
+    },
+    /// Cleaner thread wake-up (Figure 6 is an infinite loop; here it is a
+    /// periodic scan).
+    CleanerTick,
+    /// Failure detector: send the next heartbeat round.
+    FdHeartbeat,
+    /// Failure detector: liveness check for peers.
+    FdCheck,
+    /// Consensus: coordinator of `round` made no progress; move on.
+    ConsensusRound {
+        /// Instance concerned.
+        inst: RegId,
+        /// Round whose coordinator timed out.
+        round: u32,
+    },
+    /// Consensus: periodic re-broadcast of a decision or pull of a missing
+    /// one (wo-register `read()` liveness).
+    ConsensusResync,
+    /// Deferred local work, used to model service-time costs (e.g. the ORB
+    /// dispatch cost before the protocol acts on a request).
+    Dispatch {
+        /// Attempt the deferred work belongs to.
+        rid: ResultId,
+        /// Which stage to run; meaning is protocol-private.
+        stage: u8,
+    },
+    /// Primary-backup baseline retransmissions / takeover checks.
+    PbTick,
+    /// 2PC coordinator recovery/retransmission tick.
+    TpcTick,
+}
+
+/// An input delivered to a [`Process`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// First activation at the start of the run.
+    Init,
+    /// Re-activation after a crash: volatile state is gone, the stable
+    /// storage is intact (§2: "the crash of a process has no impact on its
+    /// stable storage").
+    Recovered,
+    /// A message arrived.
+    Message {
+        /// Sender.
+        from: NodeId,
+        /// Content.
+        payload: Payload,
+    },
+    /// A timer armed through [`Context::set_timer`] fired.
+    Timer {
+        /// Handle returned when arming.
+        id: TimerId,
+        /// Meaning.
+        tag: TimerTag,
+    },
+    /// Another node crashed. Only delivered to processes that subscribed via
+    /// [`Context::subscribe_node_events`] — this is the *perfect* failure
+    /// detector the primary-backup baseline requires (Appendix 3) and that
+    /// the e-Transaction protocol pointedly does *not* use.
+    NodeDown(NodeId),
+    /// A crashed node recovered (same subscription).
+    NodeUp(NodeId),
+}
+
+/// Capabilities a running process can use. Implemented by the simulator
+/// (`etx-sim::SimContext`); protocols hold it only for the duration of one
+/// event handler.
+pub trait Context {
+    /// Current time.
+    fn now(&self) -> Time;
+
+    /// This process's identity.
+    fn me(&self) -> NodeId;
+
+    /// Sends `payload` to `to` over the reliable channel (termination +
+    /// integrity as defined in §4).
+    fn send(&mut self, to: NodeId, payload: Payload);
+
+    /// Sends after an extra local delay (models service time spent before
+    /// the message leaves, e.g. SQL execution or a forced log write).
+    fn send_after(&mut self, delay: Dur, to: NodeId, payload: Payload);
+
+    /// Arms a one-shot timer `delay` from now.
+    fn set_timer(&mut self, delay: Dur, tag: TimerTag) -> TimerId;
+
+    /// Cancels a pending timer; no-op if it already fired or was cancelled.
+    fn cancel_timer(&mut self, id: TimerId);
+
+    /// Deterministic pseudo-randomness (seeded per run by the simulator).
+    fn random_u64(&mut self) -> u64;
+
+    /// Appends a record to one of this node's stable logs and returns the
+    /// modelled duration of the write. If `forced` is true the duration is
+    /// the synchronous-I/O cost from the cost model (the caller must delay
+    /// its next protocol action by that much — see [`Context::send_after`]);
+    /// otherwise the write is buffered and free.
+    fn log_append(&mut self, log: &'static str, rec: StableRecord, forced: bool) -> Dur;
+
+    /// Reads back a stable log (survives crashes).
+    fn log_read(&self, log: &'static str) -> Vec<StableRecord>;
+
+    /// Emits a trace event (observability + the experiment harness's raw
+    /// data).
+    fn trace(&mut self, kind: TraceKind);
+
+    /// Causal depth of the event currently being handled (number of
+    /// sequential communication steps since the client issued; Figure 7's
+    /// unit of comparison).
+    fn depth(&self) -> u32;
+
+    /// Like [`Context::send`] but stamps an explicit causal depth, used when
+    /// a protocol aggregates several incoming messages (the next step is
+    /// causally after *all* of them, i.e. their max depth).
+    fn send_at_depth(&mut self, depth: u32, to: NodeId, payload: Payload);
+
+    /// Like [`Context::send_after`] with an explicit causal depth.
+    fn send_after_at_depth(&mut self, depth: u32, delay: Dur, to: NodeId, payload: Payload);
+
+    /// Subscribe to [`Event::NodeDown`]/[`Event::NodeUp`] — the simulator's
+    /// perfect-failure-detector oracle. The e-Transaction protocol never
+    /// calls this; the primary-backup baseline needs it.
+    fn subscribe_node_events(&mut self);
+}
+
+/// Convenience helpers layered over the object-safe core.
+impl dyn Context + '_ {
+    /// Sends the same payload to every node in `dest` (the pseudo-code's
+    /// multicast `send ... to alist`; no atomicity assumed, per Appendix 1).
+    pub fn multicast(&mut self, dest: &[NodeId], payload: Payload) {
+        for &d in dest {
+            self.send(d, payload.clone());
+        }
+    }
+
+    /// Multicast with an explicit causal depth.
+    pub fn multicast_at_depth(&mut self, depth: u32, dest: &[NodeId], payload: Payload) {
+        for &d in dest {
+            self.send_at_depth(depth, d, payload.clone());
+        }
+    }
+}
+
+/// Draws a uniform `f64` in `[0, 1)` from the context's deterministic
+/// randomness.
+pub fn uniform_f64(ctx: &mut dyn Context) -> f64 {
+    // 53 high-quality mantissa bits.
+    (ctx.random_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Applies multiplicative jitter to a modelled service time: uniform in
+/// `[1 - frac, 1 + frac]`. With `frac = 0` this is the identity, which keeps
+/// step-count experiments bit-deterministic.
+pub fn jittered(ctx: &mut dyn Context, d: Dur, frac: f64) -> Dur {
+    if frac <= 0.0 {
+        return d;
+    }
+    let factor = 1.0 - frac + 2.0 * frac * uniform_f64(ctx);
+    d.scaled(factor)
+}
+
+/// A protocol participant: one state machine per simulated process.
+pub trait Process {
+    /// Handles one event. All sends/timers go through `ctx`. The handler
+    /// runs to completion instantaneously in simulated time; real elapsed
+    /// work is modelled with [`Context::send_after`] / dispatch timers.
+    fn on_event(&mut self, ctx: &mut dyn Context, event: Event);
+
+    /// Human-readable name for traces.
+    fn name(&self) -> &'static str {
+        "process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::RequestId;
+    use crate::wal::{LOG_COORD, LOG_WAL};
+
+    #[test]
+    fn timer_tags_are_hashable_and_comparable() {
+        use std::collections::HashSet;
+        let rid = ResultId::first(RequestId { client: NodeId(0), seq: 1 });
+        let mut set = HashSet::new();
+        set.insert(TimerTag::ClientBackoff { rid });
+        set.insert(TimerTag::CleanerTick);
+        set.insert(TimerTag::CleanerTick);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn log_name_constants_are_distinct() {
+        assert_ne!(LOG_WAL, LOG_COORD);
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulated time.
+//!
+//! The simulation clock counts microseconds from the start of the run. The
+//! paper reports latencies in milliseconds with one decimal (Figure 8), so
+//! microsecond resolution is ample while keeping arithmetic in integers —
+//! floating-point time is a classic source of non-determinism in discrete
+//! event simulators.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time (microseconds since run start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Dur(pub u64);
+
+impl Time {
+    /// The run origin.
+    pub const ZERO: Time = Time(0);
+
+    /// This instant expressed in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration since an earlier instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is later than `self`.
+    pub fn since(self, earlier: Time) -> Dur {
+        debug_assert!(earlier <= self, "since() called with a later instant");
+        Dur(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Dur {
+    /// Zero-length duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// A duration of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Dur {
+        Dur(ms * 1_000)
+    }
+
+    /// A duration of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Dur {
+        Dur(us)
+    }
+
+    /// A duration of `s` seconds.
+    pub const fn from_secs(s: u64) -> Dur {
+        Dur(s * 1_000_000)
+    }
+
+    /// A duration from fractional milliseconds (rounded to the nearest
+    /// microsecond; negative inputs clamp to zero).
+    pub fn from_millis_f64(ms: f64) -> Dur {
+        Dur((ms.max(0.0) * 1_000.0).round() as u64)
+    }
+
+    /// This duration in (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Scales the duration by a factor (clamped at zero).
+    pub fn scaled(self, factor: f64) -> Dur {
+        Dur((self.0 as f64 * factor.max(0.0)).round() as u64)
+    }
+
+    /// Integer division (e.g. for halving back-off periods).
+    pub fn div(self, d: u64) -> Dur {
+        Dur(self.0 / d.max(1))
+    }
+
+    /// Saturating sum of durations.
+    pub fn saturating_add(self, other: Dur) -> Dur {
+        Dur(self.0.saturating_add(other.0))
+    }
+}
+
+impl Add<Dur> for Time {
+    type Output = Time;
+    fn add(self, rhs: Dur) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Time {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Dur;
+    fn sub(self, rhs: Time) -> Dur {
+        self.since(rhs)
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    fn add_assign(&mut self, rhs: Dur) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Time::ZERO + Dur::from_millis(5) + Dur::from_micros(250);
+        assert_eq!(t, Time(5_250));
+        assert_eq!(t - Time(250), Dur::from_millis(5));
+        assert_eq!(t.as_millis_f64(), 5.25);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Dur::from_secs(2), Dur(2_000_000));
+        assert_eq!(Dur::from_millis_f64(3.5), Dur(3_500));
+        assert_eq!(Dur::from_millis_f64(-1.0), Dur::ZERO);
+        assert_eq!(Dur::from_millis(4).as_millis_f64(), 4.0);
+    }
+
+    #[test]
+    fn scaling_and_division() {
+        assert_eq!(Dur::from_millis(10).scaled(1.5), Dur(15_000));
+        assert_eq!(Dur::from_millis(10).scaled(-2.0), Dur::ZERO);
+        assert_eq!(Dur::from_millis(10).div(4), Dur(2_500));
+        assert_eq!(Dur::from_millis(10).div(0), Dur(10_000));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Time(1_500)), "1.500ms");
+        assert_eq!(format!("{}", Dur::from_millis(2)), "2.000ms");
+    }
+}

@@ -1,0 +1,197 @@
+//! Trace events: the raw observable record of a run.
+//!
+//! Every run produces a totally ordered trace (simulated time, then a
+//! deterministic tie-break). The experiment harness derives everything from
+//! it: the Figure 8 latency breakdown, the Figure 7 step counts, and —
+//! crucially — the *history* against which the e-Transaction properties
+//! (T.1, T.2, A.1–A.3, V.1, V.2 of §3) are checked after the fact.
+
+use crate::ids::{NodeId, RegId, RequestId, ResultId};
+use crate::time::{Dur, Time};
+use crate::value::{Outcome, Vote};
+use core::fmt;
+
+/// Latency components of the Figure 8 table. The paper attributes measured
+/// client latency to these buckets; we do the same from trace spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Component {
+    /// Request dispatch at the application server ("start" row).
+    Start,
+    /// Reply marshalling at the application server ("end" row).
+    End,
+    /// Database commit processing.
+    Commit,
+    /// Database prepare processing (vote).
+    Prepare,
+    /// Business-logic / SQL execution at the database.
+    Sql,
+    /// Durable record of *processing started*: forced coordinator log write
+    /// (2PC) or `regA` wo-register write (asynchronous replication).
+    LogStart,
+    /// Durable record of *the outcome*: forced coordinator log write (2PC)
+    /// or `regD` wo-register write (asynchronous replication).
+    LogOutcome,
+}
+
+impl Component {
+    /// All components, in the paper's row order.
+    pub const ALL: [Component; 7] = [
+        Component::Start,
+        Component::End,
+        Component::Commit,
+        Component::Prepare,
+        Component::Sql,
+        Component::LogStart,
+        Component::LogOutcome,
+    ];
+
+    /// Row label used in Figure 8.
+    pub fn label(self) -> &'static str {
+        match self {
+            Component::Start => "start",
+            Component::End => "end",
+            Component::Commit => "commit",
+            Component::Prepare => "prepare",
+            Component::Sql => "SQL",
+            Component::LogStart => "log-start",
+            Component::LogOutcome => "log-outcome",
+        }
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// When it happened (simulated clock).
+    pub at: Time,
+    /// Where it happened.
+    pub node: NodeId,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// The vocabulary of observable happenings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceKind {
+    /// Client invoked `issue()` (Figure 2).
+    Issue {
+        /// The request issued.
+        request: RequestId,
+    },
+    /// Client delivered a result to the end user: `issue()` returned.
+    Deliver {
+        /// The attempt whose result was delivered.
+        rid: ResultId,
+        /// Outcome carried by the delivered decision (must be commit —
+        /// property A.1 is checked from this).
+        outcome: Outcome,
+        /// Client-visible causal depth (communication steps, Figure 7).
+        steps: u32,
+    },
+    /// A baseline client gave up with an exception (never emitted by the
+    /// e-Transaction client).
+    Exception {
+        /// The failed request.
+        request: RequestId,
+    },
+    /// The e-Transaction client observed an abort for `rid` and moved to
+    /// the next attempt (Figure 2 line 10).
+    ClientRetry {
+        /// The aborted attempt.
+        rid: ResultId,
+    },
+    /// An application server computed a result for a request (Figure 5
+    /// line 8) — ground truth for validity V.1.
+    Computed {
+        /// The attempt computed.
+        rid: ResultId,
+    },
+    /// A database voted on a branch (T.2's antecedent; V.2's evidence).
+    DbVote {
+        /// Branch voted on.
+        rid: ResultId,
+        /// The vote.
+        vote: Vote,
+    },
+    /// A database applied a decision (commit/abort applied durably) —
+    /// evidence for T.2, A.2, A.3.
+    DbDecide {
+        /// Branch decided.
+        rid: ResultId,
+        /// Applied outcome.
+        outcome: Outcome,
+    },
+    /// A wo-register reached a decision at this node (first local knowledge).
+    RegDecided {
+        /// Which register.
+        reg: RegId,
+    },
+    /// A latency span attributed to a Figure 8 component. `dur` is modelled
+    /// service time, recorded when incurred.
+    Span {
+        /// The attempt the work belongs to.
+        rid: ResultId,
+        /// Bucket.
+        comp: Component,
+        /// Modelled duration.
+        dur: Dur,
+    },
+    /// Process crashed (kernel-emitted).
+    Crash,
+    /// Process recovered (kernel-emitted).
+    Recover,
+    /// A failure detector started suspecting `peer`.
+    Suspect {
+        /// The suspected application server.
+        peer: NodeId,
+    },
+    /// A failure detector stopped suspecting `peer` (it was alive after all).
+    Unsuspect {
+        /// The formerly suspected application server.
+        peer: NodeId,
+    },
+    /// The cleaner began terminating an orphaned attempt (Figure 6).
+    CleanerTakeover {
+        /// Orphaned attempt.
+        rid: ResultId,
+        /// The suspected owner being cleaned up after.
+        owner: NodeId,
+    },
+    /// Free-form annotation (tests and examples).
+    Note(&'static str),
+}
+
+impl TraceEvent {
+    /// Convenience constructor.
+    pub fn new(at: Time, node: NodeId, kind: TraceKind) -> Self {
+        TraceEvent { at, node, kind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_rows_match_paper_order_and_labels() {
+        let labels: Vec<&str> = Component::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["start", "end", "commit", "prepare", "SQL", "log-start", "log-outcome"]
+        );
+    }
+
+    #[test]
+    fn trace_event_construction() {
+        let ev = TraceEvent::new(Time(42), NodeId(1), TraceKind::Note("hello"));
+        assert_eq!(ev.at, Time(42));
+        assert_eq!(ev.node, NodeId(1));
+        assert_eq!(format!("{}", Component::Sql), "SQL");
+    }
+}

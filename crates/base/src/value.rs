@@ -1,0 +1,331 @@
+//! Requests, database operations, results, votes, outcomes and decisions.
+//!
+//! These model the paper's domains (§2): `Request`, `Result`,
+//! `Vote = {yes, no}`, `Outcome = {commit, abort}`, and the pair
+//! `(result, outcome)` the protocol calls a *decision* (the value stored in
+//! `regD[j]`).
+//!
+//! The paper abstracts the business logic behind a non-deterministic
+//! `compute()` function that manipulates the databases without committing.
+//! Here a request carries a [`RequestScript`] — the sequence of database
+//! calls the business logic performs — and the application server executes
+//! it transactionally. The script's effects depend on current database state
+//! (e.g. [`DbOp::Reserve`] may find a flight sold out), which is exactly the
+//! non-determinism the paper's wo-registers exist to tame.
+
+use crate::ids::{NodeId, RequestId};
+use core::fmt;
+
+/// A database vote on a prepared transaction branch (§2): `yes` means the
+/// database server agrees to commit the result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vote {
+    /// The branch is prepared durably; the server can commit it.
+    Yes,
+    /// The server refuses (unknown branch, doomed branch, constraint
+    /// violation, or it crashed and lost the branch).
+    No,
+}
+
+/// The fate of a result / transaction (§2): input and output domain of the
+/// XA-style `decide()` primitive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// All effects are made durable.
+    Commit,
+    /// All effects are discarded.
+    Abort,
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Outcome::Commit => "commit",
+            Outcome::Abort => "abort",
+        })
+    }
+}
+
+impl fmt::Display for Vote {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Vote::Yes => "yes",
+            Vote::No => "no",
+        })
+    }
+}
+
+/// One logical operation inside the business logic's transactional
+/// manipulation of a database.
+///
+/// Operations are deliberately domain-flavoured: `Reserve` models the
+/// travel-booking example from the paper's introduction (book a seat if one
+/// is available, otherwise report the problem *as a regular result* — the
+/// paper's treatment of user-level aborts, §2 and footnote 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DbOp {
+    /// Read a key (shared lock).
+    Get { key: String },
+    /// Overwrite a key (exclusive lock).
+    Put { key: String, value: i64 },
+    /// Read-modify-write: add `delta` to the key (exclusive lock). Missing
+    /// keys read as 0.
+    Add { key: String, delta: i64 },
+    /// Decrement `key` by `qty` if at least `qty` remains; otherwise performs
+    /// no write and reports [`OpOutput::SoldOut`]. This is a *user-level
+    /// abort*: a regular result value, not a transaction failure.
+    Reserve { key: String, qty: i64 },
+    /// Declares the branch doomed: the database will vote **no** at prepare
+    /// time. Models integrity-constraint violations discovered by the
+    /// database; used by tests and fault-injection workloads.
+    Doom,
+}
+
+impl DbOp {
+    /// The key this operation touches, if any.
+    pub fn key(&self) -> Option<&str> {
+        match self {
+            DbOp::Get { key }
+            | DbOp::Put { key, .. }
+            | DbOp::Add { key, .. }
+            | DbOp::Reserve { key, .. } => Some(key),
+            DbOp::Doom => None,
+        }
+    }
+
+    /// Whether the operation needs an exclusive lock.
+    pub fn is_write(&self) -> bool {
+        matches!(self, DbOp::Put { .. } | DbOp::Add { .. } | DbOp::Reserve { .. })
+    }
+}
+
+/// Result of one [`DbOp`], reported back to the application server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpOutput {
+    /// Value read (or `None` if the key is absent).
+    Value(Option<i64>),
+    /// Value after an update (`Put`/`Add`).
+    Updated(i64),
+    /// Reservation succeeded; `remaining` units left.
+    Reserved { remaining: i64 },
+    /// Reservation failed — no stock. A regular (informative) result.
+    SoldOut,
+    /// `Doom` acknowledged.
+    Doomed,
+}
+
+/// Result of executing a whole batch of operations at one database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecStatus {
+    /// All operations executed; per-op outputs inside.
+    Done(Vec<OpOutput>),
+    /// A lock conflict with a concurrent transaction; the branch is doomed
+    /// and will vote no. The client-side protocol will retry the request as
+    /// a fresh attempt.
+    Conflict,
+}
+
+/// One sequential step of the business logic: a batch of operations sent to
+/// a single database server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbCall {
+    /// Target database server.
+    pub db: NodeId,
+    /// Operations executed atomically within this request's branch there.
+    pub ops: Vec<DbOp>,
+}
+
+/// The transactional manipulation performed by `compute()` (Figure 5 line 8),
+/// expressed as data so it can cross the simulated wire.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RequestScript {
+    /// Database calls, issued in order (each call may target a different
+    /// database; all branches belong to the same distributed transaction).
+    pub calls: Vec<DbCall>,
+}
+
+impl RequestScript {
+    /// A script with a single call to one database.
+    pub fn single(db: NodeId, ops: Vec<DbOp>) -> Self {
+        RequestScript { calls: vec![DbCall { db, ops }] }
+    }
+
+    /// All distinct databases this script touches, in first-use order.
+    pub fn databases(&self) -> Vec<NodeId> {
+        let mut dbs = Vec::new();
+        for c in &self.calls {
+            if !dbs.contains(&c.db) {
+                dbs.push(c.db);
+            }
+        }
+        dbs
+    }
+}
+
+/// A client request (§2 "Request" domain): uniquely identified, and carrying
+/// the business-logic script to run on its behalf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Unique id (client + per-client sequence number).
+    pub id: RequestId,
+    /// What the business logic does.
+    pub script: RequestScript,
+}
+
+/// A result value (§2 "Result" domain): information computed by the business
+/// logic that must be returned to the user — reservation numbers, hotel
+/// names, or an informative "sold out" notice.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResultValue {
+    /// Labelled fields, e.g. `("flight_seat", 41)` or `("sold_out", 1)`.
+    pub entries: Vec<(String, i64)>,
+}
+
+impl ResultValue {
+    /// Builds a result from labelled entries.
+    pub fn new(entries: Vec<(String, i64)>) -> Self {
+        ResultValue { entries }
+    }
+
+    /// Looks up a field by label.
+    pub fn field(&self, label: &str) -> Option<i64> {
+        self.entries.iter().find(|(l, _)| l == label).map(|&(_, v)| v)
+    }
+
+    /// True if the business logic reported a user-level problem (e.g. sold
+    /// out). Still a perfectly committable result — see paper footnote 4.
+    pub fn is_user_level_problem(&self) -> bool {
+        self.field("sold_out").is_some() || self.field("conflict").is_some()
+    }
+}
+
+impl fmt::Display for ResultValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (l, v)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A decision — the pair `(result, outcome)` written into `regD[j]`
+/// (Figure 5 line 10). The cleaner writes `(nil, abort)` (Figure 6 line 7),
+/// hence the `Option`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// The computed result; `None` for the cleaner's `(nil, abort)`.
+    pub result: Option<ResultValue>,
+    /// Commit or abort.
+    pub outcome: Outcome,
+}
+
+impl Decision {
+    /// The cleaner's decision: `(nil, abort)`.
+    pub fn nil_abort() -> Self {
+        Decision { result: None, outcome: Outcome::Abort }
+    }
+
+    /// A commit decision carrying a result.
+    pub fn commit(result: ResultValue) -> Self {
+        Decision { result: Some(result), outcome: Outcome::Commit }
+    }
+
+    /// An abort decision that still carries the (refused) result.
+    pub fn abort(result: ResultValue) -> Self {
+        Decision { result: Some(result), outcome: Outcome::Abort }
+    }
+
+    /// True iff the outcome is commit.
+    pub fn is_commit(&self) -> bool {
+        self.outcome == Outcome::Commit
+    }
+}
+
+/// Values storable in a write-once register: `regA` holds an application
+/// server identity, `regD` holds a decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegValue {
+    /// An application-server identity (for `regA`).
+    Server(NodeId),
+    /// A decision (for `regD`).
+    Decision(Decision),
+}
+
+impl RegValue {
+    /// Extracts the server identity, if this is a `regA` value.
+    pub fn as_server(&self) -> Option<NodeId> {
+        match self {
+            RegValue::Server(n) => Some(*n),
+            RegValue::Decision(_) => None,
+        }
+    }
+
+    /// Extracts the decision, if this is a `regD` value.
+    pub fn as_decision(&self) -> Option<&Decision> {
+        match self {
+            RegValue::Decision(d) => Some(d),
+            RegValue::Server(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_classification() {
+        assert!(DbOp::Put { key: "a".into(), value: 1 }.is_write());
+        assert!(DbOp::Reserve { key: "a".into(), qty: 1 }.is_write());
+        assert!(!DbOp::Get { key: "a".into() }.is_write());
+        assert_eq!(DbOp::Doom.key(), None);
+        assert_eq!(DbOp::Get { key: "xy".into() }.key(), Some("xy"));
+    }
+
+    #[test]
+    fn script_database_dedup_preserves_order() {
+        let (a, b) = (NodeId(10), NodeId(11));
+        let script = RequestScript {
+            calls: vec![
+                DbCall { db: b, ops: vec![] },
+                DbCall { db: a, ops: vec![] },
+                DbCall { db: b, ops: vec![] },
+            ],
+        };
+        assert_eq!(script.databases(), vec![b, a]);
+    }
+
+    #[test]
+    fn result_value_fields() {
+        let r = ResultValue::new(vec![("seat".into(), 12), ("sold_out".into(), 1)]);
+        assert_eq!(r.field("seat"), Some(12));
+        assert_eq!(r.field("absent"), None);
+        assert!(r.is_user_level_problem());
+        assert_eq!(format!("{r}"), "{seat: 12, sold_out: 1}");
+    }
+
+    #[test]
+    fn decision_constructors() {
+        assert_eq!(Decision::nil_abort().result, None);
+        assert_eq!(Decision::nil_abort().outcome, Outcome::Abort);
+        let c = Decision::commit(ResultValue::default());
+        assert!(c.is_commit());
+        let a = Decision::abort(ResultValue::default());
+        assert!(!a.is_commit());
+        assert!(a.result.is_some());
+    }
+
+    #[test]
+    fn regvalue_projections() {
+        let s = RegValue::Server(NodeId(4));
+        assert_eq!(s.as_server(), Some(NodeId(4)));
+        assert!(s.as_decision().is_none());
+        let d = RegValue::Decision(Decision::nil_abort());
+        assert!(d.as_server().is_none());
+        assert_eq!(d.as_decision().unwrap().outcome, Outcome::Abort);
+    }
+}

@@ -1,0 +1,93 @@
+//! Stable-storage record formats.
+//!
+//! Two kinds of durable logs exist in the system:
+//!
+//! * the **database write-ahead log** ([`LOG_WAL`]) — every database server
+//!   forces a `Prepared` record (with the branch's write set) before voting
+//!   yes, and an `Outcome` record when it learns commit/abort. Recovery
+//!   replays this log: committed effects are reapplied, prepared-but-
+//!   undecided branches are restored *with their locks* (they are in-doubt
+//!   and must wait for a `Decide`, paper §2 / T.2);
+//! * the **2PC coordinator log** ([`LOG_COORD`]) — the presumed-nothing
+//!   two-phase-commit baseline forces a `Start` record before sending
+//!   prepares and an `Outcome` record once the outcome is known
+//!   (Appendix 3). The e-Transaction protocol never writes this log — that
+//!   is precisely the forced I/O it replaces with wo-register round trips.
+
+use crate::ids::ResultId;
+use crate::value::{Outcome, ResultValue};
+
+/// Name of the database write-ahead log within a node's stable storage.
+pub const LOG_WAL: &str = "wal";
+/// Name of the 2PC coordinator log within a node's stable storage.
+pub const LOG_COORD: &str = "coord";
+
+/// One durable record. A single enum covers both logs so the simulator's
+/// stable storage stays untyped-but-safe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StableRecord {
+    /// Database: branch `rid` is prepared; `writes` is its redo set
+    /// (key, new value). Forced before voting yes.
+    Prepared {
+        /// Transaction branch.
+        rid: ResultId,
+        /// Redo information: key → new value.
+        writes: Vec<(String, i64)>,
+    },
+    /// Database: branch `rid` was decided. Forced on commit; lazy on abort
+    /// (presumed abort).
+    DbOutcome {
+        /// Transaction branch.
+        rid: ResultId,
+        /// Commit or abort.
+        outcome: Outcome,
+    },
+    /// 2PC coordinator: processing of `rid` started (presumed-nothing start
+    /// record, forced).
+    CoordStart {
+        /// Transaction the coordinator began.
+        rid: ResultId,
+    },
+    /// 2PC coordinator: outcome determined (forced), with the computed
+    /// result so a recovering coordinator can still answer the client.
+    CoordOutcome {
+        /// Transaction decided.
+        rid: ResultId,
+        /// Commit or abort.
+        outcome: Outcome,
+        /// The result computed for the client (None when aborting).
+        result: Option<ResultValue>,
+    },
+}
+
+impl StableRecord {
+    /// The transaction branch this record concerns.
+    pub fn rid(&self) -> ResultId {
+        match self {
+            StableRecord::Prepared { rid, .. }
+            | StableRecord::DbOutcome { rid, .. }
+            | StableRecord::CoordStart { rid }
+            | StableRecord::CoordOutcome { rid, .. } => *rid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{NodeId, RequestId};
+
+    #[test]
+    fn record_rid_projection() {
+        let rid = ResultId::first(RequestId { client: NodeId(9), seq: 3 });
+        let records = [
+            StableRecord::Prepared { rid, writes: vec![("acct".into(), 10)] },
+            StableRecord::DbOutcome { rid, outcome: Outcome::Commit },
+            StableRecord::CoordStart { rid },
+            StableRecord::CoordOutcome { rid, outcome: Outcome::Abort, result: None },
+        ];
+        for r in &records {
+            assert_eq!(r.rid(), rid);
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Clients for the comparison protocols.
+//!
+//! Unlike the e-Transaction client, these surface failures to the end user:
+//! a timeout or an abort becomes an *exception* whose meaning is exactly the
+//! ambiguity the paper's introduction complains about — "this does not
+//! convey what had actually happened, and whether the actual request was
+//! indeed performed or not".
+//!
+//! [`RetryPolicy::NaiveResend`] models what end users actually do with such
+//! exceptions: retry. Under 2PC that can execute the request twice (the
+//! "charged twice" motivation, §1) — test `exactly_once.rs` demonstrates it
+//! against an identical crash schedule where e-Transactions stay
+//! exactly-once.
+
+use etx_base::ids::{NodeId, ResultId, TimerId};
+use etx_base::msg::{AppMsg, ClientMsg, Payload};
+use etx_base::runtime::{Context, Event, Process, TimerTag};
+use etx_base::time::Dur;
+use etx_base::trace::TraceKind;
+use etx_base::value::{Outcome, Request};
+
+/// What to do when `issue()` would raise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryPolicy {
+    /// At-most-once discipline: give up (deliver the exception).
+    GiveUp,
+    /// What real users do: resubmit the request as a fresh transaction, up
+    /// to `max_retries` times. Under non-exactly-once protocols this risks
+    /// duplicate execution.
+    NaiveResend {
+        /// Resubmission budget.
+        max_retries: u32,
+    },
+}
+
+/// A baseline client: sends each request to one server, waits with a
+/// timeout, and treats aborts/timeouts per its [`RetryPolicy`].
+pub struct SimpleClient {
+    server: NodeId,
+    timeout: Dur,
+    policy: RetryPolicy,
+    plan: Vec<Request>,
+    next: usize,
+    waiting: Option<Waiting>,
+}
+
+#[derive(Debug)]
+struct Waiting {
+    request: Request,
+    rid: ResultId,
+    timer: TimerId,
+    retries: u32,
+}
+
+impl std::fmt::Debug for SimpleClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimpleClient").field("server", &self.server).finish()
+    }
+}
+
+impl SimpleClient {
+    /// Creates a client talking to `server` with the given patience and
+    /// retry policy.
+    pub fn new(server: NodeId, timeout: Dur, policy: RetryPolicy, plan: Vec<Request>) -> Self {
+        SimpleClient { server, timeout, policy, plan, next: 0, waiting: None }
+    }
+
+    fn issue_next(&mut self, ctx: &mut dyn Context) {
+        if self.next >= self.plan.len() {
+            self.waiting = None;
+            return;
+        }
+        let request = self.plan[self.next].clone();
+        self.next += 1;
+        ctx.trace(TraceKind::Issue { request: request.id });
+        self.send_attempt(ctx, request, 1, 0);
+    }
+
+    fn send_attempt(&mut self, ctx: &mut dyn Context, request: Request, attempt: u32, retries: u32) {
+        let rid = ResultId { request: request.id, attempt };
+        ctx.send(
+            self.server,
+            Payload::Client(ClientMsg::Request { request: request.clone(), attempt }),
+        );
+        let timer = ctx.set_timer(self.timeout, TimerTag::ClientBackoff { rid });
+        self.waiting = Some(Waiting { request, rid, timer, retries });
+    }
+
+    fn give_up(&mut self, ctx: &mut dyn Context, request: etx_base::ids::RequestId) {
+        ctx.trace(TraceKind::Exception { request });
+        self.issue_next(ctx);
+    }
+}
+
+impl Process for SimpleClient {
+    fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+        match event {
+            Event::Init => self.issue_next(ctx),
+            Event::Timer { id, tag: TimerTag::ClientBackoff { rid } } => {
+                let Some(w) = &self.waiting else { return };
+                if w.rid != rid || w.timer != id {
+                    return;
+                }
+                let (request, retries) = (w.request.clone(), w.retries);
+                match self.policy {
+                    RetryPolicy::GiveUp => self.give_up(ctx, request.id),
+                    RetryPolicy::NaiveResend { max_retries } => {
+                        if retries < max_retries {
+                            // The dangerous move: resubmit as a NEW attempt.
+                            self.send_attempt(ctx, request, rid.attempt + 1, retries + 1);
+                        } else {
+                            self.give_up(ctx, request.id);
+                        }
+                    }
+                }
+            }
+            Event::Message { payload: Payload::App(msg), .. } => match msg {
+                AppMsg::Result { rid, decision } => {
+                    let Some(w) = &self.waiting else { return };
+                    if w.rid.request != rid.request {
+                        return;
+                    }
+                    let timer = w.timer;
+                    ctx.cancel_timer(timer);
+                    match decision.outcome {
+                        Outcome::Commit => {
+                            ctx.trace(TraceKind::Deliver {
+                                rid,
+                                outcome: Outcome::Commit,
+                                steps: ctx.depth(),
+                            });
+                        }
+                        Outcome::Abort => {
+                            // At-most-once protocols surface aborts to the
+                            // user; there is no transparent retry here.
+                            ctx.trace(TraceKind::Exception { request: rid.request });
+                        }
+                    }
+                    self.issue_next(ctx);
+                }
+                AppMsg::Exception { request, .. } => {
+                    if let Some(w) = &self.waiting {
+                        if w.rid.request == request {
+                            let timer = w.timer;
+                            ctx.cancel_timer(timer);
+                            self.give_up(ctx, request);
+                        }
+                    }
+                }
+            },
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "simple-client"
+    }
+}

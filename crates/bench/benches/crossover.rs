@@ -1,0 +1,20 @@
+//! X3 — ablation: where does the paper's headline ("AR beats 2PC because
+//! it replaces forced disk I/O with network round trips") flip? Sweeping
+//! the forced-log cost shows 2PC winning once a forced write is cheaper
+//! than a consensus round trip.
+
+use etx_harness::sweeps::{crossover_sweep, render_crossover};
+
+fn main() {
+    println!("\n=== X3: forced-I/O cost vs protocol totals ===\n");
+    let forces = [1.0, 2.0, 4.0, 8.0, 12.5, 20.0, 35.0, 50.0];
+    let rows = crossover_sweep(12, 0xF1_C3, &forces);
+    println!("{}", render_crossover(&rows));
+    // At the paper's 12.5 ms force cost, AR must win.
+    let at_paper = rows.iter().find(|r| (r.log_force_ms - 12.5).abs() < 1e-9).unwrap();
+    assert!(at_paper.ar_ms < at_paper.tpc_ms, "paper's conclusion must hold at 12.5 ms");
+    // With a very expensive disk, 2PC only gets worse.
+    let slow = rows.last().unwrap();
+    assert!(slow.tpc_ms > at_paper.tpc_ms);
+    println!("shape checks: AR wins at the paper's 12.5 ms forced-write cost ✓");
+}

@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of the substrates: how fast the simulator,
+//! the transactional engine and the consensus machinery themselves run.
+//! These measure *host* performance (events/sec), unlike the figure
+//! benches which measure *simulated* latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etx_base::config::CostModel;
+use etx_base::ids::{NodeId, RequestId, ResultId};
+use etx_base::value::{DbOp, Outcome};
+use etx_harness::{MiddleTier, ScenarioBuilder};
+use etx_store::Engine;
+use std::hint::black_box;
+
+fn rid(seq: u64) -> ResultId {
+    ResultId::first(RequestId { client: NodeId(0), seq })
+}
+
+fn bench_store(c: &mut Criterion) {
+    c.bench_function("store/execute_prepare_commit", |b| {
+        b.iter_batched(
+            Engine::new,
+            |mut e| {
+                for i in 0..100u64 {
+                    let r = rid(i);
+                    e.execute(
+                        r,
+                        &[DbOp::Add { key: format!("k{}", i % 10), delta: 1 }],
+                    );
+                    e.vote(r);
+                    e.decide(r, Outcome::Commit);
+                }
+                black_box(e.committed("k0"))
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("store/recovery_replay", |b| {
+        // Build a 300-record log once; measure replay.
+        let mut e = Engine::new();
+        let mut log = Vec::new();
+        for i in 0..100u64 {
+            let r = rid(i);
+            e.execute(r, &[DbOp::Put { key: format!("k{i}"), value: i as i64 }]);
+            for w in e.vote(r).1 {
+                log.push(w.rec);
+            }
+            for w in e.decide(r, Outcome::Commit).1 {
+                log.push(w.rec);
+            }
+        }
+        b.iter(|| black_box(Engine::recover(&log)).snapshot().len())
+    });
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    c.bench_function("sim/full_etx_transaction", |b| {
+        // A complete e-Transaction (3 app servers, consensus, XA commit)
+        // under the fast cost model: measures kernel + protocol throughput.
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed).build();
+            let out = s.run_until_settled(1);
+            black_box((out, s.sim.processed()))
+        })
+    });
+
+    c.bench_function("sim/full_baseline_transaction", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut s = ScenarioBuilder::fast(MiddleTier::Baseline, seed).build();
+            let out = s.run_until_settled(1);
+            black_box((out, s.sim.processed()))
+        })
+    });
+}
+
+fn bench_cost_model(c: &mut Criterion) {
+    c.bench_function("rng/jitter_stream", |b| {
+        let mut rng = etx_sim::Rng::new(1);
+        let cost = CostModel::default();
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.jitter(cost.sql, cost.jitter).0);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_store, bench_simulation, bench_cost_model);
+criterion_main!(benches);

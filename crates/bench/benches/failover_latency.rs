@@ -1,0 +1,25 @@
+//! X1 — the evaluation the paper's §5 calls for: client-perceived response
+//! time under "various failure alternatives" — primary crashes at each
+//! protocol stage × failure-detector timeout settings.
+
+use etx_base::time::Dur;
+use etx_harness::sweeps::{failover_sweep, render_failover};
+
+fn main() {
+    println!("\n=== X1: fail-over latency (primary crash points × FD timeout) ===\n");
+    let timeouts =
+        [Dur::from_millis(40), Dur::from_millis(80), Dur::from_millis(160), Dur::from_millis(320)];
+    let rows = failover_sweep(0xF161_u64, &timeouts);
+    println!("{}", render_failover(&rows));
+    // Shape: fail-over latency grows with the FD timeout; the failure-free
+    // control row does not.
+    let control: Vec<f64> = rows
+        .iter()
+        .filter(|r| matches!(r.crash, etx_harness::sweeps::CrashPoint::None))
+        .map(|r| r.latency_ms)
+        .collect();
+    let spread = control.iter().cloned().fold(f64::MIN, f64::max)
+        - control.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(spread < 60.0, "failure-free latency must not depend on the FD timeout");
+    println!("shape checks: control rows flat across FD timeouts ✓");
+}

@@ -1,0 +1,21 @@
+//! E2 — regenerates **Figure 7**'s comparison ("Analytic measures"):
+//! client-visible communication steps and message counts in failure-free
+//! executions of the four protocols.
+//!
+//! Steps are *measured* causal depth on the simulated wire, not hand
+//! counts. Paper's claim: asynchronous replication introduces the same
+//! number of communication steps as primary-backup, more than 2PC or the
+//! unreliable baseline (which pay disk forces / unreliability instead).
+
+use etx_harness::figures::{figure7, render_fig7};
+
+fn main() {
+    let rows = figure7(0xF160_7);
+    println!("\n=== Figure 7: communication steps in failure-free executions ===\n");
+    println!("{}", render_fig7(&rows));
+    let steps = |l: &str| rows.iter().find(|r| r.label == l).unwrap().steps;
+    assert_eq!(steps("AR"), steps("PB"), "paper: AR has the same steps as primary-backup");
+    assert!(steps("AR") > steps("2PC"), "paper: AR has more steps than 2PC");
+    assert!(steps("2PC") > steps("baseline"));
+    println!("shape checks: steps(AR) == steps(PB) > steps(2PC) > steps(baseline) ✓");
+}

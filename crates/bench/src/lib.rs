@@ -1,0 +1,15 @@
+//! # etx-bench — benchmark targets regenerating the paper's evaluation
+//!
+//! One bench target per table/figure (see `EXPERIMENTS.md` for the index):
+//!
+//! | target | artifact |
+//! |---|---|
+//! | `figure8` | Figure 8 — the latency table (E1/E4) |
+//! | `figure7_steps` | Figure 7 — communication steps & messages (E2) |
+//! | `figure1_scenarios` | Figure 1 — canonical executions (E3) |
+//! | `failover_latency` | X1 — failure-case response time (§5's missing eval) |
+//! | `crossover` | X3 — forced-I/O vs consensus-round-trip crossover |
+//! | `scalability` | X2 — replication degree and database fan-out |
+//! | `engine_criterion` | Criterion microbenches of the substrates |
+//!
+//! Run them all with `cargo bench --workspace`.

@@ -1,0 +1,501 @@
+//! Rotating-coordinator consensus, one instance per write-once register.
+//!
+//! The paper builds wo-registers from "a consensus protocol executed among
+//! the application servers (e.g. \[4\])" — Chandra & Toueg's ◇S algorithm —
+//! and Appendix 3 assumes the optimised variant where, in nice runs, "it
+//! takes only a round trip message for the first primary to write into the
+//! register". This module implements that family:
+//!
+//! * rounds `r = 0, 1, 2, …` with coordinator `alist[r mod n]`;
+//! * **round 0 fast path**: every participant's adoption timestamp is still
+//!   0, so the coordinator may propose the first estimate it knows (its own,
+//!   if it is the writer) without collecting a majority — one round trip to
+//!   decide;
+//! * **rounds > 0**: the classic three phases — participants send their
+//!   `(estimate, ts)` to the round's coordinator; the coordinator waits for
+//!   a majority, picks the estimate with the highest `ts` (this is what
+//!   preserves agreement across rounds), proposes it; participants adopt and
+//!   ack, or nack if they have moved on;
+//! * a coordinator with a majority of acks **decides** and broadcasts the
+//!   decision; undecided replicas also **pull** decisions periodically
+//!   (`DecideReq`), which implements the liveness half of the wo-register
+//!   `read()` spec;
+//! * round changes are driven *only* by failure-detector suspicion of the
+//!   current coordinator (plus a patience re-check timer) — never by fixed
+//!   timeouts — keeping the protocol asynchronous in the paper's sense.
+//!
+//! Safety (agreement, validity, integrity) holds under any failure-detector
+//! behaviour; only termination needs ◇P accuracy and a correct majority,
+//! mirroring the paper's §4/§5 discussion.
+
+use etx_base::ids::{NodeId, RegId};
+use etx_base::msg::{ConsensusMsg, Payload};
+use etx_base::runtime::{Context, Event, TimerTag};
+use etx_base::time::Dur;
+use etx_base::trace::TraceKind;
+use etx_base::value::RegValue;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Predicate type used to query the owner's failure detector.
+pub type Suspects<'a> = &'a dyn Fn(NodeId) -> bool;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Re-check interval for coordinator suspicion while waiting in a round.
+    pub patience: Dur,
+    /// Period of the decision push/pull resync.
+    pub resync: Dur,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig { patience: Dur::from_millis(40), resync: Dur::from_millis(120) }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Instance {
+    round: u32,
+    est: Option<RegValue>,
+    /// Round in which `est` was adopted from a coordinator (0 = own/initial).
+    ts: u32,
+    decided: Option<RegValue>,
+    /// Coordinator-side: estimates collected for the current round.
+    estimates: HashMap<NodeId, (Option<RegValue>, u32)>,
+    /// Coordinator-side: the value proposed in the current round.
+    proposal: Option<RegValue>,
+    /// Coordinator-side: acks collected for the current round.
+    acks: HashSet<NodeId>,
+    /// Participant-side: whether we already acked this round.
+    acked: bool,
+}
+
+/// Multi-instance consensus engine. One per application server, embedded in
+/// its process (it is a component, not a node).
+#[derive(Debug)]
+pub struct ConsensusEngine {
+    me: NodeId,
+    peers: Vec<NodeId>,
+    majority: usize,
+    cfg: EngineConfig,
+    instances: BTreeMap<RegId, Instance>,
+    /// Decisions reached since the last `handle`/`propose` drain.
+    fresh: Vec<(RegId, RegValue)>,
+    started: bool,
+}
+
+impl ConsensusEngine {
+    /// Creates an engine for `me` among `peers` (which must include `me`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `peers` does not contain `me`.
+    pub fn new(me: NodeId, peers: &[NodeId], cfg: EngineConfig) -> Self {
+        assert!(peers.contains(&me), "engine peers must include the owner");
+        ConsensusEngine {
+            me,
+            peers: peers.to_vec(),
+            majority: peers.len() / 2 + 1,
+            cfg,
+            instances: BTreeMap::new(),
+            fresh: Vec::new(),
+            started: false,
+        }
+    }
+
+    /// Starts the resync timer. Call from the owning process's `Init`.
+    pub fn on_init(&mut self, ctx: &mut dyn Context) {
+        if !self.started {
+            self.started = true;
+            ctx.set_timer(self.cfg.resync, TimerTag::ConsensusResync);
+        }
+    }
+
+    fn coord(&self, round: u32) -> NodeId {
+        self.peers[(round as usize) % self.peers.len()]
+    }
+
+    /// Locally known decision, if any (the wo-register `read()` fast path).
+    pub fn decided(&self, inst: RegId) -> Option<&RegValue> {
+        self.instances.get(&inst).and_then(|i| i.decided.as_ref())
+    }
+
+    /// Every instance this engine has ever seen traffic for — the cleaner
+    /// uses this to discover attempts initiated by a suspected server.
+    pub fn known_instances(&self) -> Vec<RegId> {
+        self.instances.keys().copied().collect()
+    }
+
+    /// Proposes `value` for `inst`. If the instance is already decided
+    /// locally, returns the decision immediately (the wo-register `write()`
+    /// returning "some other value already written"); otherwise the outcome
+    /// arrives later from [`Self::handle`].
+    pub fn propose(
+        &mut self,
+        ctx: &mut dyn Context,
+        inst: RegId,
+        value: RegValue,
+        suspects: Suspects<'_>,
+    ) -> Option<RegValue> {
+        if let Some(d) = self.instances.get(&inst).and_then(|i| i.decided.clone()) {
+            return Some(d);
+        }
+        let me = self.me;
+        let (round, est, ts) = {
+            let i = self.instances.entry(inst).or_default();
+            if i.est.is_none() {
+                i.est = Some(value);
+                i.ts = 0;
+            }
+            (i.round, i.est.clone(), i.ts)
+        };
+        let coord = self.coord(round);
+        if coord == me {
+            self.instances
+                .get_mut(&inst)
+                .expect("just created")
+                .estimates
+                .insert(me, (est.clone(), ts));
+            if round > 0 {
+                // Announce the round so peers join and contribute the
+                // majority of estimates this round needs.
+                self.send_estimates(ctx, inst, round, est, ts);
+            }
+            self.try_propose(ctx, inst);
+        } else {
+            self.send_estimates(ctx, inst, round, est, ts);
+            ctx.set_timer(self.cfg.patience, TimerTag::ConsensusRound { inst, round });
+        }
+        // The coordinator might already be suspected; don't wait for the
+        // patience timer in that case.
+        self.reevaluate_instance(ctx, inst, suspects);
+        // A degenerate quorum (single replica) can decide synchronously.
+        if let Some(d) = self.instances.get(&inst).and_then(|i| i.decided.clone()) {
+            self.fresh.retain(|(r, _)| *r != inst);
+            return Some(d);
+        }
+        None
+    }
+
+    /// Broadcasts a pull for a decision (wo-register `read()` liveness: keep
+    /// invoking and you eventually see the written value).
+    pub fn pull(&mut self, ctx: &mut dyn Context, inst: RegId) {
+        self.instances.entry(inst).or_default();
+        for p in self.peers.clone() {
+            if p != self.me {
+                ctx.send(p, Payload::Consensus(ConsensusMsg::DecideReq { inst }));
+            }
+        }
+    }
+
+    /// Feeds one runtime event. Returns instances decided *by this call*.
+    pub fn handle(
+        &mut self,
+        ctx: &mut dyn Context,
+        event: &Event,
+        suspects: Suspects<'_>,
+    ) -> Vec<(RegId, RegValue)> {
+        match event {
+            Event::Message { from, payload: Payload::Consensus(m) } => {
+                self.on_msg(ctx, *from, m.clone(), suspects);
+            }
+            Event::Timer { tag: TimerTag::ConsensusRound { inst, round }, .. } => {
+                let (inst, round) = (*inst, *round);
+                if let Some(i) = self.instances.get(&inst) {
+                    if i.decided.is_none() && i.round == round {
+                        self.reevaluate_instance(ctx, inst, suspects);
+                        // Still undecided in the same round: keep watching.
+                        if let Some(i) = self.instances.get(&inst) {
+                            if i.decided.is_none() && i.round == round {
+                                ctx.set_timer(
+                                    self.cfg.patience,
+                                    TimerTag::ConsensusRound { inst, round },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            Event::Timer { tag: TimerTag::ConsensusResync, .. } => {
+                self.resync(ctx);
+                ctx.set_timer(self.cfg.resync, TimerTag::ConsensusResync);
+            }
+            _ => {}
+        }
+        std::mem::take(&mut self.fresh)
+    }
+
+    /// Re-evaluates every undecided instance after a suspicion change (the
+    /// owning server calls this on failure-detector transitions).
+    pub fn on_suspicion_change(&mut self, ctx: &mut dyn Context, suspects: Suspects<'_>) {
+        let insts: Vec<RegId> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.decided.is_none())
+            .map(|(&k, _)| k)
+            .collect();
+        for inst in insts {
+            self.reevaluate_instance(ctx, inst, suspects);
+        }
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    /// If we are stuck waiting on a suspected coordinator, nack and advance
+    /// (possibly across several suspected coordinators).
+    fn reevaluate_instance(&mut self, ctx: &mut dyn Context, inst: RegId, suspects: Suspects<'_>) {
+        for _ in 0..self.peers.len() {
+            let Some(i) = self.instances.get(&inst) else { return };
+            if i.decided.is_some() {
+                return;
+            }
+            let round = i.round;
+            let coord = self.coord(round);
+            if coord == self.me || !suspects(coord) {
+                return;
+            }
+            ctx.send(coord, Payload::Consensus(ConsensusMsg::Nack { inst, round }));
+            self.enter_round(ctx, inst, round + 1);
+        }
+    }
+
+    /// Moves an instance to `round` (> current), performing participant
+    /// duties for the new round.
+    fn enter_round(&mut self, ctx: &mut dyn Context, inst: RegId, round: u32) {
+        let me = self.me;
+        let coord = self.coord(round);
+        let Some(i) = self.instances.get_mut(&inst) else { return };
+        // Never called for round 0 (that entry happens in `propose`); only
+        // forward moves are meaningful.
+        if i.decided.is_some() || round <= i.round {
+            return;
+        }
+        i.round = round;
+        i.estimates.clear();
+        i.acks.clear();
+        i.proposal = None;
+        i.acked = false;
+        let est = i.est.clone();
+        let ts = i.ts;
+        if coord == me {
+            i.estimates.insert(me, (est.clone(), ts));
+            // enter_round is only called with round ≥ 1: announce so peers
+            // join (they may never have heard of this instance).
+            self.send_estimates(ctx, inst, round, est, ts);
+            self.try_propose(ctx, inst);
+        } else {
+            self.send_estimates(ctx, inst, round, est, ts);
+            ctx.set_timer(self.cfg.patience, TimerTag::ConsensusRound { inst, round });
+        }
+    }
+
+    /// Sends this participant's estimate for `round`. Round 0 goes to the
+    /// coordinator only (the fast path needs nothing more). Later rounds
+    /// are **broadcast**: peers that have never heard of the instance must
+    /// join the round and contribute estimates, or a coordinator could wait
+    /// forever for a majority it cannot assemble (the original writers may
+    /// all have crashed).
+    fn send_estimates(
+        &mut self,
+        ctx: &mut dyn Context,
+        inst: RegId,
+        round: u32,
+        est: Option<RegValue>,
+        ts: u32,
+    ) {
+        let coord = self.coord(round);
+        if round == 0 {
+            ctx.send(coord, Payload::Consensus(ConsensusMsg::Estimate { inst, round, est, ts }));
+            return;
+        }
+        for p in self.peers.clone() {
+            if p != self.me {
+                ctx.send(
+                    p,
+                    Payload::Consensus(ConsensusMsg::Estimate {
+                        inst,
+                        round,
+                        est: est.clone(),
+                        ts,
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Coordinator-side: propose if this round's preconditions are met.
+    fn try_propose(&mut self, ctx: &mut dyn Context, inst: RegId) {
+        let me = self.me;
+        let majority = self.majority;
+        let Some(i) = self.instances.get_mut(&inst) else { return };
+        if i.decided.is_some() || i.proposal.is_some() {
+            return;
+        }
+        let round = i.round;
+        // Pick the estimate with the highest adoption timestamp; ties broken
+        // by sender id for determinism.
+        let best = i
+            .estimates
+            .iter()
+            .filter_map(|(&n, (e, ts))| e.clone().map(|v| (*ts, n, v)))
+            .max_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
+            .map(|(_, _, v)| v);
+        let ready = if round == 0 {
+            // Fast path: all timestamps are 0, any known estimate is safe.
+            best.is_some()
+        } else {
+            i.estimates.len() >= majority && best.is_some()
+        };
+        if !ready {
+            return;
+        }
+        let value = best.expect("checked is_some");
+        i.proposal = Some(value.clone());
+        // The coordinator adopts its own proposal and acks itself.
+        i.est = Some(value.clone());
+        i.ts = round;
+        i.acks.insert(me);
+        for p in self.peers.clone() {
+            if p != me {
+                ctx.send(p, Payload::Consensus(ConsensusMsg::Propose { inst, round, value: value.clone() }));
+            }
+        }
+        // Single-replica degenerate case decides instantly.
+        self.try_decide(ctx, inst);
+    }
+
+    fn try_decide(&mut self, ctx: &mut dyn Context, inst: RegId) {
+        let me = self.me;
+        let majority = self.majority;
+        let Some(i) = self.instances.get_mut(&inst) else { return };
+        if i.decided.is_some() || i.acks.len() < majority {
+            return;
+        }
+        let value = i.proposal.clone().expect("acks imply a proposal");
+        i.decided = Some(value.clone());
+        ctx.trace(TraceKind::RegDecided { reg: inst });
+        self.fresh.push((inst, value.clone()));
+        for p in self.peers.clone() {
+            if p != me {
+                ctx.send(p, Payload::Consensus(ConsensusMsg::Decide { inst, value: value.clone() }));
+            }
+        }
+    }
+
+    fn learn(&mut self, ctx: &mut dyn Context, inst: RegId, value: RegValue) {
+        let i = self.instances.entry(inst).or_default();
+        if i.decided.is_none() {
+            i.decided = Some(value.clone());
+            ctx.trace(TraceKind::RegDecided { reg: inst });
+            self.fresh.push((inst, value));
+        }
+    }
+
+    fn on_msg(
+        &mut self,
+        ctx: &mut dyn Context,
+        from: NodeId,
+        msg: ConsensusMsg,
+        suspects: Suspects<'_>,
+    ) {
+        match msg {
+            ConsensusMsg::Estimate { inst, round, est, ts } => {
+                if let Some(v) = self.decided(inst).cloned() {
+                    ctx.send(from, Payload::Consensus(ConsensusMsg::Decide { inst, value: v }));
+                    return;
+                }
+                let cur = self.instances.entry(inst).or_default().round;
+                if round < cur {
+                    ctx.send(from, Payload::Consensus(ConsensusMsg::Nack { inst, round }));
+                    return;
+                }
+                if round > cur {
+                    // Join the round we just learned about (this also sends
+                    // our own estimate out).
+                    self.enter_round(ctx, inst, round);
+                }
+                let i = self.instances.entry(inst).or_default();
+                if i.round == round {
+                    i.estimates.insert(from, (est, ts));
+                }
+                if self.coord(round) == self.me {
+                    self.try_propose(ctx, inst);
+                }
+            }
+            ConsensusMsg::Propose { inst, round, value } => {
+                if let Some(v) = self.decided(inst).cloned() {
+                    ctx.send(from, Payload::Consensus(ConsensusMsg::Decide { inst, value: v }));
+                    return;
+                }
+                let cur = self.instances.entry(inst).or_default().round;
+                if round < cur {
+                    ctx.send(from, Payload::Consensus(ConsensusMsg::Nack { inst, round }));
+                    return;
+                }
+                if round > cur {
+                    self.enter_round(ctx, inst, round);
+                }
+                let i = self.instances.entry(inst).or_default();
+                if i.round == round && !i.acked {
+                    i.est = Some(value);
+                    i.ts = round;
+                    i.acked = true;
+                    ctx.send(from, Payload::Consensus(ConsensusMsg::Ack { inst, round }));
+                }
+            }
+            ConsensusMsg::Ack { inst, round } => {
+                let Some(i) = self.instances.get_mut(&inst) else { return };
+                if i.round == round && i.proposal.is_some() && i.decided.is_none() {
+                    i.acks.insert(from);
+                    self.try_decide(ctx, inst);
+                }
+            }
+            ConsensusMsg::Nack { inst, round } => {
+                let Some(i) = self.instances.get_mut(&inst) else { return };
+                if i.round == round && i.decided.is_none() {
+                    self.enter_round(ctx, inst, round + 1);
+                    self.reevaluate_instance(ctx, inst, suspects);
+                }
+            }
+            ConsensusMsg::Decide { inst, value } => {
+                self.learn(ctx, inst, value);
+            }
+            ConsensusMsg::DecideReq { inst } => {
+                if let Some(v) = self.decided(inst).cloned() {
+                    ctx.send(from, Payload::Consensus(ConsensusMsg::Decide { inst, value: v }));
+                }
+            }
+        }
+    }
+
+    /// Periodic decision resync: undecided instances pull, decided ones stay
+    /// quiet (answers are demand-driven).
+    fn resync(&mut self, ctx: &mut dyn Context) {
+        let undecided: Vec<RegId> = self
+            .instances
+            .iter()
+            .filter(|(_, i)| i.decided.is_none() && i.est.is_some())
+            .map(|(&k, _)| k)
+            .collect();
+        for inst in undecided {
+            for p in self.peers.clone() {
+                if p != self.me {
+                    ctx.send(p, Payload::Consensus(ConsensusMsg::DecideReq { inst }));
+                }
+            }
+        }
+    }
+
+    /// Drops a decided instance's bookkeeping (garbage-collection hook; see
+    /// the paper's §5 remark on cleaning the register arrays).
+    pub fn forget(&mut self, inst: RegId) -> bool {
+        match self.instances.get(&inst) {
+            Some(i) if i.decided.is_some() => {
+                self.instances.remove(&inst);
+                true
+            }
+            _ => false,
+        }
+    }
+}

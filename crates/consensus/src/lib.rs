@@ -1,0 +1,291 @@
+//! # etx-consensus — consensus and write-once registers
+//!
+//! The synchronisation core of the e-Transaction protocol (§4): write-once
+//! registers (`regA[j]`, `regD[j]`) built from rotating-coordinator
+//! consensus among the application servers.
+//!
+//! * [`engine::ConsensusEngine`] — multi-instance Chandra–Toueg-style
+//!   consensus with the round-0 fast path ("one round trip for the first
+//!   primary") and FD-driven round changes;
+//! * [`woreg::WoRegisters`] — the CD-ROM abstraction on top: `write()` once,
+//!   `read()` many.
+//!
+//! Both are *components* owned by an application-server process; they are
+//! driven by forwarding runtime events.
+
+pub mod engine;
+pub mod woreg;
+
+pub use engine::{ConsensusEngine, EngineConfig, Suspects};
+pub use woreg::{WoEvent, WoRegisters};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::config::FdConfig;
+    use etx_base::ids::{NodeId, RegId, RequestId, ResultId};
+    use etx_base::runtime::{Context, Event, Process};
+    use etx_base::time::Time;
+    use etx_base::value::RegValue;
+    use etx_fd::{FailureDetector, HeartbeatFd};
+    use etx_sim::{Sim, SimConfig};
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex};
+
+    /// Shared observation board the test hosts report decisions to.
+    type Board = Arc<Mutex<HashMap<(NodeId, RegId), RegValue>>>;
+
+    /// A host that proposes planned values and records every decision.
+    struct RegHost {
+        me: NodeId,
+        fd: HeartbeatFd,
+        regs: WoRegisters,
+        planned: Vec<(Time, RegId, RegValue)>,
+        board: Board,
+    }
+
+    impl RegHost {
+        fn fire_due(&mut self, ctx: &mut dyn Context) {
+            let now = ctx.now();
+            let (fire, keep): (Vec<_>, Vec<_>) =
+                self.planned.drain(..).partition(|(at, _, _)| *at <= now);
+            self.planned = keep;
+            for (_, reg, value) in fire {
+                let fd = &self.fd;
+                let sus = move |n: NodeId| fd.suspects(n);
+                if let Some(v) = self.regs.write(ctx, reg, value, &sus) {
+                    self.board.lock().unwrap().insert((self.me, reg), v);
+                }
+            }
+        }
+    }
+
+    impl Process for RegHost {
+        fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+            if matches!(event, Event::Init) {
+                self.fd.on_init(ctx);
+                self.regs.on_init(ctx);
+            }
+            let transitions = self.fd.handle(ctx, &event);
+            let fd = &self.fd;
+            let sus = move |n: NodeId| fd.suspects(n);
+            if !transitions.is_empty() {
+                self.regs.on_suspicion_change(ctx, &sus);
+            }
+            for ev in self.regs.handle(ctx, &event, &sus) {
+                let WoEvent::Decided { reg, value } = ev;
+                self.board.lock().unwrap().insert((self.me, reg), value);
+            }
+            self.fire_due(ctx);
+        }
+    }
+
+    fn reg(seq: u64) -> RegId {
+        RegId::owner(ResultId::first(RequestId { client: NodeId(99), seq }))
+    }
+
+    fn build(
+        seed: u64,
+        n: usize,
+        plans: Vec<Vec<(Time, RegId, RegValue)>>,
+    ) -> (Sim, Vec<NodeId>, Board) {
+        let board: Board = Arc::new(Mutex::new(HashMap::new()));
+        let mut sim = Sim::new(SimConfig::with_seed(seed));
+        let ids: Vec<NodeId> = (0..n as u32).map(NodeId).collect();
+        for i in 0..n {
+            let ids_c = ids.clone();
+            let plan = plans.get(i).cloned().unwrap_or_default();
+            let board_c = board.clone();
+            sim.add_node(
+                "reg",
+                Box::new(move |me| {
+                    Box::new(RegHost {
+                        me,
+                        fd: HeartbeatFd::new(me, &ids_c, FdConfig::default()),
+                        regs: WoRegisters::new(me, &ids_c, EngineConfig::default()),
+                        planned: plan.clone(),
+                        board: board_c.clone(),
+                    })
+                }),
+            );
+        }
+        (sim, ids, board)
+    }
+
+    fn decisions_for(board: &Board, reg: RegId) -> Vec<RegValue> {
+        let b = board.lock().unwrap();
+        b.iter().filter(|((_, r), _)| *r == reg).map(|(_, v)| v.clone()).collect()
+    }
+
+    #[test]
+    fn single_writer_decides_own_value_fast() {
+        let r = reg(1);
+        let (mut sim, _ids, board) =
+            build(1, 3, vec![vec![(Time::ZERO, r, RegValue::Server(NodeId(0)))]]);
+        let board_c = board.clone();
+        sim.run_until(move |_| decisions_for(&board_c, r).len() == 3);
+        let vals = decisions_for(&board, r);
+        assert_eq!(vals.len(), 3, "all replicas learn");
+        for v in &vals {
+            assert_eq!(v, &RegValue::Server(NodeId(0)), "validity: only the proposed value");
+        }
+        // Fast path: the writer is round 0's coordinator; one round trip to
+        // decide plus one hop to disseminate.
+        assert!(sim.now() < Time(10_000), "fast path too slow: {}", sim.now());
+    }
+
+    #[test]
+    fn concurrent_writers_agree_on_one_value() {
+        for seed in 0..20u64 {
+            let r = reg(2);
+            let plans = vec![
+                vec![(Time::ZERO, r, RegValue::Server(NodeId(0)))],
+                vec![(Time::ZERO, r, RegValue::Server(NodeId(1)))],
+                vec![(Time::ZERO, r, RegValue::Server(NodeId(2)))],
+            ];
+            let (mut sim, _, board) = build(seed, 3, plans);
+            let board_c = board.clone();
+            sim.run_until(move |_| decisions_for(&board_c, r).len() == 3);
+            let vals = decisions_for(&board, r);
+            assert_eq!(vals.len(), 3);
+            assert!(
+                vals.windows(2).all(|w| w[0] == w[1]),
+                "agreement violated at seed {seed}: {vals:?}"
+            );
+            assert!(
+                matches!(vals[0], RegValue::Server(n) if n.0 <= 2),
+                "validity violated at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn write_after_decide_returns_existing_value() {
+        let r = reg(3);
+        // Node 0 writes at t=0; node 1 writes the same register much later
+        // and must get node 0's value back.
+        let plans = vec![
+            vec![(Time::ZERO, r, RegValue::Server(NodeId(0)))],
+            vec![(Time(300_000), r, RegValue::Server(NodeId(1)))],
+        ];
+        let (mut sim, _, board) = build(7, 3, plans);
+        let board_c = board.clone();
+        sim.run_until(move |s| s.now() > Time(600_000) && decisions_for(&board_c, r).len() == 3);
+        let vals = decisions_for(&board, r);
+        assert!(vals.iter().all(|v| *v == RegValue::Server(NodeId(0))), "write-once: {vals:?}");
+    }
+
+    #[test]
+    fn decision_survives_coordinator_crash_after_write() {
+        // Writer/coordinator node 0 crashes right after its register
+        // decides; the survivors must still converge on node 0's value.
+        let r = reg(4);
+        let (mut sim, ids, board) =
+            build(11, 3, vec![vec![(Time::ZERO, r, RegValue::Server(NodeId(0)))]]);
+        sim.on_trace(
+            move |ev| matches!(ev.kind, etx_base::trace::TraceKind::RegDecided { reg } if reg == r),
+            etx_sim::FaultAction::Crash(ids[0]),
+        );
+        let board_c = board.clone();
+        sim.run_until(move |_| decisions_for(&board_c, r).len() >= 2);
+        let vals = decisions_for(&board, r);
+        assert!(vals.iter().all(|v| *v == RegValue::Server(NodeId(0))));
+    }
+
+    #[test]
+    fn writer_cut_off_before_majority_lets_others_take_over() {
+        // Node 1 proposes but is partitioned away, so its write cannot reach
+        // anyone; node 2 later proposes its own value. The connected
+        // majority must decide without node 1, and everyone must agree once
+        // the partition heals.
+        let r = reg(5);
+        let plans = vec![
+            vec![],
+            vec![(Time::ZERO, r, RegValue::Server(NodeId(1)))],
+            vec![(Time(500_000), r, RegValue::Server(NodeId(2)))],
+        ];
+        let (mut sim, ids, board) = build(13, 3, plans);
+        sim.partition(&[ids[1]], &[ids[0], ids[2]], Time(5_000_000));
+        let board_c = board.clone();
+        let out = sim.run_until(move |_| {
+            let b = board_c.lock().unwrap();
+            b.contains_key(&(NodeId(0), r)) && b.contains_key(&(NodeId(2), r))
+        });
+        assert_eq!(out, etx_sim::RunOutcome::Predicate, "connected majority must decide");
+        let vals = decisions_for(&board, r);
+        assert!(vals.windows(2).all(|w| w[0] == w[1]), "{vals:?}");
+    }
+
+    #[test]
+    fn many_instances_in_parallel() {
+        let regs: Vec<RegId> = (0..10).map(reg).collect();
+        let plans = vec![
+            regs.iter().step_by(2).map(|&r| (Time::ZERO, r, RegValue::Server(NodeId(0)))).collect(),
+            regs.iter()
+                .skip(1)
+                .step_by(2)
+                .map(|&r| (Time::ZERO, r, RegValue::Server(NodeId(1))))
+                .collect(),
+            vec![],
+        ];
+        let (mut sim, _, board) = build(17, 3, plans);
+        let board_c = board.clone();
+        let regs_c = regs.clone();
+        sim.run_until(move |_| {
+            let b = board_c.lock().unwrap();
+            regs_c.iter().all(|r| (0..3).all(|n| b.contains_key(&(NodeId(n), *r))))
+        });
+        for r in &regs {
+            let vals = decisions_for(&board, *r);
+            assert_eq!(vals.len(), 3);
+            assert!(vals.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn late_replica_learns_via_delayed_delivery_or_pull() {
+        // Node 2 is cut off while 0+1 decide; after the heal it must still
+        // converge on the decided value (via the delayed Decide and/or its
+        // periodic DecideReq pull).
+        let r = reg(7);
+        let (mut sim, ids, board) =
+            build(19, 3, vec![vec![(Time::ZERO, r, RegValue::Server(NodeId(0)))]]);
+        sim.partition(&[ids[2]], &[ids[0], ids[1]], Time(400_000));
+        let board_c = board.clone();
+        let out = sim.run_until(move |_| board_c.lock().unwrap().contains_key(&(NodeId(2), r)));
+        assert_eq!(out, etx_sim::RunOutcome::Predicate);
+        let vals = decisions_for(&board, r);
+        assert!(vals.iter().all(|v| *v == RegValue::Server(NodeId(0))));
+        assert!(sim.now() >= Time(400_000), "node 2 can only learn after the heal");
+    }
+
+    #[test]
+    fn single_replica_quorum_decides_synchronously() {
+        // peers = {me}: propose must decide immediately and forget() must
+        // work right after.
+        let r = reg(6);
+        let out = Arc::new(Mutex::new(None));
+        struct Once {
+            r: RegId,
+            out: Arc<Mutex<Option<bool>>>,
+        }
+        impl Process for Once {
+            fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+                if matches!(event, Event::Init) {
+                    let me = ctx.me();
+                    let mut e = ConsensusEngine::new(me, &[me], EngineConfig::default());
+                    let sus = |_: NodeId| false;
+                    let v = e.propose(ctx, self.r, RegValue::Server(me), &sus);
+                    assert_eq!(v, Some(RegValue::Server(me)));
+                    assert!(!e.forget(reg(999)), "cannot forget unknown instance");
+                    *self.out.lock().unwrap() = Some(e.forget(self.r));
+                }
+            }
+        }
+        let mut sim = Sim::new(SimConfig::with_seed(1));
+        let out_c = out.clone();
+        sim.add_node("x", Box::new(move |_| Box::new(Once { r, out: out_c.clone() })));
+        sim.run_until(|_| false);
+        assert_eq!(*out.lock().unwrap(), Some(true));
+    }
+}

@@ -1,0 +1,575 @@
+//! The application-server protocol (Figures 4, 5, 6).
+//!
+//! The paper's middle tier is *stateless* with respect to the application
+//! (no state survives across requests) but runs the replication machinery:
+//!
+//! * the **computation thread** (Figure 5) — on a client request, race for
+//!   ownership of the attempt through `regA[j].write(self)`; the winner
+//!   computes the result against the databases, runs the voting phase, and
+//!   writes the decision into `regD[j]`;
+//! * the **cleaning thread** (Figure 6) — when a peer is suspected, walk
+//!   every attempt it owns and force each to a decision (writing
+//!   `(nil, abort)` into `regD[j]`, which returns the owner's decision if
+//!   one was already written) and terminate it;
+//! * **terminate()** (Figure 4) — push the decision to every database until
+//!   all acknowledge, then send the result to the client;
+//! * **prepare()** (Figure 4) — collect votes; a `Ready` (crash-recovery
+//!   notice) from a database counts as a refusal, since an unprepared
+//!   branch did not survive.
+//!
+//! The pseudo-code's blocking threads become one state machine per attempt
+//! (one `Phase` per attempt); `cobegin` concurrency becomes event interleaving.
+
+use etx_base::config::{CostModel, ProtocolConfig};
+use etx_base::ids::{NodeId, RegId, RequestId, ResultId, Topology};
+use etx_base::msg::{AppMsg, ClientMsg, DbMsg, DbReplyMsg, Payload};
+use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
+use etx_base::time::Time;
+use etx_base::trace::{Component, TraceKind};
+use etx_base::value::{Decision, ExecStatus, Outcome, RegValue, Request, ResultValue, Vote};
+use etx_consensus::{EngineConfig, WoEvent, WoRegisters};
+use etx_fd::FailureDetector;
+use std::collections::{HashMap, HashSet};
+
+/// Per-attempt protocol state (the paper's compute thread, unrolled).
+#[derive(Debug)]
+enum Phase {
+    /// `regA[j].write(this)` issued (or about to be); awaiting the owner
+    /// decision.
+    WritingRegA { request: Request, written: bool },
+    /// Another server owns this attempt; we only watch (and clean if it
+    /// crashes).
+    Watching,
+    /// We own the attempt and are executing the business logic, one
+    /// database call at a time.
+    Computing { request: Request, call_idx: usize, acc: Vec<(String, i64)> },
+    /// Votes are being collected (Figure 4 `prepare()`).
+    Preparing { result: ResultValue, involved: Vec<NodeId>, votes: HashMap<NodeId, Vote> },
+    /// `regD[j].write(decision)` issued; awaiting the decision register.
+    WritingRegD,
+    /// Pushing `[Decide]` until every target database acknowledges
+    /// (Figure 4 `terminate()`).
+    Terminating { decision: Decision, targets: Vec<NodeId>, acked: HashSet<NodeId> },
+    /// Terminated; result sent to the client. Kept to answer duplicates.
+    Done { decision: Decision },
+}
+
+/// The middle-tier process: computation thread + cleaning thread + the
+/// wo-register machinery, as one event-driven state machine.
+pub struct AppServer {
+    me: NodeId,
+    topo: Topology,
+    cfg: ProtocolConfig,
+    cost: CostModel,
+    fd: Box<dyn FailureDetector>,
+    regs: WoRegisters,
+    fsms: HashMap<ResultId, Phase>,
+    /// Attempts whose `regD` write *we* initiated (owner or cleaner): we are
+    /// responsible for termination once the register decides.
+    initiators: HashSet<ResultId>,
+    /// Databases each initiated termination must cover.
+    terminate_targets: HashMap<ResultId, Vec<NodeId>>,
+    /// The paper's `clist` (Figure 6): attempts already cleaned.
+    cleaned: HashSet<ResultId>,
+    /// Committed decisions we *finished terminating*, for answering client
+    /// retransmissions (Figure 5 lines 3–4).
+    committed_cache: HashMap<RequestId, (ResultId, Decision)>,
+    /// Span bookkeeping for the Figure 8 log-start / log-outcome rows.
+    rega_started: HashMap<ResultId, Time>,
+    regd_started: HashMap<ResultId, Time>,
+}
+
+impl std::fmt::Debug for AppServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppServer")
+            .field("me", &self.me)
+            .field("attempts", &self.fsms.len())
+            .finish()
+    }
+}
+
+impl AppServer {
+    /// Builds an application server.
+    ///
+    /// `fd` is the eventually-perfect failure detector of §4;
+    /// the wo-registers replicate across `topo.app_servers`.
+    pub fn new(
+        me: NodeId,
+        topo: Topology,
+        cfg: ProtocolConfig,
+        cost: CostModel,
+        fd: Box<dyn FailureDetector>,
+    ) -> Self {
+        let engine_cfg = EngineConfig {
+            patience: cfg.consensus_round_patience,
+            resync: cfg.consensus_resync,
+        };
+        let regs = WoRegisters::new(me, &topo.app_servers, engine_cfg);
+        AppServer {
+            me,
+            topo,
+            cfg,
+            cost,
+            fd,
+            regs,
+            fsms: HashMap::new(),
+            initiators: HashSet::new(),
+            terminate_targets: HashMap::new(),
+            cleaned: HashSet::new(),
+            committed_cache: HashMap::new(),
+            rega_started: HashMap::new(),
+            regd_started: HashMap::new(),
+        }
+    }
+
+    fn suspicion_snapshot(&self) -> Vec<NodeId> {
+        self.fd.suspected()
+    }
+
+    /// Drops protocol state for every *terminated* attempt of the same
+    /// client with a sequence number below `current`: per-attempt FSMs,
+    /// cached decisions, and the wo-registers' replication state. Bounds
+    /// memory to the in-flight window (plus one cached decision per client
+    /// for the current request).
+    fn gc_before(&mut self, current: RequestId) {
+        let stale: Vec<ResultId> = self
+            .fsms
+            .iter()
+            .filter(|(rid, phase)| {
+                rid.request.client == current.client
+                    && rid.request.seq < current.seq
+                    && matches!(phase, Phase::Done { .. } | Phase::Watching)
+            })
+            .map(|(&rid, _)| rid)
+            .collect();
+        for rid in stale {
+            self.fsms.remove(&rid);
+            self.cleaned.insert(rid);
+            self.regs.forget(RegId::owner(rid));
+            self.regs.forget(RegId::decision(rid));
+            self.rega_started.remove(&rid);
+            self.regd_started.remove(&rid);
+            self.terminate_targets.remove(&rid);
+        }
+        self.committed_cache.retain(|req, _| {
+            req.client != current.client || req.seq >= current.seq
+        });
+    }
+
+    /// Number of per-attempt state machines currently held (observability /
+    /// GC tests).
+    pub fn in_flight_attempts(&self) -> usize {
+        self.fsms.len()
+    }
+
+    // ---- computation thread (Figure 5) ------------------------------------
+
+    fn on_request(&mut self, ctx: &mut dyn Context, request: Request, attempt: u32) {
+        let rid = ResultId { request: request.id, attempt };
+        // Garbage collection (§5 leaves it open; this is the natural hook):
+        // the client is sequential, so a request with a higher sequence
+        // number acknowledges every earlier one — their attempts can never
+        // be retransmitted again and their register state can go.
+        self.gc_before(request.id);
+        // Figure 5 line 3: if this request already committed, answer from
+        // the cached decision.
+        if let Some((crid, decision)) = self.committed_cache.get(&request.id).cloned() {
+            ctx.send(
+                rid.request.client,
+                Payload::App(AppMsg::Result { rid: crid, decision }),
+            );
+            return;
+        }
+        match self.fsms.get(&rid) {
+            Some(Phase::Done { decision }) => {
+                let decision = decision.clone();
+                ctx.send(rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+            }
+            Some(_) => { /* already in progress; duplicates are absorbed */ }
+            None => {
+                // New attempt: charge the dispatch cost ("start" row), then
+                // race for ownership.
+                self.fsms.insert(rid, Phase::WritingRegA { request, written: false });
+                let dur = jittered(ctx, self.cost.start, self.cost.jitter);
+                ctx.trace(TraceKind::Span { rid, comp: Component::Start, dur });
+                ctx.set_timer(dur, TimerTag::Dispatch { rid, stage: 0 });
+            }
+        }
+    }
+
+    fn dispatch_rega(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let Some(Phase::WritingRegA { written, .. }) = self.fsms.get_mut(&rid) else { return };
+        if *written {
+            return;
+        }
+        *written = true;
+        self.rega_started.insert(rid, ctx.now());
+        let sus_vec = self.suspicion_snapshot();
+        let sus = move |n: NodeId| sus_vec.contains(&n);
+        let me = self.me;
+        if let Some(v) = self.regs.write(ctx, RegId::owner(rid), RegValue::Server(me), &sus) {
+            self.on_decided(ctx, RegId::owner(rid), v);
+        }
+    }
+
+    fn start_compute(&mut self, ctx: &mut dyn Context, rid: ResultId, request: Request) {
+        self.fsms.insert(rid, Phase::Computing { request, call_idx: 0, acc: Vec::new() });
+        self.send_current_exec(ctx, rid);
+    }
+
+    fn send_current_exec(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let Some(Phase::Computing { request, call_idx, .. }) = self.fsms.get(&rid) else {
+            return;
+        };
+        let calls = &request.script.calls;
+        if *call_idx >= calls.len() {
+            // Empty script (or exhausted): finish compute with what we have.
+            self.finish_compute(ctx, rid);
+            return;
+        }
+        let call = calls[*call_idx].clone();
+        ctx.send(call.db, Payload::Db(DbMsg::Exec { rid, ops: call.ops, xa: true }));
+    }
+
+    fn on_exec_reply(&mut self, ctx: &mut dyn Context, rid: ResultId, status: ExecStatus) {
+        let Some(Phase::Computing { request, call_idx, acc }) = self.fsms.get_mut(&rid) else {
+            return;
+        };
+        match status {
+            ExecStatus::Done(outputs) => {
+                let call = &request.script.calls[*call_idx];
+                crate::resultbuild::accumulate(call, &outputs, acc);
+                *call_idx += 1;
+                if *call_idx < request.script.calls.len() {
+                    self.send_current_exec(ctx, rid);
+                } else {
+                    self.finish_compute(ctx, rid);
+                }
+            }
+            ExecStatus::Conflict => {
+                acc.push(("conflict".to_string(), 1));
+                self.finish_compute(ctx, rid);
+            }
+        }
+    }
+
+    /// `compute()` returned (Figure 5 line 8): build the (non-nil) result
+    /// and move to the voting phase.
+    fn finish_compute(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let Some(Phase::Computing { request, acc, .. }) = self.fsms.get(&rid) else { return };
+        let result = crate::resultbuild::finish(acc.clone(), rid.attempt);
+        let involved = request.script.databases();
+        ctx.trace(TraceKind::Computed { rid });
+        if involved.is_empty() {
+            // Nothing to vote on: vacuously all-yes (degenerate scripts).
+            let decision = Decision { result: Some(result), outcome: Outcome::Commit };
+            self.write_regd(ctx, rid, decision, Vec::new());
+            return;
+        }
+        self.fsms.insert(
+            rid,
+            Phase::Preparing { result, involved: involved.clone(), votes: HashMap::new() },
+        );
+        for db in involved {
+            ctx.send(db, Payload::Db(DbMsg::Prepare { rid }));
+        }
+    }
+
+    fn on_vote(&mut self, ctx: &mut dyn Context, from: NodeId, rid: ResultId, vote: Vote) {
+        if let Some(Phase::Preparing { votes, involved, .. }) = self.fsms.get_mut(&rid) {
+            if involved.contains(&from) {
+                votes.insert(from, vote);
+            }
+        }
+        self.check_votes(ctx, rid);
+    }
+
+    fn check_votes(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let Some(Phase::Preparing { result, involved, votes }) = self.fsms.get(&rid) else {
+            return;
+        };
+        if votes.len() < involved.len() {
+            return;
+        }
+        // Figure 4 prepare() line 5: commit iff every database voted yes.
+        let outcome = if involved.iter().all(|d| votes.get(d) == Some(&Vote::Yes)) {
+            Outcome::Commit
+        } else {
+            Outcome::Abort
+        };
+        let decision = Decision { result: Some(result.clone()), outcome };
+        let targets = involved.clone();
+        self.write_regd(ctx, rid, decision, targets);
+    }
+
+    /// Figure 5 line 10 / Figure 6 line 7: write the decision register.
+    fn write_regd(
+        &mut self,
+        ctx: &mut dyn Context,
+        rid: ResultId,
+        decision: Decision,
+        targets: Vec<NodeId>,
+    ) {
+        self.initiators.insert(rid);
+        self.terminate_targets.insert(rid, targets);
+        self.regd_started.insert(rid, ctx.now());
+        if matches!(self.fsms.get(&rid), Some(Phase::Preparing { .. }) | Some(Phase::Computing { .. })) {
+            self.fsms.insert(rid, Phase::WritingRegD);
+        }
+        let sus_vec = self.suspicion_snapshot();
+        let sus = move |n: NodeId| sus_vec.contains(&n);
+        if let Some(v) =
+            self.regs.write(ctx, RegId::decision(rid), RegValue::Decision(decision), &sus)
+        {
+            self.on_decided(ctx, RegId::decision(rid), v);
+        }
+    }
+
+    // ---- register decisions ------------------------------------------------
+
+    fn on_decided(&mut self, ctx: &mut dyn Context, reg: RegId, value: RegValue) {
+        let rid = reg.rid;
+        match (reg.kind, value) {
+            (etx_base::ids::RegKind::Owner, RegValue::Server(winner)) => {
+                let phase = self.fsms.get(&rid);
+                if let Some(Phase::WritingRegA { request, .. }) = phase {
+                    let request = request.clone();
+                    if winner == self.me {
+                        if let Some(t0) = self.rega_started.remove(&rid) {
+                            ctx.trace(TraceKind::Span {
+                                rid,
+                                comp: Component::LogStart,
+                                dur: ctx.now().since(t0),
+                            });
+                        }
+                        self.start_compute(ctx, rid, request);
+                    } else {
+                        self.fsms.insert(rid, Phase::Watching);
+                    }
+                }
+            }
+            (etx_base::ids::RegKind::Decision, RegValue::Decision(decision)) => {
+                if self.initiators.remove(&rid) {
+                    if let Some(t0) = self.regd_started.remove(&rid) {
+                        ctx.trace(TraceKind::Span {
+                            rid,
+                            comp: Component::LogOutcome,
+                            dur: ctx.now().since(t0),
+                        });
+                    }
+                    let targets = self.terminate_targets.remove(&rid).unwrap_or_else(|| {
+                        self.topo.db_servers.clone()
+                    });
+                    self.start_terminate(ctx, rid, decision, targets);
+                }
+            }
+            _ => debug_assert!(false, "register kind/value mismatch for {reg}"),
+        }
+    }
+
+    // ---- terminate() (Figure 4) --------------------------------------------
+
+    fn start_terminate(
+        &mut self,
+        ctx: &mut dyn Context,
+        rid: ResultId,
+        decision: Decision,
+        targets: Vec<NodeId>,
+    ) {
+        if matches!(self.fsms.get(&rid), Some(Phase::Done { .. }) | Some(Phase::Terminating { .. }))
+        {
+            return; // already terminating/terminated here
+        }
+        let outcome = decision.outcome;
+        self.fsms.insert(
+            rid,
+            Phase::Terminating { decision, targets: targets.clone(), acked: HashSet::new() },
+        );
+        if targets.is_empty() {
+            self.complete_terminate(ctx, rid);
+            return;
+        }
+        for db in targets {
+            ctx.send(db, Payload::Db(DbMsg::Decide { rid, outcome }));
+        }
+        ctx.set_timer(self.cfg.terminate_retry, TimerTag::TerminateRetry { rid });
+    }
+
+    fn on_ack_decide(&mut self, ctx: &mut dyn Context, from: NodeId, rid: ResultId) {
+        if let Some(Phase::Terminating { targets, acked, .. }) = self.fsms.get_mut(&rid) {
+            if targets.contains(&from) {
+                acked.insert(from);
+                if acked.len() == targets.len() {
+                    self.complete_terminate(ctx, rid);
+                }
+            }
+        }
+    }
+
+    fn complete_terminate(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let Some(Phase::Terminating { decision, .. }) = self.fsms.get(&rid) else { return };
+        let decision = decision.clone();
+        if decision.outcome == Outcome::Commit {
+            self.committed_cache.insert(rid.request, (rid, decision.clone()));
+        }
+        self.fsms.insert(rid, Phase::Done { decision: decision.clone() });
+        // Figure 4 terminate() line 7: reply to the client (charging the
+        // "end" dispatch cost).
+        let dur = jittered(ctx, self.cost.end, self.cost.jitter);
+        ctx.trace(TraceKind::Span { rid, comp: Component::End, dur });
+        ctx.send_after(
+            dur,
+            rid.request.client,
+            Payload::App(AppMsg::Result { rid, decision }),
+        );
+    }
+
+    fn on_terminate_retry(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        if let Some(Phase::Terminating { decision, targets, acked }) = self.fsms.get(&rid) {
+            let outcome = decision.outcome;
+            let missing: Vec<NodeId> =
+                targets.iter().copied().filter(|d| !acked.contains(d)).collect();
+            for db in missing {
+                ctx.send(db, Payload::Db(DbMsg::Decide { rid, outcome }));
+            }
+            ctx.set_timer(self.cfg.terminate_retry, TimerTag::TerminateRetry { rid });
+        }
+    }
+
+    // ---- Ready (database crash-recovery notifications) ---------------------
+
+    fn on_ready(&mut self, ctx: &mut dyn Context, db: NodeId) {
+        let rids: Vec<ResultId> = self.fsms.keys().copied().collect();
+        for rid in rids {
+            match self.fsms.get_mut(&rid) {
+                Some(Phase::Computing { request, call_idx, .. }) => {
+                    // If we were waiting on this database's Exec reply, the
+                    // branch is gone; finish with a recovery notice — the
+                    // vote phase will abort the attempt.
+                    let waiting_on =
+                        request.script.calls.get(*call_idx).map(|c| c.db) == Some(db);
+                    if waiting_on {
+                        if let Some(Phase::Computing { acc, .. }) = self.fsms.get_mut(&rid) {
+                            acc.push(("db_recovered".to_string(), 1));
+                        }
+                        self.finish_compute(ctx, rid);
+                    }
+                }
+                Some(Phase::Preparing { votes, involved, .. }) => {
+                    // Figure 4 prepare() line 4: Ready counts as a reply —
+                    // and an unprepared branch did not survive, so: no.
+                    if involved.contains(&db) && !votes.contains_key(&db) {
+                        votes.insert(db, Vote::No);
+                        self.check_votes(ctx, rid);
+                    }
+                }
+                Some(Phase::Terminating { decision, targets, acked }) => {
+                    // Figure 4 terminate() lines 4–5: a Ready re-triggers the
+                    // Decide push to the recovered server.
+                    if targets.contains(&db) && !acked.contains(&db) {
+                        let outcome = decision.outcome;
+                        ctx.send(db, Payload::Db(DbMsg::Decide { rid, outcome }));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // ---- cleaning thread (Figure 6) -----------------------------------------
+
+    fn run_cleaner(&mut self, ctx: &mut dyn Context) {
+        let suspected = self.suspicion_snapshot();
+        if suspected.is_empty() {
+            return;
+        }
+        for reg in self.regs.known() {
+            if reg.kind != etx_base::ids::RegKind::Owner {
+                continue;
+            }
+            let rid = reg.rid;
+            if self.cleaned.contains(&rid) {
+                continue;
+            }
+            match self.regs.read(reg).and_then(RegValue::as_server) {
+                Some(owner) if suspected.contains(&owner) => {
+                    if matches!(self.fsms.get(&rid), Some(Phase::Done { .. })) {
+                        self.cleaned.insert(rid);
+                        continue;
+                    }
+                    self.cleaned.insert(rid);
+                    ctx.trace(TraceKind::CleanerTakeover { rid, owner });
+                    // Figure 6 line 7: regD[j].write(nil, abort); the write
+                    // returns the owner's decision if it got there first.
+                    let targets = self.topo.db_servers.clone();
+                    self.write_regd(ctx, rid, Decision::nil_abort(), targets);
+                }
+                None => {
+                    // ⊥: keep reading (pull) until the register resolves.
+                    self.regs.pull(ctx, reg);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+impl Process for AppServer {
+    fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+        if matches!(event, Event::Init) {
+            self.fd.on_init(ctx);
+            self.regs.on_init(ctx);
+            ctx.set_timer(self.cfg.cleaner_interval, TimerTag::CleanerTick);
+        }
+        // 1. Failure detection first: everything downstream may consult it.
+        let transitions = self.fd.handle(ctx, &event);
+        let sus_vec = self.suspicion_snapshot();
+        let newly_suspected = transitions
+            .iter()
+            .any(|t| matches!(t, etx_fd::FdTransition::Suspect(_)));
+        // 2. Registers: consensus traffic, round patience, resync.
+        let wo_events = {
+            let sus = |n: NodeId| sus_vec.contains(&n);
+            if !transitions.is_empty() {
+                self.regs.on_suspicion_change(ctx, &sus);
+            }
+            self.regs.handle(ctx, &event, &sus)
+        };
+        for ev in wo_events {
+            let WoEvent::Decided { reg, value } = ev;
+            self.on_decided(ctx, reg, value);
+        }
+        // 3. A fresh suspicion triggers an immediate cleaning pass
+        //    (Figure 6's loop reacts to suspect() turning true).
+        if newly_suspected {
+            self.run_cleaner(ctx);
+        }
+        // 4. Protocol messages and timers.
+        match event {
+            Event::Message { payload: Payload::Client(ClientMsg::Request { request, attempt }), .. } => {
+                self.on_request(ctx, request, attempt);
+            }
+            Event::Message { from, payload: Payload::DbReply(reply) } => match reply {
+                DbReplyMsg::ExecReply { rid, status } => self.on_exec_reply(ctx, rid, status),
+                DbReplyMsg::Vote { rid, vote } => self.on_vote(ctx, from, rid, vote),
+                DbReplyMsg::AckDecide { rid, .. } => self.on_ack_decide(ctx, from, rid),
+                DbReplyMsg::Ready => self.on_ready(ctx, from),
+                DbReplyMsg::AckCommitOnePhase { .. } => { /* baseline-only message */ }
+            },
+            Event::Timer { tag, .. } => match tag {
+                TimerTag::Dispatch { rid, stage: 0 } => self.dispatch_rega(ctx, rid),
+                TimerTag::TerminateRetry { rid } => self.on_terminate_retry(ctx, rid),
+                TimerTag::CleanerTick => {
+                    self.run_cleaner(ctx);
+                    ctx.set_timer(self.cfg.cleaner_interval, TimerTag::CleanerTick);
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "appserver"
+    }
+}

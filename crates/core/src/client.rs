@@ -1,0 +1,211 @@
+//! The client protocol (Figure 2): `issue()` as a state machine.
+//!
+//! The client submits attempt `j` of its request to the default primary
+//! `a1`, arms the back-off period, and — if no result arrives in time —
+//! broadcasts the request to *all* application servers (Figure 2 lines 5–6),
+//! then keeps re-broadcasting until it receives the attempt's result
+//! (§4: "the client keeps retransmitting the request ... until it receives
+//! back a committed result"; duplicates are absorbed by the servers'
+//! idempotence). A commit result is **delivered** (`issue()` returns); an
+//! abort result moves the client to attempt `j + 1`.
+//!
+//! The client is diskless and stateless across requests, as the three-tier
+//! model demands — no stable storage is ever touched here.
+
+use etx_base::config::ProtocolConfig;
+use etx_base::ids::{NodeId, ResultId, TimerId};
+use etx_base::msg::{AppMsg, ClientMsg, Payload};
+use etx_base::runtime::{Context, Event, Process, TimerTag};
+use etx_base::trace::TraceKind;
+use etx_base::value::{Decision, Outcome, Request};
+
+/// What the client is currently doing.
+#[derive(Debug)]
+enum ClientState {
+    /// Nothing in flight.
+    Idle,
+    /// Waiting for the result of `rid`.
+    Waiting {
+        request: Request,
+        rid: ResultId,
+        backoff: Option<TimerId>,
+        rebroadcast: Option<TimerId>,
+        /// Adaptive-routing extension: the server that answered us last.
+        preferred: Option<NodeId>,
+    },
+}
+
+/// The e-Transaction client: issues each request in `plan` sequentially and
+/// records deliveries. `issue()` never raises an exception — that is the
+/// abstraction's contract.
+pub struct EtxClient {
+    alist: Vec<NodeId>,
+    cfg: ProtocolConfig,
+    plan: Vec<Request>,
+    next: usize,
+    state: ClientState,
+    delivered: Vec<(ResultId, Decision)>,
+    /// Adaptive-routing extension: last server that answered us (kept
+    /// across requests; only consulted when the config flag is on).
+    last_responder: Option<NodeId>,
+}
+
+impl std::fmt::Debug for EtxClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EtxClient")
+            .field("next", &self.next)
+            .field("delivered", &self.delivered.len())
+            .finish()
+    }
+}
+
+impl EtxClient {
+    /// A client that will issue `plan` one request at a time against the
+    /// application servers in `alist` (index 0 = default primary).
+    pub fn new(alist: Vec<NodeId>, cfg: ProtocolConfig, plan: Vec<Request>) -> Self {
+        EtxClient {
+            alist,
+            cfg,
+            plan,
+            next: 0,
+            state: ClientState::Idle,
+            delivered: Vec::new(),
+            last_responder: None,
+        }
+    }
+
+    /// Results delivered so far (for assertions via the process handle).
+    pub fn delivered(&self) -> &[(ResultId, Decision)] {
+        &self.delivered
+    }
+
+    fn issue_next(&mut self, ctx: &mut dyn Context) {
+        if self.next >= self.plan.len() {
+            self.state = ClientState::Idle;
+            return;
+        }
+        let request = self.plan[self.next].clone();
+        self.next += 1;
+        ctx.trace(TraceKind::Issue { request: request.id });
+        let rid = ResultId::first(request.id);
+        let pref = self.last_responder;
+        self.start_attempt(ctx, request, rid, pref);
+    }
+
+    fn start_attempt(
+        &mut self,
+        ctx: &mut dyn Context,
+        request: Request,
+        rid: ResultId,
+        preferred: Option<NodeId>,
+    ) {
+        // Figure 2 line 2: send to the default primary first (or, with the
+        // adaptive-routing extension enabled, to whoever answered us last).
+        let first = match (self.cfg.route_to_last_responder, preferred) {
+            (true, Some(p)) => p,
+            _ => self.alist[0],
+        };
+        ctx.send(
+            first,
+            Payload::Client(ClientMsg::Request { request: request.clone(), attempt: rid.attempt }),
+        );
+        let backoff = ctx.set_timer(self.cfg.client_backoff, TimerTag::ClientBackoff { rid });
+        self.state = ClientState::Waiting {
+            request,
+            rid,
+            backoff: Some(backoff),
+            rebroadcast: None,
+            preferred,
+        };
+    }
+
+    fn broadcast(&mut self, ctx: &mut dyn Context) {
+        if let ClientState::Waiting { request, rid, rebroadcast, .. } = &mut self.state {
+            let msg = Payload::Client(ClientMsg::Request {
+                request: request.clone(),
+                attempt: rid.attempt,
+            });
+            for a in self.alist.clone() {
+                ctx.send(a, msg.clone());
+            }
+            let t =
+                ctx.set_timer(self.cfg.client_rebroadcast, TimerTag::ClientRebroadcast { rid: *rid });
+            *rebroadcast = Some(t);
+        }
+    }
+
+    fn on_result(&mut self, ctx: &mut dyn Context, rid: ResultId, decision: Decision) {
+        let (request, cur, backoff, rebroadcast, preferred) = match &self.state {
+            ClientState::Waiting { request, rid, backoff, rebroadcast, preferred } => {
+                (request.clone(), *rid, *backoff, *rebroadcast, *preferred)
+            }
+            ClientState::Idle => return, // late duplicate
+        };
+        if rid != cur {
+            return; // stale attempt (an old abort arriving late)
+        }
+        if let Some(t) = backoff {
+            ctx.cancel_timer(t);
+        }
+        if let Some(t) = rebroadcast {
+            ctx.cancel_timer(t);
+        }
+        match decision.outcome {
+            Outcome::Commit => {
+                // Figure 2 lines 8–9: deliver and return.
+                ctx.trace(TraceKind::Deliver {
+                    rid,
+                    outcome: Outcome::Commit,
+                    steps: ctx.depth(),
+                });
+                self.delivered.push((rid, decision));
+                self.issue_next(ctx);
+            }
+            Outcome::Abort => {
+                // Figure 2 line 10: j := j + 1 and retry the same request.
+                let _ = preferred;
+                ctx.trace(TraceKind::ClientRetry { rid });
+                let next_rid = cur.next_attempt();
+                let pref = self.last_responder;
+                self.start_attempt(ctx, request, next_rid, pref);
+            }
+        }
+    }
+
+}
+
+impl Process for EtxClient {
+    fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+        match event {
+            Event::Init => self.issue_next(ctx),
+            Event::Timer { id, tag: TimerTag::ClientBackoff { rid } } => {
+                if let ClientState::Waiting { rid: cur, backoff, .. } = &mut self.state {
+                    if *cur == rid && *backoff == Some(id) {
+                        *backoff = None;
+                        // Figure 2 lines 5–6: patience exhausted; go wide.
+                        self.broadcast(ctx);
+                    }
+                }
+            }
+            Event::Timer { id, tag: TimerTag::ClientRebroadcast { rid } } => {
+                if let ClientState::Waiting { rid: cur, rebroadcast, .. } = &mut self.state {
+                    if *cur == rid && *rebroadcast == Some(id) {
+                        self.broadcast(ctx);
+                    }
+                }
+            }
+            Event::Message { from, payload: Payload::App(AppMsg::Result { rid, decision }) } => {
+                self.last_responder = Some(from);
+                if let ClientState::Waiting { preferred, .. } = &mut self.state {
+                    *preferred = Some(from);
+                }
+                self.on_result(ctx, rid, decision);
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "etx-client"
+    }
+}

@@ -1,0 +1,164 @@
+//! The database-server process (Figure 3).
+//!
+//! A *pure server*: it never calls anyone, it only answers. It hosts an
+//! [`etx_store::Engine`] (the XA resource manager) and implements the
+//! paper's loop:
+//!
+//! * `[Prepare, j]` → `vote(j)` → `[Vote, j, vote]`;
+//! * `[Decide, j, outcome]` → `terminate(j, outcome)` → `[AckDecide, j]`;
+//! * on recovery, broadcast `[Ready]` to all application servers (Figure 3
+//!   line 2) — the crash-notification scheme §5 describes.
+//!
+//! Service times are modelled here, where the work happens: SQL execution,
+//! prepare and commit costs are drawn from the cost model (with jitter) and
+//! charged by delaying the reply; each charge is recorded as a latency
+//! [`Component`] span so the harness can rebuild Figure 8's rows.
+
+use etx_base::config::CostModel;
+use etx_base::ids::{NodeId, ResultId};
+use etx_base::msg::{DbMsg, DbReplyMsg, Payload};
+use etx_base::runtime::{jittered, Context, Event, Process};
+use etx_base::time::Dur;
+use etx_base::trace::{Component, TraceKind};
+use etx_base::value::Outcome;
+use etx_base::wal::LOG_WAL;
+use etx_store::Engine;
+
+/// The back-end tier process: an XA engine behind the paper's Figure 3 loop.
+pub struct DbServer {
+    alist: Vec<NodeId>,
+    cost: CostModel,
+    engine: Engine,
+    seed_data: Vec<(String, i64)>,
+}
+
+impl std::fmt::Debug for DbServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DbServer").field("alist", &self.alist).finish()
+    }
+}
+
+impl DbServer {
+    /// Creates a database server that will notify `alist` on recovery and
+    /// start from `seed_data` (the workload's initial table contents).
+    pub fn new(alist: Vec<NodeId>, cost: CostModel, seed_data: Vec<(String, i64)>) -> Self {
+        let engine = Engine::with_data(seed_data.clone());
+        DbServer { alist, cost, engine, seed_data }
+    }
+
+    fn apply_log_writes(
+        &mut self,
+        ctx: &mut dyn Context,
+        writes: Vec<etx_store::LogWrite>,
+    ) {
+        for w in writes {
+            // Forced-ness is folded into the prepare/commit service costs
+            // (as in Oracle, where the paper's 19 ms prepare and 18 ms
+            // commit rows *include* the database's own log forces), so the
+            // append itself is charged as unforced here.
+            ctx.log_append(LOG_WAL, w.rec, false);
+        }
+    }
+
+    fn on_db_msg(&mut self, ctx: &mut dyn Context, from: NodeId, msg: DbMsg) {
+        match msg {
+            DbMsg::Exec { rid, ops, xa } => {
+                let status = self.engine.execute(rid, &ops);
+                let mut dur = jittered(ctx, self.cost.sql, self.cost.jitter);
+                if xa {
+                    dur += jittered(ctx, self.cost.sql_xa_overhead, self.cost.jitter);
+                }
+                ctx.trace(TraceKind::Span { rid, comp: Component::Sql, dur });
+                ctx.send_after(dur, from, Payload::DbReply(DbReplyMsg::ExecReply { rid, status }));
+            }
+            DbMsg::Prepare { rid } => {
+                let (vote, writes) = self.engine.vote(rid);
+                self.apply_log_writes(ctx, writes);
+                let dur = jittered(ctx, self.cost.db_prepare, self.cost.jitter);
+                ctx.trace(TraceKind::DbVote { rid, vote });
+                ctx.trace(TraceKind::Span { rid, comp: Component::Prepare, dur });
+                ctx.send_after(dur, from, Payload::DbReply(DbReplyMsg::Vote { rid, vote }));
+            }
+            DbMsg::Decide { rid, outcome } => {
+                let already = self.engine.decision(rid).is_some();
+                let (applied, writes) = self.engine.decide(rid, outcome);
+                self.apply_log_writes(ctx, writes);
+                let dur = if already {
+                    // Re-delivery: answered from the memo, no re-processing.
+                    Dur::ZERO
+                } else {
+                    ctx.trace(TraceKind::DbDecide { rid, outcome: applied });
+                    match applied {
+                        Outcome::Commit => {
+                            let d = jittered(ctx, self.cost.db_commit, self.cost.jitter);
+                            ctx.trace(TraceKind::Span { rid, comp: Component::Commit, dur: d });
+                            d
+                        }
+                        Outcome::Abort => jittered(ctx, self.cost.db_abort, self.cost.jitter),
+                    }
+                };
+                ctx.send_after(
+                    dur,
+                    from,
+                    Payload::DbReply(DbReplyMsg::AckDecide { rid, outcome: applied }),
+                );
+            }
+            DbMsg::CommitOnePhase { rid } => {
+                let already = self.engine.decision(rid) == Some(Outcome::Commit);
+                let (ok, writes) = self.engine.commit_one_phase(rid);
+                self.apply_log_writes(ctx, writes);
+                let dur = if ok && !already {
+                    ctx.trace(TraceKind::DbDecide { rid, outcome: Outcome::Commit });
+                    let d = jittered(ctx, self.cost.db_commit, self.cost.jitter);
+                    ctx.trace(TraceKind::Span { rid, comp: Component::Commit, dur: d });
+                    d
+                } else {
+                    Dur::ZERO
+                };
+                ctx.send_after(
+                    dur,
+                    from,
+                    Payload::DbReply(DbReplyMsg::AckCommitOnePhase { rid, ok }),
+                );
+            }
+        }
+    }
+
+    /// Committed value of a key (test / harness assertions through the
+    /// process, without reaching into the engine).
+    pub fn committed(&self, key: &str) -> Option<i64> {
+        self.engine.committed(key)
+    }
+
+    /// Whether a branch is in-doubt right now.
+    pub fn is_prepared(&self, rid: ResultId) -> bool {
+        self.engine.is_prepared(rid)
+    }
+}
+
+impl Process for DbServer {
+    fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+        match event {
+            Event::Init => {
+                // Fresh start: nothing to announce (Figure 3 takes
+                // `recovery = false` here).
+            }
+            Event::Recovered => {
+                // Rebuild from the WAL over the seed data, then tell the
+                // application servers we are back (Figure 3 lines 1–2).
+                let log = ctx.log_read(LOG_WAL);
+                self.engine = Engine::recover_with_seed(self.seed_data.clone(), &log);
+                for a in self.alist.clone() {
+                    ctx.send(a, Payload::DbReply(DbReplyMsg::Ready));
+                }
+            }
+            Event::Message { from, payload: Payload::Db(m) } => self.on_db_msg(ctx, from, m),
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dbserver"
+    }
+}
+

@@ -1,0 +1,350 @@
+//! # etx-core — the e-Transaction protocol
+//!
+//! The paper's primary contribution: exactly-once transactions for
+//! three-tier architectures through asynchronous replication of the
+//! *transaction-processing state* among stateless application servers.
+//!
+//! The protocol's three parts map onto three process types:
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Figure 2 — client `issue()` | [`client::EtxClient`] |
+//! | Figures 4–6 — application server (compute + clean + terminate) | [`appserver::AppServer`] |
+//! | Figure 3 — database server | [`dbserver::DbServer`] |
+//!
+//! The guarantees (§3) are: **termination** (T.1 the client eventually
+//! delivers a result, T.2 every voted branch eventually commits or aborts),
+//! **agreement** (A.1 only committed results are delivered, A.2 at most one
+//! result commits per request, A.3 databases never disagree) and
+//! **validity** (V.1 delivered results were really computed, V.2 commits
+//! require unanimous yes votes). The integration and chaos test-suites
+//! check all seven on recorded histories.
+
+pub mod appserver;
+pub mod client;
+pub mod dbserver;
+pub mod resultbuild;
+
+pub use appserver::AppServer;
+pub use client::EtxClient;
+pub use dbserver::DbServer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::config::{CostModel, FdConfig, ProtocolConfig};
+    use etx_base::ids::{NodeId, RequestId, Topology};
+    use etx_base::time::{Dur, Time};
+    use etx_base::trace::TraceKind;
+    use etx_base::value::{DbOp, Outcome, Request, RequestScript};
+    use etx_fd::HeartbeatFd;
+    use etx_sim::{FaultAction, NetConfig, Sim, SimConfig};
+
+    /// Builds a full three-tier system: 1 client, `apps` app servers,
+    /// `dbs` databases; the client issues `plan`.
+    fn build_system(
+        seed: u64,
+        apps: usize,
+        dbs: usize,
+        plan: Vec<Request>,
+        seed_data: Vec<(String, i64)>,
+    ) -> (Sim, Topology) {
+        let topo = Topology::new(1, apps, dbs);
+        let mut cfg = SimConfig::with_seed(seed);
+        cfg.cost = CostModel::fast_for_tests();
+        cfg.net = NetConfig {
+            min_delay: Dur::from_micros(100),
+            max_delay: Dur::from_micros(300),
+            ..NetConfig::default()
+        };
+        let mut sim = Sim::new(cfg);
+        let pcfg = ProtocolConfig {
+            client_backoff: Dur::from_millis(30),
+            client_rebroadcast: Dur::from_millis(20),
+            terminate_retry: Dur::from_millis(10),
+            cleaner_interval: Dur::from_millis(5),
+            consensus_resync: Dur::from_millis(8),
+            consensus_round_patience: Dur::from_millis(4),
+            route_to_last_responder: false,
+        };
+        let fd_cfg = FdConfig {
+            heartbeat_every: Dur::from_millis(2),
+            initial_timeout: Dur::from_millis(8),
+            timeout_increment: Dur::from_millis(4),
+            max_timeout: Dur::from_millis(200),
+        };
+
+        // Client first (ids must match Topology::new order).
+        {
+            let alist = topo.app_servers.clone();
+            let pcfg = pcfg.clone();
+            let plan = plan.clone();
+            sim.add_node(
+                "client",
+                Box::new(move |_| {
+                    Box::new(EtxClient::new(alist.clone(), pcfg.clone(), plan.clone()))
+                }),
+            );
+        }
+        for _ in 0..apps {
+            let topo_c = topo.clone();
+            let pcfg = pcfg.clone();
+            sim.add_node(
+                "app",
+                Box::new(move |me| {
+                    Box::new(AppServer::new(
+                        me,
+                        topo_c.clone(),
+                        pcfg.clone(),
+                        CostModel::fast_for_tests(),
+                        Box::new(HeartbeatFd::new(me, &topo_c.app_servers, fd_cfg)),
+                    ))
+                }),
+            );
+        }
+        for _ in 0..dbs {
+            let alist = topo.app_servers.clone();
+            let data = seed_data.clone();
+            sim.add_node(
+                "db",
+                Box::new(move |_| {
+                    Box::new(DbServer::new(
+                        alist.clone(),
+                        CostModel::fast_for_tests(),
+                        data.clone(),
+                    ))
+                }),
+            );
+        }
+        (sim, topo)
+    }
+
+    fn bank_request(client: NodeId, seq: u64, db: NodeId) -> Request {
+        Request {
+            id: RequestId { client, seq },
+            script: RequestScript::single(db, vec![DbOp::Add { key: "acct".into(), delta: 100 }]),
+        }
+    }
+
+    fn delivered_commits(sim: &Sim) -> usize {
+        sim.trace()
+            .count_kind(|k| matches!(k, TraceKind::Deliver { outcome: Outcome::Commit, .. }))
+    }
+
+    #[test]
+    fn failure_free_commit_delivers_exactly_once() {
+        let topo = Topology::new(1, 3, 1);
+        let req = bank_request(topo.clients[0], 1, topo.db_servers[0]);
+        let (mut sim, _) = build_system(1, 3, 1, vec![req], vec![("acct".into(), 0)]);
+        let out = sim.run_until(|s| delivered_commits(s) == 1);
+        assert_eq!(out, etx_sim::RunOutcome::Predicate, "T.1: client must deliver");
+        let commits = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }));
+        assert_eq!(commits, 1, "A.2: exactly one committed result");
+        let aborts = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Abort, .. }));
+        assert_eq!(aborts, 0, "nice run needs no aborts");
+    }
+
+    #[test]
+    fn doomed_branch_keeps_aborting_and_never_delivers() {
+        let topo = Topology::new(1, 3, 1);
+        let client = topo.clients[0];
+        let db = topo.db_servers[0];
+        let req = Request {
+            id: RequestId { client, seq: 1 },
+            script: RequestScript::single(db, vec![DbOp::Doom]),
+        };
+        let (mut sim, _) = build_system(3, 3, 1, vec![req], vec![]);
+        sim.run_until_time(Time(400_000));
+        let aborts = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Abort, .. }));
+        assert!(aborts >= 2, "client must retry aborted attempts (got {aborts} aborts)");
+        assert_eq!(delivered_commits(&sim), 0, "a doomed script can never commit");
+        assert_eq!(sim.trace().count_kind(|k| matches!(k, TraceKind::Deliver { .. })), 0);
+    }
+
+    #[test]
+    fn sold_out_is_delivered_exactly_once_as_a_result() {
+        // Reserving from an empty inventory must still commit and deliver an
+        // informative result (paper footnote 4).
+        let topo = Topology::new(1, 3, 1);
+        let client = topo.clients[0];
+        let db = topo.db_servers[0];
+        let req = Request {
+            id: RequestId { client, seq: 1 },
+            script: RequestScript::single(db, vec![DbOp::Reserve { key: "seats".into(), qty: 1 }]),
+        };
+        let (mut sim, _) = build_system(5, 3, 1, vec![req], vec![("seats".into(), 0)]);
+        let out = sim.run_until(|s| delivered_commits(s) == 1);
+        assert_eq!(out, etx_sim::RunOutcome::Predicate);
+        assert_eq!(
+            sim.trace()
+                .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn multiple_sequential_requests_all_commit() {
+        let topo = Topology::new(1, 3, 1);
+        let client = topo.clients[0];
+        let db = topo.db_servers[0];
+        let plan: Vec<Request> = (1..=5).map(|i| bank_request(client, i, db)).collect();
+        let (mut sim, _) = build_system(7, 3, 1, plan, vec![("acct".into(), 0)]);
+        let out = sim.run_until(|s| delivered_commits(s) == 5);
+        assert_eq!(out, etx_sim::RunOutcome::Predicate);
+        let commits = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }));
+        assert_eq!(commits, 5);
+    }
+
+    #[test]
+    fn primary_crash_before_request_fails_over_via_backoff_broadcast() {
+        let topo = Topology::new(1, 3, 1);
+        let req = bank_request(topo.clients[0], 1, topo.db_servers[0]);
+        let (mut sim, topo) = build_system(9, 3, 1, vec![req], vec![("acct".into(), 0)]);
+        sim.crash_at(Time(0), topo.app_servers[0]);
+        let out = sim.run_until(|s| delivered_commits(s) == 1);
+        assert_eq!(out, etx_sim::RunOutcome::Predicate, "back-off broadcast must fail over");
+        let commits = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }));
+        assert_eq!(commits, 1, "A.2 under fail-over");
+    }
+
+    #[test]
+    fn owner_crash_after_rega_is_cleaned_with_abort_then_retry_commits() {
+        // Figure 1(d): the owner crashes right after winning regA (before
+        // computing). The cleaner must abort the attempt; the client retries
+        // and the retry commits. Exactly one commit overall.
+        let topo = Topology::new(1, 3, 1);
+        let req = bank_request(topo.clients[0], 1, topo.db_servers[0]);
+        let (mut sim, topo) = build_system(11, 3, 1, vec![req], vec![("acct".into(), 0)]);
+        let a1 = topo.app_servers[0];
+        sim.on_trace(
+            move |ev| {
+                ev.node == a1
+                    && matches!(
+                        ev.kind,
+                        TraceKind::Span { comp: etx_base::trace::Component::LogStart, .. }
+                    )
+            },
+            FaultAction::Crash(a1),
+        );
+        let out = sim.run_until(|s| delivered_commits(s) == 1);
+        assert_eq!(out, etx_sim::RunOutcome::Predicate, "cleaner + retry must finish the job");
+        let commits = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }));
+        assert_eq!(commits, 1, "A.2: still exactly one commit");
+        let delivered_attempt = sim
+            .trace()
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceKind::Deliver { rid, .. } => Some(rid.attempt),
+                _ => None,
+            })
+            .unwrap();
+        assert!(delivered_attempt >= 2, "first attempt was owned by the crashed primary");
+        assert!(sim.trace().count_kind(|k| matches!(k, TraceKind::CleanerTakeover { .. })) >= 1);
+    }
+
+    #[test]
+    fn owner_crash_after_regd_commit_is_finished_by_cleaner_fig1c() {
+        // Figure 1(c): the owner crashes after regD decides commit but
+        // before terminating. The cleaner's write returns (result, commit)
+        // and must FINISH the commitment — the client delivers attempt 1.
+        let topo = Topology::new(1, 3, 1);
+        let req = bank_request(topo.clients[0], 1, topo.db_servers[0]);
+        let (mut sim, topo) = build_system(13, 3, 1, vec![req], vec![("acct".into(), 0)]);
+        let a1 = topo.app_servers[0];
+        sim.on_trace(
+            move |ev| {
+                ev.node == a1
+                    && matches!(
+                        ev.kind,
+                        TraceKind::Span { comp: etx_base::trace::Component::LogOutcome, .. }
+                    )
+            },
+            FaultAction::Crash(a1),
+        );
+        let out = sim.run_until(|s| delivered_commits(s) == 1);
+        assert_eq!(out, etx_sim::RunOutcome::Predicate, "fail-over with commit must deliver");
+        let (delivered_attempt, outcome) = sim
+            .trace()
+            .events()
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceKind::Deliver { rid, outcome, .. } => Some((rid.attempt, outcome)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(outcome, Outcome::Commit);
+        assert_eq!(delivered_attempt, 1, "the ORIGINAL attempt's commit is delivered");
+        let commits = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }));
+        assert_eq!(commits, 1);
+    }
+
+    #[test]
+    fn db_crash_recovery_mid_protocol_does_not_lose_exactly_once() {
+        // Crash the database right after it votes; it recovers with the
+        // prepared branch in-doubt and must still terminate (T.2).
+        let topo = Topology::new(1, 3, 1);
+        let req = bank_request(topo.clients[0], 1, topo.db_servers[0]);
+        let (mut sim, topo) = build_system(15, 3, 1, vec![req], vec![("acct".into(), 0)]);
+        let db = topo.db_servers[0];
+        sim.on_trace(
+            move |ev| ev.node == db && matches!(ev.kind, TraceKind::DbVote { .. }),
+            FaultAction::CrashRecover(db, Dur::from_millis(20)),
+        );
+        let out = sim.run_until(|s| delivered_commits(s) >= 1);
+        assert_eq!(out, etx_sim::RunOutcome::Predicate, "client must eventually deliver");
+        let commits = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }));
+        assert_eq!(commits, 1, "A.2 across database crash-recovery");
+    }
+
+    #[test]
+    fn multi_database_transaction_commits_atomically() {
+        let topo = Topology::new(1, 3, 2);
+        let client = topo.clients[0];
+        let (d1, d2) = (topo.db_servers[0], topo.db_servers[1]);
+        let req = Request {
+            id: RequestId { client, seq: 1 },
+            script: RequestScript {
+                calls: vec![
+                    etx_base::value::DbCall {
+                        db: d1,
+                        ops: vec![DbOp::Add { key: "checking".into(), delta: -50 }],
+                    },
+                    etx_base::value::DbCall {
+                        db: d2,
+                        ops: vec![DbOp::Add { key: "savings".into(), delta: 50 }],
+                    },
+                ],
+            },
+        };
+        let (mut sim, _) = build_system(
+            17,
+            3,
+            2,
+            vec![req],
+            vec![("checking".into(), 100), ("savings".into(), 0)],
+        );
+        let out = sim.run_until(|s| delivered_commits(s) == 1);
+        assert_eq!(out, etx_sim::RunOutcome::Predicate);
+        let commits = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }));
+        assert_eq!(commits, 2, "both branches commit (A.3)");
+    }
+}

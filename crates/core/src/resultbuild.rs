@@ -1,0 +1,75 @@
+//! Turning database-operation outputs into a user-facing [`ResultValue`].
+//!
+//! The paper's `compute()` returns "information computed by the business
+//! logic, such as reservation number and hotel name" (§2). Our generic
+//! business logic labels each operation's outcome with the key it touched,
+//! so a travel booking yields entries like `("booked:flight-LH100", 41)` and
+//! a failed reservation yields the user-level `("sold_out", 1)` notice.
+//! Every protocol in the workspace (e-Transactions and all three baselines)
+//! builds results the same way, so latency comparisons compare like with
+//! like.
+
+use etx_base::value::{DbCall, OpOutput, ResultValue};
+
+/// Folds one call's outputs into the accumulating result entries.
+pub fn accumulate(call: &DbCall, outputs: &[OpOutput], acc: &mut Vec<(String, i64)>) {
+    for (op, out) in call.ops.iter().zip(outputs.iter()) {
+        match (op.key(), out) {
+            (Some(k), OpOutput::Value(v)) => acc.push((k.to_string(), v.unwrap_or(-1))),
+            (Some(k), OpOutput::Updated(v)) => acc.push((k.to_string(), *v)),
+            (Some(k), OpOutput::Reserved { remaining }) => {
+                acc.push((format!("booked:{k}"), *remaining));
+            }
+            (_, OpOutput::SoldOut) => acc.push(("sold_out".to_string(), 1)),
+            (_, OpOutput::Doomed) => acc.push(("doomed".to_string(), 1)),
+            _ => {}
+        }
+    }
+}
+
+/// Finishes a result: appends the attempt number (a visible, unique
+/// confirmation element) and wraps up.
+pub fn finish(mut acc: Vec<(String, i64)>, attempt: u32) -> ResultValue {
+    acc.push(("attempt".to_string(), attempt as i64));
+    ResultValue::new(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::ids::NodeId;
+    use etx_base::value::DbOp;
+
+    #[test]
+    fn accumulate_labels_outputs() {
+        let call = DbCall {
+            db: NodeId(5),
+            ops: vec![
+                DbOp::Get { key: "hotel".into() },
+                DbOp::Reserve { key: "seat".into(), qty: 1 },
+                DbOp::Reserve { key: "car".into(), qty: 1 },
+            ],
+        };
+        let outputs = vec![
+            OpOutput::Value(Some(3)),
+            OpOutput::Reserved { remaining: 9 },
+            OpOutput::SoldOut,
+        ];
+        let mut acc = Vec::new();
+        accumulate(&call, &outputs, &mut acc);
+        let result = finish(acc, 2);
+        assert_eq!(result.field("hotel"), Some(3));
+        assert_eq!(result.field("booked:seat"), Some(9));
+        assert_eq!(result.field("sold_out"), Some(1));
+        assert_eq!(result.field("attempt"), Some(2));
+        assert!(result.is_user_level_problem());
+    }
+
+    #[test]
+    fn missing_value_reads_as_minus_one() {
+        let call = DbCall { db: NodeId(0), ops: vec![DbOp::Get { key: "nope".into() }] };
+        let mut acc = Vec::new();
+        accumulate(&call, &[OpOutput::Value(None)], &mut acc);
+        assert_eq!(acc, vec![("nope".to_string(), -1)]);
+    }
+}

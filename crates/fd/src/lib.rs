@@ -1,0 +1,411 @@
+//! # etx-fd — failure detectors for the application-server tier
+//!
+//! The e-Transaction protocol assumes an **eventually perfect (◇P)** failure
+//! detector among application servers (§4): *completeness* (a crashed server
+//! is eventually suspected by every correct server, permanently) and
+//! *eventual accuracy* (there is a time after which no correct server is
+//! suspected). Suspicion mistakes are tolerated — they may cost aborted
+//! attempts, never safety.
+//!
+//! [`HeartbeatFd`] implements ◇P the standard way: periodic heartbeats and a
+//! per-peer **adaptive timeout** that grows whenever a suspicion turns out
+//! to be false, so in runs where message delays are eventually bounded and
+//! crashes stop, suspicions eventually stabilise to exactly the crashed set.
+//!
+//! [`ScriptedFd`] wraps any detector and forces suspicion windows — the
+//! instrument used by tests to drive the protocol into its
+//! multiple-concurrent-primaries regime ("active replication mode", §5).
+//!
+//! The detector is a *component*, not a process: the application server owns
+//! one and forwards runtime events to it. The primary-backup baseline does
+//! **not** use this crate — it needs a *perfect* detector, which only the
+//! simulator's crash oracle can provide (that fragility is the paper's
+//! point).
+
+use etx_base::config::FdConfig;
+use etx_base::ids::NodeId;
+use etx_base::msg::{FdMsg, Payload};
+use etx_base::runtime::{Context, Event, TimerTag};
+use etx_base::time::Time;
+use etx_base::trace::TraceKind;
+use std::collections::{HashMap, HashSet};
+
+/// A suspicion-state change, reported so callers can trace and react.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdTransition {
+    /// `peer` is now suspected.
+    Suspect(NodeId),
+    /// `peer` is no longer suspected (we heard from it again).
+    Unsuspect(NodeId),
+}
+
+/// Interface the application server programs against (the paper's
+/// `suspect()` predicate, Appendix 1).
+pub trait FailureDetector {
+    /// Called once from the owning process's `Init`.
+    fn on_init(&mut self, ctx: &mut dyn Context);
+
+    /// Feeds a runtime event to the detector. Returns any suspicion
+    /// transitions it caused. Non-FD events are ignored.
+    fn handle(&mut self, ctx: &mut dyn Context, event: &Event) -> Vec<FdTransition>;
+
+    /// The paper's `suspect(a_i)` predicate.
+    fn suspects(&self, peer: NodeId) -> bool;
+
+    /// Current suspicion set (for the cleaner's scan).
+    fn suspected(&self) -> Vec<NodeId>;
+}
+
+/// Heartbeat-based ◇P detector with adaptive per-peer timeouts.
+#[derive(Debug)]
+pub struct HeartbeatFd {
+    cfg: FdConfig,
+    peers: Vec<NodeId>,
+    last_heard: HashMap<NodeId, Time>,
+    timeout: HashMap<NodeId, etx_base::time::Dur>,
+    suspected: HashSet<NodeId>,
+    seq: u64,
+    started: bool,
+}
+
+impl HeartbeatFd {
+    /// Creates a detector for `me` monitoring `peers` (our own id is
+    /// filtered out defensively).
+    pub fn new(me: NodeId, peers: &[NodeId], cfg: FdConfig) -> Self {
+        let peers: Vec<NodeId> = peers.iter().copied().filter(|&p| p != me).collect();
+        let timeout = peers.iter().map(|&p| (p, cfg.initial_timeout)).collect();
+        HeartbeatFd {
+            cfg,
+            peers,
+            last_heard: HashMap::new(),
+            timeout,
+            suspected: HashSet::new(),
+            seq: 0,
+            started: false,
+        }
+    }
+
+    fn beat(&mut self, ctx: &mut dyn Context) {
+        self.seq += 1;
+        for &p in &self.peers {
+            ctx.send(p, Payload::Fd(FdMsg::Heartbeat { seq: self.seq }));
+        }
+        ctx.set_timer(self.cfg.heartbeat_every, TimerTag::FdHeartbeat);
+    }
+
+    fn check(&mut self, ctx: &mut dyn Context) -> Vec<FdTransition> {
+        let now = ctx.now();
+        let mut out = Vec::new();
+        for &p in &self.peers {
+            if self.suspected.contains(&p) {
+                continue;
+            }
+            let heard = self.last_heard.get(&p).copied().unwrap_or(Time::ZERO);
+            let timeout = self.timeout[&p];
+            if now.since(heard) > timeout {
+                self.suspected.insert(p);
+                ctx.trace(TraceKind::Suspect { peer: p });
+                out.push(FdTransition::Suspect(p));
+            }
+        }
+        ctx.set_timer(self.cfg.heartbeat_every, TimerTag::FdCheck);
+        out
+    }
+
+    fn heard_from(&mut self, ctx: &mut dyn Context, from: NodeId) -> Vec<FdTransition> {
+        if !self.peers.contains(&from) {
+            return Vec::new();
+        }
+        self.last_heard.insert(from, ctx.now());
+        if self.suspected.remove(&from) {
+            // False suspicion: be more patient with this peer from now on —
+            // the adaptation that yields eventual accuracy.
+            if let Some(t) = self.timeout.get_mut(&from) {
+                *t = (*t + self.cfg.timeout_increment).min(self.cfg.max_timeout);
+            }
+            ctx.trace(TraceKind::Unsuspect { peer: from });
+            vec![FdTransition::Unsuspect(from)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+impl FailureDetector for HeartbeatFd {
+    fn on_init(&mut self, ctx: &mut dyn Context) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        let now = ctx.now();
+        for &p in &self.peers {
+            self.last_heard.insert(p, now);
+        }
+        self.beat(ctx);
+        ctx.set_timer(self.cfg.heartbeat_every, TimerTag::FdCheck);
+    }
+
+    fn handle(&mut self, ctx: &mut dyn Context, event: &Event) -> Vec<FdTransition> {
+        match event {
+            Event::Timer { tag: TimerTag::FdHeartbeat, .. } => {
+                self.beat(ctx);
+                Vec::new()
+            }
+            Event::Timer { tag: TimerTag::FdCheck, .. } => self.check(ctx),
+            Event::Message { from, payload: Payload::Fd(FdMsg::Heartbeat { .. }) } => {
+                self.heard_from(ctx, *from)
+            }
+            // Any protocol message from a peer is also a proof of life.
+            Event::Message { from, payload } if !payload.is_background() => {
+                self.heard_from(ctx, *from)
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    fn suspects(&self, peer: NodeId) -> bool {
+        self.suspected.contains(&peer)
+    }
+
+    fn suspected(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.suspected.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A forced-suspicion window for fault-injection tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForcedSuspicion {
+    /// Who to falsely suspect.
+    pub peer: NodeId,
+    /// Window start (inclusive).
+    pub from: Time,
+    /// Window end (exclusive).
+    pub until: Time,
+}
+
+/// Wraps an inner detector and adds scripted false-suspicion windows. Used
+/// by tests to exercise the protocol's tolerance of unreliable failure
+/// detection (multiple concurrent primaries, cleaner-vs-owner races).
+pub struct ScriptedFd<I> {
+    inner: I,
+    forced: Vec<ForcedSuspicion>,
+    now: Time,
+}
+
+impl<I: std::fmt::Debug> std::fmt::Debug for ScriptedFd<I> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScriptedFd")
+            .field("inner", &self.inner)
+            .field("forced", &self.forced)
+            .finish()
+    }
+}
+
+impl<I: FailureDetector> ScriptedFd<I> {
+    /// Wraps `inner`, forcing the given suspicion windows.
+    pub fn new(inner: I, forced: Vec<ForcedSuspicion>) -> Self {
+        ScriptedFd { inner, forced, now: Time::ZERO }
+    }
+
+    fn forced_now(&self, peer: NodeId) -> bool {
+        self.forced.iter().any(|w| w.peer == peer && w.from <= self.now && self.now < w.until)
+    }
+}
+
+impl<I: FailureDetector> FailureDetector for ScriptedFd<I> {
+    fn on_init(&mut self, ctx: &mut dyn Context) {
+        self.now = ctx.now();
+        self.inner.on_init(ctx);
+    }
+
+    fn handle(&mut self, ctx: &mut dyn Context, event: &Event) -> Vec<FdTransition> {
+        self.now = ctx.now();
+        self.inner.handle(ctx, event)
+    }
+
+    fn suspects(&self, peer: NodeId) -> bool {
+        self.forced_now(peer) || self.inner.suspects(peer)
+    }
+
+    fn suspected(&self) -> Vec<NodeId> {
+        let mut v = self.inner.suspected();
+        for w in &self.forced {
+            if w.from <= self.now && self.now < w.until && !v.contains(&w.peer) {
+                v.push(w.peer);
+            }
+        }
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A detector that never suspects anyone. Useful for failure-free
+/// experiments where FD noise would only add trace volume.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullFd;
+
+impl FailureDetector for NullFd {
+    fn on_init(&mut self, _: &mut dyn Context) {}
+    fn handle(&mut self, _: &mut dyn Context, _: &Event) -> Vec<FdTransition> {
+        Vec::new()
+    }
+    fn suspects(&self, _: NodeId) -> bool {
+        false
+    }
+    fn suspected(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::runtime::Process;
+    use etx_sim::{Sim, SimConfig};
+
+    /// Host process that just runs a detector and nothing else.
+    struct FdHost {
+        fd: Box<dyn FailureDetector>,
+    }
+    impl Process for FdHost {
+        fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+            if matches!(event, Event::Init) {
+                self.fd.on_init(ctx);
+            } else {
+                self.fd.handle(ctx, &event);
+            }
+        }
+    }
+
+    fn three_hosts(seed: u64) -> (Sim, Vec<NodeId>) {
+        let mut sim = Sim::new(SimConfig::with_seed(seed));
+        let ids: Vec<NodeId> = (0..3).map(NodeId).collect();
+        for _ in 0..3 {
+            let peers = ids.clone();
+            sim.add_node(
+                "fd",
+                Box::new(move |me| {
+                    Box::new(FdHost {
+                        fd: Box::new(HeartbeatFd::new(me, &peers, FdConfig::default())),
+                    })
+                }),
+            );
+        }
+        (sim, ids)
+    }
+
+    #[test]
+    fn no_suspicions_without_crashes() {
+        let (mut sim, _) = three_hosts(1);
+        sim.run_until_time(Time(2_000_000));
+        assert_eq!(sim.trace().count_kind(|k| matches!(k, TraceKind::Suspect { .. })), 0);
+    }
+
+    #[test]
+    fn completeness_crashed_peer_gets_suspected_by_all() {
+        let (mut sim, ids) = three_hosts(2);
+        sim.crash_at(Time(500_000), ids[0]);
+        sim.run_until_time(Time(2_000_000));
+        let suspects_of_crashed = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Suspect { peer } if peer == ids[0]))
+            .map(|e| e.node)
+            .collect::<std::collections::HashSet<_>>();
+        assert_eq!(suspects_of_crashed.len(), 2, "both survivors must suspect the crashed node");
+        // And never unsuspect it.
+        assert_eq!(
+            sim.trace()
+                .count_kind(|k| matches!(k, TraceKind::Unsuspect { peer } if *peer == ids[0])),
+            0
+        );
+    }
+
+    #[test]
+    fn eventual_accuracy_after_transient_partition() {
+        let (mut sim, ids) = three_hosts(3);
+        // Cut node 0 off for 400 ms — long enough to trigger suspicion with
+        // the 80 ms initial timeout.
+        sim.partition(&[ids[0]], &[ids[1], ids[2]], Time(400_000));
+        sim.run_until_time(Time(3_000_000));
+        let false_suspicions =
+            sim.trace().count_kind(|k| matches!(k, TraceKind::Suspect { peer } if *peer == ids[0]));
+        assert!(false_suspicions >= 1, "partition should cause false suspicion");
+        let unsuspects = sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::Unsuspect { peer } if *peer == ids[0]));
+        assert!(unsuspects >= 1, "suspicion must be withdrawn after heal");
+        // After things settle, nobody suspects anybody: no transitions in
+        // the last second.
+        let late_suspects = sim
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| e.at > Time(2_000_000))
+            .filter(|e| matches!(e.kind, TraceKind::Suspect { .. }))
+            .count();
+        assert_eq!(late_suspects, 0, "no suspicions once delays are bounded again");
+    }
+
+    #[test]
+    fn adaptive_timeout_grows_on_false_suspicion() {
+        let cfg = FdConfig::default();
+        let mut sim = Sim::new(SimConfig::with_seed(4));
+        let ids: Vec<NodeId> = (0..2).map(NodeId).collect();
+        for _ in 0..2 {
+            let peers = ids.clone();
+            sim.add_node(
+                "fd",
+                Box::new(move |me| {
+                    Box::new(FdHost { fd: Box::new(HeartbeatFd::new(me, &peers, cfg)) })
+                }),
+            );
+        }
+        // Repeated short partitions: each false suspicion should bump the
+        // timeout, so the *number* of suspicions should be sub-linear in the
+        // number of partitions.
+        for i in 0..6u64 {
+            let start = Time(200_000 + i * 400_000);
+            let heal = Time(start.0 + 150_000);
+            sim.partition(&[ids[0]], &[ids[1]], heal);
+        }
+        sim.run_until_time(Time(4_000_000));
+        let suspicions =
+            sim.trace().count_kind(|k| matches!(k, TraceKind::Suspect { peer } if *peer == ids[0]));
+        assert!(
+            suspicions < 6,
+            "adaptation should eliminate later false suspicions (got {suspicions})"
+        );
+    }
+
+    #[test]
+    fn scripted_fd_forces_windows() {
+        let mut fd = ScriptedFd::new(
+            NullFd,
+            vec![ForcedSuspicion { peer: NodeId(7), from: Time(100), until: Time(200) }],
+        );
+        // Before the window.
+        assert!(!fd.suspects(NodeId(7)));
+        fd.now = Time(150);
+        assert!(fd.suspects(NodeId(7)));
+        assert_eq!(fd.suspected(), vec![NodeId(7)]);
+        fd.now = Time(250);
+        assert!(!fd.suspects(NodeId(7)));
+    }
+
+    #[test]
+    fn null_fd_is_silent() {
+        let fd = NullFd;
+        assert!(!fd.suspects(NodeId(0)));
+        assert!(fd.suspected().is_empty());
+    }
+
+    #[test]
+    fn own_id_filtered_from_peers() {
+        let fd = HeartbeatFd::new(NodeId(1), &[NodeId(0), NodeId(1), NodeId(2)], FdConfig::default());
+        assert_eq!(fd.peers, vec![NodeId(0), NodeId(2)]);
+    }
+}

@@ -1,0 +1,171 @@
+//! Randomized fault-schedule exploration ("chaos testing").
+//!
+//! A seed deterministically generates a fault schedule — application-server
+//! crashes (bounded by the minority assumption), database crash/recovery
+//! cycles, false-suspicion windows, message loss — and the runner checks
+//! the full e-Transaction specification on the resulting history. Every
+//! failure is reproducible from its seed.
+
+use crate::properties::{check, LivenessChecks, PropertyReport};
+use crate::scenario::{MiddleTier, ScenarioBuilder};
+use crate::workloads::Workload;
+use etx_base::time::{Dur, Time};
+use etx_fd::ForcedSuspicion;
+use etx_sim::{NetConfig, Rng, RunOutcome};
+
+/// Knobs of the chaos generator.
+#[derive(Debug, Clone)]
+pub struct ChaosOptions {
+    /// Application-server replicas (3 or 5 keep a crashable minority).
+    pub apps: usize,
+    /// Databases.
+    pub dbs: usize,
+    /// Concurrent clients.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests: u64,
+    /// Maximum app-server crashes (clamped to a minority).
+    pub max_app_crashes: usize,
+    /// Maximum database crash/recovery cycles.
+    pub max_db_cycles: usize,
+    /// Maximum forced false-suspicion windows.
+    pub max_false_suspicions: usize,
+    /// Message-loss probability (absorbed by reliable channels as delay).
+    pub loss_rate: f64,
+}
+
+impl Default for ChaosOptions {
+    fn default() -> Self {
+        ChaosOptions {
+            apps: 3,
+            dbs: 1,
+            clients: 1,
+            requests: 2,
+            max_app_crashes: 1,
+            max_db_cycles: 2,
+            max_false_suspicions: 2,
+            loss_rate: 0.05,
+        }
+    }
+}
+
+/// Result of a chaos run.
+#[derive(Debug)]
+pub struct ChaosOutcome {
+    /// Seed it was generated from (reproduction handle).
+    pub seed: u64,
+    /// How the run loop ended.
+    pub run: RunOutcome,
+    /// Whether every client settled all its requests.
+    pub settled: bool,
+    /// Property-check report.
+    pub report: PropertyReport,
+    /// Faults injected, human-readable (diagnostics on failure).
+    pub faults: Vec<String>,
+}
+
+impl ChaosOutcome {
+    /// Panics with full context if the run violated the specification.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.report.ok() && self.settled,
+            "chaos seed {} failed (settled={}, run={:?}):\nfaults: {:#?}\nviolations: {:#?}",
+            self.seed,
+            self.settled,
+            self.run,
+            self.faults,
+            self.report.violations,
+        );
+    }
+}
+
+/// Runs one chaos schedule derived from `seed`.
+pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    let mut rng = Rng::new(seed ^ 0xC0FFEE);
+    let horizon_ms = 200u64; // fault window (fast cost model timescale)
+    let mut faults = Vec::new();
+
+    // Fault plan -----------------------------------------------------------
+    let minority = (opts.apps - 1) / 2;
+    let app_crashes = (rng.range_u64(0, opts.max_app_crashes as u64) as usize).min(minority);
+    let db_cycles = rng.range_u64(0, opts.max_db_cycles as u64) as usize;
+    let suspicions = rng.range_u64(0, opts.max_false_suspicions as u64) as usize;
+
+    let workload = match rng.range_u64(0, 2) {
+        0 => Workload::BankUpdate { amount: 10 },
+        1 => Workload::Travel,
+        _ => Workload::HotSpot,
+    };
+
+    let mut forced = Vec::new();
+    let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .dbs(opts.dbs)
+        .clients(opts.clients)
+        .requests(opts.requests)
+        .workload(workload.clone());
+    if opts.loss_rate > 0.0 {
+        builder = builder.net(NetConfig {
+            min_delay: Dur::from_micros(100),
+            max_delay: Dur::from_micros(300),
+            loss_rate: opts.loss_rate,
+            retransmit_gap: Dur::from_millis(2),
+        });
+    }
+
+    // Forced suspicion windows must be known before building (they live
+    // inside each server's ScriptedFd).
+    let topo_preview = etx_base::ids::Topology::new(opts.clients, opts.apps, opts.dbs);
+    for _ in 0..suspicions {
+        let peer_idx = rng.range_u64(0, opts.apps as u64 - 1) as usize;
+        let from = Time(rng.range_u64(0, horizon_ms) * 1_000);
+        let until = from + Dur::from_millis(rng.range_u64(5, 40));
+        let peer = topo_preview.app_servers[peer_idx];
+        forced.push(ForcedSuspicion { peer, from, until });
+        faults.push(format!("false-suspect {peer} in [{from}, {until})"));
+    }
+    if !forced.is_empty() {
+        builder = builder.force_suspicions(forced);
+    }
+
+    let mut scenario = builder.build();
+
+    // App-server crashes (crash-stop; bounded by the minority assumption,
+    // and never the consensus-critical majority).
+    let mut crashed = Vec::new();
+    for _ in 0..app_crashes {
+        let idx = rng.range_u64(0, opts.apps as u64 - 1) as usize;
+        let node = scenario.topo.app_servers[idx];
+        if crashed.contains(&node) {
+            continue;
+        }
+        crashed.push(node);
+        let at = Time(rng.range_u64(0, horizon_ms) * 1_000);
+        scenario.sim.crash_at(at, node);
+        faults.push(format!("crash app {node} at {at}"));
+    }
+
+    // Database crash/recovery cycles (good databases: always recover).
+    for _ in 0..db_cycles {
+        let idx = rng.range_u64(0, opts.dbs as u64 - 1) as usize;
+        let node = scenario.topo.db_servers[idx];
+        let at = Time(rng.range_u64(0, horizon_ms) * 1_000);
+        let back = at + Dur::from_millis(rng.range_u64(5, 60));
+        scenario.sim.crash_at(at, node);
+        scenario.sim.recover_at(back, node);
+        faults.push(format!("cycle db {node} at {at} → {back}"));
+    }
+
+    // Run ------------------------------------------------------------------
+    let expected = scenario.requests as usize;
+    let run = scenario.run_until_settled(expected);
+    let settled = run == RunOutcome::Predicate;
+    // Give retransmissions / terminate loops time to finish (T.2 needs it).
+    scenario.quiesce(Dur::from_millis(400));
+
+    let report = check(
+        scenario.sim.trace().events(),
+        &scenario.topo.clients,
+        LivenessChecks { t1: settled, t2: settled },
+    );
+    ChaosOutcome { seed, run, settled, report, faults }
+}

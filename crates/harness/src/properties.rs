@@ -1,0 +1,324 @@
+//! The e-Transaction property checker (§3 of the paper).
+//!
+//! Takes a finished run's trace, reconstructs the history (issues,
+//! deliveries, votes, decides, computations), and checks every property the
+//! paper proves in Appendix 2:
+//!
+//! * **T.1** every issued request is eventually delivered (checked only
+//!   when the run reached quiescence with a correct client);
+//! * **T.2** every voted branch is eventually decided at that database
+//!   (same caveat — these are liveness properties);
+//! * **A.1** no result delivered unless committed by every involved
+//!   database (safety: checked unconditionally, with commit-before-deliver
+//!   ordering);
+//! * **A.2** at most one attempt per request ever commits, and the client
+//!   delivers at most one result per request;
+//! * **A.3** no two databases decide differently on the same attempt;
+//! * **V.1** every delivered result was computed by an application server
+//!   from a request the client issued;
+//! * **V.2** nothing commits if any database voted no for it.
+
+use etx_base::ids::{NodeId, RequestId, ResultId};
+use etx_base::time::Time;
+use etx_base::trace::{TraceEvent, TraceKind};
+use etx_base::value::{Outcome, Vote};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Which liveness checks to run (safety is always checked).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LivenessChecks {
+    /// Check T.1 (requires: client correct, run quiesced).
+    pub t1: bool,
+    /// Check T.2 (requires: run quiesced well past retransmission periods).
+    pub t2: bool,
+}
+
+/// Outcome of checking a run.
+#[derive(Debug, Default)]
+pub struct PropertyReport {
+    /// Human-readable violations; empty means the run satisfied everything.
+    pub violations: Vec<String>,
+}
+
+impl PropertyReport {
+    /// True when no property was violated.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with the violation list if any property failed (test helper).
+    pub fn assert_ok(&self) {
+        assert!(self.ok(), "e-Transaction properties violated:\n{}", self.violations.join("\n"));
+    }
+}
+
+#[derive(Debug, Default)]
+struct History {
+    issues: BTreeMap<RequestId, Time>,
+    delivers: Vec<(ResultId, Outcome, Time)>,
+    computed: BTreeSet<ResultId>,
+    votes: BTreeMap<(NodeId, ResultId), (Vote, Time)>,
+    decides: BTreeMap<(NodeId, ResultId), (Outcome, Time)>,
+    client_crashes: BTreeSet<NodeId>,
+}
+
+fn extract(events: &[TraceEvent], clients: &[NodeId]) -> History {
+    let mut h = History::default();
+    for e in events {
+        match &e.kind {
+            TraceKind::Issue { request } => {
+                h.issues.entry(*request).or_insert(e.at);
+            }
+            TraceKind::Deliver { rid, outcome, .. } => h.delivers.push((*rid, *outcome, e.at)),
+            TraceKind::Computed { rid } => {
+                h.computed.insert(*rid);
+            }
+            TraceKind::DbVote { rid, vote } => {
+                h.votes.entry((e.node, *rid)).or_insert((*vote, e.at));
+            }
+            TraceKind::DbDecide { rid, outcome } => {
+                h.decides.entry((e.node, *rid)).or_insert((*outcome, e.at));
+            }
+            TraceKind::Crash if clients.contains(&e.node) => {
+                h.client_crashes.insert(e.node);
+            }
+            _ => {}
+        }
+    }
+    h
+}
+
+/// Checks all properties over a finished run's trace.
+///
+/// `clients` identifies the client nodes (so client crashes relax T.1).
+pub fn check(events: &[TraceEvent], clients: &[NodeId], liveness: LivenessChecks) -> PropertyReport {
+    let h = extract(events, clients);
+    let mut report = PropertyReport::default();
+    let mut violate = |msg: String| report.violations.push(msg);
+
+    // ---- A.1: delivered ⇒ committed at every involved database, before
+    // delivery. "Involved" = the databases that voted for the attempt.
+    for (rid, outcome, at) in &h.delivers {
+        if *outcome != Outcome::Commit {
+            violate(format!("A.1: client delivered non-commit outcome for {rid}"));
+            continue;
+        }
+        let voters: Vec<NodeId> =
+            h.votes.keys().filter(|(_, r)| r == rid).map(|(d, _)| *d).collect();
+        for d in voters {
+            match h.decides.get(&(d, *rid)) {
+                Some((Outcome::Commit, t)) if t <= at => {}
+                Some((Outcome::Commit, t)) => violate(format!(
+                    "A.1: {rid} delivered at {at} before db {d} committed at {t}"
+                )),
+                Some((Outcome::Abort, _)) => {
+                    violate(format!("A.1: {rid} delivered but db {d} aborted it"))
+                }
+                None => violate(format!("A.1: {rid} delivered but db {d} never decided it")),
+            }
+        }
+    }
+
+    // ---- A.2: per request, at most one attempt commits anywhere; and the
+    // client delivers at most once per request.
+    let mut committed_attempts: BTreeMap<RequestId, BTreeSet<u32>> = BTreeMap::new();
+    for ((_, rid), (outcome, _)) in &h.decides {
+        if *outcome == Outcome::Commit {
+            committed_attempts.entry(rid.request).or_default().insert(rid.attempt);
+        }
+    }
+    for (req, attempts) in &committed_attempts {
+        if attempts.len() > 1 {
+            violate(format!("A.2: request {req} committed {} different results: {attempts:?}", attempts.len()));
+        }
+    }
+    let mut delivered_per_request: BTreeMap<RequestId, usize> = BTreeMap::new();
+    for (rid, _, _) in &h.delivers {
+        *delivered_per_request.entry(rid.request).or_insert(0) += 1;
+    }
+    for (req, n) in &delivered_per_request {
+        if *n > 1 {
+            violate(format!("A.2: request {req} delivered {n} times"));
+        }
+    }
+
+    // ---- A.3: per attempt, all databases that decided agree.
+    let mut outcomes_per_rid: BTreeMap<ResultId, BTreeSet<&'static str>> = BTreeMap::new();
+    for ((_, rid), (outcome, _)) in &h.decides {
+        let tag = match outcome {
+            Outcome::Commit => "commit",
+            Outcome::Abort => "abort",
+        };
+        outcomes_per_rid.entry(*rid).or_default().insert(tag);
+    }
+    for (rid, set) in &outcomes_per_rid {
+        if set.len() > 1 {
+            violate(format!("A.3: databases disagree on {rid}: {set:?}"));
+        }
+    }
+
+    // ---- V.1: delivered results were computed, for issued requests.
+    for (rid, _, _) in &h.delivers {
+        if !h.computed.contains(rid) {
+            violate(format!("V.1: {rid} delivered but never computed by any app server"));
+        }
+        if !h.issues.contains_key(&rid.request) {
+            violate(format!("V.1: {rid} delivered but request was never issued"));
+        }
+    }
+
+    // ---- V.2: committed ⇒ nobody voted no.
+    for (rid, set) in &outcomes_per_rid {
+        if set.contains("commit") {
+            for ((d, r), (vote, _)) in &h.votes {
+                if r == rid && *vote == Vote::No {
+                    violate(format!("V.2: {rid} committed but db {d} voted no"));
+                }
+            }
+        }
+    }
+
+    // ---- T.1 (opt-in liveness).
+    if liveness.t1 {
+        for (req, _) in &h.issues {
+            if h.client_crashes.contains(&req.client) {
+                continue; // "unless it crashes"
+            }
+            if !h.delivers.iter().any(|(rid, _, _)| rid.request == *req) {
+                violate(format!("T.1: request {req} issued but never delivered"));
+            }
+        }
+    }
+
+    // ---- T.2 (opt-in liveness).
+    if liveness.t2 {
+        for ((d, rid), _) in &h.votes {
+            if !h.decides.contains_key(&(*d, *rid)) {
+                violate(format!("T.2: db {d} voted for {rid} but never decided it"));
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::ids::{NodeId, RequestId};
+
+    fn rid(attempt: u32) -> ResultId {
+        ResultId { request: RequestId { client: NodeId(0), seq: 1 }, attempt }
+    }
+
+    fn ev(at: u64, node: u32, kind: TraceKind) -> TraceEvent {
+        TraceEvent::new(Time(at), NodeId(node), kind)
+    }
+
+    fn full_liveness() -> LivenessChecks {
+        LivenessChecks { t1: true, t2: true }
+    }
+
+    #[test]
+    fn clean_commit_history_passes() {
+        let events = vec![
+            ev(0, 0, TraceKind::Issue { request: rid(1).request }),
+            ev(1, 1, TraceKind::Computed { rid: rid(1) }),
+            ev(2, 4, TraceKind::DbVote { rid: rid(1), vote: Vote::Yes }),
+            ev(3, 4, TraceKind::DbDecide { rid: rid(1), outcome: Outcome::Commit }),
+            ev(4, 0, TraceKind::Deliver { rid: rid(1), outcome: Outcome::Commit, steps: 12 }),
+        ];
+        check(&events, &[NodeId(0)], full_liveness()).assert_ok();
+    }
+
+    #[test]
+    fn deliver_before_commit_violates_a1() {
+        let events = vec![
+            ev(0, 0, TraceKind::Issue { request: rid(1).request }),
+            ev(1, 1, TraceKind::Computed { rid: rid(1) }),
+            ev(2, 4, TraceKind::DbVote { rid: rid(1), vote: Vote::Yes }),
+            ev(3, 0, TraceKind::Deliver { rid: rid(1), outcome: Outcome::Commit, steps: 12 }),
+            ev(4, 4, TraceKind::DbDecide { rid: rid(1), outcome: Outcome::Commit }),
+        ];
+        let r = check(&events, &[NodeId(0)], LivenessChecks::default());
+        assert!(!r.ok());
+        assert!(r.violations[0].contains("A.1"));
+    }
+
+    #[test]
+    fn two_committed_attempts_violate_a2() {
+        let events = vec![
+            ev(0, 4, TraceKind::DbDecide { rid: rid(1), outcome: Outcome::Commit }),
+            ev(1, 4, TraceKind::DbDecide { rid: rid(2), outcome: Outcome::Commit }),
+        ];
+        let r = check(&events, &[NodeId(0)], LivenessChecks::default());
+        assert!(r.violations.iter().any(|v| v.contains("A.2")));
+    }
+
+    #[test]
+    fn db_disagreement_violates_a3() {
+        let events = vec![
+            ev(0, 4, TraceKind::DbDecide { rid: rid(1), outcome: Outcome::Commit }),
+            ev(1, 5, TraceKind::DbDecide { rid: rid(1), outcome: Outcome::Abort }),
+        ];
+        let r = check(&events, &[NodeId(0)], LivenessChecks::default());
+        assert!(r.violations.iter().any(|v| v.contains("A.3")));
+    }
+
+    #[test]
+    fn uncomputed_delivery_violates_v1() {
+        let events = vec![
+            ev(0, 0, TraceKind::Issue { request: rid(1).request }),
+            ev(2, 4, TraceKind::DbVote { rid: rid(1), vote: Vote::Yes }),
+            ev(3, 4, TraceKind::DbDecide { rid: rid(1), outcome: Outcome::Commit }),
+            ev(4, 0, TraceKind::Deliver { rid: rid(1), outcome: Outcome::Commit, steps: 1 }),
+        ];
+        let r = check(&events, &[NodeId(0)], LivenessChecks::default());
+        assert!(r.violations.iter().any(|v| v.contains("V.1")));
+    }
+
+    #[test]
+    fn commit_with_no_vote_violates_v2() {
+        let events = vec![
+            ev(0, 4, TraceKind::DbVote { rid: rid(1), vote: Vote::No }),
+            ev(1, 5, TraceKind::DbVote { rid: rid(1), vote: Vote::Yes }),
+            ev(2, 5, TraceKind::DbDecide { rid: rid(1), outcome: Outcome::Commit }),
+        ];
+        let r = check(&events, &[NodeId(0)], LivenessChecks::default());
+        assert!(r.violations.iter().any(|v| v.contains("V.2")));
+    }
+
+    #[test]
+    fn undelivered_request_violates_t1_unless_client_crashed() {
+        let events = vec![ev(0, 0, TraceKind::Issue { request: rid(1).request })];
+        let r = check(&events, &[NodeId(0)], full_liveness());
+        assert!(r.violations.iter().any(|v| v.contains("T.1")));
+        // With a client crash, T.1 is vacuous.
+        let events2 = vec![
+            ev(0, 0, TraceKind::Issue { request: rid(1).request }),
+            ev(1, 0, TraceKind::Crash),
+        ];
+        check(&events2, &[NodeId(0)], full_liveness()).assert_ok();
+    }
+
+    #[test]
+    fn unresolved_vote_violates_t2() {
+        let events = vec![ev(0, 4, TraceKind::DbVote { rid: rid(1), vote: Vote::Yes })];
+        let r = check(&events, &[NodeId(0)], full_liveness());
+        assert!(r.violations.iter().any(|v| v.contains("T.2")));
+    }
+
+    #[test]
+    fn abort_then_retry_commit_is_legal() {
+        let events = vec![
+            ev(0, 0, TraceKind::Issue { request: rid(1).request }),
+            ev(1, 4, TraceKind::DbVote { rid: rid(1), vote: Vote::No }),
+            ev(2, 4, TraceKind::DbDecide { rid: rid(1), outcome: Outcome::Abort }),
+            ev(3, 1, TraceKind::Computed { rid: rid(2) }),
+            ev(4, 4, TraceKind::DbVote { rid: rid(2), vote: Vote::Yes }),
+            ev(5, 4, TraceKind::DbDecide { rid: rid(2), outcome: Outcome::Commit }),
+            ev(6, 0, TraceKind::Deliver { rid: rid(2), outcome: Outcome::Commit, steps: 9 }),
+        ];
+        check(&events, &[NodeId(0)], full_liveness()).assert_ok();
+    }
+}

@@ -1,0 +1,373 @@
+//! Scenario construction: one call builds a complete three-tier system
+//! under any of the four middle-tier protocols, ready to run and observe.
+
+use crate::workloads::Workload;
+use etx_base::config::{CostModel, FdConfig, ProtocolConfig};
+use etx_base::ids::{NodeId, ResultId, Topology};
+use etx_base::time::{Dur, Time};
+use etx_base::trace::TraceKind;
+use etx_base::value::Outcome;
+use etx_baselines::{BaselineServer, PbRole, PbServer, RetryPolicy, SimpleClient, TpcServer};
+use etx_core::{AppServer, DbServer, EtxClient};
+use etx_fd::{ForcedSuspicion, HeartbeatFd, ScriptedFd};
+use etx_sim::{NetConfig, RunOutcome, Sim, SimConfig};
+
+/// Which protocol runs the middle tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiddleTier {
+    /// The paper's asynchronous-replication e-Transaction protocol with
+    /// `apps` replicas (the paper's evaluation uses 3).
+    Etx {
+        /// Number of application-server replicas.
+        apps: usize,
+    },
+    /// Unreliable baseline (Figure 7a): one server.
+    Baseline,
+    /// Presumed-nothing 2PC (Figure 7b): one coordinator.
+    Tpc,
+    /// Primary-backup (Figure 7c): primary + backup.
+    Pb,
+}
+
+impl MiddleTier {
+    /// Number of application servers this tier deploys.
+    pub fn app_count(&self) -> usize {
+        match self {
+            MiddleTier::Etx { apps } => *apps,
+            MiddleTier::Baseline | MiddleTier::Tpc => 1,
+            MiddleTier::Pb => 2,
+        }
+    }
+
+    /// Row label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MiddleTier::Etx { .. } => "AR",
+            MiddleTier::Baseline => "baseline",
+            MiddleTier::Tpc => "2PC",
+            MiddleTier::Pb => "PB",
+        }
+    }
+}
+
+/// Everything needed to build a run.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    seed: u64,
+    tier: MiddleTier,
+    clients: usize,
+    dbs: usize,
+    requests: u64,
+    workload: Workload,
+    cost: CostModel,
+    net: NetConfig,
+    pcfg: ProtocolConfig,
+    fd: FdConfig,
+    client_timeout: Dur,
+    client_retry: RetryPolicy,
+    forced_suspicions: Vec<ForcedSuspicion>,
+}
+
+impl ScenarioBuilder {
+    /// A scenario with the paper's environment constants (Appendix 3) and
+    /// the bank-update workload.
+    pub fn new(tier: MiddleTier, seed: u64) -> Self {
+        ScenarioBuilder {
+            seed,
+            tier,
+            clients: 1,
+            dbs: 1,
+            requests: 1,
+            workload: Workload::BankUpdate { amount: 100 },
+            cost: CostModel::default(),
+            net: NetConfig::paper_lan(),
+            pcfg: ProtocolConfig::default(),
+            fd: FdConfig::default(),
+            client_timeout: Dur::from_millis(800),
+            client_retry: RetryPolicy::GiveUp,
+            forced_suspicions: Vec::new(),
+        }
+    }
+
+    /// A scenario with miniature service times for fast tests.
+    pub fn fast(tier: MiddleTier, seed: u64) -> Self {
+        let mut b = Self::new(tier, seed);
+        b.cost = CostModel::fast_for_tests();
+        b.net = NetConfig {
+            min_delay: Dur::from_micros(100),
+            max_delay: Dur::from_micros(300),
+            ..NetConfig::default()
+        };
+        b.pcfg = ProtocolConfig {
+            client_backoff: Dur::from_millis(30),
+            client_rebroadcast: Dur::from_millis(20),
+            terminate_retry: Dur::from_millis(10),
+            cleaner_interval: Dur::from_millis(5),
+            consensus_resync: Dur::from_millis(8),
+            consensus_round_patience: Dur::from_millis(4),
+            route_to_last_responder: false,
+        };
+        b.fd = FdConfig {
+            heartbeat_every: Dur::from_millis(2),
+            initial_timeout: Dur::from_millis(8),
+            timeout_increment: Dur::from_millis(4),
+            max_timeout: Dur::from_millis(200),
+        };
+        b.client_timeout = Dur::from_millis(80);
+        b
+    }
+
+    /// Number of databases.
+    pub fn dbs(mut self, n: usize) -> Self {
+        self.dbs = n;
+        self
+    }
+
+    /// Number of concurrent clients (each issues its own request plan;
+    /// concurrent clients generate genuine lock contention).
+    pub fn clients(mut self, n: usize) -> Self {
+        self.clients = n.max(1);
+        self
+    }
+
+    /// Number of sequential requests the client issues.
+    pub fn requests(mut self, n: u64) -> Self {
+        self.requests = n;
+        self
+    }
+
+    /// The workload.
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Cost model override.
+    pub fn cost(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Network override.
+    pub fn net(mut self, n: NetConfig) -> Self {
+        self.net = n;
+        self
+    }
+
+    /// Protocol configuration override.
+    pub fn protocol(mut self, p: ProtocolConfig) -> Self {
+        self.pcfg = p;
+        self
+    }
+
+    /// Failure-detector configuration override.
+    pub fn fd(mut self, f: FdConfig) -> Self {
+        self.fd = f;
+        self
+    }
+
+    /// Baseline-client retry policy (ignored by the e-Transaction client,
+    /// which never needs one).
+    pub fn client_retry(mut self, p: RetryPolicy) -> Self {
+        self.client_retry = p;
+        self
+    }
+
+    /// Baseline-client patience.
+    pub fn client_timeout(mut self, t: Dur) -> Self {
+        self.client_timeout = t;
+        self
+    }
+
+    /// Injects false-suspicion windows into every e-Transaction server's
+    /// failure detector (chaos testing).
+    pub fn force_suspicions(mut self, windows: Vec<ForcedSuspicion>) -> Self {
+        self.forced_suspicions = windows;
+        self
+    }
+
+    /// Builds the simulator with all processes registered.
+    pub fn build(self) -> Scenario {
+        let topo = Topology::new(self.clients, self.tier.app_count(), self.dbs);
+        let mut sim_cfg = SimConfig::with_seed(self.seed);
+        sim_cfg.cost = self.cost.clone();
+        sim_cfg.net = self.net.clone();
+        let mut sim = Sim::new(sim_cfg);
+        let seed_data = self.workload.seed_data();
+
+        // Clients first (ids must match Topology::new order).
+        for &client in &topo.clients {
+            let plan = self.workload.plan(&topo, client, self.requests);
+            match self.tier {
+                MiddleTier::Etx { .. } | MiddleTier::Pb => {
+                    let alist = topo.app_servers.clone();
+                    let pcfg = self.pcfg.clone();
+                    sim.add_node(
+                        "client",
+                        Box::new(move |_| {
+                            Box::new(EtxClient::new(alist.clone(), pcfg.clone(), plan.clone()))
+                        }),
+                    );
+                }
+                MiddleTier::Baseline | MiddleTier::Tpc => {
+                    let server = topo.app_servers[0];
+                    let timeout = self.client_timeout;
+                    let policy = self.client_retry;
+                    sim.add_node(
+                        "client",
+                        Box::new(move |_| {
+                            Box::new(SimpleClient::new(server, timeout, policy, plan.clone()))
+                        }),
+                    );
+                }
+            }
+        }
+
+        // Middle tier.
+        match self.tier {
+            MiddleTier::Etx { apps } => {
+                for _ in 0..apps {
+                    let topo_c = topo.clone();
+                    let pcfg = self.pcfg.clone();
+                    let cost = self.cost.clone();
+                    let fd_cfg = self.fd;
+                    let forced = self.forced_suspicions.clone();
+                    sim.add_node(
+                        "app",
+                        Box::new(move |me| {
+                            let inner = HeartbeatFd::new(me, &topo_c.app_servers, fd_cfg);
+                            let fd: Box<dyn etx_fd::FailureDetector> = if forced.is_empty() {
+                                Box::new(inner)
+                            } else {
+                                Box::new(ScriptedFd::new(inner, forced.clone()))
+                            };
+                            Box::new(AppServer::new(
+                                me,
+                                topo_c.clone(),
+                                pcfg.clone(),
+                                cost.clone(),
+                                fd,
+                            ))
+                        }),
+                    );
+                }
+            }
+            MiddleTier::Baseline => {
+                let cost = self.cost.clone();
+                sim.add_node(
+                    "baseline",
+                    Box::new(move |_| Box::new(BaselineServer::new(cost.clone()))),
+                );
+            }
+            MiddleTier::Tpc => {
+                let dlist = topo.db_servers.clone();
+                let cost = self.cost.clone();
+                sim.add_node(
+                    "tpc",
+                    Box::new(move |_| Box::new(TpcServer::new(dlist.clone(), cost.clone()))),
+                );
+            }
+            MiddleTier::Pb => {
+                let (p, b) = (topo.app_servers[0], topo.app_servers[1]);
+                let dlist = topo.db_servers.clone();
+                let cost = self.cost.clone();
+                let d2 = dlist.clone();
+                let cost2 = cost.clone();
+                sim.add_node(
+                    "pb-primary",
+                    Box::new(move |_| {
+                        Box::new(PbServer::new(PbRole::Primary, b, dlist.clone(), cost.clone()))
+                    }),
+                );
+                sim.add_node(
+                    "pb-backup",
+                    Box::new(move |_| {
+                        Box::new(PbServer::new(PbRole::Backup, p, d2.clone(), cost2.clone()))
+                    }),
+                );
+            }
+        }
+
+        // Back end.
+        for _ in 0..self.dbs {
+            let alist = topo.app_servers.clone();
+            let cost = self.cost.clone();
+            let data = seed_data.clone();
+            sim.add_node(
+                "db",
+                Box::new(move |_| {
+                    Box::new(DbServer::new(alist.clone(), cost.clone(), data.clone()))
+                }),
+            );
+        }
+
+        Scenario { sim, topo, requests: self.requests * self.clients as u64 }
+    }
+}
+
+/// A built system plus convenience queries over its trace.
+#[derive(Debug)]
+pub struct Scenario {
+    /// The simulator (public: tests inject faults directly).
+    pub sim: Sim,
+    /// Who is who.
+    pub topo: Topology,
+    /// Total number of requests across all clients.
+    pub requests: u64,
+}
+
+impl Scenario {
+    /// Runs until the client has delivered (or been told the fate of) `n`
+    /// requests — deliveries for e-Transactions, deliveries+exceptions for
+    /// baselines.
+    pub fn run_until_settled(&mut self, n: usize) -> RunOutcome {
+        let mut scanned = 0usize;
+        let mut done = 0usize;
+        self.sim.run_until(move |s| {
+            let events = s.trace().events();
+            for e in &events[scanned..] {
+                if matches!(e.kind, TraceKind::Deliver { .. } | TraceKind::Exception { .. }) {
+                    done += 1;
+                }
+            }
+            scanned = events.len();
+            done >= n
+        })
+    }
+
+    /// Lets in-flight background work (decide pushes, acks) finish.
+    pub fn quiesce(&mut self, extra: Dur) {
+        let deadline = self.sim.now() + extra;
+        let _ = self.sim.run_until_time(deadline);
+    }
+
+    /// All deliveries so far: (attempt, outcome, steps, at).
+    pub fn deliveries(&self) -> Vec<(ResultId, Outcome, u32, Time)> {
+        self.sim
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Deliver { rid, outcome, steps } => Some((rid, outcome, steps, e.at)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count of committed deliveries.
+    pub fn delivered_commits(&self) -> usize {
+        self.deliveries().iter().filter(|(_, o, _, _)| *o == Outcome::Commit).count()
+    }
+
+    /// Database commit events (per (db, rid), at most one each).
+    pub fn db_commits(&self) -> usize {
+        self.sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
+    }
+
+    /// The default primary application server.
+    pub fn primary(&self) -> NodeId {
+        self.topo.primary()
+    }
+}

@@ -1,0 +1,113 @@
+//! Summary statistics for latency trials.
+//!
+//! Appendix 3: "For each protocol, we executed multiple identical
+//! transactions ... We computed the 90% confidence interval for the mean
+//! response time. In all cases, the width of this interval was found to be
+//! less than 10%." This module reproduces that discipline.
+
+/// Mean / spread / confidence summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator).
+    pub std_dev: f64,
+    /// Half-width of the 90% confidence interval for the mean.
+    pub ci90_half: f64,
+}
+
+impl Summary {
+    /// Summarises a sample. Returns a degenerate all-zero summary for an
+    /// empty input.
+    pub fn of(xs: &[f64]) -> Summary {
+        let n = xs.len();
+        if n == 0 {
+            return Summary { n: 0, mean: 0.0, std_dev: 0.0, ci90_half: 0.0 };
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        if n == 1 {
+            return Summary { n, mean, std_dev: 0.0, ci90_half: 0.0 };
+        }
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0);
+        let std_dev = var.sqrt();
+        let t = t90(n - 1);
+        let ci90_half = t * std_dev / (n as f64).sqrt();
+        Summary { n, mean, std_dev, ci90_half }
+    }
+
+    /// CI width as a fraction of the mean (the paper's <10% check).
+    pub fn ci90_rel_width(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            2.0 * self.ci90_half / self.mean
+        }
+    }
+}
+
+/// Two-sided 90% Student-t critical value for `df` degrees of freedom.
+fn t90(df: usize) -> f64 {
+    const TABLE: [(usize, f64); 12] = [
+        (1, 6.314),
+        (2, 2.920),
+        (3, 2.353),
+        (4, 2.132),
+        (5, 2.015),
+        (6, 1.943),
+        (8, 1.860),
+        (10, 1.812),
+        (15, 1.753),
+        (20, 1.725),
+        (30, 1.697),
+        (60, 1.671),
+    ];
+    for &(d, t) in TABLE.iter().rev() {
+        if df >= d {
+            return if df >= 120 { 1.645 } else { t };
+        }
+    }
+    6.314
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(Summary::of(&[]).n, 0);
+        let s = Summary::of(&[5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.ci90_half, 0.0);
+    }
+
+    #[test]
+    fn known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.138089935).abs() < 1e-6);
+        assert!(s.ci90_half > 0.0);
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..5).map(|i| 100.0 + i as f64).collect();
+        let large: Vec<f64> = (0..500).map(|i| 100.0 + (i % 5) as f64).collect();
+        assert!(Summary::of(&large).ci90_half < Summary::of(&small).ci90_half);
+    }
+
+    #[test]
+    fn rel_width() {
+        let s = Summary { n: 10, mean: 200.0, std_dev: 1.0, ci90_half: 5.0 };
+        assert!((s.ci90_rel_width() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_values_monotone() {
+        assert!(t90(1) > t90(5));
+        assert!(t90(5) > t90(49));
+        assert!((t90(200) - 1.645).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,144 @@
+//! Workload generators: the concrete business logics requests run.
+
+use etx_base::ids::{NodeId, RequestId, Topology};
+use etx_base::value::{DbCall, DbOp, Request, RequestScript};
+
+/// A family of requests a client can issue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// The paper's measured experiment (Appendix 3): "execute some SQL
+    /// statements to update a bank account on a single database".
+    BankUpdate {
+        /// Amount credited per request.
+        amount: i64,
+    },
+    /// A two-database funds transfer — exercises distributed atomic
+    /// commitment across resource managers.
+    BankTransfer {
+        /// Amount moved from `checking` (db 0) to `savings` (db 1).
+        amount: i64,
+    },
+    /// The travel example from the paper's introduction: book a flight, a
+    /// hotel and a car, spread across the available databases. Reservations
+    /// that find empty inventory yield the informative `sold_out` result.
+    Travel,
+    /// All requests fight over one key — generates lock conflicts and
+    /// therefore aborts + client retries.
+    HotSpot,
+    /// Business logic that the databases always refuse to commit (vote no).
+    AlwaysDoomed,
+}
+
+impl Workload {
+    /// Seed data the databases should start with.
+    pub fn seed_data(&self) -> Vec<(String, i64)> {
+        match self {
+            Workload::BankUpdate { .. } => vec![("acct".into(), 1_000)],
+            Workload::BankTransfer { .. } => {
+                vec![("checking".into(), 10_000), ("savings".into(), 0)]
+            }
+            Workload::Travel => vec![
+                ("flight:LX1612".into(), 50),
+                ("hotel:Beau-Rivage".into(), 10),
+                ("car:compact".into(), 25),
+            ],
+            Workload::HotSpot => vec![("hot".into(), 0)],
+            Workload::AlwaysDoomed => vec![],
+        }
+    }
+
+    /// Builds request `seq` for `client` against the given topology.
+    pub fn request(&self, topo: &Topology, client: NodeId, seq: u64) -> Request {
+        let id = RequestId { client, seq };
+        let db = |i: usize| topo.db_servers[i % topo.db_servers.len()];
+        let script = match self {
+            Workload::BankUpdate { amount } => RequestScript::single(
+                db(0),
+                vec![
+                    DbOp::Get { key: "acct".into() },
+                    DbOp::Add { key: "acct".into(), delta: *amount },
+                ],
+            ),
+            Workload::BankTransfer { amount } => RequestScript {
+                calls: vec![
+                    DbCall {
+                        db: db(0),
+                        ops: vec![DbOp::Add { key: "checking".into(), delta: -amount }],
+                    },
+                    DbCall {
+                        db: db(1),
+                        ops: vec![DbOp::Add { key: "savings".into(), delta: *amount }],
+                    },
+                ],
+            },
+            Workload::Travel => RequestScript {
+                calls: vec![
+                    DbCall {
+                        db: db(0),
+                        ops: vec![DbOp::Reserve { key: "flight:LX1612".into(), qty: 1 }],
+                    },
+                    DbCall {
+                        db: db(1),
+                        ops: vec![DbOp::Reserve { key: "hotel:Beau-Rivage".into(), qty: 1 }],
+                    },
+                    DbCall {
+                        db: db(2 % topo.db_servers.len().max(1)),
+                        ops: vec![DbOp::Reserve { key: "car:compact".into(), qty: 1 }],
+                    },
+                ],
+            },
+            Workload::HotSpot => RequestScript::single(
+                db(0),
+                vec![DbOp::Add { key: "hot".into(), delta: 1 }],
+            ),
+            Workload::AlwaysDoomed => RequestScript::single(db(0), vec![DbOp::Doom]),
+        };
+        Request { id, script }
+    }
+
+    /// Builds the first `n` requests of a client's plan.
+    pub fn plan(&self, topo: &Topology, client: NodeId, n: u64) -> Vec<Request> {
+        (1..=n).map(|seq| self.request(topo, client, seq)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_update_targets_single_db() {
+        let topo = Topology::new(1, 3, 1);
+        let w = Workload::BankUpdate { amount: 10 };
+        let r = w.request(&topo, topo.clients[0], 1);
+        assert_eq!(r.script.databases(), vec![topo.db_servers[0]]);
+        assert_eq!(w.seed_data()[0].0, "acct");
+    }
+
+    #[test]
+    fn transfer_spans_two_dbs() {
+        let topo = Topology::new(1, 3, 2);
+        let w = Workload::BankTransfer { amount: 100 };
+        let r = w.request(&topo, topo.clients[0], 1);
+        assert_eq!(r.script.databases().len(), 2);
+    }
+
+    #[test]
+    fn travel_folds_onto_available_dbs() {
+        let topo1 = Topology::new(1, 3, 1);
+        let r1 = Workload::Travel.request(&topo1, topo1.clients[0], 1);
+        assert_eq!(r1.script.databases().len(), 1, "one db hosts everything");
+        let topo3 = Topology::new(1, 3, 3);
+        let r3 = Workload::Travel.request(&topo3, topo3.clients[0], 1);
+        assert_eq!(r3.script.databases().len(), 3);
+    }
+
+    #[test]
+    fn plan_is_sequential() {
+        let topo = Topology::new(1, 3, 1);
+        let plan = Workload::HotSpot.plan(&topo, topo.clients[0], 4);
+        assert_eq!(plan.len(), 4);
+        assert_eq!(plan[0].id.seq, 1);
+        assert_eq!(plan[3].id.seq, 4);
+    }
+}

@@ -1,0 +1,34 @@
+//! Smoke tests for the experiment generators (small trial counts; the
+//! real regenerations live in the bench targets).
+
+use etx_harness::figures::{figure1_all, figure7, figure8, render_fig7};
+
+#[test]
+fn figure8_shape_holds_with_small_trials() {
+    let table = figure8(5, 42);
+    let base = table.column("baseline").unwrap();
+    let ar = table.column("AR").unwrap();
+    let tpc = table.column("2PC").unwrap();
+    println!("{}", table.render());
+    assert!(base.total.mean > 150.0, "baseline ≈ paper's 217 ms scale: {}", base.total.mean);
+    assert!(ar.overhead_pct > 5.0 && ar.overhead_pct < 30.0, "AR overhead {}", ar.overhead_pct);
+    assert!(tpc.overhead_pct > ar.overhead_pct, "2PC must cost more than AR");
+}
+
+#[test]
+fn figure7_orderings_hold() {
+    let rows = figure7(7);
+    println!("{}", render_fig7(&rows));
+    let steps = |l: &str| rows.iter().find(|r| r.label == l).unwrap().steps;
+    assert_eq!(steps("AR"), steps("PB"), "AR and PB have identical step counts");
+    assert!(steps("AR") > steps("2PC"));
+    assert!(steps("2PC") > steps("baseline"));
+}
+
+#[test]
+fn figure1_panels_behave() {
+    let report = figure1_all(3);
+    println!("{report}");
+    assert!(report.contains("ok"));
+    assert!(!report.contains("VIOLATED"));
+}

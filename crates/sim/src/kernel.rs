@@ -1,0 +1,579 @@
+//! The discrete-event simulation kernel.
+//!
+//! One [`Sim`] hosts all processes of a run. Time is virtual; the kernel
+//! pops the next scheduled action off a priority queue (ordered by time,
+//! tie-broken by insertion sequence, so runs are bit-deterministic per
+//! seed), dispatches it, and collects whatever the handler emits.
+//!
+//! Fault injection is first-class: crashes, recoveries and partitions can be
+//! scheduled at absolute times or triggered by trace events ("crash the
+//! owner right after `regA` decides"), which is how the integration tests
+//! enumerate the adversarial schedules of the paper's Figure 1(c)/(d) and
+//! beyond.
+
+use crate::net::{sample_delivery_delay, LinkState, NetConfig};
+use crate::observe::{MsgStats, Trace};
+use crate::rng::Rng;
+use crate::storage::StableStorage;
+use etx_base::config::CostModel;
+use etx_base::ids::{NodeId, TimerId};
+use etx_base::msg::Payload;
+use etx_base::runtime::{Context, Event, Process, TimerTag};
+use etx_base::time::{Dur, Time};
+use etx_base::trace::{TraceEvent, TraceKind};
+use etx_base::wal::StableRecord;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Kernel parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed; everything random in the run derives from it.
+    pub seed: u64,
+    /// Network model.
+    pub net: NetConfig,
+    /// Environment cost constants (service times, forced-I/O cost).
+    pub cost: CostModel,
+    /// Hard stop: simulated time limit.
+    pub max_time: Time,
+    /// Hard stop: processed-event limit (guards against live-lock bugs).
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            net: NetConfig::default(),
+            cost: CostModel::default(),
+            max_time: Time(3_600_000_000), // one simulated hour
+            max_events: 50_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with a given seed and defaults elsewhere.
+    pub fn with_seed(seed: u64) -> Self {
+        SimConfig { seed, ..SimConfig::default() }
+    }
+}
+
+/// Why a run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The caller's predicate became true.
+    Predicate,
+    /// The event queue drained completely.
+    Exhausted,
+    /// Simulated time exceeded [`SimConfig::max_time`].
+    TimeLimit,
+    /// More than [`SimConfig::max_events`] events were processed.
+    EventLimit,
+}
+
+/// A process factory: invoked at node creation and again at every recovery
+/// (volatile state is rebuilt from scratch; stable storage persists).
+pub type Factory = Box<dyn FnMut(NodeId) -> Box<dyn Process>>;
+
+/// Fault applied when a trace trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Crash a node.
+    Crash(NodeId),
+    /// Crash a node and schedule its recovery `Dur` later.
+    CrashRecover(NodeId, Dur),
+    /// Recover a previously crashed node.
+    Recover(NodeId),
+}
+
+struct Trigger {
+    pred: Box<dyn FnMut(&TraceEvent) -> bool>,
+    action: FaultAction,
+    fired: bool,
+}
+
+enum Action {
+    Init { node: NodeId },
+    Deliver { from: NodeId, to: NodeId, payload: Payload, depth: u32 },
+    Timer { node: NodeId, incarnation: u32, id: TimerId, tag: TimerTag, depth: u32 },
+    Crash { node: NodeId },
+    Recover { node: NodeId },
+    NotifyPeer { node: NodeId, about: NodeId, up: bool },
+}
+
+struct Entry {
+    at: Time,
+    seq: u64,
+    action: Action,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct Slot {
+    name: &'static str,
+    up: bool,
+    incarnation: u32,
+    process: Option<Box<dyn Process>>,
+    factory: Factory,
+    storage: StableStorage,
+}
+
+/// The simulator. See the crate docs for a usage walkthrough.
+pub struct Sim {
+    cfg: SimConfig,
+    now: Time,
+    processed: u64,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Entry>>,
+    nodes: Vec<Slot>,
+    rng: Rng,
+    links: LinkState,
+    trace: Trace,
+    stats: MsgStats,
+    timer_seq: u64,
+    cancelled: HashSet<u64>,
+    fd_subscribers: Vec<NodeId>,
+    triggers: Vec<Trigger>,
+    trace_scanned: usize,
+}
+
+impl std::fmt::Debug for Sim {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sim")
+            .field("now", &self.now)
+            .field("nodes", &self.nodes.len())
+            .field("queued", &self.queue.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+impl Sim {
+    /// Creates an empty simulation.
+    pub fn new(cfg: SimConfig) -> Self {
+        let rng = Rng::new(cfg.seed);
+        Sim {
+            cfg,
+            now: Time::ZERO,
+            processed: 0,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            rng,
+            links: LinkState::default(),
+            trace: Trace::default(),
+            stats: MsgStats::default(),
+            timer_seq: 0,
+            cancelled: HashSet::new(),
+            fd_subscribers: Vec::new(),
+            triggers: Vec::new(),
+            trace_scanned: 0,
+        }
+    }
+
+    /// Registers a node. Ids are assigned contiguously in registration
+    /// order, matching `Topology::new` (clients, then app servers, then
+    /// databases). The factory builds the process now and again at every
+    /// recovery.
+    pub fn add_node(&mut self, name: &'static str, mut factory: Factory) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        let process = factory(id);
+        self.nodes.push(Slot {
+            name,
+            up: true,
+            incarnation: 0,
+            process: Some(process),
+            factory,
+            storage: StableStorage::new(),
+        });
+        self.push(Time::ZERO, Action::Init { node: id });
+        id
+    }
+
+    fn push(&mut self, at: Time, action: Action) {
+        self.seq += 1;
+        self.queue.push(Reverse(Entry { at, seq: self.seq, action }));
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The run's trace so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Message statistics so far.
+    pub fn stats(&self) -> &MsgStats {
+        &self.stats
+    }
+
+    /// The cost model in effect.
+    pub fn cost(&self) -> &CostModel {
+        &self.cfg.cost
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].up
+    }
+
+    /// Read access to a node's stable storage (test assertions).
+    pub fn storage(&self, node: NodeId) -> &StableStorage {
+        &self.nodes[node.0 as usize].storage
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    // ---- fault injection -------------------------------------------------
+
+    /// Schedules a crash at an absolute time.
+    pub fn crash_at(&mut self, at: Time, node: NodeId) {
+        self.push(at, Action::Crash { node });
+    }
+
+    /// Schedules a recovery at an absolute time.
+    pub fn recover_at(&mut self, at: Time, node: NodeId) {
+        self.push(at, Action::Recover { node });
+    }
+
+    /// Blocks every link between the two groups until `heal_at`.
+    pub fn partition(&mut self, side_a: &[NodeId], side_b: &[NodeId], heal_at: Time) {
+        self.links.partition(side_a, side_b, heal_at);
+    }
+
+    /// Installs a one-shot trace trigger: the first time `pred` matches a
+    /// trace event, `action` is applied (at the current instant).
+    pub fn on_trace(
+        &mut self,
+        pred: impl FnMut(&TraceEvent) -> bool + 'static,
+        action: FaultAction,
+    ) {
+        self.triggers.push(Trigger { pred: Box::new(pred), action, fired: false });
+    }
+
+    // ---- run loop --------------------------------------------------------
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(entry)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "time went backwards");
+        self.now = entry.at;
+        self.processed += 1;
+        match entry.action {
+            Action::Init { node } => self.dispatch(node, Event::Init, 0),
+            Action::Deliver { from, to, payload, depth } => {
+                if self.nodes[to.0 as usize].up {
+                    self.dispatch(to, Event::Message { from, payload }, depth);
+                } else {
+                    self.stats.record_dropped_to_down();
+                }
+            }
+            Action::Timer { node, incarnation, id, tag, depth } => {
+                let live = {
+                    let slot = &self.nodes[node.0 as usize];
+                    slot.up && slot.incarnation == incarnation
+                };
+                if live && !self.cancelled.remove(&id.0) {
+                    self.dispatch(node, Event::Timer { id, tag }, depth);
+                }
+            }
+            Action::Crash { node } => self.do_crash(node),
+            Action::Recover { node } => self.do_recover(node),
+            Action::NotifyPeer { node, about, up } => {
+                if self.nodes[node.0 as usize].up {
+                    let ev = if up { Event::NodeUp(about) } else { Event::NodeDown(about) };
+                    self.dispatch(node, ev, 0);
+                }
+            }
+        }
+        self.scan_triggers();
+        true
+    }
+
+    /// Runs until the predicate holds (checked between events), the queue
+    /// drains, or a limit is hit.
+    pub fn run_until(&mut self, mut pred: impl FnMut(&Sim) -> bool) -> RunOutcome {
+        loop {
+            if pred(self) {
+                return RunOutcome::Predicate;
+            }
+            if self.processed >= self.cfg.max_events {
+                return RunOutcome::EventLimit;
+            }
+            if !self.step() {
+                return RunOutcome::Exhausted;
+            }
+            if self.now > self.cfg.max_time {
+                return RunOutcome::TimeLimit;
+            }
+        }
+    }
+
+    /// Runs until simulated time reaches `deadline` (or the queue drains).
+    pub fn run_until_time(&mut self, deadline: Time) -> RunOutcome {
+        loop {
+            match self.queue.peek() {
+                None => return RunOutcome::Exhausted,
+                Some(Reverse(e)) if e.at > deadline => {
+                    self.now = deadline;
+                    return RunOutcome::Predicate;
+                }
+                Some(_) => {}
+            }
+            if self.processed >= self.cfg.max_events {
+                return RunOutcome::EventLimit;
+            }
+            self.step();
+            if self.now > self.cfg.max_time {
+                return RunOutcome::TimeLimit;
+            }
+        }
+    }
+
+    /// Runs for `dur` more simulated time.
+    pub fn run_for(&mut self, dur: Dur) -> RunOutcome {
+        let deadline = self.now + dur;
+        self.run_until_time(deadline)
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn do_crash(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if !self.nodes[idx].up {
+            return;
+        }
+        self.nodes[idx].up = false;
+        self.nodes[idx].process = None;
+        self.trace.push(TraceEvent::new(self.now, node, TraceKind::Crash));
+        let detect = self.cfg.net.min_delay;
+        for &s in self.fd_subscribers.clone().iter() {
+            if s != node {
+                self.push(self.now + detect, Action::NotifyPeer { node: s, about: node, up: false });
+            }
+        }
+    }
+
+    fn do_recover(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if self.nodes[idx].up {
+            return;
+        }
+        self.nodes[idx].up = true;
+        self.nodes[idx].incarnation += 1;
+        let process = (self.nodes[idx].factory)(node);
+        self.nodes[idx].process = Some(process);
+        self.trace.push(TraceEvent::new(self.now, node, TraceKind::Recover));
+        self.dispatch(node, Event::Recovered, 0);
+        let detect = self.cfg.net.min_delay;
+        for &s in self.fd_subscribers.clone().iter() {
+            if s != node {
+                self.push(self.now + detect, Action::NotifyPeer { node: s, about: node, up: true });
+            }
+        }
+    }
+
+    fn dispatch(&mut self, node: NodeId, event: Event, depth: u32) {
+        let idx = node.0 as usize;
+        let mut process = match self.nodes[idx].process.take() {
+            Some(p) => p,
+            None => return, // crashed between scheduling and dispatch
+        };
+        let mut subscribe = false;
+        {
+            let slot = &mut self.nodes[idx];
+            let mut ctx = SimCtx {
+                now: self.now,
+                me: node,
+                depth,
+                incarnation: slot.incarnation,
+                net: &self.cfg.net,
+                cost: &self.cfg.cost,
+                links: &self.links,
+                rng: &mut self.rng,
+                storage: &mut slot.storage,
+                trace: &mut self.trace,
+                stats: &mut self.stats,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
+                timer_seq: &mut self.timer_seq,
+                cancelled: &mut self.cancelled,
+                subscribe: &mut subscribe,
+            };
+            process.on_event(&mut ctx, event);
+        }
+        if subscribe && !self.fd_subscribers.contains(&node) {
+            self.fd_subscribers.push(node);
+        }
+        // The node may have crashed *during* its own handler only via
+        // external scheduling, which is processed later; put it back.
+        if self.nodes[idx].up {
+            self.nodes[idx].process = Some(process);
+        }
+    }
+
+    fn scan_triggers(&mut self) {
+        if self.triggers.is_empty() {
+            self.trace_scanned = self.trace.len();
+            return;
+        }
+        let mut fired: Vec<FaultAction> = Vec::new();
+        {
+            let events = &self.trace.events()[self.trace_scanned..];
+            for t in self.triggers.iter_mut() {
+                if t.fired {
+                    continue;
+                }
+                for ev in events {
+                    if (t.pred)(ev) {
+                        t.fired = true;
+                        fired.push(t.action);
+                        break;
+                    }
+                }
+            }
+        }
+        self.trace_scanned = self.trace.len();
+        for action in fired {
+            match action {
+                FaultAction::Crash(n) => self.push(self.now, Action::Crash { node: n }),
+                FaultAction::CrashRecover(n, after) => {
+                    self.push(self.now, Action::Crash { node: n });
+                    self.push(self.now + after, Action::Recover { node: n });
+                }
+                FaultAction::Recover(n) => self.push(self.now, Action::Recover { node: n }),
+            }
+        }
+    }
+
+    /// Node name (diagnostics).
+    pub fn node_name(&self, node: NodeId) -> &'static str {
+        self.nodes[node.0 as usize].name
+    }
+}
+
+struct SimCtx<'a> {
+    now: Time,
+    me: NodeId,
+    depth: u32,
+    incarnation: u32,
+    net: &'a NetConfig,
+    cost: &'a CostModel,
+    links: &'a LinkState,
+    rng: &'a mut Rng,
+    storage: &'a mut StableStorage,
+    trace: &'a mut Trace,
+    stats: &'a mut MsgStats,
+    queue: &'a mut BinaryHeap<Reverse<Entry>>,
+    seq: &'a mut u64,
+    timer_seq: &'a mut u64,
+    cancelled: &'a mut HashSet<u64>,
+    subscribe: &'a mut bool,
+}
+
+impl SimCtx<'_> {
+    fn push(&mut self, at: Time, action: Action) {
+        *self.seq += 1;
+        self.queue.push(Reverse(Entry { at, seq: *self.seq, action }));
+    }
+
+    fn send_impl(&mut self, depth_base: u32, extra: Dur, to: NodeId, payload: Payload) {
+        let background = payload.is_background();
+        let depth = if background { 0 } else { depth_base + 1 };
+        let depart = self.now + extra;
+        let delay = sample_delivery_delay(self.net, self.links, self.rng, self.me, to, depart);
+        self.stats.record_sent(payload.label(), background);
+        self.push(depart + delay, Action::Deliver { from: self.me, to, payload, depth });
+    }
+}
+
+impl Context for SimCtx<'_> {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn send(&mut self, to: NodeId, payload: Payload) {
+        self.send_impl(self.depth, Dur::ZERO, to, payload);
+    }
+
+    fn send_after(&mut self, delay: Dur, to: NodeId, payload: Payload) {
+        self.send_impl(self.depth, delay, to, payload);
+    }
+
+    fn set_timer(&mut self, delay: Dur, tag: TimerTag) -> TimerId {
+        *self.timer_seq += 1;
+        let id = TimerId(*self.timer_seq);
+        let (node, incarnation, depth) = (self.me, self.incarnation, self.depth);
+        self.push(self.now + delay, Action::Timer { node, incarnation, id, tag, depth });
+        id
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    fn log_append(&mut self, log: &'static str, rec: StableRecord, forced: bool) -> Dur {
+        self.storage.append(log, rec);
+        if forced {
+            self.rng.jitter(self.cost.log_force, self.cost.jitter)
+        } else {
+            Dur::ZERO
+        }
+    }
+
+    fn log_read(&self, log: &'static str) -> Vec<StableRecord> {
+        self.storage.read(log).to_vec()
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        self.trace.push(TraceEvent::new(self.now, self.me, kind));
+    }
+
+    fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    fn send_at_depth(&mut self, depth: u32, to: NodeId, payload: Payload) {
+        self.send_impl(depth, Dur::ZERO, to, payload);
+    }
+
+    fn send_after_at_depth(&mut self, depth: u32, delay: Dur, to: NodeId, payload: Payload) {
+        self.send_impl(depth, delay, to, payload);
+    }
+
+    fn subscribe_node_events(&mut self) {
+        *self.subscribe = true;
+    }
+}

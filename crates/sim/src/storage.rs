@@ -1,0 +1,95 @@
+//! Simulated stable storage: named append-only logs that survive crashes.
+//!
+//! §2: "The crash of a process has no impact on its stable storage." The
+//! kernel owns one [`StableStorage`] per node, outside the process object,
+//! so crashing a node (dropping its process) cannot touch it. Costs of
+//! *forced* writes are modelled by the kernel's cost model, not here.
+
+use etx_base::wal::StableRecord;
+use std::collections::BTreeMap;
+
+/// One node's stable storage: a set of named logs.
+#[derive(Debug, Default)]
+pub struct StableStorage {
+    logs: BTreeMap<&'static str, Vec<StableRecord>>,
+}
+
+impl StableStorage {
+    /// Empty storage.
+    pub fn new() -> Self {
+        StableStorage::default()
+    }
+
+    /// Appends a record to `log`, creating the log on first use.
+    pub fn append(&mut self, log: &'static str, rec: StableRecord) {
+        self.logs.entry(log).or_default().push(rec);
+    }
+
+    /// Reads a log back (empty slice if never written).
+    pub fn read(&self, log: &'static str) -> &[StableRecord] {
+        self.logs.get(log).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of records in a log.
+    pub fn len(&self, log: &'static str) -> usize {
+        self.read(log).len()
+    }
+
+    /// True when the named log has no records.
+    pub fn is_empty(&self, log: &'static str) -> bool {
+        self.len(log) == 0
+    }
+
+    /// Truncates a log to its first `keep` records (checkpointing /
+    /// garbage-collection support).
+    pub fn truncate(&mut self, log: &'static str, keep: usize) {
+        if let Some(l) = self.logs.get_mut(log) {
+            l.truncate(keep);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::ids::{NodeId, RequestId, ResultId};
+    use etx_base::value::Outcome;
+    use etx_base::wal::LOG_WAL;
+
+    fn rid(seq: u64) -> ResultId {
+        ResultId::first(RequestId { client: NodeId(0), seq })
+    }
+
+    #[test]
+    fn append_read_roundtrip() {
+        let mut s = StableStorage::new();
+        assert!(s.is_empty(LOG_WAL));
+        s.append(LOG_WAL, StableRecord::CoordStart { rid: rid(1) });
+        s.append(LOG_WAL, StableRecord::DbOutcome { rid: rid(1), outcome: Outcome::Commit });
+        assert_eq!(s.len(LOG_WAL), 2);
+        assert_eq!(s.read(LOG_WAL)[0].rid(), rid(1));
+        assert_eq!(s.read("other"), &[]);
+    }
+
+    #[test]
+    fn logs_are_independent() {
+        let mut s = StableStorage::new();
+        s.append("a", StableRecord::CoordStart { rid: rid(1) });
+        s.append("b", StableRecord::CoordStart { rid: rid(2) });
+        assert_eq!(s.len("a"), 1);
+        assert_eq!(s.len("b"), 1);
+        assert_eq!(s.read("a")[0].rid(), rid(1));
+        assert_eq!(s.read("b")[0].rid(), rid(2));
+    }
+
+    #[test]
+    fn truncate_for_checkpointing() {
+        let mut s = StableStorage::new();
+        for i in 0..5 {
+            s.append(LOG_WAL, StableRecord::CoordStart { rid: rid(i) });
+        }
+        s.truncate(LOG_WAL, 2);
+        assert_eq!(s.len(LOG_WAL), 2);
+        s.truncate("missing", 0); // no-op, no panic
+    }
+}

@@ -1,0 +1,613 @@
+//! The transactional engine: an XA resource manager in miniature.
+//!
+//! The paper treats a database server as "a stateful, autonomous resource
+//! that runs the XA interface" (§1) and models only its commitment surface:
+//! `vote()` (XA prepare) and `decide()` (XA commit/rollback) with the
+//! contract of §2:
+//!
+//! * `decide(j, abort)` returns abort;
+//! * if the server voted **yes** for `j` and the input is commit, the
+//!   return is commit;
+//! * a yes vote is a durable promise: the branch's redo information is
+//!   **forced** to the write-ahead log before the vote leaves the server,
+//!   and recovery restores prepared branches *with their locks held*
+//!   (in-doubt transactions — the reason the paper's T.2 matters).
+//!
+//! The engine is sans-I/O: it mutates in-memory state and *returns* the log
+//! records (with force flags) for its host process to append via the
+//! runtime, so the same engine is testable in isolation and drivable from
+//! the simulator.
+
+use crate::locks::{LockGrant, LockMode, LockTable};
+use etx_base::ids::ResultId;
+use etx_base::value::{DbOp, ExecStatus, OpOutput, Outcome, Vote};
+use etx_base::wal::StableRecord;
+use std::collections::{BTreeMap, HashMap};
+
+/// A log record the host must append, and whether it must be forced
+/// (synchronous) before the operation's reply may leave the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogWrite {
+    /// The record.
+    pub rec: StableRecord,
+    /// Forced (synchronous) or buffered.
+    pub force: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BranchState {
+    Active,
+    Doomed,
+    Prepared,
+}
+
+#[derive(Debug)]
+struct Branch {
+    state: BranchState,
+    /// Write set: key → new value (redo information).
+    writes: BTreeMap<String, i64>,
+}
+
+/// The in-memory transactional engine of one database server.
+#[derive(Debug, Default)]
+pub struct Engine {
+    data: BTreeMap<String, i64>,
+    branches: HashMap<ResultId, Branch>,
+    locks: LockTable,
+    decided: HashMap<ResultId, Outcome>,
+}
+
+impl Engine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Engine pre-seeded with committed data (workload setup).
+    pub fn with_data(data: impl IntoIterator<Item = (String, i64)>) -> Self {
+        Engine { data: data.into_iter().collect(), ..Engine::default() }
+    }
+
+    /// Committed value of `key` (ignores uncommitted branch writes).
+    pub fn committed(&self, key: &str) -> Option<i64> {
+        self.data.get(key).copied()
+    }
+
+    /// All committed data (test assertions).
+    pub fn snapshot(&self) -> &BTreeMap<String, i64> {
+        &self.data
+    }
+
+    /// Memoized decision for a branch, if any (idempotence across
+    /// retransmitted `Decide` messages).
+    pub fn decision(&self, rid: ResultId) -> Option<Outcome> {
+        self.decided.get(&rid).copied()
+    }
+
+    /// Whether `rid` is an in-doubt (prepared, undecided) branch.
+    pub fn is_prepared(&self, rid: ResultId) -> bool {
+        matches!(self.branches.get(&rid).map(|b| b.state), Some(BranchState::Prepared))
+    }
+
+    /// Number of keys currently locked (diagnostics).
+    pub fn locked_keys(&self) -> usize {
+        self.locks.locked_keys()
+    }
+
+    fn effective(&self, rid: ResultId, key: &str) -> Option<i64> {
+        if let Some(b) = self.branches.get(&rid) {
+            if let Some(&v) = b.writes.get(key) {
+                return Some(v);
+            }
+        }
+        self.committed(key)
+    }
+
+    fn doom(&mut self, rid: ResultId) {
+        self.locks.release_all(rid);
+        if let Some(b) = self.branches.get_mut(&rid) {
+            b.state = BranchState::Doomed;
+            b.writes.clear();
+        } else {
+            self.branches
+                .insert(rid, Branch { state: BranchState::Doomed, writes: BTreeMap::new() });
+        }
+    }
+
+    /// Executes a batch of business-logic operations inside branch `rid`
+    /// (the transient manipulation behind the paper's `compute()`). Creates
+    /// the branch on first use.
+    ///
+    /// A lock conflict dooms the branch (no-wait policy), releases its locks
+    /// and returns [`ExecStatus::Conflict`]; the branch will vote no.
+    pub fn execute(&mut self, rid: ResultId, ops: &[DbOp]) -> ExecStatus {
+        if let Some(outcome) = self.decided.get(&rid) {
+            // A decided branch cannot execute further work; treat as
+            // conflict so the caller aborts this attempt. (Can occur only
+            // with duplicated/very late Exec messages.)
+            let _ = outcome;
+            return ExecStatus::Conflict;
+        }
+        match self.branches.get(&rid).map(|b| b.state) {
+            Some(BranchState::Doomed) => return ExecStatus::Conflict,
+            Some(BranchState::Prepared) => return ExecStatus::Conflict,
+            _ => {}
+        }
+        self.branches
+            .entry(rid)
+            .or_insert(Branch { state: BranchState::Active, writes: BTreeMap::new() });
+        let mut outputs = Vec::with_capacity(ops.len());
+        for op in ops {
+            // Locking.
+            if let Some(key) = op.key() {
+                let mode = if op.is_write() { LockMode::Exclusive } else { LockMode::Shared };
+                if self.locks.acquire(key, rid, mode) == LockGrant::Conflict {
+                    self.doom(rid);
+                    return ExecStatus::Conflict;
+                }
+            }
+            // Semantics.
+            let out = match op {
+                DbOp::Get { key } => OpOutput::Value(self.effective(rid, key)),
+                DbOp::Put { key, value } => {
+                    self.branches.get_mut(&rid).expect("branch exists").writes.insert(key.clone(), *value);
+                    OpOutput::Updated(*value)
+                }
+                DbOp::Add { key, delta } => {
+                    let new = self.effective(rid, key).unwrap_or(0) + delta;
+                    self.branches.get_mut(&rid).expect("branch exists").writes.insert(key.clone(), new);
+                    OpOutput::Updated(new)
+                }
+                DbOp::Reserve { key, qty } => {
+                    let have = self.effective(rid, key).unwrap_or(0);
+                    if have >= *qty {
+                        let remaining = have - qty;
+                        self.branches
+                            .get_mut(&rid)
+                            .expect("branch exists")
+                            .writes
+                            .insert(key.clone(), remaining);
+                        OpOutput::Reserved { remaining }
+                    } else {
+                        OpOutput::SoldOut
+                    }
+                }
+                DbOp::Doom => {
+                    self.doom(rid);
+                    outputs.push(OpOutput::Doomed);
+                    return ExecStatus::Done(outputs);
+                }
+            };
+            outputs.push(out);
+        }
+        ExecStatus::Done(outputs)
+    }
+
+    /// XA prepare: returns the vote and any log writes the host must apply.
+    /// A yes vote is accompanied by a **forced** `Prepared` record carrying
+    /// the branch's redo set.
+    pub fn vote(&mut self, rid: ResultId) -> (Vote, Vec<LogWrite>) {
+        if let Some(outcome) = self.decided.get(&rid) {
+            // Already decided (e.g. duplicated Prepare after a Decide): the
+            // vote follows the decision.
+            return match outcome {
+                Outcome::Commit => (Vote::Yes, Vec::new()),
+                Outcome::Abort => (Vote::No, Vec::new()),
+            };
+        }
+        match self.branches.get_mut(&rid) {
+            Some(b) if b.state == BranchState::Active => {
+                b.state = BranchState::Prepared;
+                let writes: Vec<(String, i64)> =
+                    b.writes.iter().map(|(k, &v)| (k.clone(), v)).collect();
+                (Vote::Yes, vec![LogWrite { rec: StableRecord::Prepared { rid, writes }, force: true }])
+            }
+            Some(b) if b.state == BranchState::Prepared => (Vote::Yes, Vec::new()),
+            // Doomed, or unknown (e.g. the server crashed and lost the
+            // unprepared branch — the `Ready` path).
+            _ => (Vote::No, Vec::new()),
+        }
+    }
+
+    /// XA decide, with the §2 contract. Returns the applied outcome and log
+    /// writes (commit records are forced; abort is presumed and buffered).
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if asked to commit a branch that never voted
+    /// yes — the protocol's validity property V.2 makes that unreachable;
+    /// release builds conservatively abort instead.
+    pub fn decide(&mut self, rid: ResultId, outcome: Outcome) -> (Outcome, Vec<LogWrite>) {
+        if let Some(&prev) = self.decided.get(&rid) {
+            return (prev, Vec::new()); // idempotent re-delivery
+        }
+        let applied = match outcome {
+            Outcome::Abort => {
+                self.locks.release_all(rid);
+                self.branches.remove(&rid);
+                Outcome::Abort
+            }
+            Outcome::Commit => {
+                match self.branches.get(&rid).map(|b| b.state) {
+                    Some(BranchState::Prepared) => {
+                        let b = self.branches.remove(&rid).expect("prepared branch");
+                        for (k, v) in b.writes {
+                            self.data.insert(k, v);
+                        }
+                        self.locks.release_all(rid);
+                        Outcome::Commit
+                    }
+                    None => {
+                        // Vacuous commit: this server was not involved in
+                        // the transaction (the cleaner and crash-recovery
+                        // paths push decisions to *every* database, §4).
+                        // Nothing to apply; record the outcome for
+                        // idempotence and consistency (A.3).
+                        Outcome::Commit
+                    }
+                    Some(state) => {
+                        // A branch this server executed (or doomed) but
+                        // never successfully prepared can only be committed
+                        // by a caller violating V.2 — unreachable under the
+                        // protocol.
+                        debug_assert!(
+                            false,
+                            "decide(commit) for unprepared branch {rid} ({state:?}) — \
+                             V.2 violated by caller"
+                        );
+                        self.locks.release_all(rid);
+                        self.branches.remove(&rid);
+                        self.decided.insert(rid, Outcome::Abort);
+                        return (
+                            Outcome::Abort,
+                            vec![LogWrite {
+                                rec: StableRecord::DbOutcome { rid, outcome: Outcome::Abort },
+                                force: false,
+                            }],
+                        );
+                    }
+                }
+            }
+        };
+        self.decided.insert(rid, applied);
+        let force = applied == Outcome::Commit;
+        (applied, vec![LogWrite { rec: StableRecord::DbOutcome { rid, outcome: applied }, force }])
+    }
+
+    /// One-phase commit for the unreliable baseline (Figure 7a): commit an
+    /// *active* branch directly, no vote, no forced protocol log (the
+    /// database's own commit cost is modelled by the host).
+    pub fn commit_one_phase(&mut self, rid: ResultId) -> (bool, Vec<LogWrite>) {
+        if self.decided.get(&rid) == Some(&Outcome::Commit) {
+            return (true, Vec::new());
+        }
+        match self.branches.get(&rid).map(|b| b.state) {
+            Some(BranchState::Active) => {
+                let b = self.branches.remove(&rid).expect("active branch");
+                for (k, v) in b.writes {
+                    self.data.insert(k, v);
+                }
+                self.locks.release_all(rid);
+                self.decided.insert(rid, Outcome::Commit);
+                (
+                    true,
+                    vec![LogWrite {
+                        rec: StableRecord::DbOutcome { rid, outcome: Outcome::Commit },
+                        force: true,
+                    }],
+                )
+            }
+            _ => (false, Vec::new()),
+        }
+    }
+
+    /// Rebuilds an engine from the write-ahead log after a crash:
+    /// committed branches are replayed (redo), prepared-but-undecided
+    /// branches are restored **with their exclusive locks re-acquired**
+    /// (in-doubt), everything else is gone (presumed abort).
+    pub fn recover(log: &[StableRecord]) -> Engine {
+        Self::recover_with_seed(Vec::<(String, i64)>::new(), log)
+    }
+
+    /// [`Engine::recover`] starting from pre-crash seed data (the workload's
+    /// initial table contents, which a real database would have on disk
+    /// already); replayed log values overwrite seeds.
+    pub fn recover_with_seed(
+        seed: impl IntoIterator<Item = (String, i64)>,
+        log: &[StableRecord],
+    ) -> Engine {
+        let mut e = Engine::with_data(seed);
+        let mut prepared: HashMap<ResultId, Vec<(String, i64)>> = HashMap::new();
+        for rec in log {
+            match rec {
+                StableRecord::Prepared { rid, writes } => {
+                    prepared.insert(*rid, writes.clone());
+                }
+                StableRecord::DbOutcome { rid, outcome } => {
+                    if let Some(writes) = prepared.remove(rid) {
+                        if *outcome == Outcome::Commit {
+                            for (k, v) in writes {
+                                e.data.insert(k, v);
+                            }
+                        }
+                    }
+                    e.decided.insert(*rid, *outcome);
+                }
+                // Coordinator records belong to the 2PC baseline's log and
+                // are ignored by database recovery.
+                StableRecord::CoordStart { .. } | StableRecord::CoordOutcome { .. } => {}
+            }
+        }
+        // Whatever is still prepared is in-doubt: restore branch + locks.
+        for (rid, writes) in prepared {
+            for (k, _) in &writes {
+                let g = e.locks.acquire(k, rid, LockMode::Exclusive);
+                debug_assert_eq!(g, LockGrant::Granted, "in-doubt locks cannot conflict");
+            }
+            e.branches.insert(
+                rid,
+                Branch { state: BranchState::Prepared, writes: writes.into_iter().collect() },
+            );
+        }
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::ids::{NodeId, RequestId};
+
+    fn rid(n: u64) -> ResultId {
+        ResultId::first(RequestId { client: NodeId(0), seq: n })
+    }
+
+    fn put(key: &str, value: i64) -> DbOp {
+        DbOp::Put { key: key.into(), value }
+    }
+
+    #[test]
+    fn execute_prepare_commit_roundtrip() {
+        let mut e = Engine::new();
+        let r = rid(1);
+        let st = e.execute(r, &[put("acct", 100), DbOp::Add { key: "acct".into(), delta: -30 }]);
+        assert_eq!(
+            st,
+            ExecStatus::Done(vec![OpOutput::Updated(100), OpOutput::Updated(70)])
+        );
+        // Nothing committed yet.
+        assert_eq!(e.committed("acct"), None);
+        let (v, logs) = e.vote(r);
+        assert_eq!(v, Vote::Yes);
+        assert_eq!(logs.len(), 1);
+        assert!(logs[0].force, "prepare record must be forced");
+        let (o, logs2) = e.decide(r, Outcome::Commit);
+        assert_eq!(o, Outcome::Commit);
+        assert!(logs2[0].force, "commit record must be forced");
+        assert_eq!(e.committed("acct"), Some(70));
+        assert_eq!(e.locked_keys(), 0, "commit releases locks");
+    }
+
+    #[test]
+    fn abort_discards_everything() {
+        let mut e = Engine::with_data([("k".to_string(), 5)]);
+        let r = rid(1);
+        e.execute(r, &[put("k", 99)]);
+        let (v, _) = e.vote(r);
+        assert_eq!(v, Vote::Yes);
+        let (o, logs) = e.decide(r, Outcome::Abort);
+        assert_eq!(o, Outcome::Abort);
+        assert!(!logs[0].force, "abort records are presumed (lazy)");
+        assert_eq!(e.committed("k"), Some(5));
+        assert_eq!(e.locked_keys(), 0);
+    }
+
+    #[test]
+    fn decide_is_idempotent() {
+        let mut e = Engine::new();
+        let r = rid(1);
+        e.execute(r, &[put("k", 1)]);
+        e.vote(r);
+        let (o1, l1) = e.decide(r, Outcome::Commit);
+        let (o2, l2) = e.decide(r, Outcome::Commit);
+        assert_eq!(o1, Outcome::Commit);
+        assert_eq!(o2, Outcome::Commit);
+        assert_eq!(l1.len(), 1);
+        assert!(l2.is_empty(), "re-delivery writes nothing");
+        // decide(abort) after commit returns the memoized commit — the
+        // paper's A.3 makes conflicting inputs unreachable, but the engine
+        // still answers deterministically.
+        let (o3, _) = e.decide(r, Outcome::Abort);
+        assert_eq!(o3, Outcome::Commit);
+    }
+
+    #[test]
+    fn vote_unknown_branch_is_no() {
+        let mut e = Engine::new();
+        let (v, logs) = e.vote(rid(9));
+        assert_eq!(v, Vote::No);
+        assert!(logs.is_empty());
+    }
+
+    #[test]
+    fn vote_is_idempotent_single_force() {
+        let mut e = Engine::new();
+        let r = rid(1);
+        e.execute(r, &[put("k", 1)]);
+        let (v1, l1) = e.vote(r);
+        let (v2, l2) = e.vote(r);
+        assert_eq!((v1, v2), (Vote::Yes, Vote::Yes));
+        assert_eq!(l1.len(), 1);
+        assert!(l2.is_empty(), "second prepare forces nothing new");
+    }
+
+    #[test]
+    fn doomed_branch_votes_no_and_releases_locks() {
+        let mut e = Engine::new();
+        let r = rid(1);
+        let st = e.execute(r, &[put("k", 1), DbOp::Doom]);
+        assert!(matches!(st, ExecStatus::Done(ref o) if o.last() == Some(&OpOutput::Doomed)));
+        assert_eq!(e.locked_keys(), 0, "doom releases locks immediately");
+        assert_eq!(e.vote(r).0, Vote::No);
+        // Another branch can take the key at once.
+        assert!(matches!(e.execute(rid(2), &[put("k", 7)]), ExecStatus::Done(_)));
+    }
+
+    #[test]
+    fn lock_conflict_dooms_requester_not_holder() {
+        let mut e = Engine::new();
+        let (r1, r2) = (rid(1), rid(2));
+        assert!(matches!(e.execute(r1, &[put("k", 1)]), ExecStatus::Done(_)));
+        assert_eq!(e.execute(r2, &[put("k", 2)]), ExecStatus::Conflict);
+        assert_eq!(e.vote(r2).0, Vote::No);
+        assert_eq!(e.vote(r1).0, Vote::Yes, "holder unaffected");
+    }
+
+    #[test]
+    fn reserve_semantics() {
+        let mut e = Engine::with_data([("seats".to_string(), 2)]);
+        let r = rid(1);
+        let st = e.execute(
+            r,
+            &[
+                DbOp::Reserve { key: "seats".into(), qty: 1 },
+                DbOp::Reserve { key: "seats".into(), qty: 1 },
+                DbOp::Reserve { key: "seats".into(), qty: 1 },
+            ],
+        );
+        assert_eq!(
+            st,
+            ExecStatus::Done(vec![
+                OpOutput::Reserved { remaining: 1 },
+                OpOutput::Reserved { remaining: 0 },
+                OpOutput::SoldOut,
+            ])
+        );
+        e.vote(r);
+        e.decide(r, Outcome::Commit);
+        assert_eq!(e.committed("seats"), Some(0));
+    }
+
+    #[test]
+    fn sold_out_is_still_committable() {
+        // The paper's user-level abort: an informative result that commits.
+        let mut e = Engine::with_data([("seats".to_string(), 0)]);
+        let r = rid(1);
+        let st = e.execute(r, &[DbOp::Reserve { key: "seats".into(), qty: 1 }]);
+        assert_eq!(st, ExecStatus::Done(vec![OpOutput::SoldOut]));
+        assert_eq!(e.vote(r).0, Vote::Yes);
+        assert_eq!(e.decide(r, Outcome::Commit).0, Outcome::Commit);
+        assert_eq!(e.committed("seats"), Some(0));
+    }
+
+    #[test]
+    fn recovery_replays_committed_and_restores_indoubt() {
+        let mut e = Engine::new();
+        let mut wal: Vec<StableRecord> = Vec::new();
+        // r1 commits fully.
+        let r1 = rid(1);
+        e.execute(r1, &[put("a", 10)]);
+        let (_, l) = e.vote(r1);
+        wal.extend(l.into_iter().map(|w| w.rec));
+        let (_, l) = e.decide(r1, Outcome::Commit);
+        wal.extend(l.into_iter().map(|w| w.rec));
+        // r2 prepares, then the server "crashes" before any decide.
+        let r2 = rid(2);
+        e.execute(r2, &[put("b", 20)]);
+        let (_, l) = e.vote(r2);
+        wal.extend(l.into_iter().map(|w| w.rec));
+        // r3 was active, never prepared — its writes must vanish.
+        let r3 = rid(3);
+        e.execute(r3, &[put("c", 30)]);
+
+        let mut recovered = Engine::recover(&wal);
+        assert_eq!(recovered.committed("a"), Some(10), "committed data survives");
+        assert_eq!(recovered.committed("b"), None, "in-doubt not visible");
+        assert_eq!(recovered.committed("c"), None, "unprepared work is gone");
+        assert!(recovered.is_prepared(r2), "in-doubt branch restored");
+        // In-doubt branch still holds its lock: a new writer conflicts.
+        assert_eq!(recovered.execute(rid(4), &[put("b", 99)]), ExecStatus::Conflict);
+        // vote() after recovery: r2 yes (prepared), r3 no (lost).
+        assert_eq!(recovered.vote(r2).0, Vote::Yes);
+        assert_eq!(recovered.vote(r3).0, Vote::No);
+        // Late decide(commit) lands correctly.
+        let (o, _) = recovered.decide(r2, Outcome::Commit);
+        assert_eq!(o, Outcome::Commit);
+        assert_eq!(recovered.committed("b"), Some(20));
+    }
+
+    #[test]
+    fn recovery_is_idempotent() {
+        let mut e = Engine::new();
+        let mut wal: Vec<StableRecord> = Vec::new();
+        let r = rid(1);
+        e.execute(r, &[put("x", 1)]);
+        let (_, l) = e.vote(r);
+        wal.extend(l.into_iter().map(|w| w.rec));
+        let (_, l) = e.decide(r, Outcome::Commit);
+        wal.extend(l.into_iter().map(|w| w.rec));
+        let once = Engine::recover(&wal);
+        let twice = Engine::recover(&wal);
+        assert_eq!(once.snapshot(), twice.snapshot());
+        assert_eq!(once.decision(r), twice.decision(r));
+    }
+
+    #[test]
+    fn decided_memo_survives_recovery() {
+        // A Decide retransmitted after a crash must be answered from the
+        // log, not re-applied.
+        let mut e = Engine::new();
+        let mut wal: Vec<StableRecord> = Vec::new();
+        let r = rid(1);
+        e.execute(r, &[put("x", 5)]);
+        for w in e.vote(r).1 {
+            wal.push(w.rec);
+        }
+        for w in e.decide(r, Outcome::Commit).1 {
+            wal.push(w.rec);
+        }
+        let mut rec = Engine::recover(&wal);
+        let (o, logs) = rec.decide(r, Outcome::Commit);
+        assert_eq!(o, Outcome::Commit);
+        assert!(logs.is_empty());
+        assert_eq!(rec.committed("x"), Some(5));
+    }
+
+    #[test]
+    fn one_phase_commit_baseline() {
+        let mut e = Engine::new();
+        let r = rid(1);
+        e.execute(r, &[put("k", 3)]);
+        let (ok, logs) = e.commit_one_phase(r);
+        assert!(ok);
+        assert_eq!(logs.len(), 1);
+        assert_eq!(e.committed("k"), Some(3));
+        // Idempotent.
+        let (ok2, logs2) = e.commit_one_phase(r);
+        assert!(ok2);
+        assert!(logs2.is_empty());
+        // Unknown branch fails.
+        assert!(!e.commit_one_phase(rid(9)).0);
+    }
+
+    #[test]
+    fn exec_after_prepare_is_rejected() {
+        let mut e = Engine::new();
+        let r = rid(1);
+        e.execute(r, &[put("k", 1)]);
+        e.vote(r);
+        assert_eq!(e.execute(r, &[put("k", 2)]), ExecStatus::Conflict);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "V.2 violated"))]
+    fn decide_commit_unprepared_panics_in_debug() {
+        let mut e = Engine::new();
+        let r = rid(1);
+        e.execute(r, &[put("k", 1)]);
+        // No vote! decide(commit) violates V.2.
+        let (o, _) = e.decide(r, Outcome::Commit);
+        // Release builds: conservative abort.
+        assert_eq!(o, Outcome::Abort);
+    }
+}

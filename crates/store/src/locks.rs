@@ -1,0 +1,179 @@
+//! Strict two-phase locking with a no-wait conflict policy.
+//!
+//! The paper assumes "the existence of some serializability protocol" (§3)
+//! inside the database tier; this lock table provides it. **No-wait** means
+//! a conflicting request dooms the requesting branch instead of blocking —
+//! the branch will vote *no*, the attempt aborts, and the client retries a
+//! fresh attempt. This matches the paper's liveness assumption that "if an
+//! application server keeps computing results, a result eventually commits"
+//! (§4, footnote 4) without introducing deadlocks into the simulation.
+
+use etx_base::ids::ResultId;
+use std::collections::{HashMap, HashSet};
+
+/// Lock strength.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (readers).
+    Shared,
+    /// Exclusive (writers).
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct LockEntry {
+    shared: HashSet<ResultId>,
+    exclusive: Option<ResultId>,
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockGrant {
+    /// Acquired (or already held at sufficient strength).
+    Granted,
+    /// Conflicts with another branch — requester must abort (no-wait).
+    Conflict,
+}
+
+/// A per-database lock table keyed by record key.
+#[derive(Debug, Default)]
+pub struct LockTable {
+    entries: HashMap<String, LockEntry>,
+}
+
+impl LockTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        LockTable::default()
+    }
+
+    /// Requests `mode` on `key` for branch `rid` (no-wait).
+    pub fn acquire(&mut self, key: &str, rid: ResultId, mode: LockMode) -> LockGrant {
+        let e = self.entries.entry(key.to_string()).or_default();
+        match mode {
+            LockMode::Shared => {
+                match e.exclusive {
+                    Some(holder) if holder != rid => LockGrant::Conflict,
+                    _ => {
+                        // X by self implies S; otherwise take S.
+                        if e.exclusive.is_none() {
+                            e.shared.insert(rid);
+                        }
+                        LockGrant::Granted
+                    }
+                }
+            }
+            LockMode::Exclusive => {
+                if let Some(holder) = e.exclusive {
+                    if holder == rid {
+                        return LockGrant::Granted;
+                    }
+                    return LockGrant::Conflict;
+                }
+                let others_share = e.shared.iter().any(|&h| h != rid);
+                if others_share {
+                    return LockGrant::Conflict;
+                }
+                // Upgrade own shared lock (or fresh acquire).
+                e.shared.remove(&rid);
+                e.exclusive = Some(rid);
+                LockGrant::Granted
+            }
+        }
+    }
+
+    /// Releases everything `rid` holds.
+    pub fn release_all(&mut self, rid: ResultId) {
+        self.entries.retain(|_, e| {
+            e.shared.remove(&rid);
+            if e.exclusive == Some(rid) {
+                e.exclusive = None;
+            }
+            e.exclusive.is_some() || !e.shared.is_empty()
+        });
+    }
+
+    /// Whether `rid` holds any lock on `key` at least as strong as `mode`.
+    pub fn holds(&self, key: &str, rid: ResultId, mode: LockMode) -> bool {
+        let Some(e) = self.entries.get(key) else { return false };
+        match mode {
+            LockMode::Shared => e.shared.contains(&rid) || e.exclusive == Some(rid),
+            LockMode::Exclusive => e.exclusive == Some(rid),
+        }
+    }
+
+    /// Number of keys with at least one lock (diagnostics / tests).
+    pub fn locked_keys(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::ids::{NodeId, RequestId};
+
+    fn rid(n: u64) -> ResultId {
+        ResultId::first(RequestId { client: NodeId(0), seq: n })
+    }
+
+    #[test]
+    fn shared_locks_coexist() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire("k", rid(1), LockMode::Shared), LockGrant::Granted);
+        assert_eq!(t.acquire("k", rid(2), LockMode::Shared), LockGrant::Granted);
+        assert!(t.holds("k", rid(1), LockMode::Shared));
+        assert!(t.holds("k", rid(2), LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire("k", rid(1), LockMode::Exclusive), LockGrant::Granted);
+        assert_eq!(t.acquire("k", rid(2), LockMode::Exclusive), LockGrant::Conflict);
+        assert_eq!(t.acquire("k", rid(2), LockMode::Shared), LockGrant::Conflict);
+        // Re-entrant for the holder.
+        assert_eq!(t.acquire("k", rid(1), LockMode::Exclusive), LockGrant::Granted);
+        assert_eq!(t.acquire("k", rid(1), LockMode::Shared), LockGrant::Granted);
+    }
+
+    #[test]
+    fn shared_blocks_exclusive_from_others() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire("k", rid(1), LockMode::Shared), LockGrant::Granted);
+        assert_eq!(t.acquire("k", rid(2), LockMode::Exclusive), LockGrant::Conflict);
+    }
+
+    #[test]
+    fn upgrade_own_shared_to_exclusive() {
+        let mut t = LockTable::new();
+        assert_eq!(t.acquire("k", rid(1), LockMode::Shared), LockGrant::Granted);
+        assert_eq!(t.acquire("k", rid(1), LockMode::Exclusive), LockGrant::Granted);
+        assert!(t.holds("k", rid(1), LockMode::Exclusive));
+        // But not if someone else shares it.
+        let mut t2 = LockTable::new();
+        t2.acquire("k", rid(1), LockMode::Shared);
+        t2.acquire("k", rid(2), LockMode::Shared);
+        assert_eq!(t2.acquire("k", rid(1), LockMode::Exclusive), LockGrant::Conflict);
+    }
+
+    #[test]
+    fn release_unblocks() {
+        let mut t = LockTable::new();
+        t.acquire("a", rid(1), LockMode::Exclusive);
+        t.acquire("b", rid(1), LockMode::Shared);
+        t.release_all(rid(1));
+        assert_eq!(t.locked_keys(), 0);
+        assert_eq!(t.acquire("a", rid(2), LockMode::Exclusive), LockGrant::Granted);
+        assert!(!t.holds("a", rid(1), LockMode::Shared));
+    }
+
+    #[test]
+    fn exclusive_implies_shared_without_double_entry() {
+        let mut t = LockTable::new();
+        t.acquire("k", rid(1), LockMode::Exclusive);
+        assert_eq!(t.acquire("k", rid(1), LockMode::Shared), LockGrant::Granted);
+        t.release_all(rid(1));
+        assert_eq!(t.acquire("k", rid(2), LockMode::Exclusive), LockGrant::Granted);
+    }
+}

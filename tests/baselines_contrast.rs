@@ -1,0 +1,107 @@
+//! Cross-protocol contrast tests: the guarantees table of the paper, made
+//! executable. Same workload, same fault, four protocols, four different
+//! user experiences.
+
+use etx::base::time::{Dur, Time};
+use etx::base::trace::TraceKind;
+use etx::base::value::Outcome;
+use etx::harness::{MiddleTier, ScenarioBuilder, Workload};
+use etx::sim::FaultAction;
+
+fn commits(s: &etx::harness::Scenario) -> usize {
+    s.sim
+        .trace()
+        .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
+}
+
+/// Crash the (sole/primary) application server right after the database
+/// votes, in every protocol.
+fn crash_after_vote(tier: MiddleTier, seed: u64) -> etx::harness::Scenario {
+    let mut s = ScenarioBuilder::fast(tier, seed)
+        .workload(Workload::BankUpdate { amount: 50 })
+        .requests(1)
+        .build();
+    let victim = s.topo.app_servers[0];
+    let db = s.topo.db_servers[0];
+    s.sim.on_trace(
+        move |ev| ev.node == db && matches!(ev.kind, TraceKind::DbVote { .. }),
+        FaultAction::Crash(victim),
+    );
+    s
+}
+
+#[test]
+fn same_fault_four_protocols_four_outcomes() {
+    // e-Transactions: delivers, exactly once.
+    let mut etx_run = crash_after_vote(MiddleTier::Etx { apps: 3 }, 1);
+    let out = etx_run.run_until_settled(1);
+    assert_eq!(out, etx::sim::RunOutcome::Predicate);
+    etx_run.quiesce(Dur::from_millis(300));
+    assert_eq!(etx_run.delivered_commits(), 1, "e-Transactions deliver through the crash");
+    assert_eq!(commits(&etx_run), 1);
+
+    // Primary-backup: database unblocked by the backup (needs perfect FD).
+    let mut pb = crash_after_vote(MiddleTier::Pb, 2);
+    pb.sim.run_until(|s| s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })) >= 1);
+    assert!(
+        pb.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })) >= 1,
+        "the backup resolves the branch"
+    );
+
+    // 2PC: the database is BLOCKED until the coordinator returns.
+    let mut tpc = crash_after_vote(MiddleTier::Tpc, 3);
+    tpc.sim.run_until_time(Time(1_500_000));
+    assert_eq!(
+        tpc.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })),
+        0,
+        "2PC leaves the branch in-doubt while the coordinator is down"
+    );
+
+    // Baseline: nothing; the user gets an exception.
+    let mut base = crash_after_vote(MiddleTier::Baseline, 4);
+    // (The baseline never reaches a vote — it one-phase-commits — so crash
+    // at vote never fires; crash immediately instead for the contrast.)
+    let server = base.topo.app_servers[0];
+    base.sim.crash_at(Time(1_000), server);
+    base.sim.run_until_time(Time(1_000_000));
+    assert_eq!(
+        base.sim.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })),
+        1,
+        "baseline surfaces the ambiguity to the user"
+    );
+}
+
+#[test]
+fn etx_client_never_sees_exceptions() {
+    // Under a harsh schedule the e-Transaction client still never raises:
+    // that is the liveness dimension the abstraction adds (§1).
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 9)
+        .workload(Workload::BankUpdate { amount: 1 })
+        .requests(3)
+        .build();
+    let a1 = s.topo.primary();
+    s.sim.crash_at(Time(5_000), a1);
+    let db = s.topo.db_servers[0];
+    s.sim.crash_at(Time(15_000), db);
+    s.sim.recover_at(Time(45_000), db);
+    let out = s.run_until_settled(3);
+    assert_eq!(out, etx::sim::RunOutcome::Predicate);
+    assert_eq!(
+        s.sim.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })),
+        0,
+        "no exception ever reaches the e-Transaction user"
+    );
+    assert_eq!(s.delivered_commits(), 3);
+}
+
+#[test]
+fn pb_and_etx_have_equal_failure_free_message_depth() {
+    // The paper's analytic claim, cross-checked outside figure7: PB and AR
+    // impose the same client-visible step count in nice runs.
+    let run = |tier| {
+        let mut s = ScenarioBuilder::fast(tier, 5).requests(1).build();
+        s.run_until_settled(1);
+        s.deliveries()[0].2
+    };
+    assert_eq!(run(MiddleTier::Etx { apps: 3 }), run(MiddleTier::Pb));
+}

@@ -1,0 +1,52 @@
+//! Chaos: randomized fault schedules, each fully derived from a seed, each
+//! checked against the complete §3 specification. A failing seed is a
+//! one-line repro.
+
+use etx::harness::{run_chaos, ChaosOptions};
+
+#[test]
+fn hundred_chaos_schedules_on_default_options() {
+    let opts = ChaosOptions::default();
+    for seed in 0..100u64 {
+        run_chaos(seed, &opts).assert_ok();
+    }
+}
+
+#[test]
+fn chaos_with_more_crashes_and_five_replicas() {
+    let opts = ChaosOptions {
+        apps: 5,
+        max_app_crashes: 2, // still a minority of 5
+        max_db_cycles: 3,
+        ..ChaosOptions::default()
+    };
+    for seed in 0..40u64 {
+        run_chaos(seed, &opts).assert_ok();
+    }
+}
+
+#[test]
+fn chaos_with_contending_clients() {
+    let opts = ChaosOptions {
+        clients: 2,
+        requests: 2,
+        max_false_suspicions: 3,
+        ..ChaosOptions::default()
+    };
+    for seed in 0..40u64 {
+        run_chaos(seed, &opts).assert_ok();
+    }
+}
+
+#[test]
+fn chaos_with_lossy_network_and_two_dbs() {
+    let opts = ChaosOptions {
+        dbs: 2,
+        loss_rate: 0.1,
+        max_db_cycles: 2,
+        ..ChaosOptions::default()
+    };
+    for seed in 0..40u64 {
+        run_chaos(seed, &opts).assert_ok();
+    }
+}

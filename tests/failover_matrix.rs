@@ -1,0 +1,150 @@
+//! Crash-point matrix: kill the primary at *every* observable protocol
+//! stage and check that the system still satisfies the full specification
+//! and the client still delivers (T.1 under fail-over).
+
+use etx::base::time::Dur;
+use etx::base::trace::{Component, TraceKind};
+use etx::harness::{check, LivenessChecks, MiddleTier, ScenarioBuilder, Workload};
+use etx::sim::FaultAction;
+
+#[derive(Debug, Clone, Copy)]
+enum Stage {
+    OnRequestArrival,
+    AfterRegAWrite,
+    AfterSqlAtDb,
+    AfterDbVote,
+    AfterRegDWrite,
+    AfterDbCommit,
+}
+
+const STAGES: [Stage; 6] = [
+    Stage::OnRequestArrival,
+    Stage::AfterRegAWrite,
+    Stage::AfterSqlAtDb,
+    Stage::AfterDbVote,
+    Stage::AfterRegDWrite,
+    Stage::AfterDbCommit,
+];
+
+fn run_stage(stage: Stage, seed: u64) {
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+        .workload(Workload::BankUpdate { amount: 9 })
+        .requests(1)
+        .build();
+    let a1 = s.topo.primary();
+    let pred: Box<dyn FnMut(&etx::base::trace::TraceEvent) -> bool> = match stage {
+        Stage::OnRequestArrival => Box::new(move |ev| {
+            ev.node == a1 && matches!(ev.kind, TraceKind::Span { comp: Component::Start, .. })
+        }),
+        Stage::AfterRegAWrite => Box::new(move |ev| {
+            ev.node == a1 && matches!(ev.kind, TraceKind::Span { comp: Component::LogStart, .. })
+        }),
+        Stage::AfterSqlAtDb => {
+            Box::new(move |ev| matches!(ev.kind, TraceKind::Span { comp: Component::Sql, .. }))
+        }
+        Stage::AfterDbVote => Box::new(move |ev| matches!(ev.kind, TraceKind::DbVote { .. })),
+        Stage::AfterRegDWrite => Box::new(move |ev| {
+            ev.node == a1 && matches!(ev.kind, TraceKind::Span { comp: Component::LogOutcome, .. })
+        }),
+        Stage::AfterDbCommit => {
+            Box::new(move |ev| matches!(ev.kind, TraceKind::DbDecide { .. }))
+        }
+    };
+    s.sim.on_trace(pred, FaultAction::Crash(a1));
+    let out = s.run_until_settled(1);
+    assert_eq!(
+        out,
+        etx::sim::RunOutcome::Predicate,
+        "stage {stage:?} seed {seed}: client must still deliver (T.1)"
+    );
+    s.quiesce(Dur::from_millis(400));
+    assert_eq!(s.delivered_commits(), 1, "stage {stage:?} seed {seed}");
+    // Exactly one commit — never zero (lost) or two (duplicated).
+    assert_eq!(s.db_commits(), 1, "stage {stage:?} seed {seed}: A.2");
+    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
+        .assert_ok();
+}
+
+#[test]
+fn primary_crash_at_every_stage_preserves_exactly_once() {
+    for (i, stage) in STAGES.iter().enumerate() {
+        for seed in 0..3u64 {
+            run_stage(*stage, 1000 + i as u64 * 17 + seed);
+        }
+    }
+}
+
+#[test]
+fn double_crash_still_tolerated_with_five_replicas() {
+    // Five replicas tolerate two crashes: kill the primary at regA and the
+    // second server shortly after.
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 5 }, 2024)
+        .workload(Workload::BankUpdate { amount: 3 })
+        .requests(1)
+        .build();
+    let a1 = s.topo.app_servers[0];
+    let a2 = s.topo.app_servers[1];
+    s.sim.on_trace(
+        move |ev| {
+            ev.node == a1 && matches!(ev.kind, TraceKind::Span { comp: Component::LogStart, .. })
+        },
+        FaultAction::Crash(a1),
+    );
+    s.sim.on_trace(
+        move |ev| matches!(ev.kind, TraceKind::CleanerTakeover { .. }) && ev.node == a2,
+        FaultAction::Crash(a2),
+    );
+    let out = s.run_until_settled(1);
+    assert_eq!(out, etx::sim::RunOutcome::Predicate);
+    s.quiesce(Dur::from_millis(400));
+    assert_eq!(s.db_commits(), 1);
+    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
+        .assert_ok();
+}
+
+#[test]
+fn db_crash_at_vote_and_at_decide_points() {
+    for (i, kind) in ["vote", "decide"].iter().enumerate() {
+        let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 3000 + i as u64)
+            .workload(Workload::BankUpdate { amount: 2 })
+            .requests(1)
+            .build();
+        let db = s.topo.db_servers[0];
+        let pred: Box<dyn FnMut(&etx::base::trace::TraceEvent) -> bool> = if i == 0 {
+            Box::new(move |ev| ev.node == db && matches!(ev.kind, TraceKind::DbVote { .. }))
+        } else {
+            Box::new(move |ev| ev.node == db && matches!(ev.kind, TraceKind::DbDecide { .. }))
+        };
+        s.sim.on_trace(pred, FaultAction::CrashRecover(db, Dur::from_millis(25)));
+        let out = s.run_until_settled(1);
+        assert_eq!(out, etx::sim::RunOutcome::Predicate, "{kind}: must deliver");
+        s.quiesce(Dur::from_millis(400));
+        check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
+            .assert_ok();
+    }
+}
+
+#[test]
+fn false_suspicion_storm_costs_only_aborts_never_safety() {
+    // Every server suspects the (alive!) primary for a while — the regime
+    // where "all application servers try to concurrently commit or abort a
+    // result" (§5, active-replication mode). Safety must hold; the client
+    // must still deliver.
+    use etx::base::time::Time;
+    use etx::fd::ForcedSuspicion;
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 4001)
+        .workload(Workload::BankUpdate { amount: 8 })
+        .requests(2)
+        .force_suspicions(vec![ForcedSuspicion {
+            peer: etx::base::ids::NodeId(1), // the default primary
+            from: Time(2_000),
+            until: Time(40_000),
+        }])
+        .build();
+    let out = s.run_until_settled(2);
+    assert_eq!(out, etx::sim::RunOutcome::Predicate);
+    s.quiesce(Dur::from_millis(400));
+    assert_eq!(s.delivered_commits(), 2);
+    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
+        .assert_ok();
+}

@@ -1,0 +1,104 @@
+//! Extensions beyond the paper's core: garbage collection of register
+//! arrays (§5 names it as open) and the adaptive client-routing flag.
+
+use etx::base::config::ProtocolConfig;
+use etx::base::time::{Dur, Time};
+use etx::base::trace::TraceKind;
+use etx::harness::{check, LivenessChecks, MiddleTier, ScenarioBuilder, Workload};
+
+#[test]
+fn long_request_stream_stays_correct_with_gc() {
+    // 30 sequential requests: GC must not break exactly-once, and the run
+    // must stay healthy end to end (memory boundedness is asserted
+    // indirectly — GC removes terminated attempts, so replays/duplicates
+    // would surface as property violations if the bookkeeping were wrong).
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 881)
+        .workload(Workload::BankUpdate { amount: 1 })
+        .requests(30)
+        .build();
+    let out = s.run_until_settled(30);
+    assert_eq!(out, etx::sim::RunOutcome::Predicate);
+    s.quiesce(Dur::from_millis(300));
+    assert_eq!(s.delivered_commits(), 30);
+    assert_eq!(s.db_commits(), 30);
+    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
+        .assert_ok();
+}
+
+#[test]
+fn gc_with_failover_in_the_middle_of_the_stream() {
+    // GC must not erase state the cleaner still needs: crash the primary
+    // mid-stream and keep going.
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 883)
+        .workload(Workload::BankUpdate { amount: 1 })
+        .requests(10)
+        .build();
+    let a1 = s.topo.primary();
+    s.sim.crash_at(Time(20_000), a1);
+    let out = s.run_until_settled(10);
+    assert_eq!(out, etx::sim::RunOutcome::Predicate);
+    s.quiesce(Dur::from_millis(300));
+    assert_eq!(s.delivered_commits(), 10);
+    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
+        .assert_ok();
+}
+
+#[test]
+fn adaptive_routing_recovers_faster_after_primary_death() {
+    // With route_to_last_responder the client skips the dead default
+    // primary on retries; the total time for a stream of requests after
+    // the primary's crash must strictly beat the paper-faithful policy
+    // (which pays one back-off per request).
+    let run = |adaptive: bool| {
+        let mut pcfg = ProtocolConfig {
+            client_backoff: Dur::from_millis(30),
+            client_rebroadcast: Dur::from_millis(20),
+            terminate_retry: Dur::from_millis(10),
+            cleaner_interval: Dur::from_millis(5),
+            consensus_resync: Dur::from_millis(8),
+            consensus_round_patience: Dur::from_millis(4),
+            route_to_last_responder: adaptive,
+        };
+        pcfg.route_to_last_responder = adaptive;
+        let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 887)
+            .protocol(pcfg)
+            .workload(Workload::BankUpdate { amount: 1 })
+            .requests(6)
+            .build();
+        let a1 = s.topo.primary();
+        s.sim.crash_at(Time(0), a1);
+        let out = s.run_until_settled(6);
+        assert_eq!(out, etx::sim::RunOutcome::Predicate);
+        s.sim.now()
+    };
+    let faithful = run(false);
+    let adaptive = run(true);
+    assert!(
+        adaptive < faithful,
+        "adaptive routing ({adaptive}) must beat per-request back-off ({faithful})"
+    );
+}
+
+#[test]
+fn client_retry_trace_reflects_attempt_progression() {
+    // AlwaysDoomed: attempts 1..k abort; ClientRetry events must carry
+    // strictly increasing attempt numbers.
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 889)
+        .workload(Workload::AlwaysDoomed)
+        .requests(1)
+        .build();
+    s.sim.run_until(|sim| {
+        sim.trace().count_kind(|k| matches!(k, TraceKind::ClientRetry { .. })) >= 4
+    });
+    let attempts: Vec<u32> = s
+        .sim
+        .trace()
+        .events()
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::ClientRetry { rid } => Some(rid.attempt),
+            _ => None,
+        })
+        .collect();
+    assert!(attempts.windows(2).all(|w| w[1] == w[0] + 1), "{attempts:?}");
+}
