@@ -8,7 +8,7 @@
 //! Appendix 3 (2PC and primary-backup).
 
 use crate::ids::{RegId, RequestId, ResultId};
-use crate::value::{Decision, DbOp, ExecStatus, Outcome, RegValue, Request, Vote};
+use crate::value::{DbOp, Decision, ExecStatus, Outcome, RegValue, Request, Vote};
 
 /// Everything that can travel on the simulated wire.
 #[derive(Debug, Clone, PartialEq)]

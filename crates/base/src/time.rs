@@ -73,6 +73,7 @@ impl Dur {
     }
 
     /// Integer division (e.g. for halving back-off periods).
+    #[allow(clippy::should_implement_trait)] // zero-divisor-clamping semantics, not ops::Div
     pub fn div(self, d: u64) -> Dur {
         Dur(self.0 / d.max(1))
     }

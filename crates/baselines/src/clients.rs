@@ -76,7 +76,13 @@ impl SimpleClient {
         self.send_attempt(ctx, request, 1, 0);
     }
 
-    fn send_attempt(&mut self, ctx: &mut dyn Context, request: Request, attempt: u32, retries: u32) {
+    fn send_attempt(
+        &mut self,
+        ctx: &mut dyn Context,
+        request: Request,
+        attempt: u32,
+        retries: u32,
+    ) {
         let rid = ResultId { request: request.id, attempt };
         ctx.send(
             self.server,

@@ -130,9 +130,8 @@ impl PbServer {
     }
 
     fn begin_exec(&mut self, ctx: &mut dyn Context, rid: ResultId) {
-        let Some(
-            Phase::AwaitingStartAck { request, .. } | Phase::Executing { request, .. },
-        ) = self.fsms.get(&rid)
+        let Some(Phase::AwaitingStartAck { request, .. } | Phase::Executing { request, .. }) =
+            self.fsms.get(&rid)
         else {
             return;
         };
@@ -228,8 +227,7 @@ impl PbServer {
     }
 
     fn begin_decide(&mut self, ctx: &mut dyn Context, rid: ResultId) {
-        let Some(Phase::AwaitingOutcomeAck { decision, involved, .. }) = self.fsms.get(&rid)
-        else {
+        let Some(Phase::AwaitingOutcomeAck { decision, involved, .. }) = self.fsms.get(&rid) else {
             return;
         };
         let (decision, targets) = (decision.clone(), involved.clone());
@@ -282,7 +280,10 @@ impl PbServer {
             if let Phase::Deciding { decision, targets, acked } = phase {
                 for db in targets {
                     if !acked.contains(db) {
-                        ctx.send(*db, Payload::Db(DbMsg::Decide { rid, outcome: decision.outcome }));
+                        ctx.send(
+                            *db,
+                            Payload::Db(DbMsg::Decide { rid, outcome: decision.outcome }),
+                        );
                         any = true;
                     }
                 }
@@ -331,11 +332,8 @@ impl PbServer {
             if self.fsms.contains_key(&rid) {
                 continue;
             }
-            let decision = self
-                .mirror_outcome
-                .get(&rid)
-                .cloned()
-                .unwrap_or_else(Decision::nil_abort);
+            let decision =
+                self.mirror_outcome.get(&rid).cloned().unwrap_or_else(Decision::nil_abort);
             // Push the decision to every database (abort is presumed at
             // uninvolved servers; commit is vacuous there).
             let targets = self.dlist.clone();

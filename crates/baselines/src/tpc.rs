@@ -245,7 +245,10 @@ impl TpcServer {
             if let Phase::Deciding { decision, targets, acked } = phase {
                 for db in targets {
                     if !acked.contains(db) {
-                        ctx.send(*db, Payload::Db(DbMsg::Decide { rid, outcome: decision.outcome }));
+                        ctx.send(
+                            *db,
+                            Payload::Db(DbMsg::Decide { rid, outcome: decision.outcome }),
+                        );
                         any = true;
                     }
                 }
@@ -274,9 +277,8 @@ impl TpcServer {
             }
         }
         for rid in started {
-            let decision = outcomes
-                .remove(&rid)
-                .unwrap_or(Decision { result: None, outcome: Outcome::Abort });
+            let decision =
+                outcomes.remove(&rid).unwrap_or(Decision { result: None, outcome: Outcome::Abort });
             // Re-drive the decision; the involved set is unknown after the
             // crash, so push to every database (aborts are presumed and
             // commits are vacuous at uninvolved servers).

@@ -17,8 +17,17 @@ use std::collections::{HashMap, HashSet};
 
 #[derive(Debug)]
 enum Phase {
-    Executing { request: Request, call_idx: usize, acc: Vec<(String, i64)> },
-    Committing { result: etx_base::value::ResultValue, targets: Vec<NodeId>, acked: HashSet<NodeId>, any_failed: bool },
+    Executing {
+        request: Request,
+        call_idx: usize,
+        acc: Vec<(String, i64)>,
+    },
+    Committing {
+        result: etx_base::value::ResultValue,
+        targets: Vec<NodeId>,
+        acked: HashSet<NodeId>,
+        any_failed: bool,
+    },
     Done,
 }
 
@@ -119,9 +128,7 @@ impl BaselineServer {
         *any_failed |= !ok;
         if acked.len() == targets.len() {
             let (result, failed) = match self.fsms.get(&rid) {
-                Some(Phase::Committing { result, any_failed, .. }) => {
-                    (result.clone(), *any_failed)
-                }
+                Some(Phase::Committing { result, any_failed, .. }) => (result.clone(), *any_failed),
                 _ => unreachable!(),
             };
             self.finish(ctx, rid, result, failed);
@@ -159,9 +166,7 @@ impl Process for BaselineServer {
             } => self.on_request(ctx, request, attempt),
             Event::Message { from, payload: Payload::DbReply(reply) } => match reply {
                 DbReplyMsg::ExecReply { rid, status } => self.on_exec_reply(ctx, rid, status),
-                DbReplyMsg::AckCommitOnePhase { rid, ok } => {
-                    self.on_commit_ack(ctx, from, rid, ok)
-                }
+                DbReplyMsg::AckCommitOnePhase { rid, ok } => self.on_commit_ack(ctx, from, rid, ok),
                 _ => {}
             },
             Event::Timer { tag: TimerTag::Dispatch { rid, stage: 0 }, .. } => {

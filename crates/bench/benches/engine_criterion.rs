@@ -22,10 +22,7 @@ fn bench_store(c: &mut Criterion) {
             |mut e| {
                 for i in 0..100u64 {
                     let r = rid(i);
-                    e.execute(
-                        r,
-                        &[DbOp::Add { key: format!("k{}", i % 10), delta: 1 }],
-                    );
+                    e.execute(r, &[DbOp::Add { key: format!("k{}", i % 10), delta: 1 }]);
                     e.vote(r);
                     e.decide(r, Outcome::Commit);
                 }

@@ -6,7 +6,7 @@ use etx_harness::figures::figure1_all;
 
 fn main() {
     println!("\n=== Figure 1: canonical executions ===\n");
-    let report = figure1_all(0xF160_1);
+    let report = figure1_all(0x000F_1601);
     println!("{report}");
     assert!(!report.contains("VIOLATED"), "safety violated in a canonical execution");
     println!("all four panels safe ✓");

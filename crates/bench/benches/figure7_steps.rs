@@ -10,7 +10,7 @@
 use etx_harness::figures::{figure7, render_fig7};
 
 fn main() {
-    let rows = figure7(0xF160_7);
+    let rows = figure7(0x000F_1607);
     println!("\n=== Figure 7: communication steps in failure-free executions ===\n");
     println!("{}", render_fig7(&rows));
     let steps = |l: &str| rows.iter().find(|r| r.label == l).unwrap().steps;

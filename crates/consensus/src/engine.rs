@@ -229,12 +229,8 @@ impl ConsensusEngine {
     /// Re-evaluates every undecided instance after a suspicion change (the
     /// owning server calls this on failure-detector transitions).
     pub fn on_suspicion_change(&mut self, ctx: &mut dyn Context, suspects: Suspects<'_>) {
-        let insts: Vec<RegId> = self
-            .instances
-            .iter()
-            .filter(|(_, i)| i.decided.is_none())
-            .map(|(&k, _)| k)
-            .collect();
+        let insts: Vec<RegId> =
+            self.instances.iter().filter(|(_, i)| i.decided.is_none()).map(|(&k, _)| k).collect();
         for inst in insts {
             self.reevaluate_instance(ctx, inst, suspects);
         }
@@ -358,7 +354,10 @@ impl ConsensusEngine {
         i.acks.insert(me);
         for p in self.peers.clone() {
             if p != me {
-                ctx.send(p, Payload::Consensus(ConsensusMsg::Propose { inst, round, value: value.clone() }));
+                ctx.send(
+                    p,
+                    Payload::Consensus(ConsensusMsg::Propose { inst, round, value: value.clone() }),
+                );
             }
         }
         // Single-replica degenerate case decides instantly.
@@ -378,7 +377,10 @@ impl ConsensusEngine {
         self.fresh.push((inst, value.clone()));
         for p in self.peers.clone() {
             if p != me {
-                ctx.send(p, Payload::Consensus(ConsensusMsg::Decide { inst, value: value.clone() }));
+                ctx.send(
+                    p,
+                    Payload::Consensus(ConsensusMsg::Decide { inst, value: value.clone() }),
+                );
             }
         }
     }

@@ -77,7 +77,7 @@ fn inst() -> RegId {
 /// A little world of `n` engines plus an in-flight message bag the
 /// adversary controls.
 struct World {
-    engines: Vec<Option<ConsensusEngine>>, // None = crashed
+    engines: Vec<Option<ConsensusEngine>>,    // None = crashed
     bag: VecDeque<(NodeId, NodeId, Payload)>, // (from, to, payload)
     decided: Vec<Option<RegValue>>,
     crashed: Vec<NodeId>,
@@ -104,6 +104,7 @@ impl World {
         }
     }
 
+    #[allow(dead_code)] // part of the World harness API; kept for ad-hoc debugging
     fn suspects(&self) -> impl Fn(NodeId) -> bool + '_ {
         let crashed = self.crashed.clone();
         move |n| crashed.contains(&n)
@@ -193,6 +194,7 @@ proptest! {
         // Every live server marked as proposer proposes its own id; ensure
         // at least one proposer exists.
         let mut any_proposer = false;
+        #[allow(clippy::needless_range_loop)] // i is a node id, not just an index
         for i in 0..n {
             if crashed.contains(&i) { continue; }
             if proposers[i] || !any_proposer {

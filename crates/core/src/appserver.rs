@@ -100,10 +100,8 @@ impl AppServer {
         cost: CostModel,
         fd: Box<dyn FailureDetector>,
     ) -> Self {
-        let engine_cfg = EngineConfig {
-            patience: cfg.consensus_round_patience,
-            resync: cfg.consensus_resync,
-        };
+        let engine_cfg =
+            EngineConfig { patience: cfg.consensus_round_patience, resync: cfg.consensus_resync };
         let regs = WoRegisters::new(me, &topo.app_servers, engine_cfg);
         AppServer {
             me,
@@ -151,9 +149,8 @@ impl AppServer {
             self.regd_started.remove(&rid);
             self.terminate_targets.remove(&rid);
         }
-        self.committed_cache.retain(|req, _| {
-            req.client != current.client || req.seq >= current.seq
-        });
+        self.committed_cache
+            .retain(|req, _| req.client != current.client || req.seq >= current.seq);
     }
 
     /// Number of per-attempt state machines currently held (observability /
@@ -174,10 +171,7 @@ impl AppServer {
         // Figure 5 line 3: if this request already committed, answer from
         // the cached decision.
         if let Some((crid, decision)) = self.committed_cache.get(&request.id).cloned() {
-            ctx.send(
-                rid.request.client,
-                Payload::App(AppMsg::Result { rid: crid, decision }),
-            );
+            ctx.send(rid.request.client, Payload::App(AppMsg::Result { rid: crid, decision }));
             return;
         }
         match self.fsms.get(&rid) {
@@ -313,7 +307,10 @@ impl AppServer {
         self.initiators.insert(rid);
         self.terminate_targets.insert(rid, targets);
         self.regd_started.insert(rid, ctx.now());
-        if matches!(self.fsms.get(&rid), Some(Phase::Preparing { .. }) | Some(Phase::Computing { .. })) {
+        if matches!(
+            self.fsms.get(&rid),
+            Some(Phase::Preparing { .. }) | Some(Phase::Computing { .. })
+        ) {
             self.fsms.insert(rid, Phase::WritingRegD);
         }
         let sus_vec = self.suspicion_snapshot();
@@ -357,9 +354,10 @@ impl AppServer {
                             dur: ctx.now().since(t0),
                         });
                     }
-                    let targets = self.terminate_targets.remove(&rid).unwrap_or_else(|| {
-                        self.topo.db_servers.clone()
-                    });
+                    let targets = self
+                        .terminate_targets
+                        .remove(&rid)
+                        .unwrap_or_else(|| self.topo.db_servers.clone());
                     self.start_terminate(ctx, rid, decision, targets);
                 }
             }
@@ -417,11 +415,7 @@ impl AppServer {
         // "end" dispatch cost).
         let dur = jittered(ctx, self.cost.end, self.cost.jitter);
         ctx.trace(TraceKind::Span { rid, comp: Component::End, dur });
-        ctx.send_after(
-            dur,
-            rid.request.client,
-            Payload::App(AppMsg::Result { rid, decision }),
-        );
+        ctx.send_after(dur, rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
     }
 
     fn on_terminate_retry(&mut self, ctx: &mut dyn Context, rid: ResultId) {
@@ -446,8 +440,7 @@ impl AppServer {
                     // If we were waiting on this database's Exec reply, the
                     // branch is gone; finish with a recovery notice — the
                     // vote phase will abort the attempt.
-                    let waiting_on =
-                        request.script.calls.get(*call_idx).map(|c| c.db) == Some(db);
+                    let waiting_on = request.script.calls.get(*call_idx).map(|c| c.db) == Some(db);
                     if waiting_on {
                         if let Some(Phase::Computing { acc, .. }) = self.fsms.get_mut(&rid) {
                             acc.push(("db_recovered".to_string(), 1));
@@ -455,22 +448,20 @@ impl AppServer {
                         self.finish_compute(ctx, rid);
                     }
                 }
-                Some(Phase::Preparing { votes, involved, .. }) => {
+                Some(Phase::Preparing { votes, involved, .. })
                     // Figure 4 prepare() line 4: Ready counts as a reply —
                     // and an unprepared branch did not survive, so: no.
-                    if involved.contains(&db) && !votes.contains_key(&db) {
+                    if involved.contains(&db) && !votes.contains_key(&db) => {
                         votes.insert(db, Vote::No);
                         self.check_votes(ctx, rid);
                     }
-                }
-                Some(Phase::Terminating { decision, targets, acked }) => {
+                Some(Phase::Terminating { decision, targets, acked })
                     // Figure 4 terminate() lines 4–5: a Ready re-triggers the
                     // Decide push to the recovered server.
-                    if targets.contains(&db) && !acked.contains(&db) {
+                    if targets.contains(&db) && !acked.contains(&db) => {
                         let outcome = decision.outcome;
                         ctx.send(db, Payload::Db(DbMsg::Decide { rid, outcome }));
                     }
-                }
                 _ => {}
             }
         }
@@ -524,9 +515,8 @@ impl Process for AppServer {
         // 1. Failure detection first: everything downstream may consult it.
         let transitions = self.fd.handle(ctx, &event);
         let sus_vec = self.suspicion_snapshot();
-        let newly_suspected = transitions
-            .iter()
-            .any(|t| matches!(t, etx_fd::FdTransition::Suspect(_)));
+        let newly_suspected =
+            transitions.iter().any(|t| matches!(t, etx_fd::FdTransition::Suspect(_)));
         // 2. Registers: consensus traffic, round patience, resync.
         let wo_events = {
             let sus = |n: NodeId| sus_vec.contains(&n);
@@ -546,7 +536,10 @@ impl Process for AppServer {
         }
         // 4. Protocol messages and timers.
         match event {
-            Event::Message { payload: Payload::Client(ClientMsg::Request { request, attempt }), .. } => {
+            Event::Message {
+                payload: Payload::Client(ClientMsg::Request { request, attempt }),
+                ..
+            } => {
                 self.on_request(ctx, request, attempt);
             }
             Event::Message { from, payload: Payload::DbReply(reply) } => match reply {

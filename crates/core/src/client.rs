@@ -128,8 +128,8 @@ impl EtxClient {
             for a in self.alist.clone() {
                 ctx.send(a, msg.clone());
             }
-            let t =
-                ctx.set_timer(self.cfg.client_rebroadcast, TimerTag::ClientRebroadcast { rid: *rid });
+            let t = ctx
+                .set_timer(self.cfg.client_rebroadcast, TimerTag::ClientRebroadcast { rid: *rid });
             *rebroadcast = Some(t);
         }
     }
@@ -153,11 +153,7 @@ impl EtxClient {
         match decision.outcome {
             Outcome::Commit => {
                 // Figure 2 lines 8–9: deliver and return.
-                ctx.trace(TraceKind::Deliver {
-                    rid,
-                    outcome: Outcome::Commit,
-                    steps: ctx.depth(),
-                });
+                ctx.trace(TraceKind::Deliver { rid, outcome: Outcome::Commit, steps: ctx.depth() });
                 self.delivered.push((rid, decision));
                 self.issue_next(ctx);
             }
@@ -171,7 +167,6 @@ impl EtxClient {
             }
         }
     }
-
 }
 
 impl Process for EtxClient {

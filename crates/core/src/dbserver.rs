@@ -46,11 +46,7 @@ impl DbServer {
         DbServer { alist, cost, engine, seed_data }
     }
 
-    fn apply_log_writes(
-        &mut self,
-        ctx: &mut dyn Context,
-        writes: Vec<etx_store::LogWrite>,
-    ) {
+    fn apply_log_writes(&mut self, ctx: &mut dyn Context, writes: Vec<etx_store::LogWrite>) {
         for w in writes {
             // Forced-ness is folded into the prepare/commit service costs
             // (as in Oracle, where the paper's 19 ms prepare and 18 ms
@@ -161,4 +157,3 @@ impl Process for DbServer {
         "dbserver"
     }
 }
-

@@ -127,8 +127,7 @@ mod tests {
     }
 
     fn delivered_commits(sim: &Sim) -> usize {
-        sim.trace()
-            .count_kind(|k| matches!(k, TraceKind::Deliver { outcome: Outcome::Commit, .. }))
+        sim.trace().count_kind(|k| matches!(k, TraceKind::Deliver { outcome: Outcome::Commit, .. }))
     }
 
     #[test]

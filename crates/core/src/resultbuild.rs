@@ -50,11 +50,8 @@ mod tests {
                 DbOp::Reserve { key: "car".into(), qty: 1 },
             ],
         };
-        let outputs = vec![
-            OpOutput::Value(Some(3)),
-            OpOutput::Reserved { remaining: 9 },
-            OpOutput::SoldOut,
-        ];
+        let outputs =
+            vec![OpOutput::Value(Some(3)), OpOutput::Reserved { remaining: 9 }, OpOutput::SoldOut];
         let mut acc = Vec::new();
         accumulate(&call, &outputs, &mut acc);
         let result = finish(acc, 2);

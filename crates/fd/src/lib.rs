@@ -405,7 +405,8 @@ mod tests {
 
     #[test]
     fn own_id_filtered_from_peers() {
-        let fd = HeartbeatFd::new(NodeId(1), &[NodeId(0), NodeId(1), NodeId(2)], FdConfig::default());
+        let fd =
+            HeartbeatFd::new(NodeId(1), &[NodeId(0), NodeId(1), NodeId(2)], FdConfig::default());
         assert_eq!(fd.peers, vec![NodeId(0), NodeId(2)]);
     }
 }

@@ -81,11 +81,8 @@ pub fn figure8_with_cost(trials: usize, base_seed: u64, cost: CostModel) -> Fig8
         if tier == MiddleTier::Baseline {
             baseline_mean = total.mean;
         }
-        let overhead_pct = if baseline_mean > 0.0 {
-            (total.mean / baseline_mean - 1.0) * 100.0
-        } else {
-            0.0
-        };
+        let overhead_pct =
+            if baseline_mean > 0.0 { (total.mean / baseline_mean - 1.0) * 100.0 } else { 0.0 };
         columns.push(Fig8Column {
             label: tier.label(),
             components,
@@ -172,11 +169,7 @@ pub fn figure7(base_seed: u64) -> Vec<Fig7Row> {
             .build();
         let out = scenario.run_until_settled(1);
         assert_eq!(out, RunOutcome::Predicate, "{}: failure-free run must deliver", tier.label());
-        let steps = scenario
-            .deliveries()
-            .first()
-            .map(|(_, _, s, _)| *s)
-            .expect("delivered");
+        let steps = scenario.deliveries().first().map(|(_, _, s, _)| *s).expect("delivered");
         rows.push(Fig7Row {
             label: tier.label(),
             steps,

@@ -98,8 +98,7 @@ mod tests {
     #[test]
     fn missing_delivery_yields_none() {
         let req = RequestId { client: NodeId(0), seq: 1 };
-        let events =
-            vec![TraceEvent::new(Time(0), NodeId(0), TraceKind::Issue { request: req })];
+        let events = vec![TraceEvent::new(Time(0), NodeId(0), TraceKind::Issue { request: req })];
         assert!(breakdown_for(&events, req).is_none());
     }
 

@@ -91,7 +91,11 @@ fn extract(events: &[TraceEvent], clients: &[NodeId]) -> History {
 /// Checks all properties over a finished run's trace.
 ///
 /// `clients` identifies the client nodes (so client crashes relax T.1).
-pub fn check(events: &[TraceEvent], clients: &[NodeId], liveness: LivenessChecks) -> PropertyReport {
+pub fn check(
+    events: &[TraceEvent],
+    clients: &[NodeId],
+    liveness: LivenessChecks,
+) -> PropertyReport {
     let h = extract(events, clients);
     let mut report = PropertyReport::default();
     let mut violate = |msg: String| report.violations.push(msg);
@@ -108,9 +112,9 @@ pub fn check(events: &[TraceEvent], clients: &[NodeId], liveness: LivenessChecks
         for d in voters {
             match h.decides.get(&(d, *rid)) {
                 Some((Outcome::Commit, t)) if t <= at => {}
-                Some((Outcome::Commit, t)) => violate(format!(
-                    "A.1: {rid} delivered at {at} before db {d} committed at {t}"
-                )),
+                Some((Outcome::Commit, t)) => {
+                    violate(format!("A.1: {rid} delivered at {at} before db {d} committed at {t}"))
+                }
                 Some((Outcome::Abort, _)) => {
                     violate(format!("A.1: {rid} delivered but db {d} aborted it"))
                 }
@@ -129,7 +133,10 @@ pub fn check(events: &[TraceEvent], clients: &[NodeId], liveness: LivenessChecks
     }
     for (req, attempts) in &committed_attempts {
         if attempts.len() > 1 {
-            violate(format!("A.2: request {req} committed {} different results: {attempts:?}", attempts.len()));
+            violate(format!(
+                "A.2: request {req} committed {} different results: {attempts:?}",
+                attempts.len()
+            ));
         }
     }
     let mut delivered_per_request: BTreeMap<RequestId, usize> = BTreeMap::new();
@@ -180,7 +187,7 @@ pub fn check(events: &[TraceEvent], clients: &[NodeId], liveness: LivenessChecks
 
     // ---- T.1 (opt-in liveness).
     if liveness.t1 {
-        for (req, _) in &h.issues {
+        for req in h.issues.keys() {
             if h.client_crashes.contains(&req.client) {
                 continue; // "unless it crashes"
             }
@@ -192,7 +199,7 @@ pub fn check(events: &[TraceEvent], clients: &[NodeId], liveness: LivenessChecks
 
     // ---- T.2 (opt-in liveness).
     if liveness.t2 {
-        for ((d, rid), _) in &h.votes {
+        for (d, rid) in h.votes.keys() {
             if !h.decides.contains_key(&(*d, *rid)) {
                 violate(format!("T.2: db {d} voted for {rid} but never decided it"));
             }

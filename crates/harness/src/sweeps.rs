@@ -61,24 +61,16 @@ pub fn failover_sweep(seed: u64, fd_timeouts: &[Dur]) -> Vec<FailoverPoint> {
     let mut rows = Vec::new();
     for &fd_timeout in fd_timeouts {
         for crash in CrashPoint::ALL {
-            let fd = FdConfig {
-                initial_timeout: fd_timeout,
-                ..FdConfig::default()
-            };
-            let mut s = ScenarioBuilder::new(MiddleTier::Etx { apps: 3 }, seed)
-                .fd(fd)
-                .requests(1)
-                .build();
+            let fd = FdConfig { initial_timeout: fd_timeout, ..FdConfig::default() };
+            let mut s =
+                ScenarioBuilder::new(MiddleTier::Etx { apps: 3 }, seed).fd(fd).requests(1).build();
             let a1 = s.topo.primary();
             match crash {
                 CrashPoint::None => {}
                 CrashPoint::AfterRegA => s.sim.on_trace(
                     move |ev| {
                         ev.node == a1
-                            && matches!(
-                                ev.kind,
-                                TraceKind::Span { comp: Component::LogStart, .. }
-                            )
+                            && matches!(ev.kind, TraceKind::Span { comp: Component::LogStart, .. })
                     },
                     FaultAction::Crash(a1),
                 ),
@@ -192,7 +184,12 @@ pub struct ScalePoint {
 /// X2: replication-degree and database fan-out ablation for the
 /// e-Transaction protocol (travel workload so the transaction actually
 /// spans the databases).
-pub fn scalability_sweep(trials: usize, seed: u64, apps: &[usize], dbs: &[usize]) -> Vec<ScalePoint> {
+pub fn scalability_sweep(
+    trials: usize,
+    seed: u64,
+    apps: &[usize],
+    dbs: &[usize],
+) -> Vec<ScalePoint> {
     let mut rows = Vec::new();
     for &a in apps {
         for &d in dbs {

@@ -87,10 +87,9 @@ impl Workload {
                     },
                 ],
             },
-            Workload::HotSpot => RequestScript::single(
-                db(0),
-                vec![DbOp::Add { key: "hot".into(), delta: 1 }],
-            ),
+            Workload::HotSpot => {
+                RequestScript::single(db(0), vec![DbOp::Add { key: "hot".into(), delta: 1 }])
+            }
             Workload::AlwaysDoomed => RequestScript::single(db(0), vec![DbOp::Doom]),
         };
         Request { id, script }

@@ -373,7 +373,10 @@ impl Sim {
         let detect = self.cfg.net.min_delay;
         for &s in self.fd_subscribers.clone().iter() {
             if s != node {
-                self.push(self.now + detect, Action::NotifyPeer { node: s, about: node, up: false });
+                self.push(
+                    self.now + detect,
+                    Action::NotifyPeer { node: s, about: node, up: false },
+                );
             }
         }
     }

@@ -129,7 +129,7 @@ pub fn sample_delivery_delay(
     let mut attempts: u32 = 0;
     while rng.chance(cfg.loss_rate) && attempts < 1_000 {
         attempts += 1;
-        at = at + cfg.retransmit_gap;
+        at += cfg.retransmit_gap;
     }
     let latency = rng.range_dur(cfg.min_delay, cfg.max_delay);
     (at + latency).since(now)
@@ -145,8 +145,7 @@ mod tests {
         let links = LinkState::default();
         let mut rng = Rng::new(1);
         for _ in 0..1000 {
-            let d =
-                sample_delivery_delay(&cfg, &links, &mut rng, NodeId(0), NodeId(1), Time::ZERO);
+            let d = sample_delivery_delay(&cfg, &links, &mut rng, NodeId(0), NodeId(1), Time::ZERO);
             assert!(d >= cfg.min_delay && d <= cfg.max_delay, "{d:?}");
         }
     }

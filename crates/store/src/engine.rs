@@ -150,12 +150,20 @@ impl Engine {
             let out = match op {
                 DbOp::Get { key } => OpOutput::Value(self.effective(rid, key)),
                 DbOp::Put { key, value } => {
-                    self.branches.get_mut(&rid).expect("branch exists").writes.insert(key.clone(), *value);
+                    self.branches
+                        .get_mut(&rid)
+                        .expect("branch exists")
+                        .writes
+                        .insert(key.clone(), *value);
                     OpOutput::Updated(*value)
                 }
                 DbOp::Add { key, delta } => {
                     let new = self.effective(rid, key).unwrap_or(0) + delta;
-                    self.branches.get_mut(&rid).expect("branch exists").writes.insert(key.clone(), new);
+                    self.branches
+                        .get_mut(&rid)
+                        .expect("branch exists")
+                        .writes
+                        .insert(key.clone(), new);
                     OpOutput::Updated(new)
                 }
                 DbOp::Reserve { key, qty } => {
@@ -200,7 +208,10 @@ impl Engine {
                 b.state = BranchState::Prepared;
                 let writes: Vec<(String, i64)> =
                     b.writes.iter().map(|(k, &v)| (k.clone(), v)).collect();
-                (Vote::Yes, vec![LogWrite { rec: StableRecord::Prepared { rid, writes }, force: true }])
+                (
+                    Vote::Yes,
+                    vec![LogWrite { rec: StableRecord::Prepared { rid, writes }, force: true }],
+                )
             }
             Some(b) if b.state == BranchState::Prepared => (Vote::Yes, Vec::new()),
             // Doomed, or unknown (e.g. the server crashed and lost the
@@ -371,10 +382,7 @@ mod tests {
         let mut e = Engine::new();
         let r = rid(1);
         let st = e.execute(r, &[put("acct", 100), DbOp::Add { key: "acct".into(), delta: -30 }]);
-        assert_eq!(
-            st,
-            ExecStatus::Done(vec![OpOutput::Updated(100), OpOutput::Updated(70)])
-        );
+        assert_eq!(st, ExecStatus::Done(vec![OpOutput::Updated(100), OpOutput::Updated(70)]));
         // Nothing committed yet.
         assert_eq!(e.committed("acct"), None);
         let (v, logs) = e.vote(r);

@@ -21,9 +21,7 @@ use etx::harness::{MiddleTier, ScenarioBuilder, Workload};
 use etx::sim::FaultAction;
 
 fn commits(s: &etx::harness::Scenario) -> usize {
-    s.sim
-        .trace()
-        .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
+    s.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
 }
 
 fn main() {

@@ -35,10 +35,9 @@ fn main() {
     }
 
     // The exactly-once evidence: exactly one commit at the database.
-    let commits = scenario
-        .sim
-        .trace()
-        .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: etx::base::value::Outcome::Commit, .. }));
+    let commits = scenario.sim.trace().count_kind(|k| {
+        matches!(k, TraceKind::DbDecide { outcome: etx::base::value::Outcome::Commit, .. })
+    });
     println!("database commits for this request: {commits} (exactly once)");
 
     // And the full §3 specification holds on the recorded history.

@@ -5,13 +5,12 @@
 use etx::base::time::{Dur, Time};
 use etx::base::trace::TraceKind;
 use etx::base::value::Outcome;
-use etx::harness::{MiddleTier, ScenarioBuilder, Workload};
+use etx::baselines::RetryPolicy;
+use etx::harness::{check, LivenessChecks, MiddleTier, ScenarioBuilder, Workload};
 use etx::sim::FaultAction;
 
 fn commits(s: &etx::harness::Scenario) -> usize {
-    s.sim
-        .trace()
-        .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
+    s.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
 }
 
 /// Crash the (sole/primary) application server right after the database
@@ -69,6 +68,75 @@ fn same_fault_four_protocols_four_outcomes() {
         1,
         "baseline surfaces the ambiguity to the user"
     );
+}
+
+#[test]
+fn tpc_coordinator_crash_blocks_where_etx_delivers() {
+    // The paper's blocking argument, end to end: kill the coordinator after
+    // the database votes and give both stacks a long horizon. The
+    // e-Transaction replicas take over and deliver; 2PC leaves the branch
+    // in-doubt for the entire horizon and the user only ever sees a
+    // timeout exception.
+    let mut etx_run = crash_after_vote(MiddleTier::Etx { apps: 3 }, 21);
+    let out = etx_run.run_until_settled(1);
+    assert_eq!(out, etx::sim::RunOutcome::Predicate);
+    etx_run.quiesce(Dur::from_millis(300));
+    assert_eq!(etx_run.delivered_commits(), 1, "etx delivers through the coordinator crash");
+
+    let mut tpc = crash_after_vote(MiddleTier::Tpc, 21);
+    tpc.sim.run_until_time(Time(5_000_000));
+    assert_eq!(tpc.delivered_commits(), 0, "2PC delivers nothing while blocked");
+    assert_eq!(
+        tpc.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })),
+        0,
+        "2PC's voted branch must stay in-doubt as long as the coordinator is down"
+    );
+    assert!(
+        tpc.sim.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })) >= 1,
+        "the 2PC user times out instead of receiving a result"
+    );
+}
+
+#[test]
+fn property_checker_flags_naive_retry_duplicate_commit() {
+    // The unreliable baseline's signature failure: crash the coordinator
+    // right after the database commits, let the client naively resend, and
+    // the same request commits twice. The §3 property checker must call
+    // that out as an A.2 (at-most-once) violation.
+    let mut tpc = ScenarioBuilder::fast(MiddleTier::Tpc, 31)
+        .workload(Workload::BankUpdate { amount: 100 })
+        .client_retry(RetryPolicy::NaiveResend { max_retries: 4 })
+        .requests(1)
+        .build();
+    let coord = tpc.topo.app_servers[0];
+    let db = tpc.topo.db_servers[0];
+    tpc.sim.on_trace(
+        move |ev| {
+            ev.node == db && matches!(ev.kind, TraceKind::DbDecide { outcome: Outcome::Commit, .. })
+        },
+        FaultAction::CrashRecover(coord, Dur::from_millis(200)),
+    );
+    tpc.sim.run_until(|s| {
+        s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
+            >= 2
+    });
+    tpc.quiesce(Dur::from_millis(100));
+    assert!(commits(&tpc) >= 2, "the fault schedule must actually produce a double charge");
+
+    let report = check(tpc.sim.trace().events(), &tpc.topo.clients, LivenessChecks::default());
+    assert!(!report.ok(), "the checker must reject the duplicated execution");
+    assert!(
+        report.violations.iter().any(|v| v.contains("A.2")),
+        "the duplicate commit must be flagged as an A.2 violation, got: {:?}",
+        report.violations
+    );
+
+    // Control: the e-Transaction stack under the same fault passes clean.
+    let mut etx_run = crash_after_vote(MiddleTier::Etx { apps: 3 }, 31);
+    etx_run.run_until_settled(1);
+    etx_run.quiesce(Dur::from_millis(300));
+    check(etx_run.sim.trace().events(), &etx_run.topo.clients, LivenessChecks::default())
+        .assert_ok();
 }
 
 #[test]

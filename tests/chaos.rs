@@ -40,12 +40,7 @@ fn chaos_with_contending_clients() {
 
 #[test]
 fn chaos_with_lossy_network_and_two_dbs() {
-    let opts = ChaosOptions {
-        dbs: 2,
-        loss_rate: 0.1,
-        max_db_cycles: 2,
-        ..ChaosOptions::default()
-    };
+    let opts = ChaosOptions { dbs: 2, loss_rate: 0.1, max_db_cycles: 2, ..ChaosOptions::default() };
     for seed in 0..40u64 {
         run_chaos(seed, &opts).assert_ok();
     }

@@ -46,9 +46,7 @@ fn run_stage(stage: Stage, seed: u64) {
         Stage::AfterRegDWrite => Box::new(move |ev| {
             ev.node == a1 && matches!(ev.kind, TraceKind::Span { comp: Component::LogOutcome, .. })
         }),
-        Stage::AfterDbCommit => {
-            Box::new(move |ev| matches!(ev.kind, TraceKind::DbDecide { .. }))
-        }
+        Stage::AfterDbCommit => Box::new(move |ev| matches!(ev.kind, TraceKind::DbDecide { .. })),
     };
     s.sim.on_trace(pred, FaultAction::Crash(a1));
     let out = s.run_until_settled(1);

@@ -1,0 +1,214 @@
+//! Deterministic case runner with a persisted regression corpus.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::strategy::Strategy;
+
+/// Why a property case failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(pub String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Mirrors `proptest::test_runner::Config`. Only `cases` is honoured; the
+/// other fields exist so `..ProptestConfig::default()` struct-update syntax
+/// from real-proptest call sites compiles unchanged.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of fresh cases to run (after corpus replay).
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; the shim never forks.
+    pub fork: bool,
+    /// Accepted for compatibility; cases are never timed out.
+    pub timeout: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_shrink_iters: 0, fork: false, timeout: 0 }
+    }
+}
+
+/// Deterministic splitmix64 stream — the shim's only entropy source.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // Multiply-shift bounded sampling; bias is negligible for the small
+        // ranges property tests use.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// `tests/proptest-regressions/<source-file-stem>.txt` next to the crate
+/// whose test expanded the `proptest!` macro.
+fn corpus_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_owned());
+    Path::new(manifest_dir).join("tests").join("proptest-regressions").join(format!("{stem}.txt"))
+}
+
+/// Corpus lines: `cc <test_name> 0x<seed-hex>`; `#` starts a comment.
+fn corpus_seeds(path: &Path, test_name: &str) -> Vec<u64> {
+    let Ok(text) = fs::read_to_string(path) else { return Vec::new() };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if parts.next() != Some("cc") {
+            continue;
+        }
+        if parts.next() != Some(test_name) {
+            continue;
+        }
+        if let Some(hex) = parts.next() {
+            let hex = hex.strip_prefix("0x").unwrap_or(hex);
+            if let Ok(seed) = u64::from_str_radix(hex, 16) {
+                if !seeds.contains(&seed) {
+                    seeds.push(seed);
+                }
+            }
+        }
+    }
+    seeds
+}
+
+/// Best-effort (a read-only checkout must not turn a clear assertion
+/// failure into an I/O panic); returns whether the seed is now on disk.
+/// Appends rather than rewriting so concurrently-failing tests sharing one
+/// corpus file cannot clobber each other's lines.
+fn persist_failure(path: &Path, test_name: &str, seed: u64) -> bool {
+    use std::io::Write as _;
+
+    if corpus_seeds(path, test_name).contains(&seed) {
+        return true;
+    }
+    if let Some(dir) = path.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    let header = if path.exists() {
+        String::new()
+    } else {
+        "# Seeds for failure cases found by the proptest shim. It is\n\
+         # automatically read and these particular cases re-run before any\n\
+         # novel cases are generated. Lines: cc <test_name> 0x<seed>\n"
+            .to_owned()
+    };
+    let line = format!("{header}cc {test_name} 0x{seed:016x}\n");
+    fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()))
+        .is_ok()
+}
+
+/// Parse an env override as decimal or `0x`-prefixed hex (the shim prints
+/// seeds in hex, so that form must round-trip). Unset → None; set but
+/// unparseable → panic, never a silent fallback.
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let parsed = match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => raw.parse::<u64>(),
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw:?} is not a u64 (decimal or 0x-prefixed hex)"),
+    }
+}
+
+/// Run one `proptest!`-declared property: replay the regression corpus,
+/// then `config.cases` fresh deterministic cases. Panics on first failure
+/// after persisting its seed.
+pub fn run<S, F>(
+    config: &ProptestConfig,
+    test_name: &str,
+    manifest_dir: &str,
+    source_file: &str,
+    strategy: S,
+    test: F,
+) where
+    S: Strategy,
+    S::Value: fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let cases = match env_u64("PROPTEST_CASES") {
+        Some(n) => u32::try_from(n).unwrap_or_else(|_| panic!("PROPTEST_CASES={n} exceeds u32")),
+        None => config.cases,
+    };
+    let universe = env_u64("PROPTEST_RNG_SEED").unwrap_or(0);
+    let corpus = corpus_path(manifest_dir, source_file);
+    let base = fnv1a(test_name.as_bytes()) ^ universe;
+
+    let replay = corpus_seeds(&corpus, test_name);
+    let fresh = (0..cases as u64).map(|i| base.wrapping_add(i.wrapping_mul(0xA076_1D64_78BD_642F)));
+    for (kind, seed) in replay.into_iter().map(|s| ("corpus", s)).chain(fresh.map(|s| ("fresh", s)))
+    {
+        let mut rng = TestRng::new(seed);
+        let value = strategy.generate(&mut rng);
+        if let Err(err) = test(value) {
+            // Re-generate for the report; `test` consumed the value.
+            let mut rng = TestRng::new(seed);
+            let value = strategy.generate(&mut rng);
+            let disposition = if kind == "corpus" {
+                "already in corpus".to_owned()
+            } else if persist_failure(&corpus, test_name, seed) {
+                format!("persisted to {}", corpus.display())
+            } else {
+                format!("could NOT be persisted to {} — record it by hand", corpus.display())
+            };
+            panic!(
+                "proptest case failed ({kind} seed 0x{seed:016x}, {disposition}):\n\
+                 input: {value:#?}\n{err}"
+            );
+        }
+    }
+}
