@@ -81,6 +81,13 @@ impl ResultId {
     pub fn next_attempt(self) -> Self {
         ResultId { request: self.request, attempt: self.attempt + 1 }
     }
+
+    /// Marker id used by intra-shard replication snapshot log records —
+    /// snapshots replicate the whole committed state, not one branch, so
+    /// they carry this reserved id (no client ever owns `NodeId(u32::MAX)`).
+    pub fn repl_snapshot() -> Self {
+        ResultId::first(RequestId { client: NodeId(u32::MAX), seq: 0 })
+    }
 }
 
 impl fmt::Display for ResultId {

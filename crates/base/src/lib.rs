@@ -35,6 +35,7 @@ pub mod error;
 pub mod ids;
 pub mod msg;
 pub mod runtime;
+pub mod shard;
 pub mod time;
 pub mod trace;
 pub mod value;
@@ -45,5 +46,6 @@ pub use error::IssueError;
 pub use ids::{NodeId, RegId, RegKind, RequestId, ResultId, Role};
 pub use msg::Payload;
 pub use runtime::{Context, Event, Process};
+pub use shard::{ShardId, ShardMap, ShardSpec};
 pub use time::{Dur, Time};
 pub use value::{Decision, Outcome, Request, ResultValue, Vote};

@@ -21,6 +21,9 @@ pub enum Payload {
     Db(DbMsg),
     /// Database server → application server.
     DbReply(DbReplyMsg),
+    /// Database server ↔ database server (intra-shard asynchronous
+    /// replication: commit shipping and recovery catch-up).
+    Repl(ReplMsg),
     /// Application server ↔ application server (wo-register consensus).
     Consensus(ConsensusMsg),
     /// Failure-detector traffic among application servers.
@@ -52,6 +55,9 @@ impl Payload {
             Payload::DbReply(DbReplyMsg::AckDecide { .. }) => "AckDecide",
             Payload::DbReply(DbReplyMsg::AckCommitOnePhase { .. }) => "AckCommit1P",
             Payload::DbReply(DbReplyMsg::Ready) => "Ready",
+            Payload::Repl(ReplMsg::Apply { .. }) => "ReplApply",
+            Payload::Repl(ReplMsg::SyncReq) => "ReplSyncReq",
+            Payload::Repl(ReplMsg::SyncState { .. }) => "ReplSyncState",
             Payload::Consensus(ConsensusMsg::Estimate { .. }) => "CEstimate",
             Payload::Consensus(ConsensusMsg::Propose { .. }) => "CPropose",
             Payload::Consensus(ConsensusMsg::Ack { .. }) => "CAck",
@@ -171,6 +177,37 @@ pub enum DbReplyMsg {
     /// `[Ready]` — recovery notification (Figure 3 line 2): "I crashed and
     /// came back; anything I had not prepared is gone."
     Ready,
+}
+
+/// Intra-shard replication traffic between the database servers of one
+/// replica group. The primary ships every committed write set to its
+/// followers *asynchronously* (off the transaction's critical path — the
+/// same design move the paper makes for the middle tier); a recovering
+/// follower pulls a snapshot from its primary to catch up on anything it
+/// missed while down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplMsg {
+    /// Primary → followers: branch `rid` committed with these post-commit
+    /// values. Appliers process strictly in `seq` order (buffering gaps),
+    /// so a follower's state is always a prefix of the primary's history.
+    Apply {
+        /// Dense per-primary ship counter, starting at 1.
+        seq: u64,
+        /// The committed transaction branch.
+        rid: ResultId,
+        /// Post-commit key values (absolute, not deltas — replay-safe).
+        entries: Vec<(String, i64)>,
+    },
+    /// Follower → its shard primary: "send me your state" (recovery, or a
+    /// detected gap in the apply stream).
+    SyncReq,
+    /// Primary → follower: full committed snapshot at ship position `seq`.
+    SyncState {
+        /// The primary's ship counter at snapshot time.
+        seq: u64,
+        /// The primary's committed key values.
+        entries: Vec<(String, i64)>,
+    },
 }
 
 /// Messages of the rotating-coordinator consensus that implements

@@ -41,6 +41,9 @@ pub enum TimerTag {
     /// Cleaner thread wake-up (Figure 6 is an infinite loop; here it is a
     /// periodic scan).
     CleanerTick,
+    /// A shard follower re-requests a recovery snapshot from its primary
+    /// until one arrives (intra-shard replication catch-up liveness).
+    ReplSyncRetry,
     /// Failure detector: send the next heartbeat round.
     FdHeartbeat,
     /// Failure detector: liveness check for peers.

@@ -1,0 +1,270 @@
+//! Keyspace partitioning: shards and per-shard replica groups.
+//!
+//! The paper's three-tier model treats each database server as an
+//! autonomous XA branch of a distributed transaction (§1–§2); nothing in
+//! the protocol requires the back end to be a *single* resource manager.
+//! This module supplies the addressing layer that turns the flat `dlist`
+//! into a **sharded** tier: the keyspace is partitioned across a fixed
+//! number of shards (hash or range partitioning), and each shard is served
+//! by a replica group of database servers — a primary that owns the
+//! shard's XA branches plus asynchronous followers.
+//!
+//! Routing is *pure data*: a [`ShardMap`] is built deterministically from a
+//! [`ShardSpec`] and the ordered database-server list, so every
+//! application-server replica derives the identical map and no coordination
+//! is ever needed to agree on where a key lives. Rebuilding a map from the
+//! same configuration yields the same routing — a property the test suite
+//! checks exhaustively, because silent routing drift would split a key's
+//! history across two shards.
+
+use crate::ids::NodeId;
+use core::fmt;
+
+/// Identity of one shard (a partition of the keyspace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl fmt::Display for ShardId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+/// How the keyspace is partitioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardSpec {
+    /// FNV-1a hash of the key, modulo `shards`. Spreads any keyspace
+    /// uniformly; the default.
+    Hash {
+        /// Number of shards (≥ 1).
+        shards: u32,
+    },
+    /// Range partitioning by key string: `boundaries` must be sorted
+    /// ascending; a key belongs to the first boundary that exceeds it
+    /// (shard count = `boundaries.len() + 1`). Models ordered keyspaces
+    /// where locality matters.
+    Range {
+        /// Sorted split points. Key `k` lands in the first shard whose
+        /// boundary is `> k`, or the last shard if none is.
+        boundaries: Vec<String>,
+    },
+}
+
+impl ShardSpec {
+    /// Number of shards this spec produces.
+    pub fn shard_count(&self) -> u32 {
+        match self {
+            ShardSpec::Hash { shards } => (*shards).max(1),
+            ShardSpec::Range { boundaries } => boundaries.len() as u32 + 1,
+        }
+    }
+}
+
+/// FNV-1a — stable across platforms and releases; the routing function must
+/// never change under a rebuild with the same config.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// The complete sharding configuration of a run: the partitioning function
+/// plus the assignment of database servers to per-shard replica groups.
+///
+/// Group `g` serves shard `g`; within a group, index 0 is the **primary**
+/// (it executes and prepares the shard's XA branches) and the rest are
+/// asynchronous followers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    spec: ShardSpec,
+    groups: Vec<Vec<NodeId>>,
+}
+
+impl ShardMap {
+    /// Builds a map by dealing `db_servers` into `spec.shard_count()`
+    /// groups of `replication` servers each, in order: shard 0 takes the
+    /// first `replication` servers, shard 1 the next, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `db_servers.len() < shard_count * replication` or
+    /// `replication == 0` — a shard without a full replica group is a
+    /// configuration error, not a runtime condition.
+    pub fn build(spec: ShardSpec, db_servers: &[NodeId], replication: usize) -> Self {
+        assert!(replication > 0, "replication factor must be at least 1");
+        let shards = spec.shard_count() as usize;
+        assert!(
+            db_servers.len() >= shards * replication,
+            "need {} database servers for {shards} shards × {replication} replicas, have {}",
+            shards * replication,
+            db_servers.len()
+        );
+        let groups = (0..shards)
+            .map(|g| db_servers[g * replication..(g + 1) * replication].to_vec())
+            .collect();
+        ShardMap { spec, groups }
+    }
+
+    /// The degenerate map every pre-sharding scenario implicitly used: each
+    /// database server is its own single-replica shard, hash-partitioned.
+    /// Explicitly-addressed scripts bypass routing entirely, so this exists
+    /// only to give key-addressed scripts *some* home in small setups.
+    pub fn one_per_db(db_servers: &[NodeId]) -> Self {
+        ShardMap::build(ShardSpec::Hash { shards: db_servers.len().max(1) as u32 }, db_servers, 1)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.groups.len() as u32
+    }
+
+    /// Replication factor (replica-group size; uniform across shards).
+    pub fn replication(&self) -> usize {
+        self.groups.first().map_or(1, Vec::len)
+    }
+
+    /// The shard a key belongs to. Total: every key routes to exactly one
+    /// shard (the router property tests pin this down).
+    pub fn shard_of(&self, key: &str) -> ShardId {
+        match &self.spec {
+            ShardSpec::Hash { .. } => {
+                ShardId((fnv1a(key.as_bytes()) % self.groups.len() as u64) as u32)
+            }
+            ShardSpec::Range { boundaries } => {
+                let idx = boundaries.iter().position(|b| key < b.as_str());
+                ShardId(idx.unwrap_or(boundaries.len()) as u32)
+            }
+        }
+    }
+
+    /// The replica group serving a shard (index 0 is the primary).
+    pub fn replicas(&self, shard: ShardId) -> &[NodeId] {
+        &self.groups[shard.0 as usize]
+    }
+
+    /// The primary of a shard: the replica that executes and prepares the
+    /// shard's XA branches.
+    pub fn primary(&self, shard: ShardId) -> NodeId {
+        self.groups[shard.0 as usize][0]
+    }
+
+    /// All shard primaries, in shard order.
+    pub fn primaries(&self) -> Vec<NodeId> {
+        self.groups.iter().map(|g| g[0]).collect()
+    }
+
+    /// The shard a database server serves, if it belongs to any group.
+    pub fn shard_of_node(&self, node: NodeId) -> Option<ShardId> {
+        self.groups.iter().position(|g| g.contains(&node)).map(|i| ShardId(i as u32))
+    }
+
+    /// A node's shard peers: the other replicas of its group (empty for
+    /// nodes outside every group, and for replication factor 1).
+    pub fn peers_of(&self, node: NodeId) -> Vec<NodeId> {
+        match self.shard_of_node(node) {
+            Some(s) => self.replicas(s).iter().copied().filter(|&n| n != node).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The partitioning spec this map was built from.
+    pub fn spec(&self) -> &ShardSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: u32) -> Vec<NodeId> {
+        (100..100 + n).map(NodeId).collect()
+    }
+
+    #[test]
+    fn hash_map_deals_groups_in_order() {
+        let dbs = nodes(6);
+        let m = ShardMap::build(ShardSpec::Hash { shards: 3 }, &dbs, 2);
+        assert_eq!(m.shard_count(), 3);
+        assert_eq!(m.replication(), 2);
+        assert_eq!(m.replicas(ShardId(0)), &dbs[0..2]);
+        assert_eq!(m.replicas(ShardId(2)), &dbs[4..6]);
+        assert_eq!(m.primary(ShardId(1)), dbs[2]);
+        assert_eq!(m.primaries(), vec![dbs[0], dbs[2], dbs[4]]);
+    }
+
+    #[test]
+    fn every_key_routes_inside_the_shard_space() {
+        let m = ShardMap::build(ShardSpec::Hash { shards: 4 }, &nodes(4), 1);
+        for i in 0..1000 {
+            let s = m.shard_of(&format!("key{i}"));
+            assert!(s.0 < 4);
+        }
+    }
+
+    #[test]
+    fn rebuild_with_same_config_routes_identically() {
+        let dbs = nodes(8);
+        let a = ShardMap::build(ShardSpec::Hash { shards: 4 }, &dbs, 2);
+        let b = ShardMap::build(ShardSpec::Hash { shards: 4 }, &dbs, 2);
+        assert_eq!(a, b);
+        for i in 0..200 {
+            let k = format!("acct{i}");
+            assert_eq!(a.shard_of(&k), b.shard_of(&k));
+        }
+    }
+
+    #[test]
+    fn range_partitioning_respects_boundaries() {
+        let m = ShardMap::build(
+            ShardSpec::Range { boundaries: vec!["g".into(), "p".into()] },
+            &nodes(3),
+            1,
+        );
+        assert_eq!(m.shard_count(), 3);
+        assert_eq!(m.shard_of("apple"), ShardId(0));
+        assert_eq!(m.shard_of("grape"), ShardId(1));
+        assert_eq!(m.shard_of("melon"), ShardId(1));
+        assert_eq!(m.shard_of("pear"), ShardId(2));
+        assert_eq!(m.shard_of("zebra"), ShardId(2));
+    }
+
+    #[test]
+    fn node_to_shard_back_references() {
+        let dbs = nodes(4);
+        let m = ShardMap::build(ShardSpec::Hash { shards: 2 }, &dbs, 2);
+        assert_eq!(m.shard_of_node(dbs[0]), Some(ShardId(0)));
+        assert_eq!(m.shard_of_node(dbs[3]), Some(ShardId(1)));
+        assert_eq!(m.shard_of_node(NodeId(9)), None);
+        assert_eq!(m.peers_of(dbs[0]), vec![dbs[1]]);
+        assert_eq!(m.peers_of(NodeId(9)), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn one_per_db_matches_flat_topologies() {
+        let dbs = nodes(3);
+        let m = ShardMap::one_per_db(&dbs);
+        assert_eq!(m.shard_count(), 3);
+        assert_eq!(m.replication(), 1);
+        for (i, &db) in dbs.iter().enumerate() {
+            assert_eq!(m.primary(ShardId(i as u32)), db);
+            assert!(m.peers_of(db).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need 8 database servers")]
+    fn underprovisioned_group_is_a_config_error() {
+        ShardMap::build(ShardSpec::Hash { shards: 4 }, &nodes(6), 2);
+    }
+
+    #[test]
+    fn display_and_spec_accessors() {
+        let m = ShardMap::one_per_db(&nodes(2));
+        assert_eq!(format!("{}", ShardId(3)), "shard3");
+        assert_eq!(m.spec().shard_count(), 2);
+    }
+}

@@ -127,6 +127,20 @@ pub enum TraceKind {
         /// Applied outcome.
         outcome: Outcome,
     },
+    /// An application server routed a key-addressed script into per-shard
+    /// XA branches (evidence for fast-path and fan-out assertions).
+    ShardRoute {
+        /// The attempt routed.
+        rid: ResultId,
+        /// How many distinct shards its branches span.
+        shards: u32,
+    },
+    /// A follower database applied replicated committed state from its
+    /// shard primary (asynchronous intra-shard replication).
+    DbReplicated {
+        /// The branch whose commit was replicated.
+        rid: ResultId,
+    },
     /// A wo-register reached a decision at this node (first local knowledge).
     RegDecided {
         /// Which register.

@@ -137,20 +137,51 @@ pub struct DbCall {
 
 /// The transactional manipulation performed by `compute()` (Figure 5 line 8),
 /// expressed as data so it can cross the simulated wire.
+///
+/// A script addresses the back end in one of two ways:
+///
+/// * **explicitly** — `calls` names a concrete database server per batch
+///   (the original form; baselines and fixed-topology workloads use it);
+/// * **by key** — `keyed_ops` carries operations without a destination;
+///   the *application server* consults its shard map and splits them into
+///   one XA branch per touched shard. This is what makes the back end
+///   horizontally partitionable without the client knowing the layout.
+///
+/// A script uses one form or the other, never both.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RequestScript {
     /// Database calls, issued in order (each call may target a different
     /// database; all branches belong to the same distributed transaction).
     pub calls: Vec<DbCall>,
+    /// Key-addressed operations, routed to shards by the application
+    /// server. Empty for explicitly-addressed scripts.
+    pub keyed_ops: Vec<DbOp>,
 }
 
 impl RequestScript {
     /// A script with a single call to one database.
     pub fn single(db: NodeId, ops: Vec<DbOp>) -> Self {
-        RequestScript { calls: vec![DbCall { db, ops }] }
+        RequestScript { calls: vec![DbCall { db, ops }], keyed_ops: Vec::new() }
+    }
+
+    /// An explicitly-addressed script from pre-built calls.
+    pub fn from_calls(calls: Vec<DbCall>) -> Self {
+        RequestScript { calls, keyed_ops: Vec::new() }
+    }
+
+    /// A key-addressed script: the application server's shard router
+    /// decides which database servers run which operations.
+    pub fn keyed(ops: Vec<DbOp>) -> Self {
+        RequestScript { calls: Vec::new(), keyed_ops: ops }
+    }
+
+    /// Whether this script still needs shard routing before execution.
+    pub fn is_keyed(&self) -> bool {
+        !self.keyed_ops.is_empty()
     }
 
     /// All distinct databases this script touches, in first-use order.
+    /// Keyed scripts touch none until routed.
     pub fn databases(&self) -> Vec<NodeId> {
         let mut dbs = Vec::new();
         for c in &self.calls {
@@ -289,14 +320,21 @@ mod tests {
     #[test]
     fn script_database_dedup_preserves_order() {
         let (a, b) = (NodeId(10), NodeId(11));
-        let script = RequestScript {
-            calls: vec![
-                DbCall { db: b, ops: vec![] },
-                DbCall { db: a, ops: vec![] },
-                DbCall { db: b, ops: vec![] },
-            ],
-        };
+        let script = RequestScript::from_calls(vec![
+            DbCall { db: b, ops: vec![] },
+            DbCall { db: a, ops: vec![] },
+            DbCall { db: b, ops: vec![] },
+        ]);
         assert_eq!(script.databases(), vec![b, a]);
+    }
+
+    #[test]
+    fn keyed_scripts_classify_and_route_nowhere_until_materialized() {
+        let s = RequestScript::keyed(vec![DbOp::Add { key: "a".into(), delta: 1 }]);
+        assert!(s.is_keyed());
+        assert!(s.databases().is_empty());
+        let e = RequestScript::single(NodeId(4), vec![]);
+        assert!(!e.is_keyed());
     }
 
     #[test]

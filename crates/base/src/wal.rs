@@ -42,6 +42,21 @@ pub enum StableRecord {
         /// Commit or abort.
         outcome: Outcome,
     },
+    /// Database (shard follower): committed values received from the shard
+    /// primary via asynchronous replication — either one branch's write set
+    /// (`Apply`) or a recovery snapshot (`SyncState`). Buffered, not forced:
+    /// replication is off the commit path, and a lost suffix is re-fetched
+    /// from the primary on recovery.
+    Replicated {
+        /// Position in the primary's ship order (dense, starting at 1);
+        /// replay restores the follower's replication cursor.
+        seq: u64,
+        /// The branch whose commit this replicates; snapshot catch-ups use
+        /// [`ResultId::repl_snapshot`] as a marker.
+        rid: ResultId,
+        /// Post-commit key values.
+        writes: Vec<(String, i64)>,
+    },
     /// 2PC coordinator: processing of `rid` started (presumed-nothing start
     /// record, forced).
     CoordStart {
@@ -66,6 +81,7 @@ impl StableRecord {
         match self {
             StableRecord::Prepared { rid, .. }
             | StableRecord::DbOutcome { rid, .. }
+            | StableRecord::Replicated { rid, .. }
             | StableRecord::CoordStart { rid }
             | StableRecord::CoordOutcome { rid, .. } => *rid,
         }

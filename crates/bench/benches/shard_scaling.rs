@@ -1,0 +1,58 @@
+//! X5 — shard scale-out: the same key-addressed bank workload on 1, 4 and
+//! 16 shards.
+//!
+//! Two views per shard count:
+//!
+//! * **host throughput** (criterion): wall-clock cost of simulating the
+//!   whole workload — shows what the partitioned addressing layer itself
+//!   costs;
+//! * **simulated metrics** (printed table): client-perceived latency and
+//!   simulated-time throughput, plus the observed cross-shard fraction —
+//!   shows what sharding buys the *modelled* system as parallelism between
+//!   shard primaries replaces queueing at a single database server.
+//!
+//! The driver records the printed rows in `BENCH_shards.json` so the perf
+//! trajectory tracks scale-out across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
+use std::hint::black_box;
+
+const REQUESTS: u64 = 8;
+const CLIENTS: usize = 4;
+const CROSS_PCT: u8 = 20;
+
+fn run_once(shards: u32, seed: u64) -> (f64, f64) {
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+        .shards(shards)
+        .clients(CLIENTS)
+        .workload(Workload::ShardedBank { accounts: shards * 8, cross_pct: CROSS_PCT, amount: 1 })
+        .requests(REQUESTS)
+        .build();
+    let expected = s.requests as usize;
+    let out = s.run_until_settled(expected);
+    assert_eq!(out, etx_sim::RunOutcome::Predicate, "shard bench run must settle");
+    let lats = s.request_latencies_ms();
+    let mean_ms = lats.iter().sum::<f64>() / lats.len() as f64;
+    let span_s = s.sim.now().as_millis_f64() / 1_000.0;
+    (mean_ms, lats.len() as f64 / span_s)
+}
+
+fn bench_shard_scaling(c: &mut Criterion) {
+    println!("\n=== X5: shard scale-out (ShardedBank, {CROSS_PCT}% cross-shard) ===\n");
+    println!("{:>8}{:>16}{:>16}", "shards", "latency ms", "sim req/s");
+    for &shards in &[1u32, 4, 16] {
+        let (lat, rps) = run_once(shards, 0x5CA1E);
+        println!("{shards:>8}{lat:>16.2}{rps:>16.1}");
+        c.bench_function(&format!("shards/{shards}_host_throughput"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(shards, seed))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_shard_scaling);
+criterion_main!(benches);

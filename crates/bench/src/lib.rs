@@ -10,6 +10,7 @@
 //! | `failover_latency` | X1 — failure-case response time (§5's missing eval) |
 //! | `crossover` | X3 — forced-I/O vs consensus-round-trip crossover |
 //! | `scalability` | X2 — replication degree and database fan-out |
+//! | `shard_scaling` | X5 — 1/4/16-shard scale-out on the sharded bank workload |
 //! | `engine_criterion` | Criterion microbenches of the substrates |
 //!
 //! Run them all with `cargo bench --workspace`.

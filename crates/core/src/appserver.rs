@@ -24,6 +24,7 @@ use etx_base::config::{CostModel, ProtocolConfig};
 use etx_base::ids::{NodeId, RegId, RequestId, ResultId, Topology};
 use etx_base::msg::{AppMsg, ClientMsg, DbMsg, DbReplyMsg, Payload};
 use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
+use etx_base::shard::ShardMap;
 use etx_base::time::Time;
 use etx_base::trace::{Component, TraceKind};
 use etx_base::value::{Decision, ExecStatus, Outcome, RegValue, Request, ResultValue, Vote};
@@ -61,6 +62,10 @@ pub struct AppServer {
     topo: Topology,
     cfg: ProtocolConfig,
     cost: CostModel,
+    /// Back-end addressing: key-addressed scripts are split into per-shard
+    /// XA branches against this map. Identical on every replica, so branch
+    /// layout never depends on which replica wins `regA`.
+    shards: ShardMap,
     fd: Box<dyn FailureDetector>,
     regs: WoRegisters,
     fsms: HashMap<ResultId, Phase>,
@@ -89,7 +94,10 @@ impl std::fmt::Debug for AppServer {
 }
 
 impl AppServer {
-    /// Builds an application server.
+    /// Builds an application server over a flat (unsharded) back end:
+    /// key-addressed scripts treat each database server as its own
+    /// single-replica shard. Use [`AppServer::with_shards`] for partitioned
+    /// deployments.
     ///
     /// `fd` is the eventually-perfect failure detector of §4;
     /// the wo-registers replicate across `topo.app_servers`.
@@ -100,6 +108,21 @@ impl AppServer {
         cost: CostModel,
         fd: Box<dyn FailureDetector>,
     ) -> Self {
+        let shards = ShardMap::one_per_db(&topo.db_servers);
+        Self::with_shards(me, topo, cfg, cost, shards, fd)
+    }
+
+    /// Builds an application server that routes key-addressed scripts
+    /// against an explicit shard map (partitioned keyspace, per-shard
+    /// replica groups).
+    pub fn with_shards(
+        me: NodeId,
+        topo: Topology,
+        cfg: ProtocolConfig,
+        cost: CostModel,
+        shards: ShardMap,
+        fd: Box<dyn FailureDetector>,
+    ) -> Self {
         let engine_cfg =
             EngineConfig { patience: cfg.consensus_round_patience, resync: cfg.consensus_resync };
         let regs = WoRegisters::new(me, &topo.app_servers, engine_cfg);
@@ -108,6 +131,7 @@ impl AppServer {
             topo,
             cfg,
             cost,
+            shards,
             fd,
             regs,
             fsms: HashMap::new(),
@@ -181,8 +205,14 @@ impl AppServer {
             }
             Some(_) => { /* already in progress; duplicates are absorbed */ }
             None => {
-                // New attempt: charge the dispatch cost ("start" row), then
+                // New attempt: resolve key-addressed scripts into per-shard
+                // XA branches (deterministic — every replica derives the
+                // same plan), charge the dispatch cost ("start" row), then
                 // race for ownership.
+                let (request, routed) = crate::router::materialize(request, &self.shards);
+                if let Some(span) = routed {
+                    ctx.trace(TraceKind::ShardRoute { rid, shards: span });
+                }
                 self.fsms.insert(rid, Phase::WritingRegA { request, written: false });
                 let dur = jittered(ctx, self.cost.start, self.cost.jitter);
                 ctx.trace(TraceKind::Span { rid, comp: Component::Start, dur });

@@ -16,13 +16,33 @@
 
 use etx_base::config::CostModel;
 use etx_base::ids::{NodeId, ResultId};
-use etx_base::msg::{DbMsg, DbReplyMsg, Payload};
-use etx_base::runtime::{jittered, Context, Event, Process};
+use etx_base::msg::{DbMsg, DbReplyMsg, Payload, ReplMsg};
+use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
 use etx_base::time::Dur;
 use etx_base::trace::{Component, TraceKind};
 use etx_base::value::Outcome;
 use etx_base::wal::LOG_WAL;
 use etx_store::Engine;
+
+/// A database server's place in its shard replica group.
+///
+/// The **primary** executes and prepares the shard's XA branches and ships
+/// every committed write set to its followers asynchronously — replication
+/// stays off the transaction's critical path, mirroring the paper's core
+/// move of replacing synchronous I/O with asynchronous replication. A
+/// **follower** applies shipped commits in sequence order and catches up
+/// via a snapshot pull after recovering from a crash.
+#[derive(Debug, Clone, Default)]
+pub struct ReplRole {
+    /// Followers to ship committed write sets to (primary role).
+    pub followers: Vec<NodeId>,
+    /// The shard primary to pull snapshots from (follower role; `None`
+    /// when this server is the primary or the group has size 1).
+    pub sync_from: Option<NodeId>,
+    /// How often a catching-up follower re-requests a snapshot until one
+    /// arrives (covers a primary that is itself down).
+    pub sync_retry: Dur,
+}
 
 /// The back-end tier process: an XA engine behind the paper's Figure 3 loop.
 pub struct DbServer {
@@ -30,6 +50,9 @@ pub struct DbServer {
     cost: CostModel,
     engine: Engine,
     seed_data: Vec<(String, i64)>,
+    repl: ReplRole,
+    /// Follower role: a snapshot pull is in flight (cleared by `SyncState`).
+    awaiting_sync: bool,
 }
 
 impl std::fmt::Debug for DbServer {
@@ -39,11 +62,75 @@ impl std::fmt::Debug for DbServer {
 }
 
 impl DbServer {
-    /// Creates a database server that will notify `alist` on recovery and
-    /// start from `seed_data` (the workload's initial table contents).
+    /// Creates a standalone database server (no replica group) that will
+    /// notify `alist` on recovery and start from `seed_data` (the
+    /// workload's initial table contents).
     pub fn new(alist: Vec<NodeId>, cost: CostModel, seed_data: Vec<(String, i64)>) -> Self {
+        Self::with_replication(alist, cost, seed_data, ReplRole::default())
+    }
+
+    /// Creates a database server inside a shard replica group.
+    pub fn with_replication(
+        alist: Vec<NodeId>,
+        cost: CostModel,
+        seed_data: Vec<(String, i64)>,
+        repl: ReplRole,
+    ) -> Self {
         let engine = Engine::with_data(seed_data.clone());
-        DbServer { alist, cost, engine, seed_data }
+        DbServer { alist, cost, engine, seed_data, repl, awaiting_sync: false }
+    }
+
+    /// Ships any freshly committed write sets to this shard's followers
+    /// (asynchronous; called after every engine interaction that may have
+    /// committed).
+    fn ship_commits(&mut self, ctx: &mut dyn Context) {
+        let batch = self.engine.take_repl_outbox();
+        if self.repl.followers.is_empty() {
+            return;
+        }
+        for (seq, rid, entries) in batch {
+            for &f in &self.repl.followers {
+                ctx.send(f, Payload::Repl(ReplMsg::Apply { seq, rid, entries: entries.clone() }));
+            }
+        }
+    }
+
+    fn request_sync(&mut self, ctx: &mut dyn Context) {
+        let Some(primary) = self.repl.sync_from else { return };
+        if !self.awaiting_sync {
+            self.awaiting_sync = true;
+            ctx.set_timer(self.repl.sync_retry, TimerTag::ReplSyncRetry);
+        }
+        ctx.send(primary, Payload::Repl(ReplMsg::SyncReq));
+    }
+
+    fn on_repl_msg(&mut self, ctx: &mut dyn Context, from: NodeId, msg: ReplMsg) {
+        match msg {
+            ReplMsg::Apply { seq, rid, entries } => {
+                let res = self.engine.apply_replicated(seq, rid, entries);
+                for w in &res.writes {
+                    ctx.trace(TraceKind::DbReplicated { rid: w.rec.rid() });
+                }
+                self.apply_log_writes(ctx, res.writes);
+                if res.need_sync {
+                    // The apply stream has a gap (commits shipped while we
+                    // were down): pull a snapshot to jump over it.
+                    self.request_sync(ctx);
+                }
+            }
+            ReplMsg::SyncReq => {
+                let (seq, entries) = self.engine.repl_snapshot();
+                ctx.send(from, Payload::Repl(ReplMsg::SyncState { seq, entries }));
+            }
+            ReplMsg::SyncState { seq, entries } => {
+                self.awaiting_sync = false;
+                let writes = self.engine.adopt_repl_snapshot(seq, entries);
+                for w in &writes {
+                    ctx.trace(TraceKind::DbReplicated { rid: w.rec.rid() });
+                }
+                self.apply_log_writes(ctx, writes);
+            }
+        }
     }
 
     fn apply_log_writes(&mut self, ctx: &mut dyn Context, writes: Vec<etx_store::LogWrite>) {
@@ -118,6 +205,9 @@ impl DbServer {
                 );
             }
         }
+        // Anything the engine just committed ships to the shard's followers
+        // (a no-op for standalone servers and non-commit messages).
+        self.ship_commits(ctx);
     }
 
     /// Committed value of a key (test / harness assertions through the
@@ -147,8 +237,19 @@ impl Process for DbServer {
                 for a in self.alist.clone() {
                     ctx.send(a, Payload::DbReply(DbReplyMsg::Ready));
                 }
+                // Follower role: pull a snapshot to recover the commits the
+                // primary shipped while this replica was down.
+                self.awaiting_sync = false;
+                self.request_sync(ctx);
             }
             Event::Message { from, payload: Payload::Db(m) } => self.on_db_msg(ctx, from, m),
+            Event::Message { from, payload: Payload::Repl(m) } => self.on_repl_msg(ctx, from, m),
+            Event::Timer { tag: TimerTag::ReplSyncRetry, .. } if self.awaiting_sync => {
+                if let Some(primary) = self.repl.sync_from {
+                    ctx.send(primary, Payload::Repl(ReplMsg::SyncReq));
+                }
+                ctx.set_timer(self.repl.sync_retry, TimerTag::ReplSyncRetry);
+            }
             _ => {}
         }
     }

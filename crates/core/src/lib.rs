@@ -24,10 +24,12 @@ pub mod appserver;
 pub mod client;
 pub mod dbserver;
 pub mod resultbuild;
+pub mod router;
 
 pub use appserver::AppServer;
 pub use client::EtxClient;
-pub use dbserver::DbServer;
+pub use dbserver::{DbServer, ReplRole};
+pub use router::{route, RoutedPlan};
 
 #[cfg(test)]
 mod tests {
@@ -319,18 +321,16 @@ mod tests {
         let (d1, d2) = (topo.db_servers[0], topo.db_servers[1]);
         let req = Request {
             id: RequestId { client, seq: 1 },
-            script: RequestScript {
-                calls: vec![
-                    etx_base::value::DbCall {
-                        db: d1,
-                        ops: vec![DbOp::Add { key: "checking".into(), delta: -50 }],
-                    },
-                    etx_base::value::DbCall {
-                        db: d2,
-                        ops: vec![DbOp::Add { key: "savings".into(), delta: 50 }],
-                    },
-                ],
-            },
+            script: RequestScript::from_calls(vec![
+                etx_base::value::DbCall {
+                    db: d1,
+                    ops: vec![DbOp::Add { key: "checking".into(), delta: -50 }],
+                },
+                etx_base::value::DbCall {
+                    db: d2,
+                    ops: vec![DbOp::Add { key: "savings".into(), delta: 50 }],
+                },
+            ]),
         };
         let (mut sim, _) = build_system(
             17,

@@ -10,8 +10,9 @@ use crate::properties::{check, LivenessChecks, PropertyReport};
 use crate::scenario::{MiddleTier, ScenarioBuilder};
 use crate::workloads::Workload;
 use etx_base::time::{Dur, Time};
+use etx_base::trace::TraceKind;
 use etx_fd::ForcedSuspicion;
-use etx_sim::{NetConfig, Rng, RunOutcome};
+use etx_sim::{FaultAction, NetConfig, Rng, RunOutcome};
 
 /// Knobs of the chaos generator.
 #[derive(Debug, Clone)]
@@ -32,6 +33,12 @@ pub struct ChaosOptions {
     pub max_false_suspicions: usize,
     /// Message-loss probability (absorbed by reliable channels as delay).
     pub loss_rate: f64,
+    /// Sharded back end: partition the keyspace over this many shards and
+    /// run key-addressed workloads. `None` keeps the flat `dbs` tier and
+    /// the original explicitly-addressed workloads.
+    pub shards: Option<u32>,
+    /// Replica-group size per shard (only meaningful with `shards`).
+    pub replication: usize,
 }
 
 impl Default for ChaosOptions {
@@ -45,6 +52,8 @@ impl Default for ChaosOptions {
             max_db_cycles: 2,
             max_false_suspicions: 2,
             loss_rate: 0.05,
+            shards: None,
+            replication: 1,
         }
     }
 }
@@ -91,10 +100,19 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let db_cycles = rng.range_u64(0, opts.max_db_cycles as u64) as usize;
     let suspicions = rng.range_u64(0, opts.max_false_suspicions as u64) as usize;
 
-    let workload = match rng.range_u64(0, 2) {
-        0 => Workload::BankUpdate { amount: 10 },
-        1 => Workload::Travel,
-        _ => Workload::HotSpot,
+    let workload = match opts.shards {
+        // Sharded runs draw from the key-addressed families so routing,
+        // the multi-branch decide path and replication all get exercised.
+        Some(shards) => match rng.range_u64(0, 2) {
+            0 => Workload::ShardedBank { accounts: shards * 4, cross_pct: 40, amount: 10 },
+            1 => Workload::ShardedBank { accounts: shards * 4, cross_pct: 100, amount: 10 },
+            _ => Workload::HotShard { accounts: shards * 4, hot_pct: 80, amount: 10 },
+        },
+        None => match rng.range_u64(0, 2) {
+            0 => Workload::BankUpdate { amount: 10 },
+            1 => Workload::Travel,
+            _ => Workload::HotSpot,
+        },
     };
 
     let mut forced = Vec::new();
@@ -103,6 +121,9 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         .clients(opts.clients)
         .requests(opts.requests)
         .workload(workload.clone());
+    if let Some(shards) = opts.shards {
+        builder = builder.shards(shards).replication(opts.replication);
+    }
     if opts.loss_rate > 0.0 {
         builder = builder.net(NetConfig {
             min_delay: Dur::from_micros(100),
@@ -145,8 +166,9 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     }
 
     // Database crash/recovery cycles (good databases: always recover).
+    let db_count = scenario.topo.db_servers.len() as u64;
     for _ in 0..db_cycles {
-        let idx = rng.range_u64(0, opts.dbs as u64 - 1) as usize;
+        let idx = rng.range_u64(0, db_count - 1) as usize;
         let node = scenario.topo.db_servers[idx];
         let at = Time(rng.range_u64(0, horizon_ms) * 1_000);
         let back = at + Dur::from_millis(rng.range_u64(5, 60));
@@ -160,6 +182,64 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let run = scenario.run_until_settled(expected);
     let settled = run == RunOutcome::Predicate;
     // Give retransmissions / terminate loops time to finish (T.2 needs it).
+    scenario.quiesce(Dur::from_millis(400));
+
+    let report = check(
+        scenario.sim.trace().events(),
+        &scenario.topo.clients,
+        LivenessChecks { t1: settled, t2: settled },
+    );
+    ChaosOutcome { seed, run, settled, report, faults }
+}
+
+/// The hot-shard chaos scenario: a skewed key-addressed workload hammers
+/// one shard while that shard's replicas are crash/recovery-cycled
+/// **mid-commit** (the first crash triggers off the hot primary's first
+/// vote, i.e. between prepare and decide); the other shards' traffic
+/// proceeds throughout. Checks the full §3 specification afterwards — in
+/// particular that every request still terminates with a single outcome
+/// delivered exactly once.
+pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    let mut rng = Rng::new(seed ^ 0x5AD_C0DE);
+    let shards = opts.shards.unwrap_or(4).max(2);
+    let replication = opts.replication.max(1);
+    let workload = Workload::HotShard { accounts: shards * 4, hot_pct: 70, amount: 10 };
+    let mut scenario = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .shards(shards)
+        .replication(replication)
+        .clients(opts.clients)
+        .requests(opts.requests)
+        .workload(workload)
+        .build();
+
+    let mut faults = Vec::new();
+    // The hot key is acct0; its shard is where the skew lands.
+    let hot_shard = scenario.shard_map.shard_of("acct0");
+    let hot_replicas: Vec<_> = scenario.shard_map.replicas(hot_shard).to_vec();
+    let hot_primary = hot_replicas[0];
+
+    // Crash the hot primary right after it votes (mid-commit: the branch
+    // is prepared/in-doubt, the decision push is about to land) and bring
+    // it back shortly after — the paper's good-database model.
+    let down_for = Dur::from_millis(rng.range_u64(10, 40));
+    scenario.sim.on_trace(
+        move |ev| ev.node == hot_primary && matches!(ev.kind, TraceKind::DbVote { .. }),
+        FaultAction::CrashRecover(hot_primary, down_for),
+    );
+    faults.push(format!("crash hot-shard primary {hot_primary} on first vote, back {down_for}"));
+
+    // Cycle the hot shard's followers too, while the other shards proceed.
+    for &f in hot_replicas.iter().skip(1) {
+        let at = Time(rng.range_u64(0, 100) * 1_000);
+        let back = at + Dur::from_millis(rng.range_u64(5, 50));
+        scenario.sim.crash_at(at, f);
+        scenario.sim.recover_at(back, f);
+        faults.push(format!("cycle hot-shard follower {f} at {at} → {back}"));
+    }
+
+    let expected = scenario.requests as usize;
+    let run = scenario.run_until_settled(expected);
+    let settled = run == RunOutcome::Predicate;
     scenario.quiesce(Dur::from_millis(400));
 
     let report = check(

@@ -28,10 +28,11 @@ pub mod stats;
 pub mod sweeps;
 pub mod workloads;
 
-pub use chaos::{run_chaos, ChaosOptions, ChaosOutcome};
+pub use chaos::{run_chaos, run_hot_shard_chaos, ChaosOptions, ChaosOutcome};
 pub use figures::{figure1, figure1_all, figure7, figure8, Fig1Scenario, Fig8Table};
 pub use latency::{breakdown_for, Breakdown};
 pub use properties::{check, LivenessChecks, PropertyReport};
 pub use scenario::{MiddleTier, Scenario, ScenarioBuilder};
 pub use stats::Summary;
+pub use sweeps::{cross_shard_sweep, render_cross_shard, CrossShardPoint};
 pub use workloads::Workload;

@@ -4,11 +4,12 @@
 use crate::workloads::Workload;
 use etx_base::config::{CostModel, FdConfig, ProtocolConfig};
 use etx_base::ids::{NodeId, ResultId, Topology};
+use etx_base::shard::{ShardId, ShardMap, ShardSpec};
 use etx_base::time::{Dur, Time};
 use etx_base::trace::TraceKind;
 use etx_base::value::Outcome;
 use etx_baselines::{BaselineServer, PbRole, PbServer, RetryPolicy, SimpleClient, TpcServer};
-use etx_core::{AppServer, DbServer, EtxClient};
+use etx_core::{AppServer, DbServer, EtxClient, ReplRole};
 use etx_fd::{ForcedSuspicion, HeartbeatFd, ScriptedFd};
 use etx_sim::{NetConfig, RunOutcome, Sim, SimConfig};
 
@@ -57,6 +58,10 @@ pub struct ScenarioBuilder {
     tier: MiddleTier,
     clients: usize,
     dbs: usize,
+    /// Sharded back end: `Some((shards, replication))` spawns
+    /// `shards × replication` database servers organised into per-shard
+    /// replica groups; `None` keeps the flat `dbs` tier.
+    sharding: Option<(u32, usize)>,
     requests: u64,
     workload: Workload,
     cost: CostModel,
@@ -77,6 +82,7 @@ impl ScenarioBuilder {
             tier,
             clients: 1,
             dbs: 1,
+            sharding: None,
             requests: 1,
             workload: Workload::BankUpdate { amount: 100 },
             cost: CostModel::default(),
@@ -120,6 +126,26 @@ impl ScenarioBuilder {
     /// Number of databases.
     pub fn dbs(mut self, n: usize) -> Self {
         self.dbs = n;
+        self
+    }
+
+    /// Partitions the keyspace over `n` hash shards (single-replica groups;
+    /// see [`ScenarioBuilder::replication`] to widen them). Overrides
+    /// [`ScenarioBuilder::dbs`]: the back end gets one replica group per
+    /// shard. Only meaningful for key-addressed workloads under
+    /// [`MiddleTier::Etx`].
+    pub fn shards(mut self, n: u32) -> Self {
+        let repl = self.sharding.map_or(1, |(_, r)| r);
+        self.sharding = Some((n.max(1), repl));
+        self
+    }
+
+    /// Sets the replica-group size of every shard (default 1). Implies a
+    /// sharded back end (1 shard if [`ScenarioBuilder::shards`] was not
+    /// called).
+    pub fn replication(mut self, r: usize) -> Self {
+        let shards = self.sharding.map_or(1, |(s, _)| s);
+        self.sharding = Some((shards, r.max(1)));
         self
     }
 
@@ -188,7 +214,20 @@ impl ScenarioBuilder {
 
     /// Builds the simulator with all processes registered.
     pub fn build(self) -> Scenario {
-        let topo = Topology::new(self.clients, self.tier.app_count(), self.dbs);
+        let db_count = match self.sharding {
+            Some((shards, repl)) => shards as usize * repl,
+            None => self.dbs,
+        };
+        let topo = Topology::new(self.clients, self.tier.app_count(), db_count);
+        // The shard map every application server routes against. Flat
+        // scenarios keep the implicit one-shard-per-db layout, so explicit
+        // scripts behave exactly as before sharding existed.
+        let shard_map = match self.sharding {
+            Some((shards, repl)) => {
+                ShardMap::build(ShardSpec::Hash { shards }, &topo.db_servers, repl)
+            }
+            None => ShardMap::one_per_db(&topo.db_servers),
+        };
         let mut sim_cfg = SimConfig::with_seed(self.seed);
         sim_cfg.cost = self.cost.clone();
         sim_cfg.net = self.net.clone();
@@ -232,6 +271,7 @@ impl ScenarioBuilder {
                     let cost = self.cost.clone();
                     let fd_cfg = self.fd;
                     let forced = self.forced_suspicions.clone();
+                    let map = shard_map.clone();
                     sim.add_node(
                         "app",
                         Box::new(move |me| {
@@ -241,11 +281,12 @@ impl ScenarioBuilder {
                             } else {
                                 Box::new(ScriptedFd::new(inner, forced.clone()))
                             };
-                            Box::new(AppServer::new(
+                            Box::new(AppServer::with_shards(
                                 me,
                                 topo_c.clone(),
                                 pcfg.clone(),
                                 cost.clone(),
+                                map.clone(),
                                 fd,
                             ))
                         }),
@@ -288,20 +329,52 @@ impl ScenarioBuilder {
             }
         }
 
-        // Back end.
-        for _ in 0..self.dbs {
+        // Back end: one process per database server. Under sharding each
+        // server holds only its shard's slice of the seed data and knows
+        // its replica-group role; followers pull snapshots at twice the
+        // terminate-retry cadence until caught up.
+        let sync_retry = Dur(self.pcfg.terminate_retry.0 * 2);
+        let mut db_seeds = std::collections::HashMap::new();
+        for &node in &topo.db_servers {
             let alist = topo.app_servers.clone();
             let cost = self.cost.clone();
-            let data = seed_data.clone();
+            let (data, repl) = match self.sharding {
+                None => (seed_data.clone(), ReplRole::default()),
+                Some(_) => {
+                    let shard = shard_map.shard_of_node(node).expect("every db is in a group");
+                    let data: Vec<(String, i64)> = seed_data
+                        .iter()
+                        .filter(|(k, _)| shard_map.shard_of(k) == shard)
+                        .cloned()
+                        .collect();
+                    let primary = shard_map.primary(shard);
+                    let repl = if node == primary {
+                        ReplRole {
+                            followers: shard_map.peers_of(node),
+                            sync_from: None,
+                            sync_retry,
+                        }
+                    } else {
+                        ReplRole { followers: Vec::new(), sync_from: Some(primary), sync_retry }
+                    };
+                    (data, repl)
+                }
+            };
+            db_seeds.insert(node, data.clone());
             sim.add_node(
                 "db",
                 Box::new(move |_| {
-                    Box::new(DbServer::new(alist.clone(), cost.clone(), data.clone()))
+                    Box::new(DbServer::with_replication(
+                        alist.clone(),
+                        cost.clone(),
+                        data.clone(),
+                        repl.clone(),
+                    ))
                 }),
             );
         }
 
-        Scenario { sim, topo, requests: self.requests * self.clients as u64 }
+        Scenario { sim, topo, shard_map, db_seeds, requests: self.requests * self.clients as u64 }
     }
 }
 
@@ -312,6 +385,12 @@ pub struct Scenario {
     pub sim: Sim,
     /// Who is who.
     pub topo: Topology,
+    /// How the keyspace maps onto the database tier (flat topologies get
+    /// the implicit one-shard-per-db map).
+    pub shard_map: ShardMap,
+    /// The seed data each database server started with (per-shard slices
+    /// under sharding) — the baseline for state reconstruction.
+    db_seeds: std::collections::HashMap<NodeId, Vec<(String, i64)>>,
     /// Total number of requests across all clients.
     pub requests: u64,
 }
@@ -369,5 +448,74 @@ impl Scenario {
     /// The default primary application server.
     pub fn primary(&self) -> NodeId {
         self.topo.primary()
+    }
+
+    /// The primary database replica of a shard.
+    pub fn shard_primary(&self, shard: u32) -> NodeId {
+        self.shard_map.primary(ShardId(shard))
+    }
+
+    /// The full replica group of a shard (index 0 is the primary).
+    pub fn shard_replicas(&self, shard: u32) -> &[NodeId] {
+        self.shard_map.replicas(ShardId(shard))
+    }
+
+    /// Count of distinct attempts routed across more than one shard.
+    /// (Deduplicated by attempt id: every application-server replica that
+    /// materializes an attempt traces its own `ShardRoute`, and client
+    /// rebroadcasts under faults add more — raw event counts overstate.)
+    pub fn cross_shard_routes(&self) -> usize {
+        let mut rids = std::collections::BTreeSet::new();
+        for e in self.sim.trace().events() {
+            if let TraceKind::ShardRoute { rid, shards } = e.kind {
+                if shards > 1 {
+                    rids.insert(rid);
+                }
+            }
+        }
+        rids.len()
+    }
+
+    /// Count of distinct attempts that were shard-routed at all (single- or
+    /// multi-shard) — the denominator for cross-shard fractions.
+    pub fn shard_routed_attempts(&self) -> usize {
+        let mut rids = std::collections::BTreeSet::new();
+        for e in self.sim.trace().events() {
+            if let TraceKind::ShardRoute { rid, .. } = e.kind {
+                rids.insert(rid);
+            }
+        }
+        rids.len()
+    }
+
+    /// Per-request client-perceived latency in milliseconds: delivery time
+    /// minus the request's first issue. (Delivery *timestamps* are only a
+    /// latency for single-request runs; a sequential client's k-th request
+    /// carries its predecessors' time in its timestamp.)
+    pub fn request_latencies_ms(&self) -> Vec<f64> {
+        let mut issues: std::collections::BTreeMap<etx_base::ids::RequestId, Time> =
+            std::collections::BTreeMap::new();
+        for e in self.sim.trace().events() {
+            if let TraceKind::Issue { request } = e.kind {
+                issues.entry(request).or_insert(e.at);
+            }
+        }
+        self.deliveries()
+            .iter()
+            .filter_map(|(rid, _, _, at)| {
+                issues.get(&rid.request).map(|&t0| at.since(t0).as_millis_f64())
+            })
+            .collect()
+    }
+
+    /// Reconstructs a database server's committed state from its durable
+    /// log: the kernel exposes stable storage (not process memory), and
+    /// recovery is deterministic, so replaying the WAL over the server's
+    /// seed slice yields exactly what the server holds committed. This is
+    /// how tests assert replica-group convergence.
+    pub fn rebuilt_committed(&self, db: NodeId) -> std::collections::BTreeMap<String, i64> {
+        let seed = self.db_seeds.get(&db).cloned().unwrap_or_default();
+        let log = self.sim.storage(db).read(etx_base::wal::LOG_WAL);
+        etx_store::Engine::recover_with_seed(seed, log).snapshot().clone()
     }
 }

@@ -221,6 +221,84 @@ pub fn scalability_sweep(
     rows
 }
 
+/// One point of the cross-shard percentage sweep (X4).
+#[derive(Debug, Clone)]
+pub struct CrossShardPoint {
+    /// Number of shards.
+    pub shards: u32,
+    /// Percentage of transactions touching two accounts.
+    pub cross_pct: u8,
+    /// Per-request client-perceived latency (issue → delivery, ms).
+    pub latency: Summary,
+    /// Fraction of routed attempts that actually spanned > 1 shard.
+    pub observed_cross: f64,
+    /// Simulated-time throughput: requests per simulated second.
+    pub req_per_sec: f64,
+}
+
+/// X4: the cross-shard sweep à la STAR's Figure 1 — fix the shard count,
+/// sweep the fraction of multi-account transactions, and watch the
+/// multi-branch commitment path take over from the single-shard fast path.
+pub fn cross_shard_sweep(
+    seed: u64,
+    shards: u32,
+    replication: usize,
+    pcts: &[u8],
+    requests: u64,
+) -> Vec<CrossShardPoint> {
+    let mut rows = Vec::new();
+    for &pct in pcts {
+        let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+            .shards(shards)
+            .replication(replication)
+            .workload(crate::workloads::Workload::ShardedBank {
+                accounts: shards * 8,
+                cross_pct: pct,
+                amount: 10,
+            })
+            .requests(requests)
+            .build();
+        let out = s.run_until_settled(requests as usize);
+        assert_eq!(out, RunOutcome::Predicate, "cross-shard sweep run must settle");
+        let delivered = s.deliveries().len();
+        let lats = s.request_latencies_ms();
+        let span = s.sim.now().as_millis_f64().max(f64::MIN_POSITIVE) / 1_000.0;
+        let routed = s.shard_routed_attempts();
+        rows.push(CrossShardPoint {
+            shards,
+            cross_pct: pct,
+            latency: Summary::of(&lats),
+            observed_cross: if routed == 0 {
+                0.0
+            } else {
+                s.cross_shard_routes() as f64 / routed as f64
+            },
+            req_per_sec: delivered as f64 / span,
+        });
+    }
+    rows
+}
+
+/// Renders the cross-shard sweep.
+pub fn render_cross_shard(rows: &[CrossShardPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}{:>10}{:>14}{:>14}{:>12}\n",
+        "shards", "cross %", "latency ms", "observed %", "req/s"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>8}{:>10}{:>14.1}{:>14.1}{:>12.1}\n",
+            r.shards,
+            r.cross_pct,
+            r.latency.mean,
+            r.observed_cross * 100.0,
+            r.req_per_sec
+        ));
+    }
+    out
+}
+
 /// Renders the scalability sweep.
 pub fn render_scalability(rows: &[ScalePoint]) -> String {
     let mut out = String::new();

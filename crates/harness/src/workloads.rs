@@ -3,6 +3,16 @@
 use etx_base::ids::{NodeId, RequestId, Topology};
 use etx_base::value::{DbCall, DbOp, Request, RequestScript};
 
+/// splitmix64 — derives per-request choices (which accounts, cross-shard or
+/// not) deterministically from the request identity, so workloads need no
+/// shared RNG and replay identically on every application-server replica.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// A family of requests a client can issue.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Workload {
@@ -27,6 +37,32 @@ pub enum Workload {
     HotSpot,
     /// Business logic that the databases always refuse to commit (vote no).
     AlwaysDoomed,
+    /// Shard-aware bank: `accounts` keys (`acct0`…) spread over the
+    /// partitioned keyspace by the application server's shard router.
+    /// Each request is a single-account update, except that `cross_pct`
+    /// percent of requests are two-account transfers — the cross-shard
+    /// percentage sweep of STAR's Figure 1, reproduced for e-Transactions.
+    /// Key-addressed: only runs meaningfully under `MiddleTier::Etx`.
+    ShardedBank {
+        /// Number of bank accounts (keys).
+        accounts: u32,
+        /// Percentage (0–100) of requests that touch two accounts.
+        cross_pct: u8,
+        /// Amount credited / transferred per request.
+        amount: i64,
+    },
+    /// Skewed shard-aware bank: `hot_pct` percent of requests hammer
+    /// `acct0` (whose shard becomes the hot shard); the rest spread
+    /// uniformly. The chaos suite crashes the hot shard's replicas
+    /// mid-commit while traffic to the other shards proceeds.
+    HotShard {
+        /// Number of bank accounts (keys).
+        accounts: u32,
+        /// Percentage (0–100) of requests aimed at the hot key.
+        hot_pct: u8,
+        /// Amount credited per request.
+        amount: i64,
+    },
 }
 
 impl Workload {
@@ -44,6 +80,9 @@ impl Workload {
             ],
             Workload::HotSpot => vec![("hot".into(), 0)],
             Workload::AlwaysDoomed => vec![],
+            Workload::ShardedBank { accounts, .. } | Workload::HotShard { accounts, .. } => {
+                (0..*accounts).map(|i| (format!("acct{i}"), 1_000)).collect()
+            }
         }
     }
 
@@ -59,38 +98,57 @@ impl Workload {
                     DbOp::Add { key: "acct".into(), delta: *amount },
                 ],
             ),
-            Workload::BankTransfer { amount } => RequestScript {
-                calls: vec![
-                    DbCall {
-                        db: db(0),
-                        ops: vec![DbOp::Add { key: "checking".into(), delta: -amount }],
-                    },
-                    DbCall {
-                        db: db(1),
-                        ops: vec![DbOp::Add { key: "savings".into(), delta: *amount }],
-                    },
-                ],
-            },
-            Workload::Travel => RequestScript {
-                calls: vec![
-                    DbCall {
-                        db: db(0),
-                        ops: vec![DbOp::Reserve { key: "flight:LX1612".into(), qty: 1 }],
-                    },
-                    DbCall {
-                        db: db(1),
-                        ops: vec![DbOp::Reserve { key: "hotel:Beau-Rivage".into(), qty: 1 }],
-                    },
-                    DbCall {
-                        db: db(2 % topo.db_servers.len().max(1)),
-                        ops: vec![DbOp::Reserve { key: "car:compact".into(), qty: 1 }],
-                    },
-                ],
-            },
+            Workload::BankTransfer { amount } => RequestScript::from_calls(vec![
+                DbCall {
+                    db: db(0),
+                    ops: vec![DbOp::Add { key: "checking".into(), delta: -amount }],
+                },
+                DbCall {
+                    db: db(1),
+                    ops: vec![DbOp::Add { key: "savings".into(), delta: *amount }],
+                },
+            ]),
+            Workload::Travel => RequestScript::from_calls(vec![
+                DbCall {
+                    db: db(0),
+                    ops: vec![DbOp::Reserve { key: "flight:LX1612".into(), qty: 1 }],
+                },
+                DbCall {
+                    db: db(1),
+                    ops: vec![DbOp::Reserve { key: "hotel:Beau-Rivage".into(), qty: 1 }],
+                },
+                DbCall {
+                    db: db(2 % topo.db_servers.len().max(1)),
+                    ops: vec![DbOp::Reserve { key: "car:compact".into(), qty: 1 }],
+                },
+            ]),
             Workload::HotSpot => {
                 RequestScript::single(db(0), vec![DbOp::Add { key: "hot".into(), delta: 1 }])
             }
             Workload::AlwaysDoomed => RequestScript::single(db(0), vec![DbOp::Doom]),
+            Workload::ShardedBank { accounts, cross_pct, amount } => {
+                let n = (*accounts).max(1) as u64;
+                let h = mix(u64::from(client.0) << 32 | seq);
+                let a = h % n;
+                let cross = (h >> 16) % 100 < u64::from(*cross_pct) && n > 1;
+                let ops = if cross {
+                    // Transfer a → b (b distinct from a).
+                    let b = (a + 1 + (h >> 32) % (n - 1)) % n;
+                    vec![
+                        DbOp::Add { key: format!("acct{a}"), delta: -amount },
+                        DbOp::Add { key: format!("acct{b}"), delta: *amount },
+                    ]
+                } else {
+                    vec![DbOp::Add { key: format!("acct{a}"), delta: *amount }]
+                };
+                RequestScript::keyed(ops)
+            }
+            Workload::HotShard { accounts, hot_pct, amount } => {
+                let n = (*accounts).max(1) as u64;
+                let h = mix(u64::from(client.0) << 32 | seq);
+                let a = if (h >> 8) % 100 < u64::from(*hot_pct) { 0 } else { h % n };
+                RequestScript::keyed(vec![DbOp::Add { key: format!("acct{a}"), delta: *amount }])
+            }
         };
         Request { id, script }
     }
@@ -130,6 +188,47 @@ mod tests {
         let topo3 = Topology::new(1, 3, 3);
         let r3 = Workload::Travel.request(&topo3, topo3.clients[0], 1);
         assert_eq!(r3.script.databases().len(), 3);
+    }
+
+    #[test]
+    fn sharded_bank_is_keyed_and_deterministic() {
+        let topo = Topology::new(1, 3, 4);
+        let w = Workload::ShardedBank { accounts: 16, cross_pct: 50, amount: 10 };
+        let r1 = w.request(&topo, topo.clients[0], 7);
+        let r2 = w.request(&topo, topo.clients[0], 7);
+        assert_eq!(r1, r2, "same identity, same script");
+        assert!(r1.script.is_keyed());
+        let sizes: Vec<usize> = (1..=100)
+            .map(|s| w.request(&topo, topo.clients[0], s).script.keyed_ops.len())
+            .collect();
+        assert!(sizes.contains(&1) && sizes.contains(&2), "mix of singles and transfers");
+    }
+
+    #[test]
+    fn sharded_bank_cross_pct_bounds() {
+        let topo = Topology::new(1, 3, 4);
+        let never = Workload::ShardedBank { accounts: 8, cross_pct: 0, amount: 1 };
+        assert!(
+            (1..=50).all(|s| never.request(&topo, topo.clients[0], s).script.keyed_ops.len() == 1)
+        );
+        let always = Workload::ShardedBank { accounts: 8, cross_pct: 100, amount: 1 };
+        assert!(
+            (1..=50).all(|s| always.request(&topo, topo.clients[0], s).script.keyed_ops.len() == 2)
+        );
+    }
+
+    #[test]
+    fn hot_shard_skews_towards_acct0() {
+        let topo = Topology::new(1, 3, 4);
+        let w = Workload::HotShard { accounts: 16, hot_pct: 90, amount: 1 };
+        let hot = (1..=200u64)
+            .filter(|&s| {
+                let r = w.request(&topo, topo.clients[0], s);
+                r.script.keyed_ops[0].key() == Some("acct0")
+            })
+            .count();
+        assert!(hot > 140, "≈90% of 200 requests should hit acct0, got {hot}");
+        assert_eq!(w.seed_data().len(), 16);
     }
 
     #[test]

@@ -48,13 +48,43 @@ struct Branch {
     writes: BTreeMap<String, i64>,
 }
 
+/// One committed write set in ship order: `(ship position, branch,
+/// post-commit key values)` — the unit of intra-shard replication.
+pub type ShippedCommit = (u64, ResultId, Vec<(String, i64)>);
+
+/// What [`Engine::apply_replicated`] did with an incoming apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplApply {
+    /// Log records for every apply that landed (the in-order one plus any
+    /// buffered successors it unblocked), in apply order.
+    pub writes: Vec<LogWrite>,
+    /// The apply arrived beyond a gap — the caller should request a
+    /// snapshot from the primary.
+    pub need_sync: bool,
+}
+
 /// The in-memory transactional engine of one database server.
+///
+/// Besides the XA surface, the engine carries both sides of intra-shard
+/// asynchronous replication: as a **primary** it counts every local commit
+/// into a dense ship sequence and queues the write set in an outbox for
+/// the host to broadcast; as a **follower** it applies shipped commits
+/// strictly in sequence order (buffering out-of-order arrivals) so its
+/// state is always a prefix of the primary's committed history.
 #[derive(Debug, Default)]
 pub struct Engine {
     data: BTreeMap<String, i64>,
     branches: HashMap<ResultId, Branch>,
     locks: LockTable,
     decided: HashMap<ResultId, Outcome>,
+    /// Primary role: dense counter of locally decided commits (ship order).
+    ship_seq: u64,
+    /// Primary role: committed write sets awaiting broadcast by the host.
+    outbox: Vec<ShippedCommit>,
+    /// Follower role: highest contiguously applied ship position.
+    repl_last_seq: u64,
+    /// Follower role: out-of-order applies waiting for their predecessors.
+    repl_pending: BTreeMap<u64, (ResultId, Vec<(String, i64)>)>,
 }
 
 impl Engine {
@@ -242,10 +272,14 @@ impl Engine {
                 match self.branches.get(&rid).map(|b| b.state) {
                     Some(BranchState::Prepared) => {
                         let b = self.branches.remove(&rid).expect("prepared branch");
+                        let shipped: Vec<(String, i64)> =
+                            b.writes.iter().map(|(k, &v)| (k.clone(), v)).collect();
                         for (k, v) in b.writes {
                             self.data.insert(k, v);
                         }
                         self.locks.release_all(rid);
+                        self.ship_seq += 1;
+                        self.outbox.push((self.ship_seq, rid, shipped));
                         Outcome::Commit
                     }
                     None => {
@@ -253,7 +287,12 @@ impl Engine {
                         // the transaction (the cleaner and crash-recovery
                         // paths push decisions to *every* database, §4).
                         // Nothing to apply; record the outcome for
-                        // idempotence and consistency (A.3).
+                        // idempotence and consistency (A.3). Shipped empty
+                        // so the replication sequence stays dense (it must
+                        // mirror the count of logged commit outcomes, which
+                        // is how recovery restores the counter).
+                        self.ship_seq += 1;
+                        self.outbox.push((self.ship_seq, rid, Vec::new()));
                         Outcome::Commit
                     }
                     Some(state) => {
@@ -295,10 +334,14 @@ impl Engine {
         match self.branches.get(&rid).map(|b| b.state) {
             Some(BranchState::Active) => {
                 let b = self.branches.remove(&rid).expect("active branch");
+                let shipped: Vec<(String, i64)> =
+                    b.writes.iter().map(|(k, &v)| (k.clone(), v)).collect();
                 for (k, v) in b.writes {
                     self.data.insert(k, v);
                 }
                 self.locks.release_all(rid);
+                self.ship_seq += 1;
+                self.outbox.push((self.ship_seq, rid, shipped));
                 self.decided.insert(rid, Outcome::Commit);
                 (
                     true,
@@ -310,6 +353,83 @@ impl Engine {
             }
             _ => (false, Vec::new()),
         }
+    }
+
+    // ---- intra-shard asynchronous replication -------------------------------
+
+    /// Primary role: drains the committed write sets queued since the last
+    /// drain, in ship order. The host broadcasts each as a `ReplMsg::Apply`
+    /// to the shard's followers (a host without followers just drops them).
+    pub fn take_repl_outbox(&mut self) -> Vec<ShippedCommit> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    /// Primary role: the current committed state and ship position, for
+    /// answering a follower's `SyncReq`.
+    pub fn repl_snapshot(&self) -> (u64, Vec<(String, i64)>) {
+        (self.ship_seq, self.data.iter().map(|(k, &v)| (k.clone(), v)).collect())
+    }
+
+    /// Follower role: highest contiguously applied ship position
+    /// (diagnostics and tests).
+    pub fn repl_position(&self) -> u64 {
+        self.repl_last_seq
+    }
+
+    /// Follower role: processes one shipped commit. Applies it (and any
+    /// buffered successors it unblocks) if it is next in sequence; buffers
+    /// it if it is ahead of a gap and asks the host to sync; drops it if it
+    /// is a duplicate of something already applied.
+    pub fn apply_replicated(
+        &mut self,
+        seq: u64,
+        rid: ResultId,
+        entries: Vec<(String, i64)>,
+    ) -> ReplApply {
+        if seq <= self.repl_last_seq {
+            return ReplApply { writes: Vec::new(), need_sync: false };
+        }
+        self.repl_pending.insert(seq, (rid, entries));
+        let writes = self.drain_repl_pending();
+        // Anything still pending is beyond a gap: commits this follower
+        // missed (it was down when they shipped). Ask for a snapshot.
+        ReplApply { writes, need_sync: !self.repl_pending.is_empty() }
+    }
+
+    /// Follower role: adopts a full snapshot from the primary (recovery
+    /// catch-up). A stale snapshot (at or below the current position) is
+    /// ignored; a fresh one replaces the committed state wholesale and
+    /// fast-forwards the position, after which buffered applies beyond it
+    /// drain in order.
+    pub fn adopt_repl_snapshot(&mut self, seq: u64, entries: Vec<(String, i64)>) -> Vec<LogWrite> {
+        if seq <= self.repl_last_seq {
+            return Vec::new();
+        }
+        self.data = entries.iter().cloned().collect();
+        self.repl_last_seq = seq;
+        self.repl_pending.retain(|&s, _| s > seq);
+        let mut writes = vec![LogWrite {
+            rec: StableRecord::Replicated { seq, rid: ResultId::repl_snapshot(), writes: entries },
+            force: false,
+        }];
+        writes.extend(self.drain_repl_pending());
+        writes
+    }
+
+    fn drain_repl_pending(&mut self) -> Vec<LogWrite> {
+        let mut out = Vec::new();
+        while let Some(entry) = self.repl_pending.remove(&(self.repl_last_seq + 1)) {
+            let (rid, entries) = entry;
+            for (k, &v) in entries.iter().map(|(k, v)| (k, v)) {
+                self.data.insert(k.clone(), v);
+            }
+            self.repl_last_seq += 1;
+            out.push(LogWrite {
+                rec: StableRecord::Replicated { seq: self.repl_last_seq, rid, writes: entries },
+                force: false,
+            });
+        }
+        out
     }
 
     /// Rebuilds an engine from the write-ahead log after a crash:
@@ -342,7 +462,22 @@ impl Engine {
                             }
                         }
                     }
+                    if *outcome == Outcome::Commit {
+                        // Restore the primary-role ship counter: every
+                        // logged commit outcome was (or will be, see the
+                        // host's outbox drain) shipped exactly once, so the
+                        // counter is the count of commit records.
+                        e.ship_seq += 1;
+                    }
                     e.decided.insert(*rid, *outcome);
+                }
+                StableRecord::Replicated { seq, rid: _, writes } => {
+                    // Follower-role replay: records were appended in apply
+                    // order, so the last one fixes the replication cursor.
+                    for (k, v) in writes {
+                        e.data.insert(k.clone(), *v);
+                    }
+                    e.repl_last_seq = *seq;
                 }
                 // Coordinator records belong to the 2PC baseline's log and
                 // are ignored by database recovery.
@@ -605,6 +740,96 @@ mod tests {
         e.execute(r, &[put("k", 1)]);
         e.vote(r);
         assert_eq!(e.execute(r, &[put("k", 2)]), ExecStatus::Conflict);
+    }
+
+    #[test]
+    fn commits_enter_the_replication_outbox_in_ship_order() {
+        let mut e = Engine::new();
+        for i in 1..=3u64 {
+            let r = rid(i);
+            e.execute(r, &[put(&format!("k{i}"), i as i64)]);
+            e.vote(r);
+            e.decide(r, if i == 2 { Outcome::Abort } else { Outcome::Commit });
+        }
+        let box1 = e.take_repl_outbox();
+        assert_eq!(box1.len(), 2, "aborts do not ship");
+        assert_eq!(box1[0].0, 1);
+        assert_eq!(box1[1].0, 2);
+        assert_eq!(box1[0].2, vec![("k1".to_string(), 1)]);
+        assert!(e.take_repl_outbox().is_empty(), "drain empties the outbox");
+    }
+
+    #[test]
+    fn follower_applies_in_sequence_and_buffers_gaps() {
+        let mut f = Engine::new();
+        // seq 2 arrives first: buffered, gap detected.
+        let r2 = f.apply_replicated(2, rid(2), vec![("b".into(), 2)]);
+        assert!(r2.writes.is_empty());
+        assert!(r2.need_sync);
+        assert_eq!(f.committed("b"), None);
+        // seq 1 arrives: both drain, in order.
+        let r1 = f.apply_replicated(1, rid(1), vec![("a".into(), 1)]);
+        assert_eq!(r1.writes.len(), 2);
+        assert!(!r1.need_sync);
+        assert_eq!(f.committed("a"), Some(1));
+        assert_eq!(f.committed("b"), Some(2));
+        assert_eq!(f.repl_position(), 2);
+        // Duplicates are dropped.
+        let dup = f.apply_replicated(1, rid(1), vec![("a".into(), 99)]);
+        assert!(dup.writes.is_empty() && !dup.need_sync);
+        assert_eq!(f.committed("a"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_adoption_fast_forwards_and_ignores_stale() {
+        let mut f = Engine::with_data([("seed".to_string(), 7)]);
+        f.apply_replicated(1, rid(1), vec![("a".into(), 1)]);
+        // Buffered apply beyond the snapshot drains after adoption.
+        let pending = f.apply_replicated(5, rid(5), vec![("e".into(), 5)]);
+        assert!(pending.need_sync);
+        let writes =
+            f.adopt_repl_snapshot(4, vec![("seed".into(), 7), ("a".into(), 1), ("d".into(), 4)]);
+        assert_eq!(writes.len(), 2, "snapshot record plus the drained apply");
+        assert_eq!(f.repl_position(), 5);
+        assert_eq!(f.committed("d"), Some(4));
+        assert_eq!(f.committed("e"), Some(5));
+        // Stale snapshot is a no-op.
+        assert!(f.adopt_repl_snapshot(3, vec![("x".into(), 9)]).is_empty());
+        assert_eq!(f.committed("x"), None);
+    }
+
+    #[test]
+    fn recovery_restores_both_replication_roles() {
+        // Primary side: ship counter equals logged commit outcomes.
+        let mut p = Engine::new();
+        let mut wal = Vec::new();
+        for i in 1..=2u64 {
+            let r = rid(i);
+            p.execute(r, &[put("k", i as i64)]);
+            for w in p.vote(r).1 {
+                wal.push(w.rec);
+            }
+            for w in p.decide(r, Outcome::Commit).1 {
+                wal.push(w.rec);
+            }
+        }
+        let p2 = Engine::recover(&wal);
+        let (seq, snap) = p2.repl_snapshot();
+        assert_eq!(seq, 2);
+        assert_eq!(snap, vec![("k".to_string(), 2)]);
+
+        // Follower side: replicated records restore data and the cursor.
+        let mut f = Engine::new();
+        let mut fwal = Vec::new();
+        for w in f.apply_replicated(1, rid(1), vec![("a".into(), 1)]).writes {
+            fwal.push(w.rec);
+        }
+        for w in f.apply_replicated(2, rid(2), vec![("a".into(), 3)]).writes {
+            fwal.push(w.rec);
+        }
+        let f2 = Engine::recover(&fwal);
+        assert_eq!(f2.committed("a"), Some(3));
+        assert_eq!(f2.repl_position(), 2);
     }
 
     #[test]

@@ -28,11 +28,46 @@ fn run_traced(seed: u64) -> Vec<u8> {
     format!("{:#?}", s.sim.trace().events()).into_bytes()
 }
 
+/// The sharded variant: 4 shards × 2 replicas, cross-shard transfers, and
+/// a crash/recovery cycle on one shard's primary — covers shard routing,
+/// the multi-branch decide path, and intra-shard replication catch-up.
+fn run_traced_sharded(seed: u64) -> Vec<u8> {
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+        .shards(4)
+        .replication(2)
+        .workload(Workload::ShardedBank { accounts: 32, cross_pct: 100, amount: 5 })
+        .requests(2)
+        .build();
+    let victim = s.shard_primary(0);
+    s.sim.on_trace(
+        move |ev| ev.node == victim && matches!(ev.kind, TraceKind::DbVote { .. }),
+        FaultAction::CrashRecover(victim, etx::base::time::Dur::from_millis(20)),
+    );
+    s.run_until_settled(2);
+    s.quiesce(Dur::from_millis(50));
+    format!("{:#?}", s.sim.trace().events()).into_bytes()
+}
+
 #[test]
 fn same_seed_replays_byte_identical_traces() {
     let first = run_traced(0xE7A);
     let second = run_traced(0xE7A);
     assert_eq!(first, second, "two runs with one seed diverged: the sim kernel broke determinism");
+}
+
+#[test]
+fn same_seed_replays_byte_identical_sharded_traces() {
+    let first = run_traced_sharded(0x5A4D);
+    let second = run_traced_sharded(0x5A4D);
+    assert_eq!(
+        first, second,
+        "sharded runs with one seed diverged: routing or replication broke determinism"
+    );
+}
+
+#[test]
+fn different_seeds_explore_different_sharded_interleavings() {
+    assert_ne!(run_traced_sharded(21), run_traced_sharded(22));
 }
 
 #[test]

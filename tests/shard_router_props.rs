@@ -1,0 +1,113 @@
+//! Property tests for the shard router: the addressing layer must be a
+//! *total, deterministic, stable* function — every key routes to exactly
+//! one shard, identical configurations rebuild identical maps, and routed
+//! plans never lose, duplicate, or misplace an operation.
+
+use etx::base::ids::NodeId;
+use etx::base::shard::{ShardMap, ShardSpec};
+use etx::base::value::DbOp;
+use etx::protocol::route;
+use proptest::prelude::*;
+
+fn dbs(n: u32) -> Vec<NodeId> {
+    (50..50 + n).map(NodeId).collect()
+}
+
+fn arb_keys() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..10_000, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// Totality + determinism: every key lands on exactly one shard, in
+    /// range, and asking twice gives the same answer.
+    #[test]
+    fn every_key_routes_to_exactly_one_shard(
+        shards in 1u32..16,
+        replication in 1usize..4,
+        keys in arb_keys(),
+    ) {
+        let servers = dbs(shards * replication as u32);
+        let map = ShardMap::build(ShardSpec::Hash { shards }, &servers, replication);
+        for k in &keys {
+            let key = format!("acct{k}");
+            let s1 = map.shard_of(&key);
+            let s2 = map.shard_of(&key);
+            prop_assert!(s1.0 < shards, "shard {} out of range {shards}", s1.0);
+            prop_assert_eq!(s1, s2, "routing must be a function");
+        }
+    }
+
+    /// Stability: rebuilding a map from the same configuration yields the
+    /// same routing for every key and the same replica groups.
+    #[test]
+    fn routing_is_stable_across_rebuilds(
+        shards in 1u32..16,
+        replication in 1usize..4,
+        keys in arb_keys(),
+    ) {
+        let servers = dbs(shards * replication as u32);
+        let a = ShardMap::build(ShardSpec::Hash { shards }, &servers, replication);
+        let b = ShardMap::build(ShardSpec::Hash { shards }, &servers, replication);
+        prop_assert_eq!(&a, &b, "identical config must rebuild identically");
+        for k in &keys {
+            let key = format!("acct{k}");
+            prop_assert_eq!(a.shard_of(&key), b.shard_of(&key));
+        }
+        for g in 0..shards {
+            let s = etx::base::shard::ShardId(g);
+            prop_assert_eq!(a.replicas(s), b.replicas(s));
+            prop_assert_eq!(a.primary(s), b.primary(s));
+        }
+    }
+
+    /// Every database server belongs to exactly one replica group.
+    #[test]
+    fn replica_groups_partition_the_database_tier(
+        shards in 1u32..12,
+        replication in 1usize..4,
+    ) {
+        let servers = dbs(shards * replication as u32);
+        let map = ShardMap::build(ShardSpec::Hash { shards }, &servers, replication);
+        for &db in &servers {
+            let owner = map.shard_of_node(db);
+            prop_assert!(owner.is_some(), "{db} must be in a group");
+            let count = (0..shards)
+                .filter(|&g| map.replicas(etx::base::shard::ShardId(g)).contains(&db))
+                .count();
+            prop_assert_eq!(count, 1, "{} must be in exactly one group", db);
+        }
+    }
+
+    /// Routed plans partition the ops: nothing lost, nothing duplicated,
+    /// every op in its own key's shard, single-shard scripts one call.
+    #[test]
+    fn routed_plans_partition_ops_by_shard(
+        shards in 1u32..8,
+        keys in arb_keys(),
+    ) {
+        let servers = dbs(shards);
+        let map = ShardMap::build(ShardSpec::Hash { shards }, &servers, 1);
+        let ops: Vec<DbOp> = keys
+            .iter()
+            .map(|k| DbOp::Add { key: format!("acct{k}"), delta: 1 })
+            .collect();
+        let plan = route(&ops, &map);
+        let total: usize = plan.calls.iter().map(|c| c.ops.len()).sum();
+        prop_assert_eq!(total, ops.len(), "every op routed exactly once");
+        for (call, &shard) in plan.calls.iter().zip(&plan.shards) {
+            prop_assert_eq!(call.db, map.primary(shard), "calls go to shard primaries");
+            for op in &call.ops {
+                let key = op.key().expect("Add ops have keys");
+                prop_assert_eq!(map.shard_of(key), shard, "op {} on wrong shard", key);
+            }
+        }
+        let distinct: std::collections::BTreeSet<u32> =
+            keys.iter().map(|k| map.shard_of(&format!("acct{k}")).0).collect();
+        prop_assert_eq!(plan.calls.len(), distinct.len(), "one branch per touched shard");
+        if distinct.len() == 1 {
+            prop_assert_eq!(plan.calls.len(), 1, "single-shard scripts keep the fast path");
+        }
+    }
+}
