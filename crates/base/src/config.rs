@@ -4,6 +4,46 @@
 
 use crate::time::Dur;
 
+/// Commit-pipeline batching knobs: how the application server groups
+/// concurrent request outcomes into decision-log slots.
+///
+/// The pipeline queue flushes a batch when **any** of these holds:
+///
+/// * the queue reaches `max_batch` outcomes;
+/// * `window` of simulated time passed since the first queued outcome;
+/// * the server has no other attempt mid-flight that could still join
+///   (idle flush — this is what keeps a sequential client's latency
+///   identical to the unbatched protocol even at `max_batch = 64`).
+///
+/// `max_batch = 1` is the degenerate configuration: every outcome is its
+/// own slot, which reproduces the paper's per-attempt `regD` behaviour
+/// exactly (a batch of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchingConfig {
+    /// Flush threshold: outcomes per decision-log slot (≥ 1).
+    pub max_batch: usize,
+    /// Flush deadline: longest a queued outcome may wait for company.
+    pub window: Dur,
+}
+
+impl Default for BatchingConfig {
+    fn default() -> Self {
+        BatchingConfig { max_batch: 1, window: Dur::ZERO }
+    }
+}
+
+impl BatchingConfig {
+    /// A batching configuration with the given threshold and window.
+    pub fn new(max_batch: usize, window: Dur) -> Self {
+        BatchingConfig { max_batch: max_batch.max(1), window }
+    }
+
+    /// Whether outcomes can ever share a slot.
+    pub fn is_batching(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
 /// Tunables of the e-Transaction protocol itself.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
@@ -30,6 +70,9 @@ pub struct ProtocolConfig {
     /// client sends retries to the server that answered it last instead of
     /// always starting at `a1`.
     pub route_to_last_responder: bool,
+    /// Commit-pipeline batching: how request outcomes group into
+    /// decision-log slots (default: batches of one — the paper's shape).
+    pub batching: BatchingConfig,
 }
 
 impl Default for ProtocolConfig {
@@ -42,6 +85,7 @@ impl Default for ProtocolConfig {
             consensus_resync: Dur::from_millis(120),
             consensus_round_patience: Dur::from_millis(40),
             route_to_last_responder: false,
+            batching: BatchingConfig::default(),
         }
     }
 }
@@ -192,10 +236,20 @@ mod tests {
     }
 
     #[test]
+    fn batching_defaults_to_the_paper_shape() {
+        let b = BatchingConfig::default();
+        assert_eq!(b.max_batch, 1, "degenerate batches of one by default");
+        assert!(!b.is_batching());
+        assert!(BatchingConfig::new(0, Dur::ZERO).max_batch >= 1, "threshold clamps to 1");
+        assert!(BatchingConfig::new(64, Dur::from_millis(2)).is_batching());
+    }
+
+    #[test]
     fn protocol_defaults_are_sane() {
         let p = ProtocolConfig::default();
         assert!(p.client_backoff > p.terminate_retry);
         assert!(!p.route_to_last_responder, "paper-faithful default");
+        assert!(!p.batching.is_batching(), "paper-faithful default pipeline");
         let fd = FdConfig::default();
         assert!(fd.initial_timeout > fd.heartbeat_every);
         assert!(fd.max_timeout > fd.initial_timeout);

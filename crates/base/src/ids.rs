@@ -88,6 +88,12 @@ impl ResultId {
     pub fn repl_snapshot() -> Self {
         ResultId::first(RequestId { client: NodeId(u32::MAX), seq: 0 })
     }
+
+    /// Marker id used by group WAL records: one durable record framing the
+    /// commit records of a whole decided batch belongs to no single branch.
+    pub fn group_marker() -> Self {
+        ResultId::first(RequestId { client: NodeId(u32::MAX), seq: 1 })
+    }
 }
 
 impl fmt::Display for ResultId {
@@ -105,6 +111,12 @@ pub enum RegKind {
     Owner,
     /// `regD` — decision register.
     Decision,
+    /// `slot[k]` — one position of the sequenced decision log: a write-once
+    /// register whose value is a whole *batch* of request outcomes. The
+    /// paper's per-attempt `regD[j]` generalises to consecutive slots so a
+    /// single consensus round decides many requests at once; the
+    /// single-request path is a batch of one.
+    Slot,
 }
 
 impl fmt::Display for RegKind {
@@ -112,6 +124,7 @@ impl fmt::Display for RegKind {
         f.write_str(match self {
             RegKind::Owner => "regA",
             RegKind::Decision => "regD",
+            RegKind::Slot => "slot",
         })
     }
 }
@@ -135,11 +148,33 @@ impl RegId {
     pub fn decision(rid: ResultId) -> Self {
         RegId { kind: RegKind::Decision, rid }
     }
+    /// `slot[index]` — position `index` of the sequenced decision log. Slots
+    /// belong to no client, so the identity is carried in the reserved
+    /// `NodeId(u32::MAX)` namespace (like [`ResultId::repl_snapshot`]).
+    pub fn slot(index: u64) -> Self {
+        RegId {
+            kind: RegKind::Slot,
+            rid: ResultId {
+                request: RequestId { client: NodeId(u32::MAX), seq: index },
+                attempt: 0,
+            },
+        }
+    }
+    /// The log position of a `slot[..]` register; `None` for `regA`/`regD`.
+    pub fn slot_index(&self) -> Option<u64> {
+        match self.kind {
+            RegKind::Slot => Some(self.rid.request.seq),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RegId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}[{}]", self.kind, self.rid)
+        match self.slot_index() {
+            Some(i) => write!(f, "slot[{i}]"),
+            None => write!(f, "{}[{}]", self.kind, self.rid),
+        }
     }
 }
 
@@ -256,6 +291,19 @@ mod tests {
         assert_eq!(next.attempt, 2);
         assert_eq!(next.request, rid.request);
         assert!(rid < next);
+    }
+
+    #[test]
+    fn slot_ids_are_ordered_and_distinct_from_registers() {
+        let s0 = RegId::slot(0);
+        let s7 = RegId::slot(7);
+        assert_eq!(s0.slot_index(), Some(0));
+        assert_eq!(s7.slot_index(), Some(7));
+        assert!(s0 < s7, "slot order follows the log order");
+        assert_eq!(format!("{s7}"), "slot[7]");
+        let rid = ResultId::first(RequestId { client: NodeId(1), seq: 1 });
+        assert_eq!(RegId::owner(rid).slot_index(), None);
+        assert_ne!(ResultId::group_marker(), ResultId::repl_snapshot());
     }
 
     #[test]

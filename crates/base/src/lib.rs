@@ -34,6 +34,7 @@ pub mod config;
 pub mod error;
 pub mod ids;
 pub mod msg;
+pub mod retry;
 pub mod runtime;
 pub mod shard;
 pub mod time;
@@ -41,10 +42,11 @@ pub mod trace;
 pub mod value;
 pub mod wal;
 
-pub use config::{CostModel, FdConfig, ProtocolConfig};
+pub use config::{BatchingConfig, CostModel, FdConfig, ProtocolConfig};
 pub use error::IssueError;
 pub use ids::{NodeId, RegId, RegKind, RequestId, ResultId, Role};
 pub use msg::Payload;
+pub use retry::{AttemptDriver, IssuePlan, RetryTimer};
 pub use runtime::{Context, Event, Process};
 pub use shard::{ShardId, ShardMap, ShardSpec};
 pub use time::{Dur, Time};

@@ -50,12 +50,15 @@ impl Payload {
             Payload::Db(DbMsg::Prepare { .. }) => "Prepare",
             Payload::Db(DbMsg::Decide { .. }) => "Decide",
             Payload::Db(DbMsg::CommitOnePhase { .. }) => "Commit1P",
+            Payload::Db(DbMsg::DecideBatch { .. }) => "DecideBatch",
             Payload::DbReply(DbReplyMsg::ExecReply { .. }) => "ExecReply",
             Payload::DbReply(DbReplyMsg::Vote { .. }) => "Vote",
             Payload::DbReply(DbReplyMsg::AckDecide { .. }) => "AckDecide",
+            Payload::DbReply(DbReplyMsg::AckDecideBatch { .. }) => "AckDecideBatch",
             Payload::DbReply(DbReplyMsg::AckCommitOnePhase { .. }) => "AckCommit1P",
             Payload::DbReply(DbReplyMsg::Ready) => "Ready",
             Payload::Repl(ReplMsg::Apply { .. }) => "ReplApply",
+            Payload::Repl(ReplMsg::ApplyBatch { .. }) => "ReplApplyBatch",
             Payload::Repl(ReplMsg::SyncReq) => "ReplSyncReq",
             Payload::Repl(ReplMsg::SyncState { .. }) => "ReplSyncState",
             Payload::Consensus(ConsensusMsg::Estimate { .. }) => "CEstimate",
@@ -82,6 +85,13 @@ pub enum ClientMsg {
         request: Request,
         /// The paper's `j`.
         attempt: u32,
+        /// Garbage-collection watermark: every request of this client with a
+        /// sequence number below `ack_below` is settled and will never be
+        /// retransmitted. Sequential clients send their current sequence
+        /// number (the paper's implicit acknowledgement); open-loop clients
+        /// send their lowest unfinished sequence number, which is what makes
+        /// server-side GC safe with many requests in flight.
+        ack_below: u64,
     },
 }
 
@@ -141,6 +151,15 @@ pub enum DbMsg {
         /// Transaction branch.
         rid: ResultId,
     },
+    /// Batched `[Decide]`: the outcomes of one decided decision-log slot
+    /// that concern this database, delivered in one message. The database
+    /// applies all of them behind a single group WAL append and one
+    /// acknowledgement — the commit-path amortisation the pipeline exists
+    /// for. Retransmissions fall back to per-branch [`DbMsg::Decide`].
+    DecideBatch {
+        /// `(branch, outcome)` pairs, in slot order.
+        entries: Vec<(ResultId, Outcome)>,
+    },
 }
 
 /// Database → application-server messages (Figure 3 outputs).
@@ -174,6 +193,12 @@ pub enum DbReplyMsg {
         /// Whether the commit succeeded.
         ok: bool,
     },
+    /// Acknowledgement of a whole [`DbMsg::DecideBatch`]: every entry was
+    /// applied durably (behind one group WAL append).
+    AckDecideBatch {
+        /// `(branch, applied outcome)` pairs, mirroring the batch.
+        entries: Vec<(ResultId, Outcome)>,
+    },
     /// `[Ready]` — recovery notification (Figure 3 line 2): "I crashed and
     /// came back; anything I had not prepared is gone."
     Ready,
@@ -197,6 +222,14 @@ pub enum ReplMsg {
         rid: ResultId,
         /// Post-commit key values (absolute, not deltas — replay-safe).
         entries: Vec<(String, i64)>,
+    },
+    /// Primary → followers: several committed branches shipped in one
+    /// message (the batched form of [`ReplMsg::Apply`], produced when a
+    /// group commit puts more than one write set in the outbox at once).
+    /// Followers process the items exactly as a sequence of `Apply`s.
+    ApplyBatch {
+        /// `(seq, branch, post-commit key values)` triples, in ship order.
+        items: Vec<crate::value::ShippedCommit>,
     },
     /// Follower → its shard primary: "send me your state" (recovery, or a
     /// detected gap in the apply stream).
@@ -327,10 +360,17 @@ mod tests {
             Payload::Client(ClientMsg::Request {
                 request: Request { id: rid().request, script: RequestScript::default() },
                 attempt: 1,
+                ack_below: 1,
             })
             .label(),
             Payload::Db(DbMsg::Prepare { rid: rid() }).label(),
             Payload::Db(DbMsg::Decide { rid: rid(), outcome: Outcome::Commit }).label(),
+            Payload::Db(DbMsg::DecideBatch { entries: vec![(rid(), Outcome::Commit)] }).label(),
+            Payload::DbReply(DbReplyMsg::AckDecideBatch {
+                entries: vec![(rid(), Outcome::Commit)],
+            })
+            .label(),
+            Payload::Repl(ReplMsg::ApplyBatch { items: vec![(1, rid(), vec![])] }).label(),
             Payload::DbReply(DbReplyMsg::Ready).label(),
             Payload::Consensus(ConsensusMsg::DecideReq { inst: RegId::owner(rid()) }).label(),
         ];

@@ -41,6 +41,10 @@ pub enum TimerTag {
     /// Cleaner thread wake-up (Figure 6 is an infinite loop; here it is a
     /// periodic scan).
     CleanerTick,
+    /// The application server's pipeline queue hit its time window: flush
+    /// the accumulated outcomes into a decision-log slot even though the
+    /// size threshold was not reached.
+    BatchFlush,
     /// A shard follower re-requests a recovery snapshot from its primary
     /// until one arrives (intra-shard replication catch-up liveness).
     ReplSyncRetry,

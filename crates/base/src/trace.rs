@@ -146,6 +146,30 @@ pub enum TraceKind {
         /// Which register.
         reg: RegId,
     },
+    /// An application server applied a decided decision-log slot: `len`
+    /// request outcomes became final in one consensus round. Emitted by the
+    /// first in-order apply at each server (once per slot per server).
+    BatchDecided {
+        /// Log position of the slot.
+        slot: u64,
+        /// Number of first-occurrence outcomes the slot carried here.
+        len: u32,
+    },
+    /// A database appended one group WAL record framing `len` member
+    /// records (group commit: one durable append covers the whole batch).
+    GroupAppend {
+        /// Number of framed records.
+        len: u32,
+    },
+    /// An application server compacted a fully settled decision-log slot's
+    /// consensus instance to an empty batch (register-array GC, §5): every
+    /// request the slot carried is below its client's watermark, so the
+    /// original payload can never be needed again — but the slot stays
+    /// decided, so a lagging replica can never re-open the position.
+    SlotGc {
+        /// Log position of the compacted slot.
+        slot: u64,
+    },
     /// A latency span attributed to a Figure 8 component. `dur` is modelled
     /// service time, recorded when incurred.
     Span {

@@ -13,7 +13,7 @@
 //! (e.g. [`DbOp::Reserve`] may find a flight sold out), which is exactly the
 //! non-determinism the paper's wo-registers exist to tame.
 
-use crate::ids::{NodeId, RequestId};
+use crate::ids::{NodeId, RequestId, ResultId};
 use core::fmt;
 
 /// A database vote on a prepared transaction branch (§2): `yes` means the
@@ -276,14 +276,29 @@ impl Decision {
     }
 }
 
+/// One position of the sequenced decision log: an ordered batch of request
+/// outcomes decided by a single consensus round. The write-once register
+/// contract makes a decided batch indivisible — either every entry is in
+/// the slot or none is, which is what keeps mid-batch crashes from ever
+/// splitting a request's fate.
+pub type OutcomeBatch = Vec<(ResultId, Decision)>;
+
+/// One committed write set in ship order: `(ship position, branch,
+/// post-commit key values)` — the unit of intra-shard replication, both in
+/// the engine's outbox and on the wire ([`crate::msg::ReplMsg::ApplyBatch`]).
+pub type ShippedCommit = (u64, ResultId, Vec<(String, i64)>);
+
 /// Values storable in a write-once register: `regA` holds an application
-/// server identity, `regD` holds a decision.
+/// server identity, `regD` holds a decision, a decision-log slot holds an
+/// ordered batch of decisions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegValue {
     /// An application-server identity (for `regA`).
     Server(NodeId),
     /// A decision (for `regD`).
     Decision(Decision),
+    /// An ordered batch of per-attempt decisions (for `slot[k]`).
+    Batch(OutcomeBatch),
 }
 
 impl RegValue {
@@ -291,7 +306,7 @@ impl RegValue {
     pub fn as_server(&self) -> Option<NodeId> {
         match self {
             RegValue::Server(n) => Some(*n),
-            RegValue::Decision(_) => None,
+            _ => None,
         }
     }
 
@@ -299,7 +314,15 @@ impl RegValue {
     pub fn as_decision(&self) -> Option<&Decision> {
         match self {
             RegValue::Decision(d) => Some(d),
-            RegValue::Server(_) => None,
+            _ => None,
+        }
+    }
+
+    /// Extracts the outcome batch, if this is a decision-log slot value.
+    pub fn as_batch(&self) -> Option<&OutcomeBatch> {
+        match self {
+            RegValue::Batch(b) => Some(b),
+            _ => None,
         }
     }
 }
@@ -365,5 +388,9 @@ mod tests {
         let d = RegValue::Decision(Decision::nil_abort());
         assert!(d.as_server().is_none());
         assert_eq!(d.as_decision().unwrap().outcome, Outcome::Abort);
+        let rid = ResultId::first(RequestId { client: NodeId(0), seq: 1 });
+        let b = RegValue::Batch(vec![(rid, Decision::nil_abort())]);
+        assert!(b.as_server().is_none() && b.as_decision().is_none());
+        assert_eq!(b.as_batch().unwrap().len(), 1);
     }
 }

@@ -57,6 +57,17 @@ pub enum StableRecord {
         /// Post-commit key values.
         writes: Vec<(String, i64)>,
     },
+    /// Group append: one durable record framing the records of a whole
+    /// decided batch (commit/abort outcomes of one `DecideBatch`, or a
+    /// follower's batched replication applies). The frame is what makes
+    /// group commit pay **one** log force for N outcomes; recovery unfolds
+    /// it and replays the members in order, so a batch is indivisible on
+    /// disk — it replays completely or (if the append never happened) not
+    /// at all, never partially.
+    Group {
+        /// The framed records, in batch order.
+        records: Vec<StableRecord>,
+    },
     /// 2PC coordinator: processing of `rid` started (presumed-nothing start
     /// record, forced).
     CoordStart {
@@ -76,7 +87,8 @@ pub enum StableRecord {
 }
 
 impl StableRecord {
-    /// The transaction branch this record concerns.
+    /// The transaction branch this record concerns. Group frames span many
+    /// branches and answer with the reserved [`ResultId::group_marker`].
     pub fn rid(&self) -> ResultId {
         match self {
             StableRecord::Prepared { rid, .. }
@@ -84,6 +96,18 @@ impl StableRecord {
             | StableRecord::Replicated { rid, .. }
             | StableRecord::CoordStart { rid }
             | StableRecord::CoordOutcome { rid, .. } => *rid,
+            StableRecord::Group { .. } => ResultId::group_marker(),
+        }
+    }
+
+    /// Flattens this record to its leaf records (a group frame yields its
+    /// members in order; every other record yields itself). Recovery and
+    /// log-inspection code iterate leaves so framing stays invisible to
+    /// replay semantics.
+    pub fn leaves(&self) -> Vec<&StableRecord> {
+        match self {
+            StableRecord::Group { records } => records.iter().flat_map(|r| r.leaves()).collect(),
+            other => vec![other],
         }
     }
 }
@@ -105,5 +129,24 @@ mod tests {
         for r in &records {
             assert_eq!(r.rid(), rid);
         }
+    }
+
+    #[test]
+    fn group_frames_flatten_to_their_members_in_order() {
+        let rid1 = ResultId::first(RequestId { client: NodeId(1), seq: 1 });
+        let rid2 = ResultId::first(RequestId { client: NodeId(1), seq: 2 });
+        let group = StableRecord::Group {
+            records: vec![
+                StableRecord::DbOutcome { rid: rid1, outcome: Outcome::Commit },
+                StableRecord::DbOutcome { rid: rid2, outcome: Outcome::Abort },
+            ],
+        };
+        assert_eq!(group.rid(), ResultId::group_marker());
+        let leaves = group.leaves();
+        assert_eq!(leaves.len(), 2);
+        assert_eq!(leaves[0].rid(), rid1);
+        assert_eq!(leaves[1].rid(), rid2);
+        // A plain record is its own single leaf.
+        assert_eq!(leaves[0].leaves().len(), 1);
     }
 }

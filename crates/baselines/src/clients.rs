@@ -11,13 +11,21 @@
 //! "charged twice" motivation, §1) — test `exactly_once.rs` demonstrates it
 //! against an identical crash schedule where e-Transactions stay
 //! exactly-once.
+//!
+//! The mechanical attempt bookkeeping — plan walking, the `Issue` trace,
+//! current-attempt identity, timer validity, stale-result filtering — comes
+//! from the shared [`etx_base::retry`] driver, the same machinery the
+//! e-Transaction client runs on. Baselines and the batched protocol
+//! therefore *measure the same thing*; only the policy differs (single
+//! patience timeout + give-up/naive-resend here).
 
-use etx_base::ids::{NodeId, ResultId, TimerId};
-use etx_base::msg::{AppMsg, ClientMsg, Payload};
+use etx_base::ids::{NodeId, RequestId};
+use etx_base::msg::{AppMsg, Payload};
+use etx_base::retry::{AttemptDriver, IssuePlan, RetryTimer};
 use etx_base::runtime::{Context, Event, Process, TimerTag};
 use etx_base::time::Dur;
 use etx_base::trace::TraceKind;
-use etx_base::value::{Outcome, Request};
+use etx_base::value::Outcome;
 
 /// What to do when `issue()` would raise.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,17 +47,8 @@ pub struct SimpleClient {
     server: NodeId,
     timeout: Dur,
     policy: RetryPolicy,
-    plan: Vec<Request>,
-    next: usize,
-    waiting: Option<Waiting>,
-}
-
-#[derive(Debug)]
-struct Waiting {
-    request: Request,
-    rid: ResultId,
-    timer: TimerId,
-    retries: u32,
+    plan: IssuePlan,
+    flight: Option<AttemptDriver>,
 }
 
 impl std::fmt::Debug for SimpleClient {
@@ -61,38 +60,38 @@ impl std::fmt::Debug for SimpleClient {
 impl SimpleClient {
     /// Creates a client talking to `server` with the given patience and
     /// retry policy.
-    pub fn new(server: NodeId, timeout: Dur, policy: RetryPolicy, plan: Vec<Request>) -> Self {
-        SimpleClient { server, timeout, policy, plan, next: 0, waiting: None }
+    pub fn new(
+        server: NodeId,
+        timeout: Dur,
+        policy: RetryPolicy,
+        plan: Vec<etx_base::value::Request>,
+    ) -> Self {
+        SimpleClient { server, timeout, policy, plan: IssuePlan::new(plan), flight: None }
     }
 
     fn issue_next(&mut self, ctx: &mut dyn Context) {
-        if self.next >= self.plan.len() {
-            self.waiting = None;
-            return;
+        match self.plan.issue_next(ctx) {
+            Some(request) => {
+                self.flight = Some(AttemptDriver::new(request));
+                self.send_attempt(ctx);
+            }
+            None => self.flight = None,
         }
-        let request = self.plan[self.next].clone();
-        self.next += 1;
-        ctx.trace(TraceKind::Issue { request: request.id });
-        self.send_attempt(ctx, request, 1, 0);
     }
 
-    fn send_attempt(
-        &mut self,
-        ctx: &mut dyn Context,
-        request: Request,
-        attempt: u32,
-        retries: u32,
-    ) {
-        let rid = ResultId { request: request.id, attempt };
-        ctx.send(
-            self.server,
-            Payload::Client(ClientMsg::Request { request: request.clone(), attempt }),
-        );
-        let timer = ctx.set_timer(self.timeout, TimerTag::ClientBackoff { rid });
-        self.waiting = Some(Waiting { request, rid, timer, retries });
+    /// Sends the current attempt and arms the patience timeout. The client
+    /// is sequential, so its GC watermark is the current sequence number.
+    fn send_attempt(&mut self, ctx: &mut dyn Context) {
+        let server = self.server;
+        let timeout = self.timeout;
+        let Some(driver) = &mut self.flight else { return };
+        let ack_below = driver.request().id.seq;
+        driver.send_to(ctx, server, ack_below);
+        let rid = driver.rid();
+        driver.arm(ctx, RetryTimer::Primary, timeout, TimerTag::ClientBackoff { rid });
     }
 
-    fn give_up(&mut self, ctx: &mut dyn Context, request: etx_base::ids::RequestId) {
+    fn give_up(&mut self, ctx: &mut dyn Context, request: RequestId) {
         ctx.trace(TraceKind::Exception { request });
         self.issue_next(ctx);
     }
@@ -103,31 +102,35 @@ impl Process for SimpleClient {
         match event {
             Event::Init => self.issue_next(ctx),
             Event::Timer { id, tag: TimerTag::ClientBackoff { rid } } => {
-                let Some(w) = &self.waiting else { return };
-                if w.rid != rid || w.timer != id {
+                let Some(driver) = &mut self.flight else { return };
+                if !driver.timer_is_current(RetryTimer::Primary, id, rid) {
                     return;
                 }
-                let (request, retries) = (w.request.clone(), w.retries);
+                driver.clear(RetryTimer::Primary);
+                let request = driver.request().id;
                 match self.policy {
-                    RetryPolicy::GiveUp => self.give_up(ctx, request.id),
+                    RetryPolicy::GiveUp => self.give_up(ctx, request),
                     RetryPolicy::NaiveResend { max_retries } => {
-                        if retries < max_retries {
+                        if driver.retries() < max_retries {
                             // The dangerous move: resubmit as a NEW attempt.
-                            self.send_attempt(ctx, request, rid.attempt + 1, retries + 1);
+                            driver.next_attempt(ctx);
+                            self.send_attempt(ctx);
                         } else {
-                            self.give_up(ctx, request.id);
+                            self.give_up(ctx, request);
                         }
                     }
                 }
             }
             Event::Message { payload: Payload::App(msg), .. } => match msg {
                 AppMsg::Result { rid, decision } => {
-                    let Some(w) = &self.waiting else { return };
-                    if w.rid.request != rid.request {
+                    let Some(driver) = &mut self.flight else { return };
+                    // Late results of earlier attempts still answer the
+                    // request (at-most-once protocols have no attempt
+                    // arbitration to wait for).
+                    if !driver.same_request(rid) {
                         return;
                     }
-                    let timer = w.timer;
-                    ctx.cancel_timer(timer);
+                    driver.cancel_all(ctx);
                     match decision.outcome {
                         Outcome::Commit => {
                             ctx.trace(TraceKind::Deliver {
@@ -145,12 +148,10 @@ impl Process for SimpleClient {
                     self.issue_next(ctx);
                 }
                 AppMsg::Exception { request, .. } => {
-                    if let Some(w) = &self.waiting {
-                        if w.rid.request == request {
-                            let timer = w.timer;
-                            ctx.cancel_timer(timer);
-                            self.give_up(ctx, request);
-                        }
+                    let Some(driver) = &mut self.flight else { return };
+                    if driver.request().id == request {
+                        driver.cancel_all(ctx);
+                        self.give_up(ctx, request);
                     }
                 }
             },

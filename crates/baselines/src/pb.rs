@@ -367,7 +367,7 @@ impl Process for PbServer {
                 // as a cold backup only in extensions; ignore here.
             }
             Event::Message {
-                payload: Payload::Client(ClientMsg::Request { request, attempt }),
+                payload: Payload::Client(ClientMsg::Request { request, attempt, .. }),
                 ..
             } => self.on_request(ctx, request, attempt),
             Event::Message { from, payload: Payload::Pb(m) } => self.on_pb(ctx, from, m),

@@ -300,7 +300,7 @@ impl Process for TpcServer {
         match event {
             Event::Recovered => self.recover(ctx),
             Event::Message {
-                payload: Payload::Client(ClientMsg::Request { request, attempt }),
+                payload: Payload::Client(ClientMsg::Request { request, attempt, .. }),
                 ..
             } => self.on_request(ctx, request, attempt),
             Event::Message { from, payload: Payload::DbReply(reply) } => match reply {

@@ -161,7 +161,7 @@ impl Process for BaselineServer {
     fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
         match event {
             Event::Message {
-                payload: Payload::Client(ClientMsg::Request { request, attempt }),
+                payload: Payload::Client(ClientMsg::Request { request, attempt, .. }),
                 ..
             } => self.on_request(ctx, request, attempt),
             Event::Message { from, payload: Payload::DbReply(reply) } => match reply {

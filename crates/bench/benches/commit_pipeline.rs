@@ -1,0 +1,82 @@
+//! X6 — the commit pipeline: batch size 1/8/64 at 1 and 16 shards.
+//!
+//! The same open-loop burst (16 clients × 12 requests fired concurrently)
+//! drives three pipeline depths on a flat and a wide back end. Two views
+//! per configuration:
+//!
+//! * **simulated metrics** (printed table): committed requests per
+//!   simulated second and mean issue→delivery latency — what batching buys
+//!   the *modelled* system as one consensus slot, one group WAL append and
+//!   one replica shipment amortise over a whole batch;
+//! * **host throughput** (criterion): wall-clock cost of simulating the
+//!   workload — shows the pipeline bookkeeping itself stays cheap.
+//!
+//! The driver records the printed rows in `BENCH_batching.json` so the
+//! perf trajectory tracks the pipeline across PRs. The acceptance bar —
+//! batch 64 strictly out-commits batch 1 at 16 shards — is asserted here,
+//! so a regression fails the bench run instead of silently aging the JSON.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etx_base::time::Dur;
+use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
+use std::hint::black_box;
+
+const REQUESTS: u64 = 12;
+const CLIENTS: usize = 16;
+
+/// (mean latency ms, committed req per simulated second).
+fn run_once(shards: u32, batch: usize, seed: u64) -> (f64, f64) {
+    let mut b = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+        .shards(shards)
+        .clients(CLIENTS)
+        .workload(Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 })
+        .requests(REQUESTS);
+    if batch > 1 {
+        b = b.batching(batch, Dur::from_millis(1));
+    }
+    let mut s = b.build();
+    let expected = s.requests as usize;
+    let out = s.run_until_settled(expected);
+    assert_eq!(out, etx_sim::RunOutcome::Predicate, "pipeline bench run must settle");
+    let lats = s.request_latencies_ms();
+    let mean_ms = lats.iter().sum::<f64>() / lats.len() as f64;
+    let span_s = s.sim.now().as_millis_f64() / 1_000.0;
+    (mean_ms, s.delivered_commits() as f64 / span_s)
+}
+
+fn bench_commit_pipeline(c: &mut Criterion) {
+    // The sweep IS the experiment: ETX_BATCH_SIZE (the CI matrix hook that
+    // pins every scenario to one depth) would collapse it to a single row.
+    std::env::remove_var("ETX_BATCH_SIZE");
+    println!(
+        "\n=== X6: commit pipeline (OpenLoopBurst, {CLIENTS} clients x {REQUESTS} requests) ===\n"
+    );
+    println!("{:>8}{:>8}{:>16}{:>16}", "shards", "batch", "latency ms", "sim commit/s");
+    let mut at_16 = Vec::new();
+    for &shards in &[1u32, 16] {
+        for &batch in &[1usize, 8, 64] {
+            let (lat, cps) = run_once(shards, batch, 0xBA7C4);
+            println!("{shards:>8}{batch:>8}{lat:>16.2}{cps:>16.1}");
+            if shards == 16 {
+                at_16.push((batch, cps));
+            }
+            c.bench_function(&format!("pipeline/{shards}shards_batch{batch}"), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(run_once(shards, batch, seed))
+                })
+            });
+        }
+    }
+    let cps_of = |b: usize| at_16.iter().find(|(x, _)| *x == b).map(|(_, c)| *c).unwrap();
+    assert!(
+        cps_of(64) > cps_of(1),
+        "batch 64 must strictly out-commit batch 1 at 16 shards ({:.1} vs {:.1} commit/s)",
+        cps_of(64),
+        cps_of(1)
+    );
+}
+
+criterion_group!(benches, bench_commit_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,413 @@
+//! The sequenced decision log: batched request outcomes over write-once
+//! slots.
+//!
+//! The paper gives every attempt `j` its own decision register `regD[j]` —
+//! one consensus instance per request outcome. This module generalises that
+//! register array into a **log of consecutive slots** (`slot[0]`,
+//! `slot[1]`, …), each a write-once register whose value is an *ordered
+//! batch* of `(attempt, decision)` pairs. One consensus round now decides a
+//! whole batch of requests; the single-request path is simply a batch of
+//! one, so the degenerate configuration reproduces `regD` exactly.
+//!
+//! Three invariants carry the paper's properties over:
+//!
+//! * **Slot indivisibility** — a slot is a wo-register: either its whole
+//!   batch is the decided value or none of it is. A primary crashing
+//!   mid-batch can lose the proposal or land it, never split it.
+//! * **In-order apply** — every server applies slots in log order
+//!   (buffering slots decided ahead of a gap and pulling the gap), so all
+//!   servers observe the same outcome sequence.
+//! * **First occurrence wins** — an attempt may be proposed into several
+//!   slots (an owner's commit and a cleaner's `(nil, abort)` race, or a
+//!   losing batch is re-proposed); the entry in the *lowest* decided slot
+//!   is the attempt's one true decision and every later entry for the same
+//!   attempt is ignored. Because apply order is identical everywhere, this
+//!   arbitration is exactly the write-once contract `regD[j]` provided.
+//!
+//! The log owns no consensus machinery: it sequences batches through the
+//! same [`WoRegisters`] bank the owner-election registers use, so one
+//! engine per application server keeps speaking for that server.
+
+use crate::woreg::WoRegisters;
+use crate::Suspects;
+use etx_base::ids::{NodeId, RegId, ResultId};
+use etx_base::runtime::Context;
+use etx_base::value::{Decision, OutcomeBatch, RegValue};
+use std::collections::BTreeMap;
+
+/// One decided slot's worth of *newly final* outcomes, in slot order.
+/// Entries whose attempt already surfaced in an earlier slot are filtered
+/// out (first occurrence wins), so every attempt appears in exactly one
+/// applied slot per server — and in the same one on every server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppliedSlot {
+    /// Log position.
+    pub slot: u64,
+    /// First-occurrence `(attempt, decision)` pairs this slot made final.
+    pub entries: OutcomeBatch,
+}
+
+/// One application server's view of the sequenced decision log.
+#[derive(Debug)]
+pub struct DecisionLog {
+    /// Largest batch one slot proposal may carry — the configured pipeline
+    /// depth. At 1 every slot holds exactly one outcome (the degenerate
+    /// per-request configuration, the paper's `regD` behaviour); without
+    /// the cap a backed-up pending queue would flow into a single slot and
+    /// silently batch even in the degenerate configuration.
+    max_batch: usize,
+    /// Outcomes waiting to be proposed (or re-proposed) into a slot.
+    pending: OutcomeBatch,
+    /// Our current proposal: `(slot, batch)` — at most one in flight.
+    inflight: Option<(u64, OutcomeBatch)>,
+    /// Next slot index to apply (everything below is applied).
+    next_apply: u64,
+    /// Slots decided ahead of a gap, waiting for in-order apply.
+    decided_ahead: BTreeMap<u64, OutcomeBatch>,
+    /// Final decision per attempt (the first-occurrence arbitration).
+    seen: BTreeMap<ResultId, Decision>,
+    /// Per-client GC watermarks: every request below the watermark is
+    /// settled forever. Entries for settled requests are dropped at apply
+    /// time even after their `seen` record was garbage-collected —
+    /// otherwise a late in-flight proposal (say, a slow cleaner's
+    /// `(nil, abort)`) could re-surface a settled attempt as a fresh
+    /// "first occurrence" with a conflicting outcome.
+    watermarks: BTreeMap<NodeId, u64>,
+    /// Full membership of each applied slot that is not yet fully settled —
+    /// the bookkeeping behind [`DecisionLog::gc_client`]'s return value,
+    /// which is what lets the host compact a slot's consensus instance once
+    /// no request in it can ever be asked about again. Bounded by the
+    /// clients' unsettled windows, like everything else here.
+    applied_members: BTreeMap<u64, Vec<ResultId>>,
+}
+
+impl Default for DecisionLog {
+    /// An unbounded log view (no pipeline-depth cap).
+    fn default() -> Self {
+        DecisionLog::new(usize::MAX)
+    }
+}
+
+impl DecisionLog {
+    /// An empty log view (apply cursor at slot 0) whose slot proposals
+    /// carry at most `max_batch` outcomes (clamped to ≥ 1).
+    pub fn new(max_batch: usize) -> Self {
+        DecisionLog {
+            max_batch: max_batch.max(1),
+            pending: OutcomeBatch::default(),
+            inflight: None,
+            next_apply: 0,
+            decided_ahead: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            watermarks: BTreeMap::new(),
+            applied_members: BTreeMap::new(),
+        }
+    }
+
+    /// The final decision for `rid`, if some applied slot carried it — the
+    /// log's `read()`: once `Some`, the answer never changes.
+    pub fn decision_of(&self, rid: ResultId) -> Option<&Decision> {
+        self.seen.get(&rid)
+    }
+
+    /// Next slot index this server will apply (diagnostics and tests).
+    pub fn applied_up_to(&self) -> u64 {
+        self.next_apply
+    }
+
+    /// Outcomes queued but not yet decided (diagnostics and tests).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len() + self.inflight.as_ref().map_or(0, |(_, b)| b.len())
+    }
+
+    /// Submits a batch of outcomes for sequencing and drives proposals.
+    /// Entries already final (or already queued) are skipped. Returns any
+    /// slots that became applied synchronously (single-replica quorums and
+    /// already-decided slots resolve without waiting for the network).
+    pub fn propose(
+        &mut self,
+        ctx: &mut dyn Context,
+        regs: &mut WoRegisters,
+        entries: OutcomeBatch,
+        suspects: Suspects<'_>,
+    ) -> Vec<AppliedSlot> {
+        for (rid, decision) in entries {
+            let queued = self.pending.iter().any(|(r, _)| *r == rid)
+                || self.inflight.iter().any(|(_, b)| b.iter().any(|(r, _)| *r == rid));
+            if self.seen.contains_key(&rid) || self.settled(&rid) || queued {
+                continue;
+            }
+            self.pending.push((rid, decision));
+        }
+        self.pump(ctx, regs, suspects)
+    }
+
+    /// Feeds a slot decision learned from the register bank (the owning
+    /// process routes `WoEvent::Decided` for `slot[..]` registers here).
+    /// Returns the slots that became applied, in order.
+    pub fn on_slot_decided(
+        &mut self,
+        ctx: &mut dyn Context,
+        regs: &mut WoRegisters,
+        slot: u64,
+        value: &RegValue,
+        suspects: Suspects<'_>,
+    ) -> Vec<AppliedSlot> {
+        self.record_decided(slot, value);
+        let mut out = self.drain_applied();
+        self.request_gaps(ctx, regs);
+        out.extend(self.pump(ctx, regs, suspects));
+        out
+    }
+
+    /// Re-pulls undecided slots below the decided frontier (wo-register
+    /// `read()` liveness for gaps): the owning process calls this on its
+    /// consensus resync tick.
+    pub fn request_gaps(&mut self, ctx: &mut dyn Context, regs: &mut WoRegisters) {
+        let Some((&frontier, _)) = self.decided_ahead.iter().next_back() else { return };
+        for k in self.next_apply..frontier {
+            if !self.decided_ahead.contains_key(&k) {
+                regs.pull(ctx, RegId::slot(k));
+            }
+        }
+    }
+
+    /// Drops the arbitration memory of every settled attempt of `client`
+    /// below the `ack_below` watermark (server-side GC; safe because a
+    /// settled request is never retransmitted, so its attempts can never be
+    /// proposed again). Returns the applied slots that became **fully
+    /// settled** — every member request below its client's watermark, in
+    /// slot order — so the host can compact their consensus instances
+    /// (§5's register-array cleanup). Such a slot's decision can never be
+    /// needed again anywhere: its entries are never re-proposed, and any
+    /// server that missed it needs only *a* decided value to advance its
+    /// apply cursor, not the original batch.
+    pub fn gc_client(&mut self, client: NodeId, ack_below: u64) -> Vec<u64> {
+        let w = self.watermarks.entry(client).or_insert(0);
+        *w = (*w).max(ack_below);
+        let stale = |rid: &ResultId| rid.request.client == client && rid.request.seq < ack_below;
+        self.seen.retain(|rid, _| !stale(rid));
+        self.pending.retain(|(rid, _)| !stale(rid));
+        let watermarks = &self.watermarks;
+        let settled = |rid: &ResultId| {
+            watermarks.get(&rid.request.client).is_some_and(|&w| rid.request.seq < w)
+        };
+        let mut forgettable = Vec::new();
+        self.applied_members.retain(|&slot, members| {
+            if members.iter().all(settled) {
+                forgettable.push(slot);
+                false
+            } else {
+                true
+            }
+        });
+        forgettable
+    }
+
+    /// Whether `rid`'s request is below its client's GC watermark (settled
+    /// forever; any late entry for it must be ignored).
+    fn settled(&self, rid: &ResultId) -> bool {
+        self.watermarks.get(&rid.request.client).is_some_and(|&w| rid.request.seq < w)
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    /// Proposes pending outcomes into the lowest open slot, looping while
+    /// proposals resolve synchronously.
+    fn pump(
+        &mut self,
+        ctx: &mut dyn Context,
+        regs: &mut WoRegisters,
+        suspects: Suspects<'_>,
+    ) -> Vec<AppliedSlot> {
+        let mut out = Vec::new();
+        loop {
+            let seen = &self.seen;
+            let watermarks = &self.watermarks;
+            self.pending.retain(|(rid, _)| {
+                !seen.contains_key(rid)
+                    && watermarks.get(&rid.request.client).is_none_or(|&w| rid.request.seq >= w)
+            });
+            if self.inflight.is_some() || self.pending.is_empty() {
+                return out;
+            }
+            let slot = self.lowest_open_slot(regs);
+            let take = self.pending.len().min(self.max_batch);
+            let batch: OutcomeBatch = self.pending.drain(..take).collect();
+            self.inflight = Some((slot, batch.clone()));
+            match regs.write(ctx, RegId::slot(slot), RegValue::Batch(batch), suspects) {
+                None => return out, // decision arrives via handle()
+                Some(value) => {
+                    // Decided synchronously (single-replica quorum, or the
+                    // slot was already taken): absorb and keep pumping.
+                    self.record_decided(slot, &value);
+                    out.extend(self.drain_applied());
+                    self.request_gaps(ctx, regs);
+                }
+            }
+        }
+    }
+
+    /// The lowest slot index with no decision known locally: gaps are
+    /// filled before new tail slots are opened, which is what keeps a
+    /// crashed proposer's abandoned slot from stalling the log (the next
+    /// proposal lands there and consensus arbitrates).
+    fn lowest_open_slot(&self, regs: &WoRegisters) -> u64 {
+        let mut k = self.next_apply;
+        while self.decided_ahead.contains_key(&k) || regs.read(RegId::slot(k)).is_some() {
+            k += 1;
+        }
+        k
+    }
+
+    fn record_decided(&mut self, slot: u64, value: &RegValue) {
+        let Some(batch) = value.as_batch() else {
+            debug_assert!(false, "slot[{slot}] decided a non-batch value");
+            return;
+        };
+        if slot >= self.next_apply {
+            self.decided_ahead.entry(slot).or_insert_with(|| batch.clone());
+        }
+        // Our proposal for this slot is settled: if another batch won, the
+        // outcomes we carried go back to pending for the next slot.
+        if let Some((s, ours)) = self.inflight.take() {
+            if s == slot {
+                for (rid, decision) in ours {
+                    if !batch.iter().any(|(r, _)| *r == rid)
+                        && !self.seen.contains_key(&rid)
+                        && !self.settled(&rid)
+                    {
+                        self.pending.push((rid, decision));
+                    }
+                }
+            } else {
+                self.inflight = Some((s, ours));
+            }
+        }
+    }
+
+    fn drain_applied(&mut self) -> Vec<AppliedSlot> {
+        let mut out = Vec::new();
+        while let Some(batch) = self.decided_ahead.remove(&self.next_apply) {
+            self.applied_members
+                .insert(self.next_apply, batch.iter().map(|(rid, _)| *rid).collect());
+            let mut firsts = Vec::new();
+            for (rid, decision) in batch {
+                if !self.seen.contains_key(&rid) && !self.settled(&rid) {
+                    self.seen.insert(rid, decision.clone());
+                    firsts.push((rid, decision));
+                }
+            }
+            out.push(AppliedSlot { slot: self.next_apply, entries: firsts });
+            self.next_apply += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::ids::RequestId;
+    use etx_base::value::Outcome;
+
+    fn rid(seq: u64) -> ResultId {
+        ResultId::first(RequestId { client: NodeId(0), seq })
+    }
+
+    fn commit() -> Decision {
+        Decision::commit(Default::default())
+    }
+
+    fn batch(seqs: &[u64]) -> OutcomeBatch {
+        seqs.iter().map(|&s| (rid(s), commit())).collect()
+    }
+
+    #[test]
+    fn first_occurrence_wins_across_slots() {
+        let mut log = DecisionLog::default();
+        log.record_decided(0, &RegValue::Batch(vec![(rid(1), commit())]));
+        log.record_decided(1, &RegValue::Batch(vec![(rid(1), Decision::nil_abort())]));
+        let applied = log.drain_applied();
+        assert_eq!(applied.len(), 2);
+        assert_eq!(applied[0].entries.len(), 1, "slot 0 carries the first occurrence");
+        assert!(applied[1].entries.is_empty(), "slot 1's duplicate is filtered");
+        assert_eq!(log.decision_of(rid(1)).unwrap().outcome, Outcome::Commit);
+    }
+
+    #[test]
+    fn slots_apply_in_order_buffering_gaps() {
+        let mut log = DecisionLog::default();
+        log.record_decided(1, &RegValue::Batch(batch(&[2])));
+        assert!(log.drain_applied().is_empty(), "slot 1 waits for slot 0");
+        assert_eq!(log.applied_up_to(), 0);
+        log.record_decided(0, &RegValue::Batch(batch(&[1])));
+        let applied = log.drain_applied();
+        assert_eq!(applied.len(), 2);
+        assert_eq!((applied[0].slot, applied[1].slot), (0, 1));
+        assert_eq!(log.applied_up_to(), 2);
+    }
+
+    #[test]
+    fn losing_a_slot_requeues_unserved_outcomes() {
+        let mut log = DecisionLog { inflight: Some((0, batch(&[7, 8]))), ..DecisionLog::default() };
+        // Slot 0 decides with someone else's batch that covers 7 but not 8.
+        log.record_decided(0, &RegValue::Batch(batch(&[7])));
+        log.drain_applied();
+        assert!(log.inflight.is_none());
+        assert_eq!(log.pending, batch(&[8]), "only the unserved outcome is re-proposed");
+        assert_eq!(log.decision_of(rid(7)).unwrap().outcome, Outcome::Commit);
+    }
+
+    #[test]
+    fn gc_drops_settled_attempts_below_the_watermark() {
+        let mut log = DecisionLog::default();
+        log.record_decided(0, &RegValue::Batch(batch(&[1, 2, 3])));
+        log.drain_applied();
+        log.gc_client(NodeId(0), 3);
+        assert!(log.decision_of(rid(1)).is_none());
+        assert!(log.decision_of(rid(2)).is_none());
+        assert!(log.decision_of(rid(3)).is_some(), "watermark is exclusive");
+        log.gc_client(NodeId(9), u64::MAX);
+        assert!(log.decision_of(rid(3)).is_some(), "other clients untouched");
+    }
+
+    #[test]
+    fn gc_reports_fully_settled_slots_exactly_once_in_order() {
+        let mut log = DecisionLog::default();
+        log.record_decided(0, &RegValue::Batch(batch(&[1, 2])));
+        log.record_decided(1, &RegValue::Batch(batch(&[3])));
+        log.drain_applied();
+        assert!(log.gc_client(NodeId(0), 2).is_empty(), "slot 0 still carries unsettled request 2");
+        assert_eq!(log.gc_client(NodeId(0), 3), vec![0], "slot 0 now fully settled");
+        assert_eq!(log.gc_client(NodeId(0), 4), vec![1]);
+        assert!(log.gc_client(NodeId(0), 10).is_empty(), "forgotten slots are not re-reported");
+    }
+
+    #[test]
+    fn late_entries_below_the_watermark_never_resurface() {
+        // A settled request's seen-record is GC'd; a slow cleaner's
+        // conflicting entry then arrives in a later slot. It must be
+        // swallowed, not surfaced as a fresh first occurrence.
+        let mut log = DecisionLog::default();
+        log.record_decided(0, &RegValue::Batch(vec![(rid(1), commit())]));
+        log.drain_applied();
+        log.gc_client(NodeId(0), 2); // request 1 settled
+        assert!(log.decision_of(rid(1)).is_none(), "arbitration memory GC'd");
+        log.record_decided(1, &RegValue::Batch(vec![(rid(1), Decision::nil_abort())]));
+        let applied = log.drain_applied();
+        assert_eq!(applied.len(), 1);
+        assert!(applied[0].entries.is_empty(), "settled attempt must not resurface");
+        assert!(log.decision_of(rid(1)).is_none());
+    }
+
+    #[test]
+    fn applied_cursor_and_pending_len_report_state() {
+        let mut log = DecisionLog::default();
+        assert_eq!(log.applied_up_to(), 0);
+        assert_eq!(log.pending_len(), 0);
+        log.pending = batch(&[1]);
+        log.inflight = Some((0, batch(&[2, 3])));
+        assert_eq!(log.pending_len(), 3);
+    }
+}

@@ -500,4 +500,22 @@ impl ConsensusEngine {
             _ => false,
         }
     }
+
+    /// Compacts a *decided* instance to `placeholder`, dropping the round
+    /// bookkeeping and the original payload but keeping the instance
+    /// answerable. Unlike [`ConsensusEngine::forget`], a compacted instance
+    /// still answers reads and pulls (with the placeholder) and still
+    /// short-circuits proposals — the position can never be re-opened and
+    /// re-decided by a replica that missed the original decision. The
+    /// caller asserts the original value can no longer matter to anyone
+    /// (e.g. a decision-log slot whose every request is settled).
+    pub fn compact(&mut self, inst: RegId, placeholder: RegValue) -> bool {
+        match self.instances.get_mut(&inst) {
+            Some(i) if i.decided.is_some() => {
+                *i = Instance { decided: Some(placeholder), ..Instance::default() };
+                true
+            }
+            _ => false,
+        }
+    }
 }

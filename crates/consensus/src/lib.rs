@@ -8,14 +8,19 @@
 //!   consensus with the round-0 fast path ("one round trip for the first
 //!   primary") and FD-driven round changes;
 //! * [`woreg::WoRegisters`] — the CD-ROM abstraction on top: `write()` once,
-//!   `read()` many.
+//!   `read()` many;
+//! * [`declog::DecisionLog`] — the sequenced decision log over wo-register
+//!   slots: ordered batches of request outcomes, one consensus round per
+//!   batch, with first-occurrence arbitration replacing per-attempt `regD`.
 //!
-//! Both are *components* owned by an application-server process; they are
+//! All are *components* owned by an application-server process; they are
 //! driven by forwarding runtime events.
 
+pub mod declog;
 pub mod engine;
 pub mod woreg;
 
+pub use declog::{AppliedSlot, DecisionLog};
 pub use engine::{ConsensusEngine, EngineConfig, Suspects};
 pub use woreg::{WoEvent, WoRegisters};
 

@@ -104,4 +104,15 @@ impl WoRegisters {
     pub fn forget(&mut self, reg: RegId) -> bool {
         self.engine.forget(reg)
     }
+
+    /// Compacts a decided register to `placeholder`: its payload and round
+    /// state are dropped, but the register stays decided — reads, pulls and
+    /// late writes are still answered, so a replica that missed the
+    /// original decision can never re-open the position. Use this instead
+    /// of [`WoRegisters::forget`] for registers other replicas may still
+    /// ask about (decision-log slots); `forget` fits registers only their
+    /// own attempt ever queries (`regA`).
+    pub fn compact(&mut self, reg: RegId, placeholder: RegValue) -> bool {
+        self.engine.compact(reg, placeholder)
+    }
 }

@@ -270,3 +270,53 @@ proptest! {
         }
     }
 }
+
+/// Compaction safety: a replica that missed a slot's decision and finds its
+/// peers already compacted cannot re-open the position — its late proposal
+/// resolves to the compacted placeholder, never to its own value.
+#[test]
+fn compacted_instance_answers_late_writers_instead_of_reopening() {
+    let mut w = World::new(3, vec![]);
+    w.propose(0, RegValue::Server(NodeId(0)));
+    // Deliver everything except messages to node 2: the majority {0, 1}
+    // decides; node 2 misses the decision entirely.
+    for _ in 0..20 {
+        w.tick_all();
+        for _ in 0..400 {
+            w.bag.retain(|(_, to, _)| *to != NodeId(2));
+            if w.bag.is_empty() {
+                break;
+            }
+            w.deliver_nth(0);
+        }
+    }
+    w.bag.retain(|(_, to, _)| *to != NodeId(2));
+    let original = w.decided[0].clone().expect("majority decided");
+    assert_eq!(w.decided[1].as_ref(), Some(&original));
+    assert_eq!(w.decided[2], None, "node 2 must have missed the decision");
+    // Both deciders compact the instance (all its requests settled).
+    let placeholder = RegValue::Batch(Vec::new());
+    for idx in [0usize, 1] {
+        assert!(
+            w.engines[idx].as_mut().expect("live").compact(inst(), placeholder.clone()),
+            "decided instances compact"
+        );
+    }
+    // Node 2 now proposes its own value into the position it thinks is
+    // open. Full connectivity again: it must learn the placeholder.
+    w.propose(2, RegValue::Server(NodeId(2)));
+    for _ in 0..20 {
+        w.tick_all();
+        for _ in 0..400 {
+            if w.bag.is_empty() {
+                break;
+            }
+            w.deliver_nth(0);
+        }
+    }
+    assert_eq!(
+        w.decided[2].as_ref(),
+        Some(&placeholder),
+        "the late writer must adopt the compacted decision, not re-decide the position"
+    );
+}

@@ -19,18 +19,32 @@
 //!
 //! The pseudo-code's blocking threads become one state machine per attempt
 //! (one `Phase` per attempt); `cobegin` concurrency becomes event interleaving.
+//!
+//! ## The commit pipeline
+//!
+//! The paper's per-attempt decision register `regD[j]` is generalised into
+//! a sequenced **decision log** ([`etx_consensus::DecisionLog`]): instead
+//! of one consensus instance per outcome, the server accumulates concurrent
+//! outcomes in a bounded **pipeline queue** and proposes them as one batch
+//! into the next log slot — one consensus round per batch. The queue
+//! flushes when it reaches [`etx_base::BatchingConfig::max_batch`]
+//! outcomes, when its time window expires, or eagerly when no other attempt
+//! is mid-flight (so a lone sequential request never waits — the
+//! single-request path is a batch of one). Termination then pushes each
+//! slot's outcomes to the databases as per-database `DecideBatch` messages,
+//! which the back end applies behind a single group WAL append.
 
 use etx_base::config::{CostModel, ProtocolConfig};
-use etx_base::ids::{NodeId, RegId, RequestId, ResultId, Topology};
+use etx_base::ids::{NodeId, RegId, RequestId, ResultId, TimerId, Topology};
 use etx_base::msg::{AppMsg, ClientMsg, DbMsg, DbReplyMsg, Payload};
 use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
 use etx_base::shard::ShardMap;
-use etx_base::time::Time;
+use etx_base::time::{Dur, Time};
 use etx_base::trace::{Component, TraceKind};
 use etx_base::value::{Decision, ExecStatus, Outcome, RegValue, Request, ResultValue, Vote};
-use etx_consensus::{EngineConfig, WoEvent, WoRegisters};
+use etx_consensus::{AppliedSlot, DecisionLog, EngineConfig, WoEvent, WoRegisters};
 use etx_fd::FailureDetector;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Per-attempt protocol state (the paper's compute thread, unrolled).
 #[derive(Debug)]
@@ -68,6 +82,12 @@ pub struct AppServer {
     shards: ShardMap,
     fd: Box<dyn FailureDetector>,
     regs: WoRegisters,
+    /// The sequenced decision log (replaces per-attempt `regD`).
+    log: DecisionLog,
+    /// Pipeline queue: outcomes accumulated for the next decision-log slot.
+    batch_queue: Vec<(ResultId, Decision)>,
+    /// Pending window-flush timer for the pipeline queue, if armed.
+    batch_timer: Option<TimerId>,
     fsms: HashMap<ResultId, Phase>,
     /// Attempts whose `regD` write *we* initiated (owner or cleaner): we are
     /// responsible for termination once the register decides.
@@ -126,6 +146,7 @@ impl AppServer {
         let engine_cfg =
             EngineConfig { patience: cfg.consensus_round_patience, resync: cfg.consensus_resync };
         let regs = WoRegisters::new(me, &topo.app_servers, engine_cfg);
+        let log = DecisionLog::new(cfg.batching.max_batch);
         AppServer {
             me,
             topo,
@@ -134,6 +155,9 @@ impl AppServer {
             shards,
             fd,
             regs,
+            log,
+            batch_queue: Vec::new(),
+            batch_timer: None,
             fsms: HashMap::new(),
             initiators: HashSet::new(),
             terminate_targets: HashMap::new(),
@@ -148,18 +172,21 @@ impl AppServer {
         self.fd.suspected()
     }
 
-    /// Drops protocol state for every *terminated* attempt of the same
-    /// client with a sequence number below `current`: per-attempt FSMs,
-    /// cached decisions, and the wo-registers' replication state. Bounds
-    /// memory to the in-flight window (plus one cached decision per client
-    /// for the current request).
-    fn gc_before(&mut self, current: RequestId) {
+    /// Drops protocol state for every *terminated* attempt of `client` with
+    /// a sequence number below the client's `ack_below` watermark:
+    /// per-attempt FSMs, cached decisions, the wo-registers' replication
+    /// state and the decision log's arbitration memory. Bounds memory to
+    /// the client's in-flight window (plus one cached decision per client
+    /// per unsettled request). Sequential clients send their current
+    /// sequence number (everything earlier is implicitly acknowledged);
+    /// open-loop clients send their lowest unfinished sequence number.
+    fn gc_below(&mut self, ctx: &mut dyn Context, client: NodeId, ack_below: u64) {
         let stale: Vec<ResultId> = self
             .fsms
             .iter()
             .filter(|(rid, phase)| {
-                rid.request.client == current.client
-                    && rid.request.seq < current.seq
+                rid.request.client == client
+                    && rid.request.seq < ack_below
                     && matches!(phase, Phase::Done { .. } | Phase::Watching)
             })
             .map(|(&rid, _)| rid)
@@ -168,13 +195,30 @@ impl AppServer {
             self.fsms.remove(&rid);
             self.cleaned.insert(rid);
             self.regs.forget(RegId::owner(rid));
-            self.regs.forget(RegId::decision(rid));
             self.rega_started.remove(&rid);
             self.regd_started.remove(&rid);
             self.terminate_targets.remove(&rid);
         }
-        self.committed_cache
-            .retain(|req, _| req.client != current.client || req.seq >= current.seq);
+        // Slots whose every member is settled shed their consensus payload
+        // too — without this the register bank retains one decided batch
+        // (results included) per slot forever, unbounding memory with total
+        // throughput. Compacted (not forgotten): the slot stays decided as
+        // an empty batch, so a replica that missed the original decision
+        // gets a benign answer instead of re-opening and re-deciding the
+        // position — which would break first-occurrence arbitration.
+        for slot in self.log.gc_client(client, ack_below) {
+            if self.regs.compact(RegId::slot(slot), RegValue::Batch(Vec::new())) {
+                ctx.trace(TraceKind::SlotGc { slot });
+            }
+        }
+        let fresh = |rid: &ResultId| rid.request.client != client || rid.request.seq >= ack_below;
+        // Initiator bookkeeping for attempts that settled through another
+        // server's slot never reaches apply_slots; drop it by watermark.
+        self.initiators.retain(fresh);
+        self.terminate_targets.retain(|rid, _| fresh(rid));
+        self.regd_started.retain(|rid, _| fresh(rid));
+        self.batch_queue.retain(|(rid, _)| fresh(rid));
+        self.committed_cache.retain(|req, _| req.client != client || req.seq >= ack_below);
     }
 
     /// Number of per-attempt state machines currently held (observability /
@@ -185,13 +229,19 @@ impl AppServer {
 
     // ---- computation thread (Figure 5) ------------------------------------
 
-    fn on_request(&mut self, ctx: &mut dyn Context, request: Request, attempt: u32) {
+    fn on_request(
+        &mut self,
+        ctx: &mut dyn Context,
+        request: Request,
+        attempt: u32,
+        ack_below: u64,
+    ) {
         let rid = ResultId { request: request.id, attempt };
         // Garbage collection (§5 leaves it open; this is the natural hook):
-        // the client is sequential, so a request with a higher sequence
-        // number acknowledges every earlier one — their attempts can never
-        // be retransmitted again and their register state can go.
-        self.gc_before(request.id);
+        // the client's watermark tells us which of its requests are settled
+        // forever — their attempts can never be retransmitted again and
+        // their register/log state can go.
+        self.gc_below(ctx, request.id.client, ack_below);
         // Figure 5 line 3: if this request already committed, answer from
         // the cached decision.
         if let Some((crid, decision)) = self.committed_cache.get(&request.id).cloned() {
@@ -287,7 +337,7 @@ impl AppServer {
         if involved.is_empty() {
             // Nothing to vote on: vacuously all-yes (degenerate scripts).
             let decision = Decision { result: Some(result), outcome: Outcome::Commit };
-            self.write_regd(ctx, rid, decision, Vec::new());
+            self.submit_outcome(ctx, rid, decision, Vec::new());
             return;
         }
         self.fsms.insert(
@@ -323,11 +373,16 @@ impl AppServer {
         };
         let decision = Decision { result: Some(result.clone()), outcome };
         let targets = involved.clone();
-        self.write_regd(ctx, rid, decision, targets);
+        self.submit_outcome(ctx, rid, decision, targets);
     }
 
-    /// Figure 5 line 10 / Figure 6 line 7: write the decision register.
-    fn write_regd(
+    /// Figure 5 line 10 / Figure 6 line 7: record the attempt's outcome for
+    /// sequencing. The outcome enters the pipeline queue and is decided by
+    /// the slot batch it flushes into (the paper's `regD[j].write`,
+    /// amortised); if the log already holds a decision for this attempt
+    /// (another initiator's slot applied first), termination starts
+    /// immediately with that decision — the write-once return value.
+    fn submit_outcome(
         &mut self,
         ctx: &mut dyn Context,
         rid: ResultId,
@@ -343,13 +398,110 @@ impl AppServer {
         ) {
             self.fsms.insert(rid, Phase::WritingRegD);
         }
+        if let Some(final_decision) = self.log.decision_of(rid).cloned() {
+            self.outcome_final(ctx, rid, final_decision);
+            return;
+        }
+        if !self.batch_queue.iter().any(|(r, _)| *r == rid) {
+            self.batch_queue.push((rid, decision));
+        }
+        // The queue flushes at the end of this event (size / idle policy)
+        // or when the window timer fires — see `maybe_flush`.
+    }
+
+    // ---- the pipeline queue ------------------------------------------------
+
+    /// Flush policy, evaluated once per handled event: flush when the queue
+    /// hit the size threshold, when batching is off, or when no other
+    /// attempt is mid-flight (nothing further could join the batch soon);
+    /// otherwise arm the window timer as the latency backstop.
+    fn maybe_flush(&mut self, ctx: &mut dyn Context) {
+        if self.batch_queue.is_empty() {
+            return;
+        }
+        let batching = self.cfg.batching;
+        // Size and window checks are O(1); the idle check walks every
+        // in-flight FSM, so it runs only when the cheap rules don't already
+        // force a flush (they always do in the per-request configuration).
+        let idle = || {
+            !self.fsms.values().any(|p| {
+                matches!(
+                    p,
+                    Phase::WritingRegA { .. } | Phase::Computing { .. } | Phase::Preparing { .. }
+                )
+            })
+        };
+        if self.batch_queue.len() >= batching.max_batch.max(1)
+            || batching.window == Dur::ZERO
+            || idle()
+        {
+            self.flush_batch(ctx);
+        } else if self.batch_timer.is_none() {
+            self.batch_timer = Some(ctx.set_timer(batching.window, TimerTag::BatchFlush));
+        }
+    }
+
+    /// Proposes the queued outcomes as one decision-log slot.
+    fn flush_batch(&mut self, ctx: &mut dyn Context) {
+        if let Some(t) = self.batch_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        if self.batch_queue.is_empty() {
+            return;
+        }
+        let entries = std::mem::take(&mut self.batch_queue);
         let sus_vec = self.suspicion_snapshot();
         let sus = move |n: NodeId| sus_vec.contains(&n);
-        if let Some(v) =
-            self.regs.write(ctx, RegId::decision(rid), RegValue::Decision(decision), &sus)
-        {
-            self.on_decided(ctx, RegId::decision(rid), v);
+        let applied = self.log.propose(ctx, &mut self.regs, entries, &sus);
+        self.apply_slots(ctx, applied);
+    }
+
+    /// Processes decided, in-order slots: every first-occurrence outcome is
+    /// final. Outcomes this server initiated terminate now — grouped, so
+    /// one slot becomes one `DecideBatch` per involved database.
+    fn apply_slots(&mut self, ctx: &mut dyn Context, applied: Vec<AppliedSlot>) {
+        for slot in applied {
+            ctx.trace(TraceKind::BatchDecided { slot: slot.slot, len: slot.entries.len() as u32 });
+            let group: Vec<_> = slot
+                .entries
+                .into_iter()
+                .filter_map(|(rid, decision)| self.claim_initiated(ctx, rid, decision))
+                .collect();
+            self.start_terminate_group(ctx, group);
         }
+    }
+
+    /// An attempt whose decision was already final when this server became
+    /// an initiator (the wo-register "write returns the earlier value").
+    fn outcome_final(&mut self, ctx: &mut dyn Context, rid: ResultId, decision: Decision) {
+        if let Some(item) = self.claim_initiated(ctx, rid, decision) {
+            self.start_terminate_group(ctx, vec![item]);
+        }
+    }
+
+    /// Resolves a finalised outcome into a termination work item if this
+    /// server initiated it: consumes the initiator claim, closes the
+    /// log-outcome span and takes the termination targets. `None` when some
+    /// other server (or an earlier slot) already owns termination here.
+    fn claim_initiated(
+        &mut self,
+        ctx: &mut dyn Context,
+        rid: ResultId,
+        decision: Decision,
+    ) -> Option<(ResultId, Decision, Vec<NodeId>)> {
+        if !self.initiators.remove(&rid) {
+            return None;
+        }
+        if let Some(t0) = self.regd_started.remove(&rid) {
+            ctx.trace(TraceKind::Span {
+                rid,
+                comp: Component::LogOutcome,
+                dur: ctx.now().since(t0),
+            });
+        }
+        let targets =
+            self.terminate_targets.remove(&rid).unwrap_or_else(|| self.topo.db_servers.clone());
+        Some((rid, decision, targets))
     }
 
     // ---- register decisions ------------------------------------------------
@@ -375,52 +527,52 @@ impl AppServer {
                     }
                 }
             }
-            (etx_base::ids::RegKind::Decision, RegValue::Decision(decision)) => {
-                if self.initiators.remove(&rid) {
-                    if let Some(t0) = self.regd_started.remove(&rid) {
-                        ctx.trace(TraceKind::Span {
-                            rid,
-                            comp: Component::LogOutcome,
-                            dur: ctx.now().since(t0),
-                        });
-                    }
-                    let targets = self
-                        .terminate_targets
-                        .remove(&rid)
-                        .unwrap_or_else(|| self.topo.db_servers.clone());
-                    self.start_terminate(ctx, rid, decision, targets);
-                }
-            }
+            // Decision-log slots are routed to the log before this point;
+            // per-attempt `regD` registers no longer exist.
             _ => debug_assert!(false, "register kind/value mismatch for {reg}"),
         }
     }
 
     // ---- terminate() (Figure 4) --------------------------------------------
 
-    fn start_terminate(
+    /// Starts termination for a group of finalised attempts, coalescing
+    /// their `[Decide]` pushes into one `DecideBatch` per database (a lone
+    /// attempt keeps the paper's per-branch `Decide` message). Retries stay
+    /// per-attempt — retransmission is the rare path.
+    fn start_terminate_group(
         &mut self,
         ctx: &mut dyn Context,
-        rid: ResultId,
-        decision: Decision,
-        targets: Vec<NodeId>,
+        items: Vec<(ResultId, Decision, Vec<NodeId>)>,
     ) {
-        if matches!(self.fsms.get(&rid), Some(Phase::Done { .. }) | Some(Phase::Terminating { .. }))
-        {
-            return; // already terminating/terminated here
+        let mut per_db: BTreeMap<NodeId, Vec<(ResultId, Outcome)>> = BTreeMap::new();
+        for (rid, decision, targets) in items {
+            if matches!(
+                self.fsms.get(&rid),
+                Some(Phase::Done { .. }) | Some(Phase::Terminating { .. })
+            ) {
+                continue; // already terminating/terminated here
+            }
+            let outcome = decision.outcome;
+            self.fsms.insert(
+                rid,
+                Phase::Terminating { decision, targets: targets.clone(), acked: HashSet::new() },
+            );
+            if targets.is_empty() {
+                self.complete_terminate(ctx, rid);
+                continue;
+            }
+            for db in targets {
+                per_db.entry(db).or_default().push((rid, outcome));
+            }
+            ctx.set_timer(self.cfg.terminate_retry, TimerTag::TerminateRetry { rid });
         }
-        let outcome = decision.outcome;
-        self.fsms.insert(
-            rid,
-            Phase::Terminating { decision, targets: targets.clone(), acked: HashSet::new() },
-        );
-        if targets.is_empty() {
-            self.complete_terminate(ctx, rid);
-            return;
+        for (db, entries) in per_db {
+            let payload = match entries.as_slice() {
+                [(rid, outcome)] => Payload::Db(DbMsg::Decide { rid: *rid, outcome: *outcome }),
+                _ => Payload::Db(DbMsg::DecideBatch { entries }),
+            };
+            ctx.send(db, payload);
         }
-        for db in targets {
-            ctx.send(db, Payload::Db(DbMsg::Decide { rid, outcome }));
-        }
-        ctx.set_timer(self.cfg.terminate_retry, TimerTag::TerminateRetry { rid });
     }
 
     fn on_ack_decide(&mut self, ctx: &mut dyn Context, from: NodeId, rid: ResultId) {
@@ -520,10 +672,12 @@ impl AppServer {
                     }
                     self.cleaned.insert(rid);
                     ctx.trace(TraceKind::CleanerTakeover { rid, owner });
-                    // Figure 6 line 7: regD[j].write(nil, abort); the write
-                    // returns the owner's decision if it got there first.
+                    // Figure 6 line 7: regD[j].write(nil, abort), now an
+                    // entry proposed into the decision log; first occurrence
+                    // in slot order arbitrates, so if the owner's decision
+                    // got there first the cleaner terminates with it.
                     let targets = self.topo.db_servers.clone();
-                    self.write_regd(ctx, rid, Decision::nil_abort(), targets);
+                    self.submit_outcome(ctx, rid, Decision::nil_abort(), targets);
                 }
                 None => {
                     // ⊥: keep reading (pull) until the register resolves.
@@ -547,7 +701,9 @@ impl Process for AppServer {
         let sus_vec = self.suspicion_snapshot();
         let newly_suspected =
             transitions.iter().any(|t| matches!(t, etx_fd::FdTransition::Suspect(_)));
-        // 2. Registers: consensus traffic, round patience, resync.
+        // 2. Registers: consensus traffic, round patience, resync. Slot
+        //    decisions feed the decision log (which applies them in order);
+        //    owner-register decisions feed the per-attempt machinery.
         let wo_events = {
             let sus = |n: NodeId| sus_vec.contains(&n);
             if !transitions.is_empty() {
@@ -557,7 +713,16 @@ impl Process for AppServer {
         };
         for ev in wo_events {
             let WoEvent::Decided { reg, value } = ev;
-            self.on_decided(ctx, reg, value);
+            match reg.slot_index() {
+                Some(slot) => {
+                    let applied = {
+                        let sus = |n: NodeId| sus_vec.contains(&n);
+                        self.log.on_slot_decided(ctx, &mut self.regs, slot, &value, &sus)
+                    };
+                    self.apply_slots(ctx, applied);
+                }
+                None => self.on_decided(ctx, reg, value),
+            }
         }
         // 3. A fresh suspicion triggers an immediate cleaning pass
         //    (Figure 6's loop reacts to suspect() turning true).
@@ -567,29 +732,46 @@ impl Process for AppServer {
         // 4. Protocol messages and timers.
         match event {
             Event::Message {
-                payload: Payload::Client(ClientMsg::Request { request, attempt }),
+                payload: Payload::Client(ClientMsg::Request { request, attempt, ack_below }),
                 ..
             } => {
-                self.on_request(ctx, request, attempt);
+                self.on_request(ctx, request, attempt, ack_below);
             }
             Event::Message { from, payload: Payload::DbReply(reply) } => match reply {
                 DbReplyMsg::ExecReply { rid, status } => self.on_exec_reply(ctx, rid, status),
                 DbReplyMsg::Vote { rid, vote } => self.on_vote(ctx, from, rid, vote),
                 DbReplyMsg::AckDecide { rid, .. } => self.on_ack_decide(ctx, from, rid),
+                DbReplyMsg::AckDecideBatch { entries } => {
+                    for (rid, _) in entries {
+                        self.on_ack_decide(ctx, from, rid);
+                    }
+                }
                 DbReplyMsg::Ready => self.on_ready(ctx, from),
                 DbReplyMsg::AckCommitOnePhase { .. } => { /* baseline-only message */ }
             },
             Event::Timer { tag, .. } => match tag {
                 TimerTag::Dispatch { rid, stage: 0 } => self.dispatch_rega(ctx, rid),
                 TimerTag::TerminateRetry { rid } => self.on_terminate_retry(ctx, rid),
+                TimerTag::BatchFlush => {
+                    self.batch_timer = None;
+                    self.flush_batch(ctx);
+                }
                 TimerTag::CleanerTick => {
                     self.run_cleaner(ctx);
                     ctx.set_timer(self.cfg.cleaner_interval, TimerTag::CleanerTick);
+                }
+                TimerTag::ConsensusResync => {
+                    // The engine already re-armed itself; piggyback the
+                    // decision log's gap pulls on the same cadence.
+                    self.log.request_gaps(ctx, &mut self.regs);
                 }
                 _ => {}
             },
             _ => {}
         }
+        // 5. Pipeline flush policy — once per event, after everything that
+        //    could have queued an outcome or changed in-flight state.
+        self.maybe_flush(ctx);
     }
 
     fn name(&self) -> &'static str {

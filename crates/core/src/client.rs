@@ -9,41 +9,50 @@
 //! idempotence). A commit result is **delivered** (`issue()` returns); an
 //! abort result moves the client to attempt `j + 1`.
 //!
+//! Attempt bookkeeping (current attempt id, timer validity, stale-result
+//! filtering, the `Issue` trace) lives in the shared
+//! [`etx_base::retry`] driver, so this client and the baseline clients
+//! measure identically; only the policy here — back-off, broadcast,
+//! transparent retry — is e-Transaction-specific.
+//!
+//! Two issue disciplines share the machinery:
+//!
+//! * **sequential** (the paper's Figure 2): one request in flight, the
+//!   next issued when the previous delivers;
+//! * **open-loop**: the whole plan is issued up front and every request
+//!   runs its own attempt chain concurrently — the high-concurrency load
+//!   shape that feeds the application server's commit pipeline.
+//!
 //! The client is diskless and stateless across requests, as the three-tier
 //! model demands — no stable storage is ever touched here.
 
 use etx_base::config::ProtocolConfig;
-use etx_base::ids::{NodeId, ResultId, TimerId};
-use etx_base::msg::{AppMsg, ClientMsg, Payload};
+use etx_base::ids::{NodeId, RequestId, ResultId};
+use etx_base::msg::{AppMsg, Payload};
+use etx_base::retry::{AttemptDriver, IssuePlan, RetryTimer};
 use etx_base::runtime::{Context, Event, Process, TimerTag};
 use etx_base::trace::TraceKind;
 use etx_base::value::{Decision, Outcome, Request};
+use std::collections::BTreeMap;
 
-/// What the client is currently doing.
-#[derive(Debug)]
-enum ClientState {
-    /// Nothing in flight.
-    Idle,
-    /// Waiting for the result of `rid`.
-    Waiting {
-        request: Request,
-        rid: ResultId,
-        backoff: Option<TimerId>,
-        rebroadcast: Option<TimerId>,
-        /// Adaptive-routing extension: the server that answered us last.
-        preferred: Option<NodeId>,
-    },
+/// How the client walks its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueMode {
+    /// One request in flight at a time (Figure 2's `issue()` loop).
+    Sequential,
+    /// Every request issued immediately; attempts run concurrently.
+    OpenLoop,
 }
 
-/// The e-Transaction client: issues each request in `plan` sequentially and
-/// records deliveries. `issue()` never raises an exception — that is the
+/// The e-Transaction client: issues each request in its plan and records
+/// deliveries. `issue()` never raises an exception — that is the
 /// abstraction's contract.
 pub struct EtxClient {
     alist: Vec<NodeId>,
     cfg: ProtocolConfig,
-    plan: Vec<Request>,
-    next: usize,
-    state: ClientState,
+    mode: IssueMode,
+    plan: IssuePlan,
+    inflight: BTreeMap<RequestId, AttemptDriver>,
     delivered: Vec<(ResultId, Decision)>,
     /// Adaptive-routing extension: last server that answered us (kept
     /// across requests; only consulted when the config flag is on).
@@ -53,22 +62,39 @@ pub struct EtxClient {
 impl std::fmt::Debug for EtxClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EtxClient")
-            .field("next", &self.next)
+            .field("mode", &self.mode)
+            .field("inflight", &self.inflight.len())
             .field("delivered", &self.delivered.len())
             .finish()
     }
 }
 
 impl EtxClient {
-    /// A client that will issue `plan` one request at a time against the
+    /// A sequential client issuing `plan` one request at a time against the
     /// application servers in `alist` (index 0 = default primary).
     pub fn new(alist: Vec<NodeId>, cfg: ProtocolConfig, plan: Vec<Request>) -> Self {
+        Self::with_mode(alist, cfg, plan, IssueMode::Sequential)
+    }
+
+    /// An open-loop client: the whole plan is issued at start and every
+    /// request retries independently until it commits.
+    pub fn open_loop(alist: Vec<NodeId>, cfg: ProtocolConfig, plan: Vec<Request>) -> Self {
+        Self::with_mode(alist, cfg, plan, IssueMode::OpenLoop)
+    }
+
+    /// A client with an explicit issue discipline.
+    pub fn with_mode(
+        alist: Vec<NodeId>,
+        cfg: ProtocolConfig,
+        plan: Vec<Request>,
+        mode: IssueMode,
+    ) -> Self {
         EtxClient {
             alist,
             cfg,
-            plan,
-            next: 0,
-            state: ClientState::Idle,
+            mode,
+            plan: IssuePlan::new(plan),
+            inflight: BTreeMap::new(),
             delivered: Vec::new(),
             last_responder: None,
         }
@@ -79,91 +105,70 @@ impl EtxClient {
         &self.delivered
     }
 
-    fn issue_next(&mut self, ctx: &mut dyn Context) {
-        if self.next >= self.plan.len() {
-            self.state = ClientState::Idle;
-            return;
-        }
-        let request = self.plan[self.next].clone();
-        self.next += 1;
-        ctx.trace(TraceKind::Issue { request: request.id });
-        let rid = ResultId::first(request.id);
-        let pref = self.last_responder;
-        self.start_attempt(ctx, request, rid, pref);
+    /// GC watermark sent with every request: the lowest sequence number
+    /// this client may still retransmit. With nothing in flight, everything
+    /// below the next unissued request is settled.
+    fn ack_below(&self) -> u64 {
+        self.inflight.keys().next().map_or(self.plan.next_seq(), |req| req.seq)
     }
 
-    fn start_attempt(
-        &mut self,
-        ctx: &mut dyn Context,
-        request: Request,
-        rid: ResultId,
-        preferred: Option<NodeId>,
-    ) {
+    fn issue_next(&mut self, ctx: &mut dyn Context) {
+        if let Some(request) = self.plan.issue_next(ctx) {
+            let id = request.id;
+            self.inflight.insert(id, AttemptDriver::new(request));
+            self.start_attempt(ctx, id);
+        }
+    }
+
+    fn start_attempt(&mut self, ctx: &mut dyn Context, id: RequestId) {
+        let ack_below = self.ack_below();
         // Figure 2 line 2: send to the default primary first (or, with the
         // adaptive-routing extension enabled, to whoever answered us last).
-        let first = match (self.cfg.route_to_last_responder, preferred) {
+        let first = match (self.cfg.route_to_last_responder, self.last_responder) {
             (true, Some(p)) => p,
             _ => self.alist[0],
         };
-        ctx.send(
-            first,
-            Payload::Client(ClientMsg::Request { request: request.clone(), attempt: rid.attempt }),
-        );
-        let backoff = ctx.set_timer(self.cfg.client_backoff, TimerTag::ClientBackoff { rid });
-        self.state = ClientState::Waiting {
-            request,
-            rid,
-            backoff: Some(backoff),
-            rebroadcast: None,
-            preferred,
-        };
+        let backoff = self.cfg.client_backoff;
+        let Some(flight) = self.inflight.get_mut(&id) else { return };
+        flight.send_to(ctx, first, ack_below);
+        let rid = flight.rid();
+        flight.arm(ctx, RetryTimer::Primary, backoff, TimerTag::ClientBackoff { rid });
     }
 
-    fn broadcast(&mut self, ctx: &mut dyn Context) {
-        if let ClientState::Waiting { request, rid, rebroadcast, .. } = &mut self.state {
-            let msg = Payload::Client(ClientMsg::Request {
-                request: request.clone(),
-                attempt: rid.attempt,
-            });
-            for a in self.alist.clone() {
-                ctx.send(a, msg.clone());
-            }
-            let t = ctx
-                .set_timer(self.cfg.client_rebroadcast, TimerTag::ClientRebroadcast { rid: *rid });
-            *rebroadcast = Some(t);
-        }
+    fn broadcast(&mut self, ctx: &mut dyn Context, id: RequestId) {
+        let ack_below = self.ack_below();
+        let alist = self.alist.clone();
+        let rebroadcast = self.cfg.client_rebroadcast;
+        let Some(flight) = self.inflight.get_mut(&id) else { return };
+        flight.broadcast(ctx, &alist, ack_below);
+        let rid = flight.rid();
+        flight.arm(ctx, RetryTimer::Secondary, rebroadcast, TimerTag::ClientRebroadcast { rid });
     }
 
     fn on_result(&mut self, ctx: &mut dyn Context, rid: ResultId, decision: Decision) {
-        let (request, cur, backoff, rebroadcast, preferred) = match &self.state {
-            ClientState::Waiting { request, rid, backoff, rebroadcast, preferred } => {
-                (request.clone(), *rid, *backoff, *rebroadcast, *preferred)
-            }
-            ClientState::Idle => return, // late duplicate
+        let id = rid.request;
+        let Some(flight) = self.inflight.get_mut(&id) else {
+            return; // late duplicate of a settled request
         };
-        if rid != cur {
+        if !flight.matches(rid) {
             return; // stale attempt (an old abort arriving late)
         }
-        if let Some(t) = backoff {
-            ctx.cancel_timer(t);
-        }
-        if let Some(t) = rebroadcast {
-            ctx.cancel_timer(t);
-        }
+        flight.cancel_all(ctx);
         match decision.outcome {
             Outcome::Commit => {
                 // Figure 2 lines 8–9: deliver and return.
                 ctx.trace(TraceKind::Deliver { rid, outcome: Outcome::Commit, steps: ctx.depth() });
                 self.delivered.push((rid, decision));
-                self.issue_next(ctx);
+                self.inflight.remove(&id);
+                if self.mode == IssueMode::Sequential {
+                    self.issue_next(ctx);
+                }
             }
             Outcome::Abort => {
                 // Figure 2 line 10: j := j + 1 and retry the same request.
-                let _ = preferred;
                 ctx.trace(TraceKind::ClientRetry { rid });
-                let next_rid = cur.next_attempt();
-                let pref = self.last_responder;
-                self.start_attempt(ctx, request, next_rid, pref);
+                flight.next_attempt(ctx);
+                self.start_attempt(ctx, id);
             }
         }
     }
@@ -172,28 +177,40 @@ impl EtxClient {
 impl Process for EtxClient {
     fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
         match event {
-            Event::Init => self.issue_next(ctx),
-            Event::Timer { id, tag: TimerTag::ClientBackoff { rid } } => {
-                if let ClientState::Waiting { rid: cur, backoff, .. } = &mut self.state {
-                    if *cur == rid && *backoff == Some(id) {
-                        *backoff = None;
-                        // Figure 2 lines 5–6: patience exhausted; go wide.
-                        self.broadcast(ctx);
+            Event::Init => match self.mode {
+                IssueMode::Sequential => self.issue_next(ctx),
+                IssueMode::OpenLoop => {
+                    while !self.plan.exhausted() {
+                        self.issue_next(ctx);
                     }
+                }
+            },
+            Event::Timer { id, tag: TimerTag::ClientBackoff { rid } } => {
+                let key = rid.request;
+                let current = self
+                    .inflight
+                    .get(&key)
+                    .is_some_and(|f| f.timer_is_current(RetryTimer::Primary, id, rid));
+                if current {
+                    if let Some(f) = self.inflight.get_mut(&key) {
+                        f.clear(RetryTimer::Primary);
+                    }
+                    // Figure 2 lines 5–6: patience exhausted; go wide.
+                    self.broadcast(ctx, key);
                 }
             }
             Event::Timer { id, tag: TimerTag::ClientRebroadcast { rid } } => {
-                if let ClientState::Waiting { rid: cur, rebroadcast, .. } = &mut self.state {
-                    if *cur == rid && *rebroadcast == Some(id) {
-                        self.broadcast(ctx);
-                    }
+                let key = rid.request;
+                let current = self
+                    .inflight
+                    .get(&key)
+                    .is_some_and(|f| f.timer_is_current(RetryTimer::Secondary, id, rid));
+                if current {
+                    self.broadcast(ctx, key);
                 }
             }
             Event::Message { from, payload: Payload::App(AppMsg::Result { rid, decision }) } => {
                 self.last_responder = Some(from);
-                if let ClientState::Waiting { preferred, .. } = &mut self.state {
-                    *preferred = Some(from);
-                }
                 self.on_result(ctx, rid, decision);
             }
             _ => {}

@@ -27,7 +27,7 @@ pub mod resultbuild;
 pub mod router;
 
 pub use appserver::AppServer;
-pub use client::EtxClient;
+pub use client::{EtxClient, IssueMode};
 pub use dbserver::{DbServer, ReplRole};
 pub use router::{route, RoutedPlan};
 
@@ -68,6 +68,7 @@ mod tests {
             consensus_resync: Dur::from_millis(8),
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: false,
+            batching: etx_base::config::BatchingConfig::default(),
         };
         let fd_cfg = FdConfig {
             heartbeat_every: Dur::from_millis(2),

@@ -39,6 +39,14 @@ pub struct ChaosOptions {
     pub shards: Option<u32>,
     /// Replica-group size per shard (only meaningful with `shards`).
     pub replication: usize,
+    /// Seed of the **fault schedule**, independent of the scenario seed.
+    /// `None` derives it from the run seed (the reproducible default).
+    /// Keeping chaos randomness out of the workload/scenario stream is what
+    /// makes parameter sweeps (e.g. `.shards()`) comparable across chaos
+    /// on/off: the same run seed drives the same workload either way.
+    pub chaos_seed: Option<u64>,
+    /// Commit-pipeline depth for the scenario (1 = per-request slots).
+    pub batch_size: usize,
 }
 
 impl Default for ChaosOptions {
@@ -54,6 +62,8 @@ impl Default for ChaosOptions {
             loss_rate: 0.05,
             shards: None,
             replication: 1,
+            chaos_seed: None,
+            batch_size: 1,
         }
     }
 }
@@ -71,6 +81,9 @@ pub struct ChaosOutcome {
     pub report: PropertyReport,
     /// Faults injected, human-readable (diagnostics on failure).
     pub faults: Vec<String>,
+    /// Decision-log slots that carried more than one request (evidence
+    /// that a run genuinely exercised the batched commit path).
+    pub batched_slots: usize,
 }
 
 impl ChaosOutcome {
@@ -89,8 +102,16 @@ impl ChaosOutcome {
 }
 
 /// Runs one chaos schedule derived from `seed`.
+///
+/// Two independent RNG streams are in play: the **workload stream**
+/// (derived from `seed` alone) picks what the clients run, and the **chaos
+/// stream** (derived from [`ChaosOptions::chaos_seed`], defaulting to
+/// `seed`) times the faults. The split means chaos on/off — or a different
+/// fault budget — never changes which workload a given seed exercises, so
+/// sweeps stay comparable.
 pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
-    let mut rng = Rng::new(seed ^ 0xC0FFEE);
+    let mut wl_rng = Rng::new(seed ^ 0x3B0B_10AD); // workload stream
+    let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0xC0FFEE); // chaos stream
     let horizon_ms = 200u64; // fault window (fast cost model timescale)
     let mut faults = Vec::new();
 
@@ -103,12 +124,12 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let workload = match opts.shards {
         // Sharded runs draw from the key-addressed families so routing,
         // the multi-branch decide path and replication all get exercised.
-        Some(shards) => match rng.range_u64(0, 2) {
+        Some(shards) => match wl_rng.range_u64(0, 2) {
             0 => Workload::ShardedBank { accounts: shards * 4, cross_pct: 40, amount: 10 },
             1 => Workload::ShardedBank { accounts: shards * 4, cross_pct: 100, amount: 10 },
             _ => Workload::HotShard { accounts: shards * 4, hot_pct: 80, amount: 10 },
         },
-        None => match rng.range_u64(0, 2) {
+        None => match wl_rng.range_u64(0, 2) {
             0 => Workload::BankUpdate { amount: 10 },
             1 => Workload::Travel,
             _ => Workload::HotSpot,
@@ -123,6 +144,9 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         .workload(workload.clone());
     if let Some(shards) = opts.shards {
         builder = builder.shards(shards).replication(opts.replication);
+    }
+    if opts.batch_size > 1 {
+        builder = builder.batching(opts.batch_size, Dur::from_millis(1));
     }
     if opts.loss_rate > 0.0 {
         builder = builder.net(NetConfig {
@@ -189,7 +213,8 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         &scenario.topo.clients,
         LivenessChecks { t1: settled, t2: settled },
     );
-    ChaosOutcome { seed, run, settled, report, faults }
+    let batched_slots = scenario.batched_slots();
+    ChaosOutcome { seed, run, settled, report, faults, batched_slots }
 }
 
 /// The hot-shard chaos scenario: a skewed key-addressed workload hammers
@@ -200,17 +225,23 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
 /// particular that every request still terminates with a single outcome
 /// delivered exactly once.
 pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
-    let mut rng = Rng::new(seed ^ 0x5AD_C0DE);
+    // Fault timing comes from the chaos stream only — the scenario (and
+    // its workload RNG, seeded by `seed`) is identical with chaos on or
+    // off, so `.shards()` sweeps compare like for like.
+    let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0x5AD_C0DE);
     let shards = opts.shards.unwrap_or(4).max(2);
     let replication = opts.replication.max(1);
     let workload = Workload::HotShard { accounts: shards * 4, hot_pct: 70, amount: 10 };
-    let mut scenario = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+    let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
         .shards(shards)
         .replication(replication)
         .clients(opts.clients)
         .requests(opts.requests)
-        .workload(workload)
-        .build();
+        .workload(workload);
+    if opts.batch_size > 1 {
+        builder = builder.batching(opts.batch_size, Dur::from_millis(1));
+    }
+    let mut scenario = builder.build();
 
     let mut faults = Vec::new();
     // The hot key is acct0; its shard is where the skew lands.
@@ -247,5 +278,73 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         &scenario.topo.clients,
         LivenessChecks { t1: settled, t2: settled },
     );
-    ChaosOutcome { seed, run, settled, report, faults }
+    let batched_slots = scenario.batched_slots();
+    ChaosOutcome { seed, run, settled, report, faults, batched_slots }
+}
+
+/// The mid-batch chaos scenario for the commit pipeline: an open-loop
+/// burst fills the application server's pipeline queue so decision-log
+/// slots carry real batches, then
+///
+/// * the default primary `a1` is **crashed the moment it applies its first
+///   multi-request batch** — the decided slot is final but termination has
+///   barely started, so the surviving replicas' cleaners must finish every
+///   request in the batch with the *decided* outcomes;
+/// * a shard primary is crash/recovery-cycled on its first multi-record
+///   **group WAL append**, so recovery replays a group frame written
+///   mid-stream.
+///
+/// The full §3 specification is checked afterwards. What this certifies is
+/// the batch atomicity claim: a decided batch is all-or-nothing per
+/// request — every request in it terminates with its slot outcome exactly
+/// once, and none is duplicated or split by the crashes.
+pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0x0BA7_C4A0);
+    let shards = opts.shards.unwrap_or(4).max(1);
+    let batch = opts.batch_size.max(8);
+    let workload = Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 };
+    let mut scenario = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .shards(shards)
+        .replication(opts.replication.max(1))
+        .clients(opts.clients)
+        .requests(opts.requests)
+        .batching(batch, Dur::from_millis(1))
+        .workload(workload)
+        .build();
+
+    let mut faults = Vec::new();
+    let a1 = scenario.topo.primary();
+    scenario.sim.on_trace(
+        move |ev| {
+            ev.node == a1 && matches!(ev.kind, TraceKind::BatchDecided { len, .. } if len >= 2)
+        },
+        FaultAction::Crash(a1),
+    );
+    faults.push(format!("crash primary {a1} on its first applied multi-request batch"));
+
+    let victim_shard = rng.range_u64(0, u64::from(shards) - 1) as u32;
+    let victim = scenario.shard_primary(victim_shard);
+    let down_for = Dur::from_millis(rng.range_u64(5, 30));
+    scenario.sim.on_trace(
+        move |ev| {
+            ev.node == victim && matches!(ev.kind, TraceKind::GroupAppend { len } if len >= 2)
+        },
+        FaultAction::CrashRecover(victim, down_for),
+    );
+    faults.push(format!(
+        "cycle shard-{victim_shard} primary {victim} on its first group append, back {down_for}"
+    ));
+
+    let expected = scenario.requests as usize;
+    let run = scenario.run_until_settled(expected);
+    let settled = run == RunOutcome::Predicate;
+    scenario.quiesce(Dur::from_millis(400));
+
+    let report = check(
+        scenario.sim.trace().events(),
+        &scenario.topo.clients,
+        LivenessChecks { t1: settled, t2: settled },
+    );
+    let batched_slots = scenario.batched_slots();
+    ChaosOutcome { seed, run, settled, report, faults, batched_slots }
 }

@@ -2,14 +2,14 @@
 //! under any of the four middle-tier protocols, ready to run and observe.
 
 use crate::workloads::Workload;
-use etx_base::config::{CostModel, FdConfig, ProtocolConfig};
+use etx_base::config::{BatchingConfig, CostModel, FdConfig, ProtocolConfig};
 use etx_base::ids::{NodeId, ResultId, Topology};
 use etx_base::shard::{ShardId, ShardMap, ShardSpec};
 use etx_base::time::{Dur, Time};
 use etx_base::trace::TraceKind;
 use etx_base::value::Outcome;
 use etx_baselines::{BaselineServer, PbRole, PbServer, RetryPolicy, SimpleClient, TpcServer};
-use etx_core::{AppServer, DbServer, EtxClient, ReplRole};
+use etx_core::{AppServer, DbServer, EtxClient, IssueMode, ReplRole};
 use etx_fd::{ForcedSuspicion, HeartbeatFd, ScriptedFd};
 use etx_sim::{NetConfig, RunOutcome, Sim, SimConfig};
 
@@ -112,6 +112,7 @@ impl ScenarioBuilder {
             consensus_resync: Dur::from_millis(8),
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: false,
+            batching: etx_base::config::BatchingConfig::default(),
         };
         b.fd = FdConfig {
             heartbeat_every: Dur::from_millis(2),
@@ -146,6 +147,19 @@ impl ScenarioBuilder {
     pub fn replication(mut self, r: usize) -> Self {
         let shards = self.sharding.map_or(1, |(s, _)| s);
         self.sharding = Some((shards, r.max(1)));
+        self
+    }
+
+    /// Enables commit-pipeline batching: application servers accumulate up
+    /// to `size` concurrent request outcomes (or wait at most `window`)
+    /// and decide them in one decision-log slot. `size = 1` is the
+    /// degenerate per-request configuration.
+    ///
+    /// The `ETX_BATCH_SIZE` environment variable, when set, overrides
+    /// `size` at [`ScenarioBuilder::build`] time — this is the CI batching
+    /// matrix's hook for running the whole suite under a deep pipeline.
+    pub fn batching(mut self, size: usize, window: Dur) -> Self {
+        self.pcfg.batching = BatchingConfig::new(size, window);
         self
     }
 
@@ -213,7 +227,18 @@ impl ScenarioBuilder {
     }
 
     /// Builds the simulator with all processes registered.
-    pub fn build(self) -> Scenario {
+    pub fn build(mut self) -> Scenario {
+        // CI batching-matrix hook: ETX_BATCH_SIZE forces the pipeline depth
+        // for every scenario in the process, so the whole test suite runs
+        // under the degenerate (1) and deep (64) configurations unchanged.
+        // The window backstop reuses the cleaner cadence, which already
+        // scales with the scenario's cost model (fast vs. paper-scale).
+        if let Some(size) =
+            std::env::var("ETX_BATCH_SIZE").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            let window = if size > 1 { self.pcfg.cleaner_interval } else { Dur::ZERO };
+            self.pcfg.batching = BatchingConfig::new(size, window);
+        }
         let db_count = match self.sharding {
             Some((shards, repl)) => shards as usize * repl,
             None => self.dbs,
@@ -241,10 +266,20 @@ impl ScenarioBuilder {
                 MiddleTier::Etx { .. } | MiddleTier::Pb => {
                     let alist = topo.app_servers.clone();
                     let pcfg = self.pcfg.clone();
+                    let mode = if self.workload.is_open_loop() {
+                        IssueMode::OpenLoop
+                    } else {
+                        IssueMode::Sequential
+                    };
                     sim.add_node(
                         "client",
                         Box::new(move |_| {
-                            Box::new(EtxClient::new(alist.clone(), pcfg.clone(), plan.clone()))
+                            Box::new(EtxClient::with_mode(
+                                alist.clone(),
+                                pcfg.clone(),
+                                plan.clone(),
+                                mode,
+                            ))
                         }),
                     );
                 }
@@ -436,6 +471,21 @@ impl Scenario {
     /// Count of committed deliveries.
     pub fn delivered_commits(&self) -> usize {
         self.deliveries().iter().filter(|(_, o, _, _)| *o == Outcome::Commit).count()
+    }
+
+    /// Count of decision-log slots applied with **more than one** request
+    /// outcome — the definition of "this run exercised real batches",
+    /// shared by the chaos runners and the batching tests.
+    pub fn batched_slots(&self) -> usize {
+        self.sim
+            .trace()
+            .count_kind(|k| matches!(k, TraceKind::BatchDecided { len, .. } if *len >= 2))
+    }
+
+    /// Count of group WAL appends framing more than one record (group
+    /// commit / batched replication apply actually amortising the log).
+    pub fn group_appends(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::GroupAppend { len } if *len >= 2))
     }
 
     /// Database commit events (per (db, rid), at most one each).

@@ -63,6 +63,20 @@ pub enum Workload {
         /// Amount credited per request.
         amount: i64,
     },
+    /// High-concurrency open-loop burst: uniform single-account updates
+    /// over `accounts` keys, issued by an **open-loop** client that fires
+    /// its whole plan at start instead of waiting for deliveries. This is
+    /// the load shape that exercises the commit pipeline — with many
+    /// requests concurrently in flight the application server's pipeline
+    /// queue actually fills, so decision-log slots carry real batches.
+    /// The `ScenarioBuilder` switches clients to open-loop mode for this
+    /// workload automatically.
+    OpenLoopBurst {
+        /// Number of bank accounts (keys).
+        accounts: u32,
+        /// Amount credited per request.
+        amount: i64,
+    },
 }
 
 impl Workload {
@@ -80,7 +94,9 @@ impl Workload {
             ],
             Workload::HotSpot => vec![("hot".into(), 0)],
             Workload::AlwaysDoomed => vec![],
-            Workload::ShardedBank { accounts, .. } | Workload::HotShard { accounts, .. } => {
+            Workload::ShardedBank { accounts, .. }
+            | Workload::HotShard { accounts, .. }
+            | Workload::OpenLoopBurst { accounts, .. } => {
                 (0..*accounts).map(|i| (format!("acct{i}"), 1_000)).collect()
             }
         }
@@ -149,8 +165,20 @@ impl Workload {
                 let a = if (h >> 8) % 100 < u64::from(*hot_pct) { 0 } else { h % n };
                 RequestScript::keyed(vec![DbOp::Add { key: format!("acct{a}"), delta: *amount }])
             }
+            Workload::OpenLoopBurst { accounts, amount } => {
+                let n = (*accounts).max(1) as u64;
+                let h = mix(u64::from(client.0) << 32 | seq);
+                let a = h % n;
+                RequestScript::keyed(vec![DbOp::Add { key: format!("acct{a}"), delta: *amount }])
+            }
         };
         Request { id, script }
+    }
+
+    /// Whether this workload expects an open-loop client (whole plan in
+    /// flight at once) rather than the paper's sequential `issue()` loop.
+    pub fn is_open_loop(&self) -> bool {
+        matches!(self, Workload::OpenLoopBurst { .. })
     }
 
     /// Builds the first `n` requests of a client's plan.
@@ -229,6 +257,23 @@ mod tests {
             .count();
         assert!(hot > 140, "≈90% of 200 requests should hit acct0, got {hot}");
         assert_eq!(w.seed_data().len(), 16);
+    }
+
+    #[test]
+    fn open_loop_burst_is_keyed_uniform_and_flagged() {
+        let topo = Topology::new(1, 3, 4);
+        let w = Workload::OpenLoopBurst { accounts: 8, amount: 1 };
+        assert!(w.is_open_loop());
+        assert!(!Workload::HotSpot.is_open_loop());
+        assert_eq!(w.seed_data().len(), 8);
+        let distinct: std::collections::BTreeSet<String> = (1..=64u64)
+            .filter_map(|s| {
+                let r = w.request(&topo, topo.clients[0], s);
+                assert!(r.script.is_keyed());
+                r.script.keyed_ops[0].key().map(str::to_string)
+            })
+            .collect();
+        assert!(distinct.len() >= 6, "64 draws must spread over the keyspace: {distinct:?}");
     }
 
     #[test]

@@ -48,9 +48,7 @@ struct Branch {
     writes: BTreeMap<String, i64>,
 }
 
-/// One committed write set in ship order: `(ship position, branch,
-/// post-commit key values)` — the unit of intra-shard replication.
-pub type ShippedCommit = (u64, ResultId, Vec<(String, i64)>);
+pub use etx_base::value::ShippedCommit;
 
 /// What [`Engine::apply_replicated`] did with an incoming apply.
 #[derive(Debug, Clone, PartialEq)]
@@ -324,6 +322,38 @@ impl Engine {
         (applied, vec![LogWrite { rec: StableRecord::DbOutcome { rid, outcome: applied }, force }])
     }
 
+    /// XA decide for a whole batch (one decided decision-log slot's worth
+    /// of outcomes): applies every entry with the exact per-branch
+    /// semantics of [`Engine::decide`], then frames all resulting records
+    /// into **one** group WAL append — the group-commit move that pays a
+    /// single log force for N outcomes. Returns the per-branch applied
+    /// outcomes (for the batched acknowledgement) and at most one
+    /// [`LogWrite`]: a bare record when only one branch produced log
+    /// output (so a batch of one is byte-identical to the unbatched
+    /// protocol on disk), a [`StableRecord::Group`] frame otherwise.
+    pub fn decide_batch(
+        &mut self,
+        entries: &[(ResultId, Outcome)],
+    ) -> (Vec<(ResultId, Outcome)>, Vec<LogWrite>) {
+        let mut acks = Vec::with_capacity(entries.len());
+        let mut members = Vec::new();
+        let mut force = false;
+        for &(rid, outcome) in entries {
+            let (applied, writes) = self.decide(rid, outcome);
+            acks.push((rid, applied));
+            for w in writes {
+                force |= w.force;
+                members.push(w.rec);
+            }
+        }
+        let writes = match members.len() {
+            0 => Vec::new(),
+            1 => vec![LogWrite { rec: members.remove(0), force }],
+            _ => vec![LogWrite { rec: StableRecord::Group { records: members }, force }],
+        };
+        (acks, writes)
+    }
+
     /// One-phase commit for the unreliable baseline (Figure 7a): commit an
     /// *active* branch directly, no vote, no forced protocol log (the
     /// database's own commit cost is modelled by the host).
@@ -374,6 +404,22 @@ impl Engine {
     /// (diagnostics and tests).
     pub fn repl_position(&self) -> u64 {
         self.repl_last_seq
+    }
+
+    /// Follower role: processes a whole shipped batch (the primary's
+    /// batched form of commit shipping). Exactly equivalent to applying
+    /// each item through [`Engine::apply_replicated`] in order; the
+    /// aggregate `need_sync` reports whether a gap remained after the last
+    /// item.
+    pub fn apply_replicated_batch(&mut self, items: Vec<ShippedCommit>) -> ReplApply {
+        let mut writes = Vec::new();
+        let mut need_sync = false;
+        for (seq, rid, entries) in items {
+            let res = self.apply_replicated(seq, rid, entries);
+            writes.extend(res.writes);
+            need_sync = res.need_sync;
+        }
+        ReplApply { writes, need_sync }
     }
 
     /// Follower role: processes one shipped commit. Applies it (and any
@@ -449,7 +495,10 @@ impl Engine {
     ) -> Engine {
         let mut e = Engine::with_data(seed);
         let mut prepared: HashMap<ResultId, Vec<(String, i64)>> = HashMap::new();
-        for rec in log {
+        // Group frames (batched commit / batched replication appends)
+        // unfold to their members in order: framing is a durability
+        // optimisation, invisible to replay semantics.
+        for rec in log.iter().flat_map(|r| r.leaves()) {
             match rec {
                 StableRecord::Prepared { rid, writes } => {
                     prepared.insert(*rid, writes.clone());
@@ -480,8 +529,11 @@ impl Engine {
                     e.repl_last_seq = *seq;
                 }
                 // Coordinator records belong to the 2PC baseline's log and
-                // are ignored by database recovery.
-                StableRecord::CoordStart { .. } | StableRecord::CoordOutcome { .. } => {}
+                // are ignored by database recovery. Groups never appear as
+                // leaves (flattened above).
+                StableRecord::CoordStart { .. }
+                | StableRecord::CoordOutcome { .. }
+                | StableRecord::Group { .. } => {}
             }
         }
         // Whatever is still prepared is in-doubt: restore branch + locks.
@@ -830,6 +882,132 @@ mod tests {
         let f2 = Engine::recover(&fwal);
         assert_eq!(f2.committed("a"), Some(3));
         assert_eq!(f2.repl_position(), 2);
+    }
+
+    #[test]
+    fn decide_batch_frames_one_group_record_and_matches_singleton_semantics() {
+        let mut e = Engine::new();
+        for i in 1..=3u64 {
+            e.execute(rid(i), &[put(&format!("k{i}"), i as i64)]);
+            e.vote(rid(i));
+        }
+        let entries =
+            vec![(rid(1), Outcome::Commit), (rid(2), Outcome::Abort), (rid(3), Outcome::Commit)];
+        let (acks, writes) = e.decide_batch(&entries);
+        assert_eq!(acks, entries, "every branch applies its own outcome");
+        assert_eq!(writes.len(), 1, "one group append for the whole batch");
+        assert!(writes[0].force, "a batch containing commits forces once");
+        let leaves = writes[0].rec.leaves();
+        assert_eq!(leaves.len(), 3, "frame carries all member outcome records");
+        assert_eq!(e.committed("k1"), Some(1));
+        assert_eq!(e.committed("k2"), None, "abort inside a batch still discards");
+        assert_eq!(e.committed("k3"), Some(3));
+        // Re-delivery of the whole batch writes nothing (memoized).
+        let (acks2, writes2) = e.decide_batch(&entries);
+        assert_eq!(acks2, entries);
+        assert!(writes2.is_empty());
+        // A batch of one stays a bare record — on-disk shape identical to
+        // the unbatched protocol.
+        let mut e2 = Engine::new();
+        e2.execute(rid(9), &[put("x", 1)]);
+        e2.vote(rid(9));
+        let (_, w) = e2.decide_batch(&[(rid(9), Outcome::Commit)]);
+        assert_eq!(w.len(), 1);
+        assert!(matches!(w[0].rec, StableRecord::DbOutcome { .. }), "no frame around one record");
+    }
+
+    #[test]
+    fn recovery_unfolds_group_frames() {
+        let mut e = Engine::new();
+        let mut wal: Vec<StableRecord> = Vec::new();
+        for i in 1..=2u64 {
+            e.execute(rid(i), &[put(&format!("g{i}"), 10 + i as i64)]);
+            for w in e.vote(rid(i)).1 {
+                wal.push(w.rec);
+            }
+        }
+        let (_, writes) = e.decide_batch(&[(rid(1), Outcome::Commit), (rid(2), Outcome::Commit)]);
+        for w in writes {
+            wal.push(w.rec);
+        }
+        let rec = Engine::recover(&wal);
+        assert_eq!(rec.committed("g1"), Some(11));
+        assert_eq!(rec.committed("g2"), Some(12));
+        assert_eq!(rec.decision(rid(1)), Some(Outcome::Commit));
+        assert_eq!(rec.decision(rid(2)), Some(Outcome::Commit));
+        let (seq, _) = rec.repl_snapshot();
+        assert_eq!(seq, 2, "ship counter counts commits inside frames too");
+    }
+
+    #[test]
+    fn batched_apply_equals_sequential_apply() {
+        let mut a = Engine::new();
+        let mut b = Engine::new();
+        let items = vec![
+            (1u64, rid(1), vec![("x".to_string(), 1)]),
+            (2u64, rid(2), vec![("y".to_string(), 2)]),
+            (4u64, rid(4), vec![("z".to_string(), 4)]),
+        ];
+        for (seq, r, entries) in items.clone() {
+            a.apply_replicated(seq, r, entries);
+        }
+        let res = b.apply_replicated_batch(items);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.repl_position(), b.repl_position());
+        assert!(res.need_sync, "the 3→4 gap surfaces from the batched path too");
+    }
+
+    #[test]
+    fn snapshot_catchup_into_empty_batch_window_is_a_safe_noop() {
+        // A follower recovers into a window where the primary committed
+        // NOTHING since the follower's crash: the catch-up snapshot carries
+        // the ship position the follower already holds. Adoption must be a
+        // no-op that loses nothing and leaves the follower ready for the
+        // next shipped batch.
+        let mut f = Engine::new();
+        f.apply_replicated(1, rid(1), vec![("a".into(), 1)]);
+        f.apply_replicated(2, rid(2), vec![("b".into(), 2)]);
+        let before = f.snapshot().clone();
+        let writes = f.adopt_repl_snapshot(2, vec![("a".into(), 1), ("b".into(), 2)]);
+        assert!(writes.is_empty(), "empty window: nothing to adopt, nothing to log");
+        assert_eq!(f.snapshot(), &before);
+        assert_eq!(f.repl_position(), 2);
+        // The stream continues seamlessly after the no-op catch-up.
+        let next = f.apply_replicated(3, rid(3), vec![("c".into(), 3)]);
+        assert_eq!(next.writes.len(), 1);
+        assert!(!next.need_sync);
+        assert_eq!(f.committed("c"), Some(3));
+    }
+
+    #[test]
+    fn snapshot_straddling_a_partially_shipped_batch_converges() {
+        // The primary group-commits a batch that ships as positions 3..=5.
+        // The follower crashed after applying 3, then receives a catch-up
+        // snapshot taken at position 4 — *inside* the shipped batch — while
+        // the batch's tail (5) arrives around it out of order. The follower
+        // must converge on exactly the primary's state: no lost entry from
+        // the straddled batch, no double-apply.
+        let mut f = Engine::new();
+        f.apply_replicated(1, rid(1), vec![("k1".into(), 1)]);
+        f.apply_replicated(2, rid(2), vec![("k2".into(), 2)]);
+        f.apply_replicated(3, rid(3), vec![("k3".into(), 3)]);
+        // Tail of the batch arrives first (4 was lost while the follower
+        // was down): buffered beyond the gap, sync requested.
+        let tail = f.apply_replicated(5, rid(5), vec![("k5".into(), 5)]);
+        assert!(tail.writes.is_empty() && tail.need_sync);
+        // Snapshot taken mid-batch, at position 4.
+        let snap: Vec<(String, i64)> =
+            vec![("k1".into(), 1), ("k2".into(), 2), ("k3".into(), 3), ("k4".into(), 4)];
+        let writes = f.adopt_repl_snapshot(4, snap);
+        assert_eq!(writes.len(), 2, "snapshot record plus the drained batch tail");
+        assert_eq!(f.repl_position(), 5);
+        for (k, v) in [("k1", 1), ("k2", 2), ("k3", 3), ("k4", 4), ("k5", 5)] {
+            assert_eq!(f.committed(k), Some(v), "{k} must hold the primary's value");
+        }
+        // A late duplicate of the straddled batch's head is dropped.
+        let dup = f.apply_replicated(4, rid(4), vec![("k4".into(), 99)]);
+        assert!(dup.writes.is_empty() && !dup.need_sync);
+        assert_eq!(f.committed("k4"), Some(4), "no double-apply of the straddled entry");
     }
 
     #[test]

@@ -21,6 +21,13 @@ fn long_request_stream_stays_correct_with_gc() {
     s.quiesce(Dur::from_millis(300));
     assert_eq!(s.delivered_commits(), 30);
     assert_eq!(s.db_commits(), 30);
+    // The register bank must shed decision-log slots as the client's
+    // watermark advances — a long stream may not accumulate one consensus
+    // instance per slot forever.
+    assert!(
+        s.sim.trace().count_kind(|k| matches!(k, TraceKind::SlotGc { .. })) > 0,
+        "settled decision-log slots must be garbage-collected"
+    );
     check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
         .assert_ok();
 }
@@ -58,6 +65,7 @@ fn adaptive_routing_recovers_faster_after_primary_death() {
             consensus_resync: Dur::from_millis(8),
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: adaptive,
+            batching: etx_base::config::BatchingConfig::default(),
         };
         pcfg.route_to_last_responder = adaptive;
         let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 887)
