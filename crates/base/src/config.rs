@@ -44,6 +44,54 @@ impl BatchingConfig {
     }
 }
 
+/// Read-path fast-lane knobs: how the application server routes read-only
+/// e-Transactions (scripts whose every operation is a `Get`).
+///
+/// With the lane **disabled** (the default), read-only scripts take the
+/// paper's full commit machinery — decision-log slot, WAL append, replica
+/// shipment — exactly as before the lane existed (trace-identical). With
+/// it **enabled**, the application server sends each read-only script's
+/// per-shard calls as direct `Read` messages against committed state: no
+/// XA branch, no locks, no consensus. Reads are idempotent, so the
+/// write-once `regD` contract they skip was never protecting anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReadPathConfig {
+    /// Route read-only scripts around the commit pipeline.
+    pub enabled: bool,
+    /// Serve reads from shard *followers* (replication factor permitting)
+    /// instead of always hitting the primary. Every read is stamped with
+    /// the highest commit sequence number the issuing application server
+    /// has observed for the shard; a follower behind that stamp forwards
+    /// to the primary instead of serving stale state.
+    ///
+    /// The staleness bound is **per issuing server**: read-your-writes
+    /// holds whenever the read reaches a server that observed the write's
+    /// acknowledgement (the common case — the same server terminated it).
+    /// A read that fails over to a replica that observed nothing carries
+    /// stamp 0 and may be served from follower state missing other
+    /// servers' recent commits — the same guarantee asymmetric-replication
+    /// reads give without leases. Lease-based local reads (which close
+    /// that window by construction) are the recorded ROADMAP follow-up.
+    pub follower_reads: bool,
+}
+
+impl ReadPathConfig {
+    /// Fast lane off: reads take the historical commit route.
+    pub fn disabled() -> Self {
+        ReadPathConfig::default()
+    }
+
+    /// Fast lane on, reads served by shard primaries only.
+    pub fn primary_only() -> Self {
+        ReadPathConfig { enabled: true, follower_reads: false }
+    }
+
+    /// Fast lane on, reads spread over shard followers (freshness-gated).
+    pub fn follower_reads() -> Self {
+        ReadPathConfig { enabled: true, follower_reads: true }
+    }
+}
+
 /// Tunables of the e-Transaction protocol itself.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
@@ -73,6 +121,9 @@ pub struct ProtocolConfig {
     /// Commit-pipeline batching: how request outcomes group into
     /// decision-log slots (default: batches of one — the paper's shape).
     pub batching: BatchingConfig,
+    /// Read fast lane: consensus-free routing of read-only scripts
+    /// (default: disabled — reads take the paper's commit route).
+    pub read_path: ReadPathConfig,
 }
 
 impl Default for ProtocolConfig {
@@ -86,6 +137,7 @@ impl Default for ProtocolConfig {
             consensus_round_patience: Dur::from_millis(40),
             route_to_last_responder: false,
             batching: BatchingConfig::default(),
+            read_path: ReadPathConfig::default(),
         }
     }
 }
@@ -136,6 +188,13 @@ pub struct CostModel {
     /// Business-logic / SQL execution at a database (Figure 8 "SQL",
     /// baseline column).
     pub sql: Dur,
+    /// Snapshot-read service time at a database replica: executing a pure
+    /// `Get` batch against committed state (no XA bracketing, no locking,
+    /// no log force). Charged on a per-replica **serial read lane** — the
+    /// single-threaded query executor each replica contributes — which is
+    /// why follower reads add real capacity: spreading reads over a shard's
+    /// replicas multiplies the lanes.
+    pub sql_read: Dur,
     /// Extra SQL-path cost when the manipulation runs inside an XA branch
     /// (the paper's AR/2PC columns show SQL ≈ 3–6 ms above baseline).
     pub sql_xa_overhead: Dur,
@@ -162,6 +221,7 @@ impl Default for CostModel {
             start: Dur::from_millis_f64(3.4),
             end: Dur::from_millis_f64(3.4),
             sql: Dur::from_millis_f64(187.0),
+            sql_read: Dur::from_millis_f64(24.0),
             sql_xa_overhead: Dur::from_millis_f64(4.5),
             db_prepare: Dur::from_millis_f64(19.0),
             db_commit: Dur::from_millis_f64(18.0),
@@ -190,6 +250,7 @@ impl CostModel {
             start: Dur::from_micros(150),
             end: Dur::from_micros(150),
             sql: Dur::from_micros(2_000),
+            sql_read: Dur::from_micros(500),
             sql_xa_overhead: Dur::from_micros(100),
             db_prepare: Dur::from_micros(400),
             db_commit: Dur::from_micros(380),
@@ -245,11 +306,28 @@ mod tests {
     }
 
     #[test]
+    fn read_path_defaults_off_and_presets_compose() {
+        let r = ReadPathConfig::default();
+        assert!(!r.enabled, "paper-faithful default: reads take the commit route");
+        assert!(!r.follower_reads);
+        assert_eq!(ReadPathConfig::disabled(), ReadPathConfig::default());
+        assert!(ReadPathConfig::primary_only().enabled);
+        assert!(!ReadPathConfig::primary_only().follower_reads);
+        assert!(ReadPathConfig::follower_reads().enabled);
+        assert!(ReadPathConfig::follower_reads().follower_reads);
+        let c = CostModel::default();
+        assert!(c.sql_read < c.sql, "a pure Get batch is cheaper than the full manipulation");
+        let f = CostModel::fast_for_tests();
+        assert!(f.sql_read < f.sql);
+    }
+
+    #[test]
     fn protocol_defaults_are_sane() {
         let p = ProtocolConfig::default();
         assert!(p.client_backoff > p.terminate_retry);
         assert!(!p.route_to_last_responder, "paper-faithful default");
         assert!(!p.batching.is_batching(), "paper-faithful default pipeline");
+        assert!(!p.read_path.enabled, "paper-faithful default read route");
         let fd = FdConfig::default();
         assert!(fd.initial_timeout > fd.heartbeat_every);
         assert!(fd.max_timeout > fd.initial_timeout);

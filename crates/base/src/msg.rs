@@ -7,8 +7,11 @@
 //! heartbeats, and the extra messages used by the comparison protocols of
 //! Appendix 3 (2PC and primary-backup).
 
-use crate::ids::{RegId, RequestId, ResultId};
-use crate::value::{DbOp, Decision, ExecStatus, Outcome, RegValue, Request, Vote};
+use crate::ids::{NodeId, RegId, RequestId, ResultId};
+use crate::value::{
+    DbOp, Decision, ExecStatus, OpOutput, Outcome, RegValue, Request, ShippedEntries, Vote,
+};
+use std::sync::Arc;
 
 /// Everything that can travel on the simulated wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,6 +54,8 @@ impl Payload {
             Payload::Db(DbMsg::Decide { .. }) => "Decide",
             Payload::Db(DbMsg::CommitOnePhase { .. }) => "Commit1P",
             Payload::Db(DbMsg::DecideBatch { .. }) => "DecideBatch",
+            Payload::Db(DbMsg::Read { .. }) => "ReadRequest",
+            Payload::DbReply(DbReplyMsg::ReadReply { .. }) => "ReadReply",
             Payload::DbReply(DbReplyMsg::ExecReply { .. }) => "ExecReply",
             Payload::DbReply(DbReplyMsg::Vote { .. }) => "Vote",
             Payload::DbReply(DbReplyMsg::AckDecide { .. }) => "AckDecide",
@@ -126,8 +131,9 @@ pub enum DbMsg {
     Exec {
         /// Transaction branch.
         rid: ResultId,
-        /// Operations to run.
-        ops: Vec<DbOp>,
+        /// Operations to run (Arc-shared with the script they came from —
+        /// an Exec send is a refcount bump, not an op-vector copy).
+        ops: Arc<[DbOp]>,
         /// Whether the branch runs under XA bracketing (AR and 2PC do; the
         /// unreliable baseline does not). Figure 8 shows the XA path costs a
         /// few extra milliseconds of SQL time.
@@ -160,6 +166,30 @@ pub enum DbMsg {
         /// `(branch, outcome)` pairs, in slot order.
         entries: Vec<(ResultId, Outcome)>,
     },
+    /// `[ReadRequest]` — one call of a read-only e-Transaction, executed
+    /// against committed state with **no** XA branch, no locks and no
+    /// consensus (the read fast path). A shard *follower* receiving one
+    /// compares `min_seq` with its applied replication position: behind it,
+    /// the follower forwards this same message to its primary instead of
+    /// serving stale state (read-your-writes against asynchronous
+    /// shipping); at or past it, the follower serves locally.
+    Read {
+        /// The read-only attempt this call belongs to.
+        rid: ResultId,
+        /// Index of the call within the attempt's routed script (read-only
+        /// scripts fan out one `Read` per touched shard).
+        call: u32,
+        /// The `Get` operations to execute (Arc-shared: fan-out, forwards
+        /// and retries clone a reference count, not the ops).
+        ops: Arc<[DbOp]>,
+        /// Freshness gate: the highest commit sequence number the issuing
+        /// application server has observed for this shard.
+        min_seq: u64,
+        /// Where the answer must go (preserved across forwards, so the
+        /// primary answering a forwarded read replies straight to the
+        /// application server).
+        reply_to: NodeId,
+    },
 }
 
 /// Database → application-server messages (Figure 3 outputs).
@@ -185,6 +215,10 @@ pub enum DbReplyMsg {
         rid: ResultId,
         /// The outcome that was applied (for tracing/assertions).
         outcome: Outcome,
+        /// The replying primary's commit-ship position after applying.
+        /// Application servers fold this into their per-shard freshness
+        /// stamp for follower reads ([`DbMsg::Read::min_seq`]).
+        seq: u64,
     },
     /// Baseline's one-phase commit acknowledgement.
     AckCommitOnePhase {
@@ -198,6 +232,19 @@ pub enum DbReplyMsg {
     AckDecideBatch {
         /// `(branch, applied outcome)` pairs, mirroring the batch.
         entries: Vec<(ResultId, Outcome)>,
+        /// The replying primary's commit-ship position after the batch
+        /// (same freshness role as [`DbReplyMsg::AckDecide::seq`]).
+        seq: u64,
+    },
+    /// Answer to a [`DbMsg::Read`]: the per-op outputs of one read-only
+    /// call, served from committed state.
+    ReadReply {
+        /// The read-only attempt.
+        rid: ResultId,
+        /// Which call of the attempt's script this answers.
+        call: u32,
+        /// Per-op outputs (`Value(..)` per `Get`).
+        outputs: Vec<OpOutput>,
     },
     /// `[Ready]` — recovery notification (Figure 3 line 2): "I crashed and
     /// came back; anything I had not prepared is gone."
@@ -220,8 +267,9 @@ pub enum ReplMsg {
         seq: u64,
         /// The committed transaction branch.
         rid: ResultId,
-        /// Post-commit key values (absolute, not deltas — replay-safe).
-        entries: Vec<(String, i64)>,
+        /// Post-commit key values (absolute, not deltas — replay-safe;
+        /// Arc-shared so per-follower broadcast copies are refcount bumps).
+        entries: ShippedEntries,
     },
     /// Primary → followers: several committed branches shipped in one
     /// message (the batched form of [`ReplMsg::Apply`], produced when a
@@ -366,11 +414,22 @@ mod tests {
             Payload::Db(DbMsg::Prepare { rid: rid() }).label(),
             Payload::Db(DbMsg::Decide { rid: rid(), outcome: Outcome::Commit }).label(),
             Payload::Db(DbMsg::DecideBatch { entries: vec![(rid(), Outcome::Commit)] }).label(),
-            Payload::DbReply(DbReplyMsg::AckDecideBatch {
-                entries: vec![(rid(), Outcome::Commit)],
+            Payload::Db(DbMsg::Read {
+                rid: rid(),
+                call: 0,
+                ops: Arc::from([]),
+                min_seq: 0,
+                reply_to: NodeId(1),
             })
             .label(),
-            Payload::Repl(ReplMsg::ApplyBatch { items: vec![(1, rid(), vec![])] }).label(),
+            Payload::DbReply(DbReplyMsg::ReadReply { rid: rid(), call: 0, outputs: vec![] })
+                .label(),
+            Payload::DbReply(DbReplyMsg::AckDecideBatch {
+                entries: vec![(rid(), Outcome::Commit)],
+                seq: 1,
+            })
+            .label(),
+            Payload::Repl(ReplMsg::ApplyBatch { items: vec![(1, rid(), Arc::from([]))] }).label(),
             Payload::DbReply(DbReplyMsg::Ready).label(),
             Payload::Consensus(ConsensusMsg::DecideReq { inst: RegId::owner(rid()) }).label(),
         ];

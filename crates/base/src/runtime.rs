@@ -48,6 +48,13 @@ pub enum TimerTag {
     /// A shard follower re-requests a recovery snapshot from its primary
     /// until one arrives (intra-shard replication catch-up liveness).
     ReplSyncRetry,
+    /// An application server re-issues the unanswered calls of an in-flight
+    /// fast-path read, falling back to the shard primaries (covers a read
+    /// target that crashed with the request in flight).
+    ReadRetry {
+        /// The read-only attempt being retried.
+        rid: ResultId,
+    },
     /// Failure detector: send the next heartbeat round.
     FdHeartbeat,
     /// Failure detector: liveness check for peers.
@@ -214,6 +221,13 @@ pub trait Process {
     /// Human-readable name for traces.
     fn name(&self) -> &'static str {
         "process"
+    }
+
+    /// Optional introspection hook: processes that want hosts (tests, the
+    /// harness) to read their concrete state return `Some(self)`. The
+    /// default opts out — protocol correctness must never depend on it.
+    fn as_any(&self) -> Option<&dyn core::any::Any> {
+        None
     }
 }
 

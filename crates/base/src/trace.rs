@@ -141,6 +141,33 @@ pub enum TraceKind {
         /// The branch whose commit was replicated.
         rid: ResultId,
     },
+    /// An application server classified an attempt as read-only and routed
+    /// it around the commit pipeline: no decision-log slot, no WAL append,
+    /// no replica shipment — direct snapshot reads against the shard
+    /// replicas (the read fast path).
+    ReadFastPath {
+        /// The read-only attempt.
+        rid: ResultId,
+        /// How many shard calls it fans out into.
+        shards: u32,
+    },
+    /// A shard **follower** served a fast-path read locally: its applied
+    /// replication position was at or past the read's freshness stamp.
+    FollowerRead {
+        /// The read-only attempt served.
+        rid: ResultId,
+    },
+    /// A lagging shard follower refused to serve a fast-path read and
+    /// forwarded it to its primary: its applied replication position was
+    /// behind the read's freshness stamp (the read-your-writes gate).
+    ReadForwarded {
+        /// The read-only attempt forwarded.
+        rid: ResultId,
+        /// The follower's applied replication position.
+        have: u64,
+        /// The read's freshness stamp it fell short of.
+        need: u64,
+    },
     /// A wo-register reached a decision at this node (first local knowledge).
     RegDecided {
         /// Which register.

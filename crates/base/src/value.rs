@@ -15,6 +15,30 @@
 
 use crate::ids::{NodeId, RequestId, ResultId};
 use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Instrumentation for the Arc-shared hot-path payloads: every time a
+/// request script is cloned (client retransmissions, broadcast fan-out,
+/// per-replica message copies) the op vectors are *shared* by reference
+/// count instead of deep-copied. This counter records how many [`DbOp`]
+/// elements were shared that way — i.e. how many element copies the
+/// pre-Arc representation would have performed. Purely observational
+/// (relaxed atomics, no effect on behaviour or determinism); the
+/// `read_path` bench reports it in its notes.
+static SHARED_OP_ELEMS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`DbOp`] elements shared (not deep-copied) by script clones since
+/// process start or the last [`reset_shared_op_elems`].
+pub fn shared_op_elems() -> u64 {
+    SHARED_OP_ELEMS.load(Ordering::Relaxed)
+}
+
+/// Resets the sharing counter (bench bookkeeping). Process-global: callers
+/// measuring a single scenario should not run scenarios concurrently.
+pub fn reset_shared_op_elems() {
+    SHARED_OP_ELEMS.store(0, Ordering::Relaxed);
+}
 
 /// A database vote on a prepared transaction branch (§2): `yes` means the
 /// database server agrees to commit the result.
@@ -97,6 +121,13 @@ impl DbOp {
     pub fn is_write(&self) -> bool {
         matches!(self, DbOp::Put { .. } | DbOp::Add { .. } | DbOp::Reserve { .. })
     }
+
+    /// Whether the operation is a pure read ([`DbOp::Get`]): no effect on
+    /// database state, safe to execute against a committed snapshot without
+    /// an XA branch. The read fast path exists for scripts made of these.
+    pub fn is_read(&self) -> bool {
+        matches!(self, DbOp::Get { .. })
+    }
 }
 
 /// Result of one [`DbOp`], reported back to the application server.
@@ -127,12 +158,25 @@ pub enum ExecStatus {
 
 /// One sequential step of the business logic: a batch of operations sent to
 /// a single database server.
+///
+/// The op vector is [`Arc`]-shared: cloning a call (and therefore a script,
+/// a request, or a message that carries one) bumps a reference count
+/// instead of deep-copying every operation — client retries, broadcast
+/// fan-out and read fan-out all reuse one allocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DbCall {
     /// Target database server.
     pub db: NodeId,
     /// Operations executed atomically within this request's branch there.
-    pub ops: Vec<DbOp>,
+    pub ops: Arc<[DbOp]>,
+}
+
+impl DbCall {
+    /// A call from an owned op vector (the vector becomes the shared
+    /// allocation every subsequent clone reuses).
+    pub fn new(db: NodeId, ops: Vec<DbOp>) -> Self {
+        DbCall { db, ops: ops.into() }
+    }
 }
 
 /// The transactional manipulation performed by `compute()` (Figure 5 line 8),
@@ -148,36 +192,66 @@ pub struct DbCall {
 ///   horizontally partitionable without the client knowing the layout.
 ///
 /// A script uses one form or the other, never both.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, PartialEq, Eq, Default)]
 pub struct RequestScript {
     /// Database calls, issued in order (each call may target a different
     /// database; all branches belong to the same distributed transaction).
     pub calls: Vec<DbCall>,
     /// Key-addressed operations, routed to shards by the application
     /// server. Empty for explicitly-addressed scripts.
-    pub keyed_ops: Vec<DbOp>,
+    pub keyed_ops: Arc<[DbOp]>,
+}
+
+impl Clone for RequestScript {
+    /// Clones share the op payloads by reference count (the hot-path
+    /// representation change: retransmissions and broadcasts stop
+    /// deep-copying op vectors). Each clone records how many [`DbOp`]
+    /// elements were shared instead of copied — see [`shared_op_elems`].
+    fn clone(&self) -> Self {
+        let shared = self.calls.iter().map(|c| c.ops.len()).sum::<usize>() + self.keyed_ops.len();
+        SHARED_OP_ELEMS.fetch_add(shared as u64, Ordering::Relaxed);
+        RequestScript { calls: self.calls.clone(), keyed_ops: Arc::clone(&self.keyed_ops) }
+    }
 }
 
 impl RequestScript {
     /// A script with a single call to one database.
     pub fn single(db: NodeId, ops: Vec<DbOp>) -> Self {
-        RequestScript { calls: vec![DbCall { db, ops }], keyed_ops: Vec::new() }
+        RequestScript { calls: vec![DbCall::new(db, ops)], keyed_ops: Arc::from([]) }
     }
 
     /// An explicitly-addressed script from pre-built calls.
     pub fn from_calls(calls: Vec<DbCall>) -> Self {
-        RequestScript { calls, keyed_ops: Vec::new() }
+        RequestScript { calls, keyed_ops: Arc::from([]) }
     }
 
     /// A key-addressed script: the application server's shard router
     /// decides which database servers run which operations.
     pub fn keyed(ops: Vec<DbOp>) -> Self {
-        RequestScript { calls: Vec::new(), keyed_ops: ops }
+        RequestScript { calls: Vec::new(), keyed_ops: ops.into() }
     }
 
     /// Whether this script still needs shard routing before execution.
     pub fn is_keyed(&self) -> bool {
         !self.keyed_ops.is_empty()
+    }
+
+    /// Whether every operation in the script is a pure read ([`DbOp::Get`])
+    /// — and there is at least one, so the degenerate empty script keeps
+    /// its historical route through the commit machinery. Read-only
+    /// e-Transactions are idempotent: the write-once `regD` contract exists
+    /// to make retries of *effectful* transactions safe, so these can skip
+    /// it entirely (the read fast path).
+    pub fn is_read_only(&self) -> bool {
+        let mut ops = self.calls.iter().flat_map(|c| c.ops.iter()).chain(self.keyed_ops.iter());
+        let mut any = false;
+        for op in &mut ops {
+            if !op.is_read() {
+                return false;
+            }
+            any = true;
+        }
+        any
     }
 
     /// All distinct databases this script touches, in first-use order.
@@ -283,10 +357,16 @@ impl Decision {
 /// splitting a request's fate.
 pub type OutcomeBatch = Vec<(ResultId, Decision)>;
 
+/// Post-commit key values of one shipped commit, [`Arc`]-shared so that a
+/// primary broadcasting the same write set to every follower (and the
+/// batched `ApplyBatch` frames that carry many of them) clones a reference
+/// count, not the values.
+pub type ShippedEntries = Arc<[(String, i64)]>;
+
 /// One committed write set in ship order: `(ship position, branch,
 /// post-commit key values)` — the unit of intra-shard replication, both in
 /// the engine's outbox and on the wire ([`crate::msg::ReplMsg::ApplyBatch`]).
-pub type ShippedCommit = (u64, ResultId, Vec<(String, i64)>);
+pub type ShippedCommit = (u64, ResultId, ShippedEntries);
 
 /// Values storable in a write-once register: `regA` holds an application
 /// server identity, `regD` holds a decision, a decision-log slot holds an
@@ -344,11 +424,47 @@ mod tests {
     fn script_database_dedup_preserves_order() {
         let (a, b) = (NodeId(10), NodeId(11));
         let script = RequestScript::from_calls(vec![
-            DbCall { db: b, ops: vec![] },
-            DbCall { db: a, ops: vec![] },
-            DbCall { db: b, ops: vec![] },
+            DbCall::new(b, vec![]),
+            DbCall::new(a, vec![]),
+            DbCall::new(b, vec![]),
         ]);
         assert_eq!(script.databases(), vec![b, a]);
+    }
+
+    #[test]
+    fn read_only_classification() {
+        let get = |k: &str| DbOp::Get { key: k.into() };
+        assert!(RequestScript::keyed(vec![get("a"), get("b")]).is_read_only());
+        assert!(RequestScript::single(NodeId(4), vec![get("a")]).is_read_only());
+        assert!(!RequestScript::keyed(vec![get("a"), DbOp::Add { key: "a".into(), delta: 1 }])
+            .is_read_only());
+        assert!(!RequestScript::keyed(vec![DbOp::Doom]).is_read_only());
+        // The empty script keeps its historical route (vacuous commit).
+        assert!(!RequestScript::default().is_read_only());
+        // Multi-call explicit scripts classify over every call.
+        let cross = RequestScript::from_calls(vec![
+            DbCall::new(NodeId(5), vec![get("a")]),
+            DbCall::new(NodeId(6), vec![get("b")]),
+        ]);
+        assert!(cross.is_read_only());
+    }
+
+    #[test]
+    fn script_clones_share_op_payloads() {
+        let script = RequestScript::keyed(vec![
+            DbOp::Get { key: "a".into() },
+            DbOp::Add { key: "a".into(), delta: 1 },
+        ]);
+        let before = shared_op_elems();
+        let copy = script.clone();
+        assert!(
+            Arc::ptr_eq(&script.keyed_ops, &copy.keyed_ops),
+            "clone must share the op allocation, not duplicate it"
+        );
+        assert!(shared_op_elems() >= before + 2, "sharing counter records the shared elements");
+        let explicit = RequestScript::single(NodeId(1), vec![DbOp::Get { key: "k".into() }]);
+        let copy2 = explicit.clone();
+        assert!(Arc::ptr_eq(&explicit.calls[0].ops, &copy2.calls[0].ops));
     }
 
     #[test]

@@ -1,0 +1,147 @@
+//! X7 — the read fast lane: read fraction 0/50/90/99% at 1 and 16 shards,
+//! down three read routes.
+//!
+//! The same open-loop `ReadMostly` mix (32 clients × 12 requests fired
+//! concurrently, replication factor 2, commit pipeline at batch 8) runs
+//! with the lane **off** (reads take the full commit machinery), **on**
+//! against shard primaries only, and **on with follower reads** (reads
+//! spread over each shard's replica group, freshness-gated). Two views per
+//! configuration:
+//!
+//! * **simulated metrics** (printed table): committed requests per
+//!   simulated second and mean issue→delivery latency — what skipping the
+//!   decision log, the WAL and replica shipment buys the modelled system;
+//! * **host throughput** (criterion): wall-clock cost of simulating the
+//!   workload.
+//!
+//! The driver records the printed rows in `BENCH_reads.json`. The
+//! acceptance bars — at 16 shards the 90%-read mix must commit ≥ 2× more
+//! per simulated second with the lane on than off, and follower reads
+//! must beat primary-only on that same mix — are asserted here, so a
+//! regression fails the bench run instead of silently aging the JSON.
+//! The run also reports how many op-vector elements the Arc-shared
+//! message payloads shared by refcount instead of deep-copying.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etx_base::config::ReadPathConfig;
+use etx_base::time::Dur;
+use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
+use std::hint::black_box;
+
+const REQUESTS: u64 = 12;
+const CLIENTS: usize = 32;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Route {
+    Off,
+    Primary,
+    Follower,
+}
+
+impl Route {
+    fn label(self) -> &'static str {
+        match self {
+            Route::Off => "off",
+            Route::Primary => "primary",
+            Route::Follower => "follower",
+        }
+    }
+
+    fn config(self) -> ReadPathConfig {
+        match self {
+            Route::Off => ReadPathConfig::disabled(),
+            Route::Primary => ReadPathConfig::primary_only(),
+            Route::Follower => ReadPathConfig::follower_reads(),
+        }
+    }
+}
+
+/// (mean latency ms, committed req per simulated second, ops shared).
+fn run_once(shards: u32, read_pct: u8, route: Route, seed: u64) -> (f64, f64, u64) {
+    etx_base::value::reset_shared_op_elems();
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+        .shards(shards)
+        .replication(2)
+        .clients(CLIENTS)
+        .requests(REQUESTS)
+        .batching(8, Dur::from_millis(1))
+        .read_path(route.config())
+        .workload(Workload::ReadMostly { accounts: shards * 8, read_pct, amount: 1 })
+        .build();
+    let expected = s.requests as usize;
+    let out = s.run_until_settled(expected);
+    assert_eq!(out, etx_sim::RunOutcome::Predicate, "read-path bench run must settle");
+    let lats = s.request_latencies_ms();
+    let mean_ms = lats.iter().sum::<f64>() / lats.len() as f64;
+    let span_s = s.sim.now().as_millis_f64() / 1_000.0;
+    (mean_ms, s.delivered_commits() as f64 / span_s, etx_base::value::shared_op_elems())
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    // The sweep IS the experiment: the CI matrix hooks would pin every
+    // scenario to one route / one pipeline depth and collapse it.
+    std::env::remove_var("ETX_READ_PATH");
+    std::env::remove_var("ETX_BATCH_SIZE");
+    println!(
+        "\n=== X7: read fast lane (ReadMostly, {CLIENTS} clients x {REQUESTS} requests, \
+         replication 2) ===\n"
+    );
+    println!(
+        "{:>8}{:>8}{:>10}{:>16}{:>16}{:>14}",
+        "shards", "read%", "route", "latency ms", "sim commit/s", "ops shared"
+    );
+    let mut at_16_90 = Vec::new();
+    for &shards in &[1u32, 16] {
+        for &read_pct in &[0u8, 50, 90, 99] {
+            for &route in &[Route::Off, Route::Primary, Route::Follower] {
+                let (lat, cps, shared) = run_once(shards, read_pct, route, 0x0EAD);
+                println!(
+                    "{shards:>8}{read_pct:>8}{:>10}{lat:>16.2}{cps:>16.1}{shared:>14}",
+                    route.label()
+                );
+                if shards == 16 && read_pct == 90 {
+                    at_16_90.push((route.label(), cps));
+                }
+                // Host-side timing only for the legs the acceptance bar
+                // reads, to keep the bench run short.
+                if read_pct == 90 {
+                    c.bench_function(
+                        &format!("read_path/{shards}shards_90pct_{}", route.label()),
+                        |b| {
+                            let mut seed = 0u64;
+                            b.iter(|| {
+                                seed += 1;
+                                black_box(run_once(shards, read_pct, route, seed))
+                            })
+                        },
+                    );
+                }
+            }
+        }
+    }
+    let cps_of = |label: &str| {
+        at_16_90.iter().find(|(l, _)| *l == label).map(|&(_, c)| c).expect("swept above")
+    };
+    assert!(
+        cps_of("primary") >= 2.0 * cps_of("off"),
+        "the fast lane must commit ≥2x more than the slow route at 16 shards / 90% reads \
+         ({:.1} vs {:.1} commit/s)",
+        cps_of("primary"),
+        cps_of("off")
+    );
+    assert!(
+        cps_of("follower") >= 2.0 * cps_of("off"),
+        "follower reads must also clear the 2x bar ({:.1} vs {:.1} commit/s)",
+        cps_of("follower"),
+        cps_of("off")
+    );
+    assert!(
+        cps_of("follower") > cps_of("primary"),
+        "follower reads must beat primary-only on the same workload ({:.1} vs {:.1} commit/s)",
+        cps_of("follower"),
+        cps_of("primary")
+    );
+}
+
+criterion_group!(benches, bench_read_path);
+criterion_main!(benches);

@@ -33,6 +33,19 @@
 //! single-request path is a batch of one). Termination then pushes each
 //! slot's outcomes to the databases as per-database `DecideBatch` messages,
 //! which the back end applies behind a single group WAL append.
+//!
+//! ## The read fast lane
+//!
+//! The write-once `regD` contract exists to make retries of *effectful*
+//! transactions safe; a read-only script (all `Get`s) is idempotent and
+//! needs none of it. With [`etx_base::config::ReadPathConfig::enabled`],
+//! such scripts are classified after shard routing and sent around the
+//! whole pipeline as direct snapshot reads against the shard replicas —
+//! no ownership race, no votes, no decision-log slot, no termination
+//! push. Follower reads are gated on a per-shard freshness stamp
+//! (the highest commit-ship position this server has observed, folded in
+//! from decide acknowledgements), so a lagging follower forwards rather
+//! than serve stale state.
 
 use etx_base::config::{CostModel, ProtocolConfig};
 use etx_base::ids::{NodeId, RegId, RequestId, ResultId, TimerId, Topology};
@@ -41,7 +54,9 @@ use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
 use etx_base::shard::ShardMap;
 use etx_base::time::{Dur, Time};
 use etx_base::trace::{Component, TraceKind};
-use etx_base::value::{Decision, ExecStatus, Outcome, RegValue, Request, ResultValue, Vote};
+use etx_base::value::{
+    DbCall, Decision, ExecStatus, OpOutput, Outcome, RegValue, Request, ResultValue, Vote,
+};
 use etx_consensus::{AppliedSlot, DecisionLog, EngineConfig, WoEvent, WoRegisters};
 use etx_fd::FailureDetector;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -69,6 +84,33 @@ enum Phase {
     Done { decision: Decision },
 }
 
+/// One in-flight fast-path read: the routed calls of a read-only script
+/// and the per-call outputs collected so far. No consensus state, no
+/// termination targets — nothing here needs surviving this server, because
+/// reads are idempotent and the client's retry machinery re-runs them
+/// anywhere.
+#[derive(Debug)]
+struct ReadState {
+    /// Routed per-shard calls, in script order.
+    calls: Vec<DbCall>,
+    /// Outputs per call; `None` until the call's `ReadReply` arrives.
+    outputs: Vec<Option<Vec<OpOutput>>>,
+}
+
+/// Deterministic follower choice for a fast-path read: all replicas
+/// derive the same pick for the same attempt/call, and distinct attempts
+/// spread over the shard's followers.
+fn read_pick(rid: ResultId, call: usize, n: usize) -> usize {
+    let mut z = (u64::from(rid.request.client.0) << 40)
+        ^ rid.request.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (u64::from(rid.attempt) << 17)
+        ^ ((call as u64) << 3);
+    z ^= z >> 33;
+    z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z ^= z >> 33;
+    (z % n as u64) as usize
+}
+
 /// The middle-tier process: computation thread + cleaning thread + the
 /// wo-register machinery, as one event-driven state machine.
 pub struct AppServer {
@@ -89,6 +131,16 @@ pub struct AppServer {
     /// Pending window-flush timer for the pipeline queue, if armed.
     batch_timer: Option<TimerId>,
     fsms: HashMap<ResultId, Phase>,
+    /// In-flight fast-path reads (read-only scripts routed around the
+    /// commit pipeline).
+    reads: HashMap<ResultId, ReadState>,
+    /// Highest commit-ship position observed per shard primary (from
+    /// decide acknowledgements) — the freshness stamp follower reads are
+    /// gated on. The bound is per *this* server's observations: a read
+    /// that fails over to a replica that never saw the write's ack is
+    /// stamped 0 and may read pre-write follower state (see
+    /// [`etx_base::config::ReadPathConfig::follower_reads`]).
+    shard_seq: HashMap<NodeId, u64>,
     /// Attempts whose `regD` write *we* initiated (owner or cleaner): we are
     /// responsible for termination once the register decides.
     initiators: HashSet<ResultId>,
@@ -159,6 +211,8 @@ impl AppServer {
             batch_queue: Vec::new(),
             batch_timer: None,
             fsms: HashMap::new(),
+            reads: HashMap::new(),
+            shard_seq: HashMap::new(),
             initiators: HashSet::new(),
             terminate_targets: HashMap::new(),
             cleaned: HashSet::new(),
@@ -212,6 +266,8 @@ impl AppServer {
             }
         }
         let fresh = |rid: &ResultId| rid.request.client != client || rid.request.seq >= ack_below;
+        // Settled fast-path reads drop with the same watermark.
+        self.reads.retain(|rid, _| fresh(rid));
         // Initiator bookkeeping for attempts that settled through another
         // server's slot never reaches apply_slots; drop it by watermark.
         self.initiators.retain(fresh);
@@ -263,11 +319,160 @@ impl AppServer {
                 if let Some(span) = routed {
                     ctx.trace(TraceKind::ShardRoute { rid, shards: span });
                 }
+                // Read fast lane: an all-Get script is idempotent, so it
+                // needs none of the commit machinery the write-once regD
+                // contract exists for. Route it around the pipeline as
+                // direct snapshot reads (duplicates of an in-flight read
+                // are absorbed like any other in-progress attempt).
+                if self.cfg.read_path.enabled && request.script.is_read_only() {
+                    if !self.reads.contains_key(&rid) {
+                        self.start_read(ctx, rid, request);
+                    }
+                    return;
+                }
                 self.fsms.insert(rid, Phase::WritingRegA { request, written: false });
                 let dur = jittered(ctx, self.cost.start, self.cost.jitter);
                 ctx.trace(TraceKind::Span { rid, comp: Component::Start, dur });
                 ctx.set_timer(dur, TimerTag::Dispatch { rid, stage: 0 });
             }
+        }
+    }
+
+    // ---- the read fast lane ------------------------------------------------
+
+    /// Starts a fast-path read: records the routed calls, charges the
+    /// dispatch cost and defers the fan-out behind it (stage-1 dispatch).
+    fn start_read(&mut self, ctx: &mut dyn Context, rid: ResultId, request: Request) {
+        let calls = request.script.calls.clone();
+        ctx.trace(TraceKind::ReadFastPath { rid, shards: calls.len() as u32 });
+        let dur = jittered(ctx, self.cost.start, self.cost.jitter);
+        ctx.trace(TraceKind::Span { rid, comp: Component::Start, dur });
+        let n = calls.len();
+        self.reads.insert(rid, ReadState { calls, outputs: vec![None; n] });
+        ctx.set_timer(dur, TimerTag::Dispatch { rid, stage: 1 });
+    }
+
+    /// Fans a fast-path read out: one `Read` message per routed call, then
+    /// arms the retry backstop (covers read targets that crash with the
+    /// request in flight).
+    fn dispatch_reads(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let calls = match self.reads.get(&rid) {
+            Some(state) => state.calls.clone(),
+            None => return,
+        };
+        for (idx, call) in calls.iter().enumerate() {
+            self.send_read_call(ctx, rid, idx, call, false);
+        }
+        ctx.set_timer(self.cfg.terminate_retry, TimerTag::ReadRetry { rid });
+    }
+
+    /// Sends one read call, stamped with the highest commit seq this server
+    /// has observed for the target shard. With follower reads enabled (and
+    /// `to_primary` not forced), the call spreads deterministically over
+    /// the shard's **whole replica group** — every replica's read lane
+    /// serves a slice of the read traffic, which is what multiplies read
+    /// capacity with the replication factor. A chosen follower serves
+    /// locally if it has caught up to the stamp and forwards to the
+    /// primary otherwise.
+    fn send_read_call(
+        &self,
+        ctx: &mut dyn Context,
+        rid: ResultId,
+        idx: usize,
+        call: &DbCall,
+        to_primary: bool,
+    ) {
+        let min_seq = self.shard_seq.get(&call.db).copied().unwrap_or(0);
+        let target = if to_primary || !self.cfg.read_path.follower_reads {
+            call.db
+        } else {
+            match self.shards.shard_of_node(call.db) {
+                Some(shard) => {
+                    let replicas = self.shards.replicas(shard);
+                    match replicas.len() {
+                        0 => call.db,
+                        n => replicas[read_pick(rid, idx, n)],
+                    }
+                }
+                None => call.db,
+            }
+        };
+        ctx.send(
+            target,
+            Payload::Db(DbMsg::Read {
+                rid,
+                call: idx as u32,
+                ops: call.ops.clone(),
+                min_seq,
+                reply_to: self.me,
+            }),
+        );
+    }
+
+    /// A read call answered. Once every call has, the per-shard outputs
+    /// merge into one result (the read-only analogue of `compute()`
+    /// returning) and the commit decision goes straight to the client — no
+    /// voting, no decision log, no termination push.
+    fn on_read_reply(
+        &mut self,
+        ctx: &mut dyn Context,
+        rid: ResultId,
+        call: u32,
+        outputs: Vec<OpOutput>,
+    ) {
+        let Some(state) = self.reads.get_mut(&rid) else {
+            return; // settled (or GC'd) read; late duplicate reply
+        };
+        let idx = call as usize;
+        if idx >= state.outputs.len() {
+            return;
+        }
+        if state.outputs[idx].is_none() {
+            state.outputs[idx] = Some(outputs);
+        }
+        if state.outputs.iter().any(Option::is_none) {
+            return;
+        }
+        let state = self.reads.remove(&rid).expect("checked above");
+        let outs: Vec<Vec<OpOutput>> =
+            state.outputs.into_iter().map(|o| o.expect("all calls answered")).collect();
+        let result = crate::resultbuild::merge_read(&state.calls, &outs, rid.attempt);
+        ctx.trace(TraceKind::Computed { rid });
+        let decision = Decision::commit(result);
+        self.committed_cache.insert(rid.request, (rid, decision.clone()));
+        self.fsms.insert(rid, Phase::Done { decision: decision.clone() });
+        let dur = jittered(ctx, self.cost.end, self.cost.jitter);
+        ctx.trace(TraceKind::Span { rid, comp: Component::End, dur });
+        ctx.send_after(dur, rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+    }
+
+    /// Retry backstop for fast-path reads: unanswered calls are re-sent
+    /// straight to their shard primaries (a crashed follower or a lost
+    /// message must not stall an idempotent read), and the timer re-arms
+    /// while anything is still pending.
+    fn on_read_retry(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let pending: Vec<(usize, DbCall)> = match self.reads.get(&rid) {
+            Some(state) => state
+                .calls
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| state.outputs[*i].is_none())
+                .map(|(i, c)| (i, c.clone()))
+                .collect(),
+            None => return,
+        };
+        for (idx, call) in &pending {
+            self.send_read_call(ctx, rid, *idx, call, true);
+        }
+        ctx.set_timer(self.cfg.terminate_retry, TimerTag::ReadRetry { rid });
+    }
+
+    /// Folds a decide acknowledgement's ship position into the per-shard
+    /// freshness stamp.
+    fn observe_shard_seq(&mut self, db: NodeId, seq: u64) {
+        let slot = self.shard_seq.entry(db).or_insert(0);
+        if *slot < seq {
+            *slot = seq;
         }
     }
 
@@ -740,17 +945,26 @@ impl Process for AppServer {
             Event::Message { from, payload: Payload::DbReply(reply) } => match reply {
                 DbReplyMsg::ExecReply { rid, status } => self.on_exec_reply(ctx, rid, status),
                 DbReplyMsg::Vote { rid, vote } => self.on_vote(ctx, from, rid, vote),
-                DbReplyMsg::AckDecide { rid, .. } => self.on_ack_decide(ctx, from, rid),
-                DbReplyMsg::AckDecideBatch { entries } => {
+                DbReplyMsg::AckDecide { rid, seq, .. } => {
+                    self.observe_shard_seq(from, seq);
+                    self.on_ack_decide(ctx, from, rid);
+                }
+                DbReplyMsg::AckDecideBatch { entries, seq } => {
+                    self.observe_shard_seq(from, seq);
                     for (rid, _) in entries {
                         self.on_ack_decide(ctx, from, rid);
                     }
+                }
+                DbReplyMsg::ReadReply { rid, call, outputs } => {
+                    self.on_read_reply(ctx, rid, call, outputs);
                 }
                 DbReplyMsg::Ready => self.on_ready(ctx, from),
                 DbReplyMsg::AckCommitOnePhase { .. } => { /* baseline-only message */ }
             },
             Event::Timer { tag, .. } => match tag {
                 TimerTag::Dispatch { rid, stage: 0 } => self.dispatch_rega(ctx, rid),
+                TimerTag::Dispatch { rid, stage: 1 } => self.dispatch_reads(ctx, rid),
+                TimerTag::ReadRetry { rid } => self.on_read_retry(ctx, rid),
                 TimerTag::TerminateRetry { rid } => self.on_terminate_retry(ctx, rid),
                 TimerTag::BatchFlush => {
                     self.batch_timer = None;

@@ -220,4 +220,8 @@ impl Process for EtxClient {
     fn name(&self) -> &'static str {
         "etx-client"
     }
+
+    fn as_any(&self) -> Option<&dyn core::any::Any> {
+        Some(self)
+    }
 }

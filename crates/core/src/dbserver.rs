@@ -68,6 +68,12 @@ pub struct DbServer {
     /// log device) frees up. Volatile: a crash empties the queue with the
     /// rest of the in-flight work.
     log_busy_until: Time,
+    /// When the serial snapshot-read lane (the replica's query executor)
+    /// frees up. Separate from the log device: reads never force the log,
+    /// and commitment work never waits behind reads. This per-replica lane
+    /// is what follower reads multiply — every replica serving reads adds
+    /// one more lane.
+    read_busy_until: Time,
 }
 
 impl std::fmt::Debug for DbServer {
@@ -100,6 +106,7 @@ impl DbServer {
             repl,
             awaiting_sync: false,
             log_busy_until: Time::ZERO,
+            read_busy_until: Time::ZERO,
         }
     }
 
@@ -143,6 +150,17 @@ impl DbServer {
         let start = if self.log_busy_until > now { self.log_busy_until } else { now };
         let done = start + service;
         self.log_busy_until = done;
+        done.since(now)
+    }
+
+    /// Claims the serial snapshot-read lane for `service` time (same
+    /// queueing discipline as [`DbServer::charge_serial`], independent
+    /// horizon). Volatile, like everything else in-flight across a crash.
+    fn charge_read(&mut self, ctx: &dyn Context, service: Dur) -> Dur {
+        let now = ctx.now();
+        let start = if self.read_busy_until > now { self.read_busy_until } else { now };
+        let done = start + service;
+        self.read_busy_until = done;
         done.since(now)
     }
 
@@ -266,10 +284,11 @@ impl DbServer {
                     };
                     self.charge_serial(ctx, service)
                 };
+                let seq = self.engine.ship_position();
                 ctx.send_after(
                     dur,
                     from,
-                    Payload::DbReply(DbReplyMsg::AckDecide { rid, outcome: applied }),
+                    Payload::DbReply(DbReplyMsg::AckDecide { rid, outcome: applied, seq }),
                 );
             }
             DbMsg::DecideBatch { entries } => {
@@ -321,10 +340,45 @@ impl DbServer {
                 } else {
                     Dur::ZERO // pure re-delivery: answered from the memo
                 };
+                let seq = self.engine.ship_position();
                 ctx.send_after(
                     dur,
                     from,
-                    Payload::DbReply(DbReplyMsg::AckDecideBatch { entries: acks }),
+                    Payload::DbReply(DbReplyMsg::AckDecideBatch { entries: acks, seq }),
+                );
+            }
+            DbMsg::Read { rid, call, ops, min_seq, reply_to } => {
+                // The read fast path: execute pure Gets against committed
+                // state — no XA branch, no locks, no log traffic. A
+                // follower behind the read's freshness stamp must not
+                // serve stale state: it forwards the message (reply_to
+                // preserved) to its primary, whose committed state is the
+                // source of truth the stamp was observed against.
+                let is_follower = self.repl.sync_from.is_some();
+                if is_follower && self.engine.repl_position() < min_seq {
+                    let primary = self.repl.sync_from.expect("follower has a primary");
+                    ctx.trace(TraceKind::ReadForwarded {
+                        rid,
+                        have: self.engine.repl_position(),
+                        need: min_seq,
+                    });
+                    ctx.send(
+                        primary,
+                        Payload::Db(DbMsg::Read { rid, call, ops, min_seq, reply_to }),
+                    );
+                    return;
+                }
+                if is_follower {
+                    ctx.trace(TraceKind::FollowerRead { rid });
+                }
+                let outputs = self.engine.read_only(&ops);
+                let service = jittered(ctx, self.cost.sql_read, self.cost.jitter);
+                let dur = self.charge_read(ctx, service);
+                ctx.trace(TraceKind::Span { rid, comp: Component::Sql, dur: service });
+                ctx.send_after(
+                    dur,
+                    reply_to,
+                    Payload::DbReply(DbReplyMsg::ReadReply { rid, call, outputs }),
                 );
             }
             DbMsg::CommitOnePhase { rid } => {

@@ -69,6 +69,7 @@ mod tests {
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: false,
             batching: etx_base::config::BatchingConfig::default(),
+            read_path: etx_base::config::ReadPathConfig::default(),
         };
         let fd_cfg = FdConfig {
             heartbeat_every: Dur::from_millis(2),
@@ -323,14 +324,14 @@ mod tests {
         let req = Request {
             id: RequestId { client, seq: 1 },
             script: RequestScript::from_calls(vec![
-                etx_base::value::DbCall {
-                    db: d1,
-                    ops: vec![DbOp::Add { key: "checking".into(), delta: -50 }],
-                },
-                etx_base::value::DbCall {
-                    db: d2,
-                    ops: vec![DbOp::Add { key: "savings".into(), delta: 50 }],
-                },
+                etx_base::value::DbCall::new(
+                    d1,
+                    vec![DbOp::Add { key: "checking".into(), delta: -50 }],
+                ),
+                etx_base::value::DbCall::new(
+                    d2,
+                    vec![DbOp::Add { key: "savings".into(), delta: 50 }],
+                ),
             ]),
         };
         let (mut sim, _) = build_system(

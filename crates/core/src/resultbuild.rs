@@ -34,6 +34,20 @@ pub fn finish(mut acc: Vec<(String, i64)>, attempt: u32) -> ResultValue {
     ResultValue::new(acc)
 }
 
+/// Merges the per-shard outputs of a fan-out **fast-path read** into one
+/// user-facing result: each call's outputs accumulate in script order —
+/// exactly the labelling the slow path performs call by call during
+/// `compute()` — so a read served consensus-free builds the same result a
+/// committed read-only transaction would have.
+pub fn merge_read(calls: &[DbCall], outputs: &[Vec<OpOutput>], attempt: u32) -> ResultValue {
+    debug_assert_eq!(calls.len(), outputs.len(), "one output batch per routed call");
+    let mut acc = Vec::new();
+    for (call, outs) in calls.iter().zip(outputs) {
+        accumulate(call, outs, &mut acc);
+    }
+    finish(acc, attempt)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,14 +56,14 @@ mod tests {
 
     #[test]
     fn accumulate_labels_outputs() {
-        let call = DbCall {
-            db: NodeId(5),
-            ops: vec![
+        let call = DbCall::new(
+            NodeId(5),
+            vec![
                 DbOp::Get { key: "hotel".into() },
                 DbOp::Reserve { key: "seat".into(), qty: 1 },
                 DbOp::Reserve { key: "car".into(), qty: 1 },
             ],
-        };
+        );
         let outputs =
             vec![OpOutput::Value(Some(3)), OpOutput::Reserved { remaining: 9 }, OpOutput::SoldOut];
         let mut acc = Vec::new();
@@ -64,9 +78,23 @@ mod tests {
 
     #[test]
     fn missing_value_reads_as_minus_one() {
-        let call = DbCall { db: NodeId(0), ops: vec![DbOp::Get { key: "nope".into() }] };
+        let call = DbCall::new(NodeId(0), vec![DbOp::Get { key: "nope".into() }]);
         let mut acc = Vec::new();
         accumulate(&call, &[OpOutput::Value(None)], &mut acc);
         assert_eq!(acc, vec![("nope".to_string(), -1)]);
+    }
+
+    #[test]
+    fn merge_read_folds_calls_in_script_order() {
+        let calls = vec![
+            DbCall::new(NodeId(10), vec![DbOp::Get { key: "a".into() }]),
+            DbCall::new(NodeId(11), vec![DbOp::Get { key: "b".into() }]),
+        ];
+        let outputs = vec![vec![OpOutput::Value(Some(1))], vec![OpOutput::Value(Some(2))]];
+        let merged = merge_read(&calls, &outputs, 3);
+        assert_eq!(merged.field("a"), Some(1));
+        assert_eq!(merged.field("b"), Some(2));
+        assert_eq!(merged.field("attempt"), Some(3));
+        assert_eq!(merged.entries[0].0, "a", "script order preserved across the fan-out");
     }
 }

@@ -61,7 +61,7 @@ pub fn route(ops: &[DbOp], map: &ShardMap) -> RoutedPlan {
     let calls = shards
         .iter()
         .zip(batches)
-        .map(|(&shard, ops)| DbCall { db: map.primary(shard), ops })
+        .map(|(&shard, ops)| DbCall::new(map.primary(shard), ops))
         .collect();
     RoutedPlan { calls, shards }
 }

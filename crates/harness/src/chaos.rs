@@ -9,6 +9,7 @@
 use crate::properties::{check, LivenessChecks, PropertyReport};
 use crate::scenario::{MiddleTier, ScenarioBuilder};
 use crate::workloads::Workload;
+use etx_base::config::ReadPathConfig;
 use etx_base::time::{Dur, Time};
 use etx_base::trace::TraceKind;
 use etx_fd::ForcedSuspicion;
@@ -84,6 +85,9 @@ pub struct ChaosOutcome {
     /// Decision-log slots that carried more than one request (evidence
     /// that a run genuinely exercised the batched commit path).
     pub batched_slots: usize,
+    /// Fast-path reads a lagging follower forwarded to its primary
+    /// (evidence that a run genuinely exercised the freshness gate).
+    pub forwarded_reads: usize,
 }
 
 impl ChaosOutcome {
@@ -214,7 +218,8 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         LivenessChecks { t1: settled, t2: settled },
     );
     let batched_slots = scenario.batched_slots();
-    ChaosOutcome { seed, run, settled, report, faults, batched_slots }
+    let forwarded_reads = scenario.reads_forwarded();
+    ChaosOutcome { seed, run, settled, report, faults, batched_slots, forwarded_reads }
 }
 
 /// The hot-shard chaos scenario: a skewed key-addressed workload hammers
@@ -279,7 +284,8 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         LivenessChecks { t1: settled, t2: settled },
     );
     let batched_slots = scenario.batched_slots();
-    ChaosOutcome { seed, run, settled, report, faults, batched_slots }
+    let forwarded_reads = scenario.reads_forwarded();
+    ChaosOutcome { seed, run, settled, report, faults, batched_slots, forwarded_reads }
 }
 
 /// The mid-batch chaos scenario for the commit pipeline: an open-loop
@@ -346,5 +352,83 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         LivenessChecks { t1: settled, t2: settled },
     );
     let batched_slots = scenario.batched_slots();
-    ChaosOutcome { seed, run, settled, report, faults, batched_slots }
+    let forwarded_reads = scenario.reads_forwarded();
+    ChaosOutcome { seed, run, settled, report, faults, batched_slots, forwarded_reads }
+}
+
+/// The read-path chaos scenario: a read-dominated open-loop workload runs
+/// with the fast lane and follower reads enabled while
+///
+/// * one shard's follower is **crash/recovery-cycled the moment the first
+///   fast-path read is classified** — reads in flight to it vanish and the
+///   application server's retry backstop must finish them against the
+///   shard primary;
+/// * another shard's follower is **starved of its primary's replication
+///   stream** (the primary→follower link is blocked for a window) while
+///   writes keep committing — every stamped read aimed at it during the
+///   window must take the forward path rather than serve stale state.
+///
+/// The full §3 specification is checked afterwards. What this certifies is
+/// the fast lane's safety claim: consensus-free reads stay exactly-once
+/// *observable* (one delivery per request, committed results only) and
+/// never surface state older than the issuing server has observed.
+pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0xFA57_1A4E);
+    let shards = opts.shards.unwrap_or(4).max(2);
+    let replication = opts.replication.max(2);
+    // Sequential write→read pairs: each read is issued only after its
+    // write delivered, so the issuing server holds a fresh stamp for the
+    // write's shard — the precondition that makes a starved follower
+    // actually *lag* (and therefore forward) rather than trivially serve.
+    let workload = Workload::ReadAfterWrite { accounts: shards * 8, amount: 10 };
+    let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .shards(shards)
+        .replication(replication)
+        .clients(opts.clients)
+        .requests(opts.requests)
+        .read_path(ReadPathConfig::follower_reads())
+        .workload(workload);
+    if opts.batch_size > 1 {
+        builder = builder.batching(opts.batch_size, Dur::from_millis(1));
+    }
+    let mut scenario = builder.build();
+
+    let mut faults = Vec::new();
+
+    // Fault 1: cycle shard 0's follower on the first classified fast-path
+    // read — a read racing a crashing replica.
+    let crash_victim = scenario.shard_replicas(0)[1];
+    let down_for = Dur::from_millis(rng.range_u64(5, 30));
+    scenario.sim.on_trace(
+        move |ev| matches!(ev.kind, TraceKind::ReadFastPath { .. }),
+        FaultAction::CrashRecover(crash_victim, down_for),
+    );
+    faults.push(format!(
+        "cycle shard-0 follower {crash_victim} on the first fast-path read, back {down_for}"
+    ));
+
+    // Fault 2: starve shard 1's follower of replication for a window —
+    // commits during the window make it lag, so stamped reads aimed at it
+    // must forward to the primary instead of serving stale state.
+    let lag_primary = scenario.shard_replicas(1)[0];
+    let lag_follower = scenario.shard_replicas(1)[1];
+    let heal = Time(rng.range_u64(60, 150) * 1_000);
+    scenario.sim.block_link(lag_primary, lag_follower, heal);
+    faults.push(format!(
+        "block replication {lag_primary} → {lag_follower} until {heal} (lagging follower)"
+    ));
+
+    let expected = scenario.requests as usize;
+    let run = scenario.run_until_settled(expected);
+    let settled = run == RunOutcome::Predicate;
+    scenario.quiesce(Dur::from_millis(400));
+
+    let report = check(
+        scenario.sim.trace().events(),
+        &scenario.topo.clients,
+        LivenessChecks { t1: settled, t2: settled },
+    );
+    let batched_slots = scenario.batched_slots();
+    let forwarded_reads = scenario.reads_forwarded();
+    ChaosOutcome { seed, run, settled, report, faults, batched_slots, forwarded_reads }
 }

@@ -28,7 +28,10 @@ pub mod stats;
 pub mod sweeps;
 pub mod workloads;
 
-pub use chaos::{run_chaos, run_hot_shard_chaos, run_mid_batch_chaos, ChaosOptions, ChaosOutcome};
+pub use chaos::{
+    run_chaos, run_hot_shard_chaos, run_mid_batch_chaos, run_read_path_chaos, ChaosOptions,
+    ChaosOutcome,
+};
 pub use figures::{figure1, figure1_all, figure7, figure8, Fig1Scenario, Fig8Table};
 pub use latency::{breakdown_for, Breakdown};
 pub use properties::{check, LivenessChecks, PropertyReport};

@@ -2,7 +2,7 @@
 //! under any of the four middle-tier protocols, ready to run and observe.
 
 use crate::workloads::Workload;
-use etx_base::config::{BatchingConfig, CostModel, FdConfig, ProtocolConfig};
+use etx_base::config::{BatchingConfig, CostModel, FdConfig, ProtocolConfig, ReadPathConfig};
 use etx_base::ids::{NodeId, ResultId, Topology};
 use etx_base::shard::{ShardId, ShardMap, ShardSpec};
 use etx_base::time::{Dur, Time};
@@ -113,6 +113,7 @@ impl ScenarioBuilder {
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: false,
             batching: etx_base::config::BatchingConfig::default(),
+            read_path: ReadPathConfig::default(),
         };
         b.fd = FdConfig {
             heartbeat_every: Dur::from_millis(2),
@@ -160,6 +161,20 @@ impl ScenarioBuilder {
     /// matrix's hook for running the whole suite under a deep pipeline.
     pub fn batching(mut self, size: usize, window: Dur) -> Self {
         self.pcfg.batching = BatchingConfig::new(size, window);
+        self
+    }
+
+    /// Configures the read fast lane: with `enabled`, read-only scripts
+    /// (all-`Get`) route around the commit pipeline as direct snapshot
+    /// reads; with `follower_reads` on top, they spread over each shard's
+    /// replicas, gated on the per-shard freshness stamp.
+    ///
+    /// The `ETX_READ_PATH` environment variable, when set, overrides this
+    /// at [`ScenarioBuilder::build`] time (`1`/`on` forces the lane on
+    /// with follower reads, `0`/`off` forces it off) — the CI read-path
+    /// matrix's hook for running the whole suite down both routes.
+    pub fn read_path(mut self, cfg: ReadPathConfig) -> Self {
+        self.pcfg.read_path = cfg;
         self
     }
 
@@ -238,6 +253,19 @@ impl ScenarioBuilder {
         {
             let window = if size > 1 { self.pcfg.cleaner_interval } else { Dur::ZERO };
             self.pcfg.batching = BatchingConfig::new(size, window);
+        }
+        // CI read-path-matrix hook: ETX_READ_PATH pins every scenario in
+        // the process to one read route — "1"/"on" forces the fast lane
+        // (with follower reads; shards with one replica just serve from
+        // the primary), "0"/"off" forces the historical commit route.
+        match std::env::var("ETX_READ_PATH").ok().as_deref() {
+            Some("1") | Some("on") | Some("true") => {
+                self.pcfg.read_path = ReadPathConfig::follower_reads();
+            }
+            Some("0") | Some("off") | Some("false") => {
+                self.pcfg.read_path = ReadPathConfig::disabled();
+            }
+            _ => {}
         }
         let db_count = match self.sharding {
             Some((shards, repl)) => shards as usize * repl,
@@ -473,6 +501,23 @@ impl Scenario {
         self.deliveries().iter().filter(|(_, o, _, _)| *o == Outcome::Commit).count()
     }
 
+    /// Every delivered `(attempt, decision)` pair — results included —
+    /// read straight out of the (live) client processes. Unlike
+    /// [`Scenario::deliveries`] this exposes the delivered *values*, which
+    /// the trace deliberately does not carry; value-level assertions (the
+    /// read-equivalence property among them) live here.
+    pub fn delivered_results(&self) -> Vec<(ResultId, etx_base::value::Decision)> {
+        let mut out = Vec::new();
+        for &client in &self.topo.clients {
+            let Some(proc_ref) = self.sim.process_ref(client) else { continue };
+            let Some(any) = proc_ref.as_any() else { continue };
+            if let Some(c) = any.downcast_ref::<EtxClient>() {
+                out.extend(c.delivered().iter().cloned());
+            }
+        }
+        out
+    }
+
     /// Count of decision-log slots applied with **more than one** request
     /// outcome — the definition of "this run exercised real batches",
     /// shared by the chaos runners and the batching tests.
@@ -486,6 +531,31 @@ impl Scenario {
     /// commit / batched replication apply actually amortising the log).
     pub fn group_appends(&self) -> usize {
         self.sim.trace().count_kind(|k| matches!(k, TraceKind::GroupAppend { len } if *len >= 2))
+    }
+
+    /// Distinct attempts that took the read fast lane (classified
+    /// read-only and routed around the commit pipeline). Deduplicated by
+    /// attempt id — every replica that processes the attempt traces its
+    /// own `ReadFastPath`.
+    pub fn fast_path_reads(&self) -> usize {
+        let mut rids = std::collections::BTreeSet::new();
+        for e in self.sim.trace().events() {
+            if let TraceKind::ReadFastPath { rid, .. } = e.kind {
+                rids.insert(rid);
+            }
+        }
+        rids.len()
+    }
+
+    /// Count of fast-path reads served locally by a shard follower.
+    pub fn follower_reads_served(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::FollowerRead { .. }))
+    }
+
+    /// Count of fast-path reads a lagging follower forwarded to its
+    /// primary (the freshness gate firing).
+    pub fn reads_forwarded(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadForwarded { .. }))
     }
 
     /// Database commit events (per (db, rid), at most one each).

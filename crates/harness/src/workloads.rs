@@ -77,6 +77,31 @@ pub enum Workload {
         /// Amount credited per request.
         amount: i64,
     },
+    /// Read-dominated open-loop traffic: `read_pct` percent of requests
+    /// are pure-`Get` scripts (one account, or two — a cross-shard
+    /// read-only fan-out — every fourth read), the rest single-account
+    /// `Add` updates. The workload family the read fast lane exists for;
+    /// issued open-loop so read and write traffic genuinely interleave.
+    ReadMostly {
+        /// Number of bank accounts (keys).
+        accounts: u32,
+        /// Percentage (0–100) of requests that are read-only.
+        read_pct: u8,
+        /// Amount credited per write request.
+        amount: i64,
+    },
+    /// Sequential write-then-read pairs over the keyspace: odd sequence
+    /// numbers update an account, the following even sequence number reads
+    /// that same account back. Because the client is sequential, the write
+    /// is delivered (committed at its shard primary) before the read is
+    /// issued — the read-your-writes shape the follower-read freshness
+    /// stamp must protect against asynchronous shipping lag.
+    ReadAfterWrite {
+        /// Number of bank accounts (keys).
+        accounts: u32,
+        /// Amount credited per write.
+        amount: i64,
+    },
 }
 
 impl Workload {
@@ -96,7 +121,9 @@ impl Workload {
             Workload::AlwaysDoomed => vec![],
             Workload::ShardedBank { accounts, .. }
             | Workload::HotShard { accounts, .. }
-            | Workload::OpenLoopBurst { accounts, .. } => {
+            | Workload::OpenLoopBurst { accounts, .. }
+            | Workload::ReadMostly { accounts, .. }
+            | Workload::ReadAfterWrite { accounts, .. } => {
                 (0..*accounts).map(|i| (format!("acct{i}"), 1_000)).collect()
             }
         }
@@ -115,28 +142,16 @@ impl Workload {
                 ],
             ),
             Workload::BankTransfer { amount } => RequestScript::from_calls(vec![
-                DbCall {
-                    db: db(0),
-                    ops: vec![DbOp::Add { key: "checking".into(), delta: -amount }],
-                },
-                DbCall {
-                    db: db(1),
-                    ops: vec![DbOp::Add { key: "savings".into(), delta: *amount }],
-                },
+                DbCall::new(db(0), vec![DbOp::Add { key: "checking".into(), delta: -amount }]),
+                DbCall::new(db(1), vec![DbOp::Add { key: "savings".into(), delta: *amount }]),
             ]),
             Workload::Travel => RequestScript::from_calls(vec![
-                DbCall {
-                    db: db(0),
-                    ops: vec![DbOp::Reserve { key: "flight:LX1612".into(), qty: 1 }],
-                },
-                DbCall {
-                    db: db(1),
-                    ops: vec![DbOp::Reserve { key: "hotel:Beau-Rivage".into(), qty: 1 }],
-                },
-                DbCall {
-                    db: db(2 % topo.db_servers.len().max(1)),
-                    ops: vec![DbOp::Reserve { key: "car:compact".into(), qty: 1 }],
-                },
+                DbCall::new(db(0), vec![DbOp::Reserve { key: "flight:LX1612".into(), qty: 1 }]),
+                DbCall::new(db(1), vec![DbOp::Reserve { key: "hotel:Beau-Rivage".into(), qty: 1 }]),
+                DbCall::new(
+                    db(2 % topo.db_servers.len().max(1)),
+                    vec![DbOp::Reserve { key: "car:compact".into(), qty: 1 }],
+                ),
             ]),
             Workload::HotSpot => {
                 RequestScript::single(db(0), vec![DbOp::Add { key: "hot".into(), delta: 1 }])
@@ -171,6 +186,47 @@ impl Workload {
                 let a = h % n;
                 RequestScript::keyed(vec![DbOp::Add { key: format!("acct{a}"), delta: *amount }])
             }
+            Workload::ReadMostly { accounts, read_pct, amount } => {
+                let n = (*accounts).max(1) as u64;
+                let h = mix(u64::from(client.0) << 32 | seq);
+                let a = h % n;
+                if h % 100 < u64::from(*read_pct) {
+                    // Read-only script; every fourth read spans two
+                    // accounts so cross-shard read fan-out gets exercised.
+                    if (h >> 40).is_multiple_of(4) && n > 1 {
+                        let b = (a + 1 + (h >> 32) % (n - 1)) % n;
+                        RequestScript::keyed(vec![
+                            DbOp::Get { key: format!("acct{a}") },
+                            DbOp::Get { key: format!("acct{b}") },
+                        ])
+                    } else {
+                        RequestScript::keyed(vec![DbOp::Get { key: format!("acct{a}") }])
+                    }
+                } else {
+                    RequestScript::keyed(vec![DbOp::Add {
+                        key: format!("acct{a}"),
+                        delta: *amount,
+                    }])
+                }
+            }
+            Workload::ReadAfterWrite { accounts, amount } => {
+                let n = (*accounts).max(1) as u64;
+                // Pair index: requests (1,2) share a key, (3,4) the next…
+                // Consecutive pairs take consecutive accounts from a
+                // client-specific offset, so up to `accounts` pairs touch
+                // *distinct* keys — each read observes exactly its own
+                // pair's write.
+                let pair = seq.div_ceil(2);
+                let a = (mix(u64::from(client.0)) + pair) % n;
+                if seq % 2 == 1 {
+                    RequestScript::keyed(vec![DbOp::Add {
+                        key: format!("acct{a}"),
+                        delta: *amount,
+                    }])
+                } else {
+                    RequestScript::keyed(vec![DbOp::Get { key: format!("acct{a}") }])
+                }
+            }
         };
         Request { id, script }
     }
@@ -178,7 +234,7 @@ impl Workload {
     /// Whether this workload expects an open-loop client (whole plan in
     /// flight at once) rather than the paper's sequential `issue()` loop.
     pub fn is_open_loop(&self) -> bool {
-        matches!(self, Workload::OpenLoopBurst { .. })
+        matches!(self, Workload::OpenLoopBurst { .. } | Workload::ReadMostly { .. })
     }
 
     /// Builds the first `n` requests of a client's plan.
@@ -274,6 +330,49 @@ mod tests {
             })
             .collect();
         assert!(distinct.len() >= 6, "64 draws must spread over the keyspace: {distinct:?}");
+    }
+
+    #[test]
+    fn read_mostly_mixes_reads_and_writes_by_fraction() {
+        let topo = Topology::new(1, 3, 4);
+        let w = Workload::ReadMostly { accounts: 16, read_pct: 90, amount: 1 };
+        assert!(w.is_open_loop(), "read traffic interleaves with writes");
+        let reqs: Vec<_> = (1..=200u64).map(|s| w.request(&topo, topo.clients[0], s)).collect();
+        let reads = reqs.iter().filter(|r| r.script.is_read_only()).count();
+        assert!(
+            (150..=200).contains(&reads),
+            "≈90% of 200 requests should be read-only, got {reads}"
+        );
+        assert!(
+            reqs.iter().any(|r| r.script.is_read_only() && r.script.keyed_ops.len() == 2),
+            "some reads must span two accounts (cross-shard fan-out)"
+        );
+        let all_reads = Workload::ReadMostly { accounts: 16, read_pct: 100, amount: 1 };
+        assert!(
+            (1..=50u64).all(|s| all_reads.request(&topo, topo.clients[0], s).script.is_read_only())
+        );
+        let no_reads = Workload::ReadMostly { accounts: 16, read_pct: 0, amount: 1 };
+        assert!(
+            (1..=50u64).all(|s| !no_reads.request(&topo, topo.clients[0], s).script.is_read_only())
+        );
+    }
+
+    #[test]
+    fn read_after_write_pairs_share_a_key() {
+        let topo = Topology::new(1, 3, 4);
+        let w = Workload::ReadAfterWrite { accounts: 8, amount: 5 };
+        assert!(!w.is_open_loop(), "write must deliver before its read issues");
+        for pair in 1..=10u64 {
+            let write = w.request(&topo, topo.clients[0], 2 * pair - 1);
+            let read = w.request(&topo, topo.clients[0], 2 * pair);
+            assert!(!write.script.is_read_only());
+            assert!(read.script.is_read_only());
+            assert_eq!(
+                write.script.keyed_ops[0].key(),
+                read.script.keyed_ops[0].key(),
+                "pair {pair} must read back the key it wrote"
+            );
+        }
     }
 
     #[test]

@@ -263,6 +263,15 @@ impl Sim {
         self.links.partition(side_a, side_b, heal_at);
     }
 
+    /// Blocks the **directed** link `from → to` until `heal_at` (messages
+    /// sent meanwhile arrive after the heal, per the reliable-channel
+    /// model). A one-way block is how tests starve a follower of its
+    /// primary's replication stream while leaving the follower's own
+    /// sends — forwarded reads included — untouched.
+    pub fn block_link(&mut self, from: NodeId, to: NodeId, heal_at: Time) {
+        self.links.block(from, to, heal_at);
+    }
+
     /// Installs a one-shot trace trigger: the first time `pred` matches a
     /// trace event, `action` is applied (at the current instant).
     pub fn on_trace(
@@ -476,6 +485,13 @@ impl Sim {
     /// Node name (diagnostics).
     pub fn node_name(&self, node: NodeId) -> &'static str {
         self.nodes[node.0 as usize].name
+    }
+
+    /// Read access to a live process (None while the node is crashed).
+    /// Pair with [`Process::as_any`] to downcast — test/harness
+    /// introspection only, never a protocol channel.
+    pub fn process_ref(&self, node: NodeId) -> Option<&dyn Process> {
+        self.nodes[node.0 as usize].process.as_deref()
     }
 }
 

@@ -48,7 +48,7 @@ struct Branch {
     writes: BTreeMap<String, i64>,
 }
 
-pub use etx_base::value::ShippedCommit;
+pub use etx_base::value::{ShippedCommit, ShippedEntries};
 
 /// What [`Engine::apply_replicated`] did with an incoming apply.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,7 +82,7 @@ pub struct Engine {
     /// Follower role: highest contiguously applied ship position.
     repl_last_seq: u64,
     /// Follower role: out-of-order applies waiting for their predecessors.
-    repl_pending: BTreeMap<u64, (ResultId, Vec<(String, i64)>)>,
+    repl_pending: BTreeMap<u64, (ResultId, ShippedEntries)>,
 }
 
 impl Engine {
@@ -120,6 +120,37 @@ impl Engine {
     /// Number of keys currently locked (diagnostics).
     pub fn locked_keys(&self) -> usize {
         self.locks.locked_keys()
+    }
+
+    /// Snapshot read: executes a batch of pure [`DbOp::Get`] operations
+    /// against **committed** state, opening no branch, taking no locks and
+    /// writing nothing. This is the engine half of the read fast path:
+    /// because the lock table is never consulted, a snapshot read can
+    /// never conflict with — and therefore never doom — a concurrent
+    /// writer, and a concurrent writer's uncommitted branch writes are
+    /// never visible to it.
+    ///
+    /// Non-read operations are a caller bug (the router only sends
+    /// all-`Get` scripts down this path); they are answered as absent
+    /// values in release builds and panic in debug builds.
+    pub fn read_only(&self, ops: &[DbOp]) -> Vec<OpOutput> {
+        ops.iter()
+            .map(|op| match op {
+                DbOp::Get { key } => OpOutput::Value(self.committed(key)),
+                other => {
+                    debug_assert!(false, "non-read op {other:?} on the snapshot-read path");
+                    OpOutput::Value(None)
+                }
+            })
+            .collect()
+    }
+
+    /// Primary role: current commit-ship position (the dense counter of
+    /// locally decided commits). Piggybacked on decide acknowledgements so
+    /// application servers can stamp follower reads with the freshest
+    /// position they have observed.
+    pub fn ship_position(&self) -> u64 {
+        self.ship_seq
     }
 
     fn effective(&self, rid: ResultId, key: &str) -> Option<i64> {
@@ -270,7 +301,7 @@ impl Engine {
                 match self.branches.get(&rid).map(|b| b.state) {
                     Some(BranchState::Prepared) => {
                         let b = self.branches.remove(&rid).expect("prepared branch");
-                        let shipped: Vec<(String, i64)> =
+                        let shipped: ShippedEntries =
                             b.writes.iter().map(|(k, &v)| (k.clone(), v)).collect();
                         for (k, v) in b.writes {
                             self.data.insert(k, v);
@@ -290,7 +321,7 @@ impl Engine {
                         // mirror the count of logged commit outcomes, which
                         // is how recovery restores the counter).
                         self.ship_seq += 1;
-                        self.outbox.push((self.ship_seq, rid, Vec::new()));
+                        self.outbox.push((self.ship_seq, rid, ShippedEntries::from([])));
                         Outcome::Commit
                     }
                     Some(state) => {
@@ -364,7 +395,7 @@ impl Engine {
         match self.branches.get(&rid).map(|b| b.state) {
             Some(BranchState::Active) => {
                 let b = self.branches.remove(&rid).expect("active branch");
-                let shipped: Vec<(String, i64)> =
+                let shipped: ShippedEntries =
                     b.writes.iter().map(|(k, &v)| (k.clone(), v)).collect();
                 for (k, v) in b.writes {
                     self.data.insert(k, v);
@@ -430,7 +461,7 @@ impl Engine {
         &mut self,
         seq: u64,
         rid: ResultId,
-        entries: Vec<(String, i64)>,
+        entries: ShippedEntries,
     ) -> ReplApply {
         if seq <= self.repl_last_seq {
             return ReplApply { writes: Vec::new(), need_sync: false };
@@ -470,8 +501,15 @@ impl Engine {
                 self.data.insert(k.clone(), v);
             }
             self.repl_last_seq += 1;
+            // The log record owns its bytes (stable storage, not the wire),
+            // so the shared entries are materialized here — the one copy
+            // the durable append genuinely needs.
             out.push(LogWrite {
-                rec: StableRecord::Replicated { seq: self.repl_last_seq, rid, writes: entries },
+                rec: StableRecord::Replicated {
+                    seq: self.repl_last_seq,
+                    rid,
+                    writes: entries.to_vec(),
+                },
                 force: false,
             });
         }
@@ -807,7 +845,7 @@ mod tests {
         assert_eq!(box1.len(), 2, "aborts do not ship");
         assert_eq!(box1[0].0, 1);
         assert_eq!(box1[1].0, 2);
-        assert_eq!(box1[0].2, vec![("k1".to_string(), 1)]);
+        assert_eq!(box1[0].2.to_vec(), vec![("k1".to_string(), 1)]);
         assert!(e.take_repl_outbox().is_empty(), "drain empties the outbox");
     }
 
@@ -815,19 +853,19 @@ mod tests {
     fn follower_applies_in_sequence_and_buffers_gaps() {
         let mut f = Engine::new();
         // seq 2 arrives first: buffered, gap detected.
-        let r2 = f.apply_replicated(2, rid(2), vec![("b".into(), 2)]);
+        let r2 = f.apply_replicated(2, rid(2), vec![("b".into(), 2)].into());
         assert!(r2.writes.is_empty());
         assert!(r2.need_sync);
         assert_eq!(f.committed("b"), None);
         // seq 1 arrives: both drain, in order.
-        let r1 = f.apply_replicated(1, rid(1), vec![("a".into(), 1)]);
+        let r1 = f.apply_replicated(1, rid(1), vec![("a".into(), 1)].into());
         assert_eq!(r1.writes.len(), 2);
         assert!(!r1.need_sync);
         assert_eq!(f.committed("a"), Some(1));
         assert_eq!(f.committed("b"), Some(2));
         assert_eq!(f.repl_position(), 2);
         // Duplicates are dropped.
-        let dup = f.apply_replicated(1, rid(1), vec![("a".into(), 99)]);
+        let dup = f.apply_replicated(1, rid(1), vec![("a".into(), 99)].into());
         assert!(dup.writes.is_empty() && !dup.need_sync);
         assert_eq!(f.committed("a"), Some(1));
     }
@@ -835,9 +873,9 @@ mod tests {
     #[test]
     fn snapshot_adoption_fast_forwards_and_ignores_stale() {
         let mut f = Engine::with_data([("seed".to_string(), 7)]);
-        f.apply_replicated(1, rid(1), vec![("a".into(), 1)]);
+        f.apply_replicated(1, rid(1), vec![("a".into(), 1)].into());
         // Buffered apply beyond the snapshot drains after adoption.
-        let pending = f.apply_replicated(5, rid(5), vec![("e".into(), 5)]);
+        let pending = f.apply_replicated(5, rid(5), vec![("e".into(), 5)].into());
         assert!(pending.need_sync);
         let writes =
             f.adopt_repl_snapshot(4, vec![("seed".into(), 7), ("a".into(), 1), ("d".into(), 4)]);
@@ -873,10 +911,10 @@ mod tests {
         // Follower side: replicated records restore data and the cursor.
         let mut f = Engine::new();
         let mut fwal = Vec::new();
-        for w in f.apply_replicated(1, rid(1), vec![("a".into(), 1)]).writes {
+        for w in f.apply_replicated(1, rid(1), vec![("a".into(), 1)].into()).writes {
             fwal.push(w.rec);
         }
-        for w in f.apply_replicated(2, rid(2), vec![("a".into(), 3)]).writes {
+        for w in f.apply_replicated(2, rid(2), vec![("a".into(), 3)].into()).writes {
             fwal.push(w.rec);
         }
         let f2 = Engine::recover(&fwal);
@@ -943,10 +981,10 @@ mod tests {
     fn batched_apply_equals_sequential_apply() {
         let mut a = Engine::new();
         let mut b = Engine::new();
-        let items = vec![
-            (1u64, rid(1), vec![("x".to_string(), 1)]),
-            (2u64, rid(2), vec![("y".to_string(), 2)]),
-            (4u64, rid(4), vec![("z".to_string(), 4)]),
+        let items: Vec<ShippedCommit> = vec![
+            (1u64, rid(1), vec![("x".to_string(), 1)].into()),
+            (2u64, rid(2), vec![("y".to_string(), 2)].into()),
+            (4u64, rid(4), vec![("z".to_string(), 4)].into()),
         ];
         for (seq, r, entries) in items.clone() {
             a.apply_replicated(seq, r, entries);
@@ -965,15 +1003,15 @@ mod tests {
         // no-op that loses nothing and leaves the follower ready for the
         // next shipped batch.
         let mut f = Engine::new();
-        f.apply_replicated(1, rid(1), vec![("a".into(), 1)]);
-        f.apply_replicated(2, rid(2), vec![("b".into(), 2)]);
+        f.apply_replicated(1, rid(1), vec![("a".into(), 1)].into());
+        f.apply_replicated(2, rid(2), vec![("b".into(), 2)].into());
         let before = f.snapshot().clone();
         let writes = f.adopt_repl_snapshot(2, vec![("a".into(), 1), ("b".into(), 2)]);
         assert!(writes.is_empty(), "empty window: nothing to adopt, nothing to log");
         assert_eq!(f.snapshot(), &before);
         assert_eq!(f.repl_position(), 2);
         // The stream continues seamlessly after the no-op catch-up.
-        let next = f.apply_replicated(3, rid(3), vec![("c".into(), 3)]);
+        let next = f.apply_replicated(3, rid(3), vec![("c".into(), 3)].into());
         assert_eq!(next.writes.len(), 1);
         assert!(!next.need_sync);
         assert_eq!(f.committed("c"), Some(3));
@@ -988,12 +1026,12 @@ mod tests {
         // must converge on exactly the primary's state: no lost entry from
         // the straddled batch, no double-apply.
         let mut f = Engine::new();
-        f.apply_replicated(1, rid(1), vec![("k1".into(), 1)]);
-        f.apply_replicated(2, rid(2), vec![("k2".into(), 2)]);
-        f.apply_replicated(3, rid(3), vec![("k3".into(), 3)]);
+        f.apply_replicated(1, rid(1), vec![("k1".into(), 1)].into());
+        f.apply_replicated(2, rid(2), vec![("k2".into(), 2)].into());
+        f.apply_replicated(3, rid(3), vec![("k3".into(), 3)].into());
         // Tail of the batch arrives first (4 was lost while the follower
         // was down): buffered beyond the gap, sync requested.
-        let tail = f.apply_replicated(5, rid(5), vec![("k5".into(), 5)]);
+        let tail = f.apply_replicated(5, rid(5), vec![("k5".into(), 5)].into());
         assert!(tail.writes.is_empty() && tail.need_sync);
         // Snapshot taken mid-batch, at position 4.
         let snap: Vec<(String, i64)> =
@@ -1005,7 +1043,7 @@ mod tests {
             assert_eq!(f.committed(k), Some(v), "{k} must hold the primary's value");
         }
         // A late duplicate of the straddled batch's head is dropped.
-        let dup = f.apply_replicated(4, rid(4), vec![("k4".into(), 99)]);
+        let dup = f.apply_replicated(4, rid(4), vec![("k4".into(), 99)].into());
         assert!(dup.writes.is_empty() && !dup.need_sync);
         assert_eq!(f.committed("k4"), Some(4), "no double-apply of the straddled entry");
     }

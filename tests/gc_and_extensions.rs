@@ -66,6 +66,7 @@ fn adaptive_routing_recovers_faster_after_primary_death() {
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: adaptive,
             batching: etx_base::config::BatchingConfig::default(),
+            read_path: etx_base::config::ReadPathConfig::default(),
         };
         pcfg.route_to_last_responder = adaptive;
         let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 887)

@@ -98,7 +98,7 @@ proptest! {
         prop_assert_eq!(total, ops.len(), "every op routed exactly once");
         for (call, &shard) in plan.calls.iter().zip(&plan.shards) {
             prop_assert_eq!(call.db, map.primary(shard), "calls go to shard primaries");
-            for op in &call.ops {
+            for op in call.ops.iter() {
                 let key = op.key().expect("Add ops have keys");
                 prop_assert_eq!(map.shard_of(key), shard, "op {} on wrong shard", key);
             }
