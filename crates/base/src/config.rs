@@ -54,25 +54,56 @@ impl BatchingConfig {
 /// per-shard calls as direct `Read` messages against committed state: no
 /// XA branch, no locks, no consensus. Reads are idempotent, so the
 /// write-once `regD` contract they skip was never protecting anything.
+///
+/// ## Isolation of multi-shard fast reads
+///
+/// A read that fans out over several shards samples each shard at a
+/// different moment, so a naive fan-out could observe a cross-shard write
+/// half-applied (shard A post-commit, shard B pre-commit) — an isolation
+/// the locking slow path never allows. Multi-shard fast reads therefore
+/// run a **snapshot validation** loop: every call goes to the shard
+/// *primary* (whose commit position is authoritative), the reply carries
+/// that position plus an in-doubt flag over the keys read, and a collect
+/// is accepted only when it agrees position-for-position with the
+/// previous collect **and** no key has a prepared-but-undecided write.
+/// Two such back-to-back collects pin one instant at which every returned
+/// value held simultaneously and no spanning transaction was mid-commit —
+/// a transactionally atomic snapshot. Disagreeing collects retry (writes
+/// landed mid-read); after [`ReadPathConfig::max_snapshot_rounds`]
+/// collects the read falls back to the locking slow path, which is always
+/// live. Single-shard reads are atomic by construction and skip all of
+/// this — one round, follower-servable.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReadPathConfig {
     /// Route read-only scripts around the commit pipeline.
     pub enabled: bool,
-    /// Serve reads from shard *followers* (replication factor permitting)
-    /// instead of always hitting the primary. Every read is stamped with
-    /// the highest commit sequence number the issuing application server
-    /// has observed for the shard; a follower behind that stamp forwards
-    /// to the primary instead of serving stale state.
+    /// Serve **single-shard** reads from shard *followers* (replication
+    /// factor permitting) instead of always hitting the primary. Every
+    /// read is stamped with the highest commit-ship position the issuing
+    /// application server has observed for the shard, max-folded with the
+    /// client's own causality token (`ClientMsg::Request::stamps`); a
+    /// follower behind that stamp forwards to the primary instead of
+    /// serving stale state.
     ///
-    /// The staleness bound is **per issuing server**: read-your-writes
-    /// holds whenever the read reaches a server that observed the write's
-    /// acknowledgement (the common case — the same server terminated it).
-    /// A read that fails over to a replica that observed nothing carries
-    /// stamp 0 and may be served from follower state missing other
-    /// servers' recent commits — the same guarantee asymmetric-replication
-    /// reads give without leases. Lease-based local reads (which close
-    /// that window by construction) are the recorded ROADMAP follow-up.
+    /// The client token makes read-your-writes (and per-client monotonic
+    /// reads) hold regardless of which server handles the read: the stamp
+    /// travels with the client, so failover to a server that never
+    /// observed the write's acknowledgement no longer re-opens the window.
+    /// What the gate still cannot see is *other* clients' writes that
+    /// neither this server nor this client has observed — the same bound
+    /// asymmetric-replication reads give without leases. Lease-based
+    /// local reads (which close that window by construction) are the
+    /// recorded ROADMAP follow-up.
+    ///
+    /// Multi-shard reads ignore this flag and always read primaries: the
+    /// snapshot validation above needs the authoritative position, which
+    /// a lagging follower cannot supply.
     pub follower_reads: bool,
+    /// Maximum snapshot-validation collects a multi-shard read may issue
+    /// before falling back to the locking slow path (values < 2 behave as
+    /// 2 — one collect plus one validation is the minimum that can ever
+    /// accept). Only contended keyspaces ever retry; the presets use 4.
+    pub max_snapshot_rounds: u32,
 }
 
 impl ReadPathConfig {
@@ -83,12 +114,19 @@ impl ReadPathConfig {
 
     /// Fast lane on, reads served by shard primaries only.
     pub fn primary_only() -> Self {
-        ReadPathConfig { enabled: true, follower_reads: false }
+        ReadPathConfig { enabled: true, follower_reads: false, max_snapshot_rounds: 4 }
     }
 
-    /// Fast lane on, reads spread over shard followers (freshness-gated).
+    /// Fast lane on, single-shard reads spread over shard followers
+    /// (freshness-gated); multi-shard reads stay primary-validated.
     pub fn follower_reads() -> Self {
-        ReadPathConfig { enabled: true, follower_reads: true }
+        ReadPathConfig { enabled: true, follower_reads: true, max_snapshot_rounds: 4 }
+    }
+
+    /// The effective collect budget (the configured value, floored at the
+    /// minimum that can accept a snapshot).
+    pub fn snapshot_rounds(&self) -> u32 {
+        self.max_snapshot_rounds.max(2)
     }
 }
 
@@ -315,6 +353,12 @@ mod tests {
         assert!(!ReadPathConfig::primary_only().follower_reads);
         assert!(ReadPathConfig::follower_reads().enabled);
         assert!(ReadPathConfig::follower_reads().follower_reads);
+        assert_eq!(ReadPathConfig::follower_reads().snapshot_rounds(), 4);
+        assert_eq!(
+            ReadPathConfig::default().snapshot_rounds(),
+            2,
+            "collect budget floors at collect + validation"
+        );
         let c = CostModel::default();
         assert!(c.sql_read < c.sql, "a pure Get batch is cheaper than the full manipulation");
         let f = CostModel::fast_for_tests();

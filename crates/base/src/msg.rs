@@ -97,6 +97,15 @@ pub enum ClientMsg {
         /// send their lowest unfinished sequence number, which is what makes
         /// server-side GC safe with many requests in flight.
         ack_below: u64,
+        /// Causality token: per shard primary, the highest commit-ship
+        /// position any result delivered to this client has carried
+        /// ([`AppMsg::Result::stamps`], max-folded). The application server
+        /// merges it into its own per-shard freshness observations before
+        /// stamping follower reads, so read-your-writes (and per-client
+        /// monotonic reads) hold even when a retry lands on a server that
+        /// never observed the write's acknowledgement. Empty for baseline
+        /// clients, whose protocols have no follower reads.
+        stamps: Vec<(NodeId, u64)>,
     },
 }
 
@@ -110,6 +119,13 @@ pub enum AppMsg {
         rid: ResultId,
         /// The decided (result, outcome) pair.
         decision: Decision,
+        /// Freshness stamps backing the client's causality token: for each
+        /// shard primary this decision touched, the commit-ship position
+        /// the answering server had observed when it replied (which, for a
+        /// committed write, includes the write itself). The client
+        /// max-folds these into [`ClientMsg::Request::stamps`]. Baseline
+        /// protocols send it empty.
+        stamps: Vec<(NodeId, u64)>,
     },
     /// Failure notification used by the *unreliable* baseline and 2PC
     /// clients only: the e-Transaction protocol never raises exceptions to
@@ -171,19 +187,34 @@ pub enum DbMsg {
     /// consensus (the read fast path). A shard *follower* receiving one
     /// compares `min_seq` with its applied replication position: behind it,
     /// the follower forwards this same message to its primary instead of
-    /// serving stale state (read-your-writes against asynchronous
-    /// shipping); at or past it, the follower serves locally.
+    /// serving stale state; at or past it, the follower serves locally.
     Read {
         /// The read-only attempt this call belongs to.
         rid: ResultId,
         /// Index of the call within the attempt's routed script (read-only
         /// scripts fan out one `Read` per touched shard).
         call: u32,
+        /// Which snapshot-validation collect of the attempt this send
+        /// belongs to (0 for the first; multi-shard reads re-collect until
+        /// two consecutive rounds agree — see
+        /// [`crate::config::ReadPathConfig::max_snapshot_rounds`]).
+        /// Echoed in the reply so the issuer can drop answers from
+        /// superseded rounds.
+        round: u32,
         /// The `Get` operations to execute (Arc-shared: fan-out, forwards
         /// and retries clone a reference count, not the ops).
         ops: Arc<[DbOp]>,
-        /// Freshness gate: the highest commit sequence number the issuing
-        /// application server has observed for this shard.
+        /// Freshness gate for follower serving: the maximum of (a) the
+        /// highest commit-ship position the issuing application server has
+        /// observed for this shard and (b) the client's own causality token
+        /// ([`ClientMsg::Request::stamps`]). (b) is what makes
+        /// read-your-writes hold unconditionally: even when the read
+        /// reaches a server that never saw the write's acknowledgement,
+        /// the client's stamp — carried from the write's own
+        /// [`AppMsg::Result`] — keeps a lagging follower from serving
+        /// pre-write state. Writes by *other* clients that this server has
+        /// not yet observed remain outside the gate (the lease follow-up
+        /// recorded in the ROADMAP closes that too).
         min_seq: u64,
         /// Where the answer must go (preserved across forwards, so the
         /// primary answering a forwarded read replies straight to the
@@ -237,14 +268,35 @@ pub enum DbReplyMsg {
         seq: u64,
     },
     /// Answer to a [`DbMsg::Read`]: the per-op outputs of one read-only
-    /// call, served from committed state.
+    /// call, served from committed state, plus the consistency metadata
+    /// the issuer's snapshot validation runs on (multi-shard reads only
+    /// accept a collect once every shard's `pos` matched the previous
+    /// collect and no `indoubt` flag is set — that is what makes a
+    /// cross-shard fan-out read transactionally atomic instead of a
+    /// fractured per-shard sample).
     ReadReply {
         /// The read-only attempt.
         rid: ResultId,
         /// Which call of the attempt's script this answers.
         call: u32,
+        /// The collect round this answers ([`DbMsg::Read::round`] echoed);
+        /// the issuer ignores replies from superseded rounds.
+        round: u32,
         /// Per-op outputs (`Value(..)` per `Get`).
         outputs: Vec<OpOutput>,
+        /// The serving replica's commit position when the values were
+        /// sampled: the primary's commit-ship counter, or a follower's
+        /// applied replication position (same scale — a follower at `pos`
+        /// holds exactly the primary's committed state at ship position
+        /// `pos`).
+        pos: u64,
+        /// Whether any **prepared** (in-doubt) branch at the serving
+        /// server has a pending write to one of the keys read: a
+        /// cross-shard transaction between its first and last per-shard
+        /// commit is exactly "prepared at the shards that have not applied
+        /// it yet", so this flag is how the laggard shard exposes a
+        /// half-applied transaction to the validation check.
+        indoubt: bool,
     },
     /// `[Ready]` — recovery notification (Figure 3 line 2): "I crashed and
     /// came back; anything I had not prepared is gone."
@@ -409,6 +461,7 @@ mod tests {
                 request: Request { id: rid().request, script: RequestScript::default() },
                 attempt: 1,
                 ack_below: 1,
+                stamps: Vec::new(),
             })
             .label(),
             Payload::Db(DbMsg::Prepare { rid: rid() }).label(),
@@ -417,13 +470,21 @@ mod tests {
             Payload::Db(DbMsg::Read {
                 rid: rid(),
                 call: 0,
+                round: 0,
                 ops: Arc::from([]),
                 min_seq: 0,
                 reply_to: NodeId(1),
             })
             .label(),
-            Payload::DbReply(DbReplyMsg::ReadReply { rid: rid(), call: 0, outputs: vec![] })
-                .label(),
+            Payload::DbReply(DbReplyMsg::ReadReply {
+                rid: rid(),
+                call: 0,
+                round: 0,
+                outputs: vec![],
+                pos: 0,
+                indoubt: false,
+            })
+            .label(),
             Payload::DbReply(DbReplyMsg::AckDecideBatch {
                 entries: vec![(rid(), Outcome::Commit)],
                 seq: 1,

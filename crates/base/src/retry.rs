@@ -116,22 +116,36 @@ impl AttemptDriver {
     }
 
     /// Sends the current attempt to `to` as a `[Request, request, j]`
-    /// message carrying the client's GC watermark.
-    pub fn send_to(&self, ctx: &mut dyn Context, to: NodeId, ack_below: u64) {
+    /// message carrying the client's GC watermark and causality token
+    /// (`stamps`; baseline clients pass `&[]`).
+    pub fn send_to(
+        &self,
+        ctx: &mut dyn Context,
+        to: NodeId,
+        ack_below: u64,
+        stamps: &[(NodeId, u64)],
+    ) {
         ctx.send(
             to,
             Payload::Client(ClientMsg::Request {
                 request: self.request.clone(),
                 attempt: self.rid.attempt,
                 ack_below,
+                stamps: stamps.to_vec(),
             }),
         );
     }
 
     /// Broadcasts the current attempt to every server in `alist`.
-    pub fn broadcast(&self, ctx: &mut dyn Context, alist: &[NodeId], ack_below: u64) {
+    pub fn broadcast(
+        &self,
+        ctx: &mut dyn Context,
+        alist: &[NodeId],
+        ack_below: u64,
+        stamps: &[(NodeId, u64)],
+    ) {
         for &a in alist {
-            self.send_to(ctx, a, ack_below);
+            self.send_to(ctx, a, ack_below, stamps);
         }
     }
 

@@ -157,6 +157,26 @@ pub enum TraceKind {
         /// The read-only attempt served.
         rid: ResultId,
     },
+    /// A multi-shard fast-path read's collect disagreed with its
+    /// predecessor (a shard's commit position moved, or a read key had an
+    /// in-doubt write) and the issuer started another collect — the
+    /// snapshot-validation loop that keeps cross-shard fan-out reads
+    /// transactionally atomic.
+    ReadSnapshotRound {
+        /// The read-only attempt being re-collected.
+        rid: ResultId,
+        /// The collect round just issued (1 = first validation re-collect).
+        round: u32,
+    },
+    /// A multi-shard fast-path read exhausted its snapshot-validation
+    /// budget ([`crate::config::ReadPathConfig::max_snapshot_rounds`]) and
+    /// fell back to the locking slow path (always live under contention).
+    ReadFallback {
+        /// The attempt re-routed through the commit machinery.
+        rid: ResultId,
+        /// Collects spent before giving up.
+        rounds: u32,
+    },
     /// A lagging shard follower refused to serve a fast-path read and
     /// forwarded it to its primary: its applied replication position was
     /// behind the read's freshness stamp (the read-your-writes gate).

@@ -86,7 +86,7 @@ impl SimpleClient {
         let timeout = self.timeout;
         let Some(driver) = &mut self.flight else { return };
         let ack_below = driver.request().id.seq;
-        driver.send_to(ctx, server, ack_below);
+        driver.send_to(ctx, server, ack_below, &[]);
         let rid = driver.rid();
         driver.arm(ctx, RetryTimer::Primary, timeout, TimerTag::ClientBackoff { rid });
     }
@@ -122,7 +122,7 @@ impl Process for SimpleClient {
                 }
             }
             Event::Message { payload: Payload::App(msg), .. } => match msg {
-                AppMsg::Result { rid, decision } => {
+                AppMsg::Result { rid, decision, .. } => {
                     let Some(driver) = &mut self.flight else { return };
                     // Late results of earlier attempts still answer the
                     // request (at-most-once protocols have no attempt

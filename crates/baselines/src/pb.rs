@@ -95,13 +95,19 @@ impl PbServer {
         }
         let rid = ResultId { request: request.id, attempt };
         if let Some((crid, decision)) = self.committed_cache.get(&request.id).cloned() {
-            ctx.send(rid.request.client, Payload::App(AppMsg::Result { rid: crid, decision }));
+            ctx.send(
+                rid.request.client,
+                Payload::App(AppMsg::Result { rid: crid, decision, stamps: Vec::new() }),
+            );
             return;
         }
         match self.fsms.get(&rid) {
             Some(Phase::Done { decision }) => {
                 let decision = decision.clone();
-                ctx.send(rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+                ctx.send(
+                    rid.request.client,
+                    Payload::App(AppMsg::Result { rid, decision, stamps: Vec::new() }),
+                );
                 return;
             }
             Some(_) => return,
@@ -271,7 +277,11 @@ impl PbServer {
         self.fsms.insert(rid, Phase::Done { decision: decision.clone() });
         let dur = jittered(ctx, self.cost.end, self.cost.jitter);
         ctx.trace(TraceKind::Span { rid, comp: Component::End, dur });
-        ctx.send_after(dur, rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+        ctx.send_after(
+            dur,
+            rid.request.client,
+            Payload::App(AppMsg::Result { rid, decision, stamps: Vec::new() }),
+        );
     }
 
     fn retry_decides(&mut self, ctx: &mut dyn Context) {

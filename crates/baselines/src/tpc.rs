@@ -64,7 +64,10 @@ impl TpcServer {
         match self.fsms.get(&rid) {
             Some(Phase::Done { decision }) => {
                 let decision = decision.clone();
-                ctx.send(rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+                ctx.send(
+                    rid.request.client,
+                    Payload::App(AppMsg::Result { rid, decision, stamps: Vec::new() }),
+                );
                 return;
             }
             Some(_) => return, // in flight
@@ -236,7 +239,11 @@ impl TpcServer {
         }
         let dur = jittered(ctx, self.cost.end, self.cost.jitter);
         ctx.trace(TraceKind::Span { rid, comp: Component::End, dur });
-        ctx.send_after(dur, rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+        ctx.send_after(
+            dur,
+            rid.request.client,
+            Payload::App(AppMsg::Result { rid, decision, stamps: Vec::new() }),
+        );
     }
 
     fn retry_decides(&mut self, ctx: &mut dyn Context) {

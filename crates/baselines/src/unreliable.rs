@@ -151,6 +151,7 @@ impl BaselineServer {
             Payload::App(AppMsg::Result {
                 rid,
                 decision: Decision { result: Some(result), outcome: Outcome::Commit },
+                stamps: Vec::new(),
             })
         };
         ctx.send_after(dur, rid.request.client, payload);

@@ -42,10 +42,16 @@
 //! such scripts are classified after shard routing and sent around the
 //! whole pipeline as direct snapshot reads against the shard replicas —
 //! no ownership race, no votes, no decision-log slot, no termination
-//! push. Follower reads are gated on a per-shard freshness stamp
-//! (the highest commit-ship position this server has observed, folded in
-//! from decide acknowledgements), so a lagging follower forwards rather
-//! than serve stale state.
+//! push. Follower reads are gated on a per-shard freshness stamp: the
+//! highest commit-ship position this server has observed (decide
+//! acknowledgements), max-folded with the client's causality token
+//! (stamps carried on every request), so a lagging follower forwards
+//! rather than serve stale state and read-your-writes survives client
+//! failover. Multi-shard reads additionally run the snapshot-validation
+//! loop documented on [`ReadState`], which is what makes a cross-shard
+//! fan-out read transactionally atomic rather than a fractured per-shard
+//! sample; validation that cannot converge falls back to the locking slow
+//! path.
 
 use etx_base::config::{CostModel, ProtocolConfig};
 use etx_base::ids::{NodeId, RegId, RequestId, ResultId, TimerId, Topology};
@@ -89,12 +95,46 @@ enum Phase {
 /// termination targets — nothing here needs surviving this server, because
 /// reads are idempotent and the client's retry machinery re-runs them
 /// anywhere.
+///
+/// Multi-shard reads additionally run **snapshot validation** over the
+/// collected rounds: a collect is accepted only when every shard's commit
+/// position matches the previous collect and no read key had an in-doubt
+/// write. Because a collect only starts after every reply of its
+/// predecessor arrived, two agreeing collects bracket an instant at which
+/// all returned values held simultaneously — and the in-doubt check rules
+/// out a cross-shard transaction that had committed at some shards but was
+/// still prepared at another. That is exactly the fractured read the
+/// locking slow path forbids, forbidden here without locks.
 #[derive(Debug)]
 struct ReadState {
+    /// The routed request (kept so an exhausted validation budget can
+    /// re-route the attempt down the locking slow path).
+    request: Request,
     /// Routed per-shard calls, in script order.
     calls: Vec<DbCall>,
     /// Outputs per call; `None` until the call's `ReadReply` arrives.
     outputs: Vec<Option<Vec<OpOutput>>>,
+    /// Serving replica's commit position per call (valid where `outputs`
+    /// is `Some`).
+    positions: Vec<u64>,
+    /// The freshness stamp each call was sent with (the position this
+    /// server had observed for the shard at send time). If a reply's
+    /// position still equals it, the shard committed nothing between the
+    /// stamp's observation and the read — which lets the **first** collect
+    /// accept without a validation round (see `on_read_reply`).
+    sent_stamps: Vec<u64>,
+    /// Whether any reply of the current collect flagged an in-doubt write
+    /// on a read key.
+    indoubt: bool,
+    /// The previous completed collect's positions (`None` until one
+    /// collect completes).
+    prev_positions: Option<Vec<u64>>,
+    /// Current collect round (0-based; echoed on the wire so replies from
+    /// superseded rounds are dropped).
+    round: u32,
+    /// How many times the loss backstop has fired for this attempt (drives
+    /// its exponential back-off).
+    backoff: u32,
 }
 
 /// Deterministic follower choice for a fast-path read: all replicas
@@ -134,13 +174,14 @@ pub struct AppServer {
     /// In-flight fast-path reads (read-only scripts routed around the
     /// commit pipeline).
     reads: HashMap<ResultId, ReadState>,
-    /// Highest commit-ship position observed per shard primary (from
-    /// decide acknowledgements) — the freshness stamp follower reads are
-    /// gated on. The bound is per *this* server's observations: a read
-    /// that fails over to a replica that never saw the write's ack is
-    /// stamped 0 and may read pre-write follower state (see
-    /// [`etx_base::config::ReadPathConfig::follower_reads`]).
-    shard_seq: HashMap<NodeId, u64>,
+    /// Highest commit-ship position observed per shard primary — the
+    /// freshness stamp follower reads are gated on. Fed from two sides:
+    /// decide acknowledgements this server received, and the causality
+    /// token each client request carries (stamps from results delivered to
+    /// that client, possibly by *other* servers) — the latter is what
+    /// keeps read-your-writes intact across client failover. Ordered so
+    /// stamp vectors serialize deterministically.
+    shard_seq: BTreeMap<NodeId, u64>,
     /// Attempts whose `regD` write *we* initiated (owner or cleaner): we are
     /// responsible for termination once the register decides.
     initiators: HashSet<ResultId>,
@@ -212,7 +253,7 @@ impl AppServer {
             batch_timer: None,
             fsms: HashMap::new(),
             reads: HashMap::new(),
-            shard_seq: HashMap::new(),
+            shard_seq: BTreeMap::new(),
             initiators: HashSet::new(),
             terminate_targets: HashMap::new(),
             cleaned: HashSet::new(),
@@ -291,8 +332,15 @@ impl AppServer {
         request: Request,
         attempt: u32,
         ack_below: u64,
+        stamps: Vec<(NodeId, u64)>,
     ) {
         let rid = ResultId { request: request.id, attempt };
+        // Causality token first: whatever positions this client has
+        // observed (through any server) bound the freshness of every read
+        // this request may trigger here — including this very request.
+        for (db, seq) in stamps {
+            self.observe_shard_seq(db, seq);
+        }
         // Garbage collection (§5 leaves it open; this is the natural hook):
         // the client's watermark tells us which of its requests are settled
         // forever — their attempts can never be retransmitted again and
@@ -301,13 +349,21 @@ impl AppServer {
         // Figure 5 line 3: if this request already committed, answer from
         // the cached decision.
         if let Some((crid, decision)) = self.committed_cache.get(&request.id).cloned() {
-            ctx.send(rid.request.client, Payload::App(AppMsg::Result { rid: crid, decision }));
+            let stamps = self.all_stamps();
+            ctx.send(
+                rid.request.client,
+                Payload::App(AppMsg::Result { rid: crid, decision, stamps }),
+            );
             return;
         }
         match self.fsms.get(&rid) {
             Some(Phase::Done { decision }) => {
                 let decision = decision.clone();
-                ctx.send(rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+                let stamps = self.all_stamps();
+                ctx.send(
+                    rid.request.client,
+                    Payload::App(AppMsg::Result { rid, decision, stamps }),
+                );
             }
             Some(_) => { /* already in progress; duplicates are absorbed */ }
             None => {
@@ -348,40 +404,61 @@ impl AppServer {
         let dur = jittered(ctx, self.cost.start, self.cost.jitter);
         ctx.trace(TraceKind::Span { rid, comp: Component::Start, dur });
         let n = calls.len();
-        self.reads.insert(rid, ReadState { calls, outputs: vec![None; n] });
+        self.reads.insert(
+            rid,
+            ReadState {
+                request,
+                calls,
+                outputs: vec![None; n],
+                positions: vec![0; n],
+                sent_stamps: vec![0; n],
+                indoubt: false,
+                prev_positions: None,
+                round: 0,
+                backoff: 0,
+            },
+        );
         ctx.set_timer(dur, TimerTag::Dispatch { rid, stage: 1 });
     }
 
     /// Fans a fast-path read out: one `Read` message per routed call, then
     /// arms the retry backstop (covers read targets that crash with the
-    /// request in flight).
+    /// request in flight). Multi-shard reads go straight to the shard
+    /// primaries — snapshot validation needs the authoritative positions.
     fn dispatch_reads(&mut self, ctx: &mut dyn Context, rid: ResultId) {
         let calls = match self.reads.get(&rid) {
             Some(state) => state.calls.clone(),
             None => return,
         };
+        let multi = calls.len() > 1;
+        let mut stamps = Vec::with_capacity(calls.len());
         for (idx, call) in calls.iter().enumerate() {
-            self.send_read_call(ctx, rid, idx, call, false);
+            stamps.push(self.send_read_call(ctx, rid, idx, call, 0, multi));
+        }
+        if let Some(state) = self.reads.get_mut(&rid) {
+            state.sent_stamps = stamps;
         }
         ctx.set_timer(self.cfg.terminate_retry, TimerTag::ReadRetry { rid });
     }
 
     /// Sends one read call, stamped with the highest commit seq this server
-    /// has observed for the target shard. With follower reads enabled (and
-    /// `to_primary` not forced), the call spreads deterministically over
-    /// the shard's **whole replica group** — every replica's read lane
-    /// serves a slice of the read traffic, which is what multiplies read
-    /// capacity with the replication factor. A chosen follower serves
-    /// locally if it has caught up to the stamp and forwards to the
-    /// primary otherwise.
+    /// has observed for the target shard (client causality tokens folded
+    /// in). With follower reads enabled (and `to_primary` not forced), the
+    /// call spreads deterministically over the shard's **whole replica
+    /// group** — every replica's read lane serves a slice of the read
+    /// traffic, which is what multiplies read capacity with the
+    /// replication factor. A chosen follower serves locally if it has
+    /// caught up to the stamp and forwards to the primary otherwise.
+    /// Returns the stamp the call was sent with.
     fn send_read_call(
         &self,
         ctx: &mut dyn Context,
         rid: ResultId,
         idx: usize,
         call: &DbCall,
+        round: u32,
         to_primary: bool,
-    ) {
+    ) -> u64 {
         let min_seq = self.shard_seq.get(&call.db).copied().unwrap_or(0);
         let target = if to_primary || !self.cfg.read_path.follower_reads {
             call.db
@@ -402,38 +479,109 @@ impl AppServer {
             Payload::Db(DbMsg::Read {
                 rid,
                 call: idx as u32,
+                round,
                 ops: call.ops.clone(),
                 min_seq,
                 reply_to: self.me,
             }),
         );
+        min_seq
     }
 
-    /// A read call answered. Once every call has, the per-shard outputs
-    /// merge into one result (the read-only analogue of `compute()`
-    /// returning) and the commit decision goes straight to the client — no
-    /// voting, no decision log, no termination push.
+    /// A read call answered. Replies from superseded collect rounds are
+    /// dropped (their samples predate the current round's start and would
+    /// unsound the validation argument). Once the round is complete, a
+    /// single-shard read finishes immediately — it sampled one replica at
+    /// one instant, atomic by construction. A multi-shard read finishes
+    /// only when the collect is provably a snapshot (see `accept` below);
+    /// otherwise it re-collects, and after
+    /// [`etx_base::config::ReadPathConfig::max_snapshot_rounds`] collects
+    /// it falls back to the locking slow path.
+    #[allow(clippy::too_many_arguments)] // mirrors the ReadReply frame field-for-field
     fn on_read_reply(
         &mut self,
         ctx: &mut dyn Context,
         rid: ResultId,
         call: u32,
+        round: u32,
         outputs: Vec<OpOutput>,
+        pos: u64,
+        indoubt: bool,
     ) {
         let Some(state) = self.reads.get_mut(&rid) else {
             return; // settled (or GC'd) read; late duplicate reply
         };
+        if round != state.round {
+            return; // a superseded collect's answer
+        }
         let idx = call as usize;
-        if idx >= state.outputs.len() {
+        if idx >= state.outputs.len() || state.outputs[idx].is_some() {
             return;
         }
-        if state.outputs[idx].is_none() {
-            state.outputs[idx] = Some(outputs);
-        }
-        if state.outputs.iter().any(Option::is_none) {
+        state.outputs[idx] = Some(outputs);
+        state.positions[idx] = pos;
+        state.indoubt |= indoubt;
+        let db = state.calls[idx].db;
+        let done = !state.outputs.iter().any(Option::is_none);
+        // Every reply is also a freshness observation of its shard.
+        self.observe_shard_seq(db, pos);
+        if !done {
             return;
         }
-        let state = self.reads.remove(&rid).expect("checked above");
+        // The collect is complete — decide its fate. It is an atomic
+        // snapshot when every shard provably stood still across an
+        // interval containing one common instant:
+        //
+        // * `fresh` — each position equals the stamp this server had
+        //   *already observed* before sending, so the shard committed
+        //   nothing between that observation and the read; the common
+        //   instant is the send. This is the one-round happy path (reads
+        //   fold their positions back into the stamps, keeping them
+        //   exact while traffic is read-dominated).
+        // * `stable` — each position equals the previous collect's, so
+        //   nothing committed between the two non-overlapping collects.
+        //
+        // Either way, an in-doubt key vetoes: a cross-shard transaction
+        // already committed elsewhere but still prepared here is
+        // half-applied without moving this shard's position.
+        let state = self.reads.get(&rid).expect("read still in flight");
+        let multi = state.calls.len() > 1;
+        let fresh = state.positions.iter().zip(&state.sent_stamps).all(|(p, s)| p == s);
+        let stable = state.prev_positions.as_deref() == Some(&state.positions[..]);
+        let accept = !multi || (!state.indoubt && (fresh || stable));
+        let exhausted = state.round + 1 >= self.cfg.read_path.snapshot_rounds();
+        if accept {
+            self.finish_read(ctx, rid);
+        } else if exhausted {
+            self.fallback_read(ctx, rid);
+        } else {
+            let state = self.reads.get_mut(&rid).expect("read still in flight");
+            // Start the next collect: remember this round's positions,
+            // clear the slate, and re-sample every shard primary.
+            state.prev_positions = Some(state.positions.clone());
+            state.round += 1;
+            state.indoubt = false;
+            for slot in &mut state.outputs {
+                *slot = None;
+            }
+            let round = state.round;
+            let calls = state.calls.clone();
+            ctx.trace(TraceKind::ReadSnapshotRound { rid, round });
+            for (idx, call) in calls.iter().enumerate() {
+                self.send_read_call(ctx, rid, idx, call, round, true);
+            }
+        }
+    }
+
+    /// An accepted collect: the per-shard outputs merge into one result
+    /// (the read-only analogue of `compute()` returning) and the commit
+    /// decision goes straight to the client — no voting, no decision log,
+    /// no termination push. The serving positions ride along as the
+    /// client's causality stamps.
+    fn finish_read(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let Some(state) = self.reads.remove(&rid) else { return };
+        let stamps: Vec<(NodeId, u64)> =
+            state.calls.iter().zip(&state.positions).map(|(call, &pos)| (call.db, pos)).collect();
         let outs: Vec<Vec<OpOutput>> =
             state.outputs.into_iter().map(|o| o.expect("all calls answered")).collect();
         let result = crate::resultbuild::merge_read(&state.calls, &outs, rid.attempt);
@@ -443,28 +591,54 @@ impl AppServer {
         self.fsms.insert(rid, Phase::Done { decision: decision.clone() });
         let dur = jittered(ctx, self.cost.end, self.cost.jitter);
         ctx.trace(TraceKind::Span { rid, comp: Component::End, dur });
-        ctx.send_after(dur, rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+        ctx.send_after(
+            dur,
+            rid.request.client,
+            Payload::App(AppMsg::Result { rid, decision, stamps }),
+        );
     }
 
-    /// Retry backstop for fast-path reads: unanswered calls are re-sent
-    /// straight to their shard primaries (a crashed follower or a lost
-    /// message must not stall an idempotent read), and the timer re-arms
-    /// while anything is still pending.
+    /// Snapshot validation exhausted its collect budget (keys too hot to
+    /// catch standing still): re-route the attempt through the locking
+    /// slow path, whose XA read locks make it atomic under any contention.
+    /// Everything downstream is the ordinary write machinery — ownership
+    /// race, compute, votes — so liveness and exactly-once come for free.
+    fn fallback_read(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        let Some(state) = self.reads.remove(&rid) else { return };
+        ctx.trace(TraceKind::ReadFallback { rid, rounds: state.round + 1 });
+        self.fsms.insert(rid, Phase::WritingRegA { request: state.request, written: false });
+        let dur = jittered(ctx, self.cost.start, self.cost.jitter);
+        ctx.trace(TraceKind::Span { rid, comp: Component::Start, dur });
+        ctx.set_timer(dur, TimerTag::Dispatch { rid, stage: 0 });
+    }
+
+    /// Retry backstop for fast-path reads: unanswered calls of the current
+    /// collect are re-sent straight to their shard primaries (a crashed
+    /// follower or a lost message must not stall an idempotent read). The
+    /// timer re-arms with exponential back-off while anything is pending —
+    /// a reply that is merely queued behind a busy read lane should not
+    /// draw repeated duplicate load onto the primaries.
     fn on_read_retry(&mut self, ctx: &mut dyn Context, rid: ResultId) {
-        let pending: Vec<(usize, DbCall)> = match self.reads.get(&rid) {
-            Some(state) => state
-                .calls
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| state.outputs[*i].is_none())
-                .map(|(i, c)| (i, c.clone()))
-                .collect(),
+        let (round, pending) = match self.reads.get_mut(&rid) {
+            Some(state) => {
+                state.backoff += 1;
+                let pending: Vec<(usize, DbCall)> = state
+                    .calls
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| state.outputs[*i].is_none())
+                    .map(|(i, c)| (i, c.clone()))
+                    .collect();
+                (state.round, pending)
+            }
             None => return,
         };
         for (idx, call) in &pending {
-            self.send_read_call(ctx, rid, *idx, call, true);
+            self.send_read_call(ctx, rid, *idx, call, round, true);
         }
-        ctx.set_timer(self.cfg.terminate_retry, TimerTag::ReadRetry { rid });
+        let shift = self.reads[&rid].backoff.min(3);
+        let delay = Dur(self.cfg.terminate_retry.0.saturating_mul(1 << shift));
+        ctx.set_timer(delay, TimerTag::ReadRetry { rid });
     }
 
     /// Folds a decide acknowledgement's ship position into the per-shard
@@ -474,6 +648,20 @@ impl AppServer {
         if *slot < seq {
             *slot = seq;
         }
+    }
+
+    /// Every per-shard position this server has observed, as result
+    /// stamps (cached-decision replies, where the original targets are no
+    /// longer tracked, send the whole map — any valid observation may ride
+    /// a result).
+    fn all_stamps(&self) -> Vec<(NodeId, u64)> {
+        self.shard_seq.iter().map(|(&db, &seq)| (db, seq)).collect()
+    }
+
+    /// The observed positions for the given databases (termination replies
+    /// stamp exactly the shards the decision touched).
+    fn stamps_for(&self, dbs: &[NodeId]) -> Vec<(NodeId, u64)> {
+        dbs.iter().filter_map(|db| self.shard_seq.get(db).map(|&seq| (*db, seq))).collect()
     }
 
     fn dispatch_rega(&mut self, ctx: &mut dyn Context, rid: ResultId) {
@@ -792,8 +980,14 @@ impl AppServer {
     }
 
     fn complete_terminate(&mut self, ctx: &mut dyn Context, rid: ResultId) {
-        let Some(Phase::Terminating { decision, .. }) = self.fsms.get(&rid) else { return };
-        let decision = decision.clone();
+        let Some(Phase::Terminating { decision, targets, .. }) = self.fsms.get(&rid) else {
+            return;
+        };
+        let (decision, targets) = (decision.clone(), targets.clone());
+        // Stamp the result with the positions this server observed for the
+        // decision's shards — for a commit, those acks included the write
+        // itself, so the client's causality token now covers it.
+        let stamps = self.stamps_for(&targets);
         if decision.outcome == Outcome::Commit {
             self.committed_cache.insert(rid.request, (rid, decision.clone()));
         }
@@ -802,7 +996,11 @@ impl AppServer {
         // "end" dispatch cost).
         let dur = jittered(ctx, self.cost.end, self.cost.jitter);
         ctx.trace(TraceKind::Span { rid, comp: Component::End, dur });
-        ctx.send_after(dur, rid.request.client, Payload::App(AppMsg::Result { rid, decision }));
+        ctx.send_after(
+            dur,
+            rid.request.client,
+            Payload::App(AppMsg::Result { rid, decision, stamps }),
+        );
     }
 
     fn on_terminate_retry(&mut self, ctx: &mut dyn Context, rid: ResultId) {
@@ -937,10 +1135,10 @@ impl Process for AppServer {
         // 4. Protocol messages and timers.
         match event {
             Event::Message {
-                payload: Payload::Client(ClientMsg::Request { request, attempt, ack_below }),
+                payload: Payload::Client(ClientMsg::Request { request, attempt, ack_below, stamps }),
                 ..
             } => {
-                self.on_request(ctx, request, attempt, ack_below);
+                self.on_request(ctx, request, attempt, ack_below, stamps);
             }
             Event::Message { from, payload: Payload::DbReply(reply) } => match reply {
                 DbReplyMsg::ExecReply { rid, status } => self.on_exec_reply(ctx, rid, status),
@@ -955,8 +1153,8 @@ impl Process for AppServer {
                         self.on_ack_decide(ctx, from, rid);
                     }
                 }
-                DbReplyMsg::ReadReply { rid, call, outputs } => {
-                    self.on_read_reply(ctx, rid, call, outputs);
+                DbReplyMsg::ReadReply { rid, call, round, outputs, pos, indoubt } => {
+                    self.on_read_reply(ctx, rid, call, round, outputs, pos, indoubt);
                 }
                 DbReplyMsg::Ready => self.on_ready(ctx, from),
                 DbReplyMsg::AckCommitOnePhase { .. } => { /* baseline-only message */ }

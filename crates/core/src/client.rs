@@ -57,6 +57,12 @@ pub struct EtxClient {
     /// Adaptive-routing extension: last server that answered us (kept
     /// across requests; only consulted when the config flag is on).
     last_responder: Option<NodeId>,
+    /// Causality token: per shard primary, the highest commit-ship
+    /// position any delivered result has carried. Sent with every request
+    /// so whichever server handles it stamps this client's reads at least
+    /// this fresh — read-your-writes and per-client monotonic reads hold
+    /// even when retries land on a server that observed nothing.
+    stamps: BTreeMap<NodeId, u64>,
 }
 
 impl std::fmt::Debug for EtxClient {
@@ -97,6 +103,7 @@ impl EtxClient {
             inflight: BTreeMap::new(),
             delivered: Vec::new(),
             last_responder: None,
+            stamps: BTreeMap::new(),
         }
     }
 
@@ -120,6 +127,21 @@ impl EtxClient {
         }
     }
 
+    /// The causality token as it rides on the wire.
+    fn stamp_vec(&self) -> Vec<(NodeId, u64)> {
+        self.stamps.iter().map(|(&db, &seq)| (db, seq)).collect()
+    }
+
+    /// Max-folds the stamps a result carried into the causality token.
+    fn fold_stamps(&mut self, stamps: Vec<(NodeId, u64)>) {
+        for (db, seq) in stamps {
+            let slot = self.stamps.entry(db).or_insert(0);
+            if *slot < seq {
+                *slot = seq;
+            }
+        }
+    }
+
     fn start_attempt(&mut self, ctx: &mut dyn Context, id: RequestId) {
         let ack_below = self.ack_below();
         // Figure 2 line 2: send to the default primary first (or, with the
@@ -129,8 +151,9 @@ impl EtxClient {
             _ => self.alist[0],
         };
         let backoff = self.cfg.client_backoff;
+        let stamps = self.stamp_vec();
         let Some(flight) = self.inflight.get_mut(&id) else { return };
-        flight.send_to(ctx, first, ack_below);
+        flight.send_to(ctx, first, ack_below, &stamps);
         let rid = flight.rid();
         flight.arm(ctx, RetryTimer::Primary, backoff, TimerTag::ClientBackoff { rid });
     }
@@ -139,8 +162,9 @@ impl EtxClient {
         let ack_below = self.ack_below();
         let alist = self.alist.clone();
         let rebroadcast = self.cfg.client_rebroadcast;
+        let stamps = self.stamp_vec();
         let Some(flight) = self.inflight.get_mut(&id) else { return };
-        flight.broadcast(ctx, &alist, ack_below);
+        flight.broadcast(ctx, &alist, ack_below, &stamps);
         let rid = flight.rid();
         flight.arm(ctx, RetryTimer::Secondary, rebroadcast, TimerTag::ClientRebroadcast { rid });
     }
@@ -209,8 +233,12 @@ impl Process for EtxClient {
                     self.broadcast(ctx, key);
                 }
             }
-            Event::Message { from, payload: Payload::App(AppMsg::Result { rid, decision }) } => {
+            Event::Message {
+                from,
+                payload: Payload::App(AppMsg::Result { rid, decision, stamps }),
+            } => {
                 self.last_responder = Some(from);
+                self.fold_stamps(stamps);
                 self.on_result(ctx, rid, decision);
             }
             _ => {}

@@ -347,7 +347,7 @@ impl DbServer {
                     Payload::DbReply(DbReplyMsg::AckDecideBatch { entries: acks, seq }),
                 );
             }
-            DbMsg::Read { rid, call, ops, min_seq, reply_to } => {
+            DbMsg::Read { rid, call, round, ops, min_seq, reply_to } => {
                 // The read fast path: execute pure Gets against committed
                 // state — no XA branch, no locks, no log traffic. A
                 // follower behind the read's freshness stamp must not
@@ -364,21 +364,38 @@ impl DbServer {
                     });
                     ctx.send(
                         primary,
-                        Payload::Db(DbMsg::Read { rid, call, ops, min_seq, reply_to }),
+                        Payload::Db(DbMsg::Read { rid, call, round, ops, min_seq, reply_to }),
                     );
                     return;
                 }
                 if is_follower {
                     ctx.trace(TraceKind::FollowerRead { rid });
                 }
+                // Values, position and in-doubt flag are sampled at one
+                // instant (this event), which is what the issuer's
+                // snapshot validation reasons about; the read-lane charge
+                // below only delays when the reply *leaves*.
                 let outputs = self.engine.read_only(&ops);
+                let pos = if is_follower {
+                    self.engine.repl_position()
+                } else {
+                    self.engine.ship_position()
+                };
+                let indoubt = self.engine.indoubt_read_conflict(&ops);
                 let service = jittered(ctx, self.cost.sql_read, self.cost.jitter);
                 let dur = self.charge_read(ctx, service);
                 ctx.trace(TraceKind::Span { rid, comp: Component::Sql, dur: service });
                 ctx.send_after(
                     dur,
                     reply_to,
-                    Payload::DbReply(DbReplyMsg::ReadReply { rid, call, outputs }),
+                    Payload::DbReply(DbReplyMsg::ReadReply {
+                        rid,
+                        call,
+                        round,
+                        outputs,
+                        pos,
+                        indoubt,
+                    }),
                 );
             }
             DbMsg::CommitOnePhase { rid } => {

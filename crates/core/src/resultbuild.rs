@@ -37,8 +37,11 @@ pub fn finish(mut acc: Vec<(String, i64)>, attempt: u32) -> ResultValue {
 /// Merges the per-shard outputs of a fan-out **fast-path read** into one
 /// user-facing result: each call's outputs accumulate in script order —
 /// exactly the labelling the slow path performs call by call during
-/// `compute()` — so a read served consensus-free builds the same result a
-/// committed read-only transaction would have.
+/// `compute()`. The caller only invokes this with an *accepted* collect
+/// (single-shard, or a snapshot-validated multi-shard round — see
+/// `AppServer`'s read lane), so the merged values are ones a committed
+/// read-only transaction could have returned: the fan-out never leaks a
+/// fractured cross-shard state into a result.
 pub fn merge_read(calls: &[DbCall], outputs: &[Vec<OpOutput>], attempt: u32) -> ResultValue {
     debug_assert_eq!(calls.len(), outputs.len(), "one output batch per routed call");
     let mut acc = Vec::new();

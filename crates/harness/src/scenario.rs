@@ -71,6 +71,11 @@ pub struct ScenarioBuilder {
     client_timeout: Dur,
     client_retry: RetryPolicy,
     forced_suspicions: Vec<ForcedSuspicion>,
+    /// Whether [`ScenarioBuilder::read_path`] was called: an explicit
+    /// route always wins over the `ETX_READ_PATH` process-wide override,
+    /// so route-specific tests keep meaning what they say under the CI
+    /// read-path matrix.
+    read_path_explicit: bool,
 }
 
 impl ScenarioBuilder {
@@ -92,6 +97,7 @@ impl ScenarioBuilder {
             client_timeout: Dur::from_millis(800),
             client_retry: RetryPolicy::GiveUp,
             forced_suspicions: Vec::new(),
+            read_path_explicit: false,
         }
     }
 
@@ -169,12 +175,15 @@ impl ScenarioBuilder {
     /// reads; with `follower_reads` on top, they spread over each shard's
     /// replicas, gated on the per-shard freshness stamp.
     ///
-    /// The `ETX_READ_PATH` environment variable, when set, overrides this
-    /// at [`ScenarioBuilder::build`] time (`1`/`on` forces the lane on
-    /// with follower reads, `0`/`off` forces it off) — the CI read-path
-    /// matrix's hook for running the whole suite down both routes.
+    /// The `ETX_READ_PATH` environment variable pins the route for
+    /// scenarios that do **not** call this method (`1`/`on` forces the
+    /// lane on with follower reads, `0`/`off` forces it off) — the CI
+    /// read-path matrix's hook for running the whole suite down both
+    /// routes. An explicit `read_path` call always wins over the
+    /// environment: a test that pins a route means it.
     pub fn read_path(mut self, cfg: ReadPathConfig) -> Self {
         self.pcfg.read_path = cfg;
+        self.read_path_explicit = true;
         self
     }
 
@@ -254,18 +263,23 @@ impl ScenarioBuilder {
             let window = if size > 1 { self.pcfg.cleaner_interval } else { Dur::ZERO };
             self.pcfg.batching = BatchingConfig::new(size, window);
         }
-        // CI read-path-matrix hook: ETX_READ_PATH pins every scenario in
-        // the process to one read route — "1"/"on" forces the fast lane
-        // (with follower reads; shards with one replica just serve from
-        // the primary), "0"/"off" forces the historical commit route.
-        match std::env::var("ETX_READ_PATH").ok().as_deref() {
-            Some("1") | Some("on") | Some("true") => {
-                self.pcfg.read_path = ReadPathConfig::follower_reads();
+        // CI read-path-matrix hook: ETX_READ_PATH pins every scenario
+        // that did not pick a route explicitly — "1"/"on" forces the fast
+        // lane (with follower reads; shards with one replica just serve
+        // from the primary), "0"/"off" forces the historical commit
+        // route. An explicit `.read_path(..)` always wins: silently
+        // replacing a route a test configured made route-specific
+        // assertions fail confusingly under the matrix.
+        if !self.read_path_explicit {
+            match std::env::var("ETX_READ_PATH").ok().as_deref() {
+                Some("1") | Some("on") | Some("true") => {
+                    self.pcfg.read_path = ReadPathConfig::follower_reads();
+                }
+                Some("0") | Some("off") | Some("false") => {
+                    self.pcfg.read_path = ReadPathConfig::disabled();
+                }
+                _ => {}
             }
-            Some("0") | Some("off") | Some("false") => {
-                self.pcfg.read_path = ReadPathConfig::disabled();
-            }
-            _ => {}
         }
         let db_count = match self.sharding {
             Some((shards, repl)) => shards as usize * repl,
@@ -556,6 +570,18 @@ impl Scenario {
     /// primary (the freshness gate firing).
     pub fn reads_forwarded(&self) -> usize {
         self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadForwarded { .. }))
+    }
+
+    /// Count of snapshot-validation re-collects issued by multi-shard
+    /// fast-path reads (a collect disagreed with its predecessor).
+    pub fn read_snapshot_rounds(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadSnapshotRound { .. }))
+    }
+
+    /// Count of fast-path reads that exhausted their snapshot-validation
+    /// budget and fell back to the locking slow path.
+    pub fn read_fallbacks(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadFallback { .. }))
     }
 
     /// Database commit events (per (db, rid), at most one each).

@@ -90,6 +90,24 @@ pub enum Workload {
         /// Amount credited per write request.
         amount: i64,
     },
+    /// Conserved-pair traffic for the cross-shard read-atomicity
+    /// invariant: the keyspace is `pairs` fixed account pairs
+    /// (`acct0`/`acct1`, `acct2`/`acct3`, …) seeded with 1 000 each.
+    /// Write requests transfer `amount` *within* one pair — so the pair's
+    /// sum is 2 000 at every transactionally consistent snapshot — and
+    /// read requests (`read_pct` percent) read **both** accounts of a
+    /// pair in one read-only script. Under hash sharding most pairs
+    /// straddle two shards, so a fractured cross-shard fan-out read shows
+    /// up as a sum ≠ 2 000. Issued open-loop so reads genuinely race the
+    /// transfers they must never observe half-applied.
+    ConservedPairs {
+        /// Number of account pairs (2 × this many keys).
+        pairs: u32,
+        /// Percentage (0–100) of requests that are pair reads.
+        read_pct: u8,
+        /// Amount moved within a pair per transfer.
+        amount: i64,
+    },
     /// Sequential write-then-read pairs over the keyspace: odd sequence
     /// numbers update an account, the following even sequence number reads
     /// that same account back. Because the client is sequential, the write
@@ -125,6 +143,9 @@ impl Workload {
             | Workload::ReadMostly { accounts, .. }
             | Workload::ReadAfterWrite { accounts, .. } => {
                 (0..*accounts).map(|i| (format!("acct{i}"), 1_000)).collect()
+            }
+            Workload::ConservedPairs { pairs, .. } => {
+                (0..pairs * 2).map(|i| (format!("acct{i}"), 1_000)).collect()
             }
         }
     }
@@ -209,6 +230,34 @@ impl Workload {
                     }])
                 }
             }
+            Workload::ConservedPairs { pairs, read_pct, amount } => {
+                let n = (*pairs).max(1) as u64;
+                let h = mix(u64::from(client.0) << 32 | seq);
+                let p = h % n;
+                let (a, b) = (2 * p, 2 * p + 1);
+                if h % 100 < u64::from(*read_pct) {
+                    // Read both accounts of the pair in one script: the
+                    // merged result's sum is the invariant under test.
+                    RequestScript::keyed(vec![
+                        DbOp::Get { key: format!("acct{a}") },
+                        DbOp::Get { key: format!("acct{b}") },
+                    ])
+                } else {
+                    // Transfer within the pair; direction flips per draw so
+                    // balances wander but the pair sum never moves. Ops are
+                    // emitted in canonical key order (lower account first,
+                    // direction carried by the deltas' signs): shard routing
+                    // is first-touch order, so opposite-direction transfers
+                    // written as (from, to) would acquire their two shards'
+                    // locks in opposite orders and can livelock under
+                    // no-wait locking with immediate client retries.
+                    let d = if (h >> 20) & 1 == 0 { *amount } else { -amount };
+                    RequestScript::keyed(vec![
+                        DbOp::Add { key: format!("acct{a}"), delta: -d },
+                        DbOp::Add { key: format!("acct{b}"), delta: d },
+                    ])
+                }
+            }
             Workload::ReadAfterWrite { accounts, amount } => {
                 let n = (*accounts).max(1) as u64;
                 // Pair index: requests (1,2) share a key, (3,4) the next…
@@ -234,7 +283,12 @@ impl Workload {
     /// Whether this workload expects an open-loop client (whole plan in
     /// flight at once) rather than the paper's sequential `issue()` loop.
     pub fn is_open_loop(&self) -> bool {
-        matches!(self, Workload::OpenLoopBurst { .. } | Workload::ReadMostly { .. })
+        matches!(
+            self,
+            Workload::OpenLoopBurst { .. }
+                | Workload::ReadMostly { .. }
+                | Workload::ConservedPairs { .. }
+        )
     }
 
     /// Builds the first `n` requests of a client's plan.
@@ -355,6 +409,39 @@ mod tests {
         assert!(
             (1..=50u64).all(|s| !no_reads.request(&topo, topo.clients[0], s).script.is_read_only())
         );
+    }
+
+    #[test]
+    fn conserved_pairs_reads_whole_pairs_and_transfers_within_them() {
+        let topo = Topology::new(1, 3, 4);
+        let w = Workload::ConservedPairs { pairs: 8, read_pct: 50, amount: 7 };
+        assert!(w.is_open_loop(), "reads must race transfers");
+        assert_eq!(w.seed_data().len(), 16, "two accounts per pair");
+        let pair_of = |key: &str| key[4..].parse::<u32>().unwrap() / 2;
+        let (mut reads, mut writes) = (0, 0);
+        for s in 1..=200u64 {
+            let r = w.request(&topo, topo.clients[0], s);
+            let keys: Vec<&str> = r.script.keyed_ops.iter().filter_map(|op| op.key()).collect();
+            assert_eq!(keys.len(), 2, "every request touches exactly one pair");
+            assert_eq!(pair_of(keys[0]), pair_of(keys[1]), "never across pairs");
+            if r.script.is_read_only() {
+                reads += 1;
+            } else {
+                writes += 1;
+                let deltas: Vec<i64> = r
+                    .script
+                    .keyed_ops
+                    .iter()
+                    .map(|op| match op {
+                        DbOp::Add { delta, .. } => *delta,
+                        other => panic!("transfer must be Adds, got {other:?}"),
+                    })
+                    .collect();
+                assert_eq!(deltas.iter().sum::<i64>(), 0, "transfers conserve the pair sum");
+            }
+        }
+        assert!((70..=130).contains(&reads), "≈50% reads, got {reads}");
+        assert!(writes > 0);
     }
 
     #[test]

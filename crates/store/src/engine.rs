@@ -153,6 +153,21 @@ impl Engine {
         self.ship_seq
     }
 
+    /// Whether any **prepared** (in-doubt) branch holds a pending write to
+    /// a key one of `ops` reads. This is the store half of multi-shard
+    /// snapshot validation: a cross-shard transaction between its first
+    /// and last per-shard commit is prepared exactly at the shards that
+    /// have not applied it yet, so a snapshot that read those keys here
+    /// while seeing the transaction's effect elsewhere would be fractured.
+    /// Active and doomed branches are ignored — their writes cannot have
+    /// committed anywhere yet.
+    pub fn indoubt_read_conflict(&self, ops: &[DbOp]) -> bool {
+        self.branches
+            .values()
+            .filter(|b| b.state == BranchState::Prepared)
+            .any(|b| ops.iter().filter_map(DbOp::key).any(|k| b.writes.contains_key(k)))
+    }
+
     fn effective(&self, rid: ResultId, key: &str) -> Option<i64> {
         if let Some(b) = self.branches.get(&rid) {
             if let Some(&v) = b.writes.get(key) {
@@ -804,6 +819,25 @@ mod tests {
         assert_eq!(o, Outcome::Commit);
         assert!(logs.is_empty());
         assert_eq!(rec.committed("x"), Some(5));
+    }
+
+    #[test]
+    fn indoubt_read_conflict_tracks_the_prepared_window() {
+        let mut e = Engine::with_data([("k".to_string(), 1), ("other".to_string(), 2)]);
+        let r = rid(1);
+        let read = [DbOp::Get { key: "k".into() }];
+        let miss = [DbOp::Get { key: "other".into() }];
+        // Active branch: writes cannot have committed anywhere — no flag.
+        e.execute(r, &[put("k", 9)]);
+        assert!(!e.indoubt_read_conflict(&read));
+        // Prepared (in-doubt): the half-applied window — flag on the
+        // written key only.
+        e.vote(r);
+        assert!(e.indoubt_read_conflict(&read));
+        assert!(!e.indoubt_read_conflict(&miss));
+        // Decided: window closed.
+        e.decide(r, Outcome::Commit);
+        assert!(!e.indoubt_read_conflict(&read));
     }
 
     #[test]
