@@ -130,6 +130,87 @@ impl ReadPathConfig {
     }
 }
 
+/// Speculative batch execution knobs: whether shard primaries execute a
+/// flushed pipeline batch *while* its decision-log slot is still running
+/// consensus, instead of strictly after the slot decides.
+///
+/// With speculation **disabled** (the default), the pipeline is the
+/// paper's decide-then-execute shape, byte-for-byte: no extra messages,
+/// no extra trace events. With it **enabled**, the application server
+/// ships every flushed batch to the shard primaries as a `SpecExec`
+/// frame the moment it proposes the batch into a slot; the primary
+/// executes the batch against a speculative snapshot layered over
+/// committed state — writes buffered per proposed slot, never touching
+/// the WAL, the committed map, or follower shipping — and stashes the
+/// per-request acknowledgements. When the slot decides, the primary
+/// compares the decided batch against the speculated one: on a match the
+/// buffered writes are promoted with the usual group WAL append and the
+/// stashed acknowledgements released (`SpecHit`); on a mismatch the
+/// buffer is discarded and the batch replays on the ordinary
+/// decide-then-execute path (`SpecAbort`). Either way the write-once
+/// `regD` contract and first-occurrence-in-slot-order arbitration are
+/// exactly those of the non-speculative pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpeculationConfig {
+    /// Ship flushed batches to shard primaries for speculative execution.
+    pub enabled: bool,
+    /// Cap on speculation buffers a primary holds at once; when a new
+    /// proposal would exceed it, the oldest stash is dropped (harmless —
+    /// a dropped stash just means that slot decides the slow way).
+    pub max_inflight_slots: usize,
+}
+
+impl Default for SpeculationConfig {
+    fn default() -> Self {
+        SpeculationConfig::disabled()
+    }
+}
+
+impl SpeculationConfig {
+    /// Speculation off: the paper's strict decide-then-execute pipeline.
+    pub fn disabled() -> Self {
+        SpeculationConfig { enabled: false, max_inflight_slots: 4 }
+    }
+
+    /// Speculation on with the default in-flight window.
+    pub fn on() -> Self {
+        SpeculationConfig { enabled: true, max_inflight_slots: 4 }
+    }
+
+    /// The effective buffer cap (the configured value, floored at one —
+    /// a zero cap with speculation on would silently disable it).
+    pub fn inflight_cap(&self) -> usize {
+        self.max_inflight_slots.max(1)
+    }
+}
+
+/// Applies an environment override for a scenario knob **only when the
+/// scenario did not set the knob explicitly**: an explicit builder call
+/// always wins over ambient CI matrix variables. Every env-tunable knob
+/// (`ETX_BATCH_SIZE`, `ETX_READ_PATH`, `ETX_SPECULATION`) must route its
+/// override through this helper so the precedence rule cannot be
+/// reimplemented inconsistently per knob.
+pub fn env_override<T>(
+    var: &str,
+    explicit: bool,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Option<T> {
+    if explicit {
+        return None;
+    }
+    std::env::var(var).ok().and_then(|v| parse(v.trim()))
+}
+
+/// Parses a boolean-ish toggle value: `1`/`on`/`true` enable,
+/// `0`/`off`/`false` disable, anything else is ignored.
+pub fn parse_toggle(v: &str) -> Option<bool> {
+    match v {
+        "1" | "on" | "true" => Some(true),
+        "0" | "off" | "false" => Some(false),
+        _ => None,
+    }
+}
+
 /// Tunables of the e-Transaction protocol itself.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
@@ -162,6 +243,9 @@ pub struct ProtocolConfig {
     /// Read fast lane: consensus-free routing of read-only scripts
     /// (default: disabled — reads take the paper's commit route).
     pub read_path: ReadPathConfig,
+    /// Speculative batch execution: overlap commit application with the
+    /// consensus round (default: disabled — strict decide-then-execute).
+    pub speculation: SpeculationConfig,
 }
 
 impl Default for ProtocolConfig {
@@ -176,6 +260,7 @@ impl Default for ProtocolConfig {
             route_to_last_responder: false,
             batching: BatchingConfig::default(),
             read_path: ReadPathConfig::default(),
+            speculation: SpeculationConfig::default(),
         }
     }
 }
@@ -366,12 +451,41 @@ mod tests {
     }
 
     #[test]
+    fn speculation_defaults_off_and_presets_compose() {
+        let s = SpeculationConfig::default();
+        assert!(!s.enabled, "paper-faithful default: decide before executing");
+        assert_eq!(SpeculationConfig::disabled(), SpeculationConfig::default());
+        assert!(SpeculationConfig::on().enabled);
+        assert!(SpeculationConfig::on().max_inflight_slots >= 1);
+        let zero = SpeculationConfig { enabled: true, max_inflight_slots: 0 };
+        assert_eq!(zero.inflight_cap(), 1, "buffer cap floors at one");
+    }
+
+    #[test]
+    fn env_override_defers_to_explicit_settings() {
+        // The precedence rule all three knobs share: explicit builder call
+        // beats env var beats default. (Parsing is exercised without
+        // touching the process environment — env mutation in tests races
+        // the parallel test runner.)
+        assert_eq!(env_override("ETX_NOT_A_REAL_VAR", false, parse_toggle), None);
+        assert_eq!(env_override("ETX_NOT_A_REAL_VAR", true, parse_toggle), None);
+        assert_eq!(parse_toggle("1"), Some(true));
+        assert_eq!(parse_toggle("on"), Some(true));
+        assert_eq!(parse_toggle("true"), Some(true));
+        assert_eq!(parse_toggle("0"), Some(false));
+        assert_eq!(parse_toggle("off"), Some(false));
+        assert_eq!(parse_toggle("false"), Some(false));
+        assert_eq!(parse_toggle("maybe"), None);
+    }
+
+    #[test]
     fn protocol_defaults_are_sane() {
         let p = ProtocolConfig::default();
         assert!(p.client_backoff > p.terminate_retry);
         assert!(!p.route_to_last_responder, "paper-faithful default");
         assert!(!p.batching.is_batching(), "paper-faithful default pipeline");
         assert!(!p.read_path.enabled, "paper-faithful default read route");
+        assert!(!p.speculation.enabled, "paper-faithful default execute order");
         let fd = FdConfig::default();
         assert!(fd.initial_timeout > fd.heartbeat_every);
         assert!(fd.max_timeout > fd.initial_timeout);

@@ -54,6 +54,7 @@ impl Payload {
             Payload::Db(DbMsg::Decide { .. }) => "Decide",
             Payload::Db(DbMsg::CommitOnePhase { .. }) => "Commit1P",
             Payload::Db(DbMsg::DecideBatch { .. }) => "DecideBatch",
+            Payload::Db(DbMsg::SpecExec { .. }) => "SpecExec",
             Payload::Db(DbMsg::Read { .. }) => "ReadRequest",
             Payload::DbReply(DbReplyMsg::ReadReply { .. }) => "ReadReply",
             Payload::DbReply(DbReplyMsg::ExecReply { .. }) => "ExecReply",
@@ -179,7 +180,26 @@ pub enum DbMsg {
     /// acknowledgement — the commit-path amortisation the pipeline exists
     /// for. Retransmissions fall back to per-branch [`DbMsg::Decide`].
     DecideBatch {
+        /// The decision-log slot the batch was decided in. A speculating
+        /// database compares this against its stashed speculative
+        /// executions (promote on match, discard and replay on mismatch);
+        /// without speculation the field is bookkeeping only.
+        slot: u64,
         /// `(branch, outcome)` pairs, in slot order.
+        entries: Vec<(ResultId, Outcome)>,
+    },
+    /// Speculative pre-execution of a *proposed* (not yet decided) pipeline
+    /// batch: the application server ships this to a shard primary in the
+    /// same event that proposes the batch into decision-log slot `slot`.
+    /// The database executes the entries against a snapshot overlay —
+    /// writes buffered per slot, nothing durable, nothing shipped to
+    /// followers — and stashes the would-be acknowledgements until the
+    /// slot decides. Purely an optimisation: losing or ignoring this
+    /// message costs nothing but the overlap.
+    SpecExec {
+        /// The decision-log slot the batch was proposed into.
+        slot: u64,
+        /// Proposed `(branch, outcome)` pairs, in proposal order.
         entries: Vec<(ResultId, Outcome)>,
     },
     /// `[ReadRequest]` — one call of a read-only e-Transaction, executed
@@ -466,7 +486,10 @@ mod tests {
             .label(),
             Payload::Db(DbMsg::Prepare { rid: rid() }).label(),
             Payload::Db(DbMsg::Decide { rid: rid(), outcome: Outcome::Commit }).label(),
-            Payload::Db(DbMsg::DecideBatch { entries: vec![(rid(), Outcome::Commit)] }).label(),
+            Payload::Db(DbMsg::DecideBatch { slot: 0, entries: vec![(rid(), Outcome::Commit)] })
+                .label(),
+            Payload::Db(DbMsg::SpecExec { slot: 0, entries: vec![(rid(), Outcome::Commit)] })
+                .label(),
             Payload::Db(DbMsg::Read {
                 rid: rid(),
                 call: 0,

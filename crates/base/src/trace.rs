@@ -208,6 +208,33 @@ pub enum TraceKind {
         /// Number of framed records.
         len: u32,
     },
+    /// A shard primary speculatively executed a proposed pipeline batch
+    /// against a snapshot overlay while the batch's decision-log slot was
+    /// still running consensus: writes buffered per slot, nothing durable,
+    /// nothing shipped.
+    SpecExec {
+        /// The decision-log slot the batch was proposed into.
+        slot: u64,
+        /// Number of proposed outcomes executed speculatively.
+        len: u32,
+    },
+    /// The decided slot matched the speculated batch: the primary promoted
+    /// the buffered writes with the ordinary (group) WAL append and
+    /// released the stashed acknowledgements instantly.
+    SpecHit {
+        /// The decided slot.
+        slot: u64,
+        /// Number of outcomes whose speculative execution was promoted.
+        len: u32,
+    },
+    /// The decided slot diverged from the speculated batch (another
+    /// proposer won the slot, or first-occurrence filtering reordered the
+    /// entries): the primary discarded the speculation buffer and replayed
+    /// the decided batch on the decide-then-execute path.
+    SpecAbort {
+        /// The decided slot whose speculation was thrown away.
+        slot: u64,
+    },
     /// An application server compacted a fully settled decision-log slot's
     /// consensus instance to an empty batch (register-array GC, §5): every
     /// request the slot carried is below its client's watermark, so the

@@ -1,22 +1,43 @@
-//! X6 — the commit pipeline: batch size 1/8/64 at 1 and 16 shards.
+//! X6 — the commit pipeline: batch size 1/8/64 at 1 and 16 shards,
+//! with and without speculative queue-oriented execution.
 //!
 //! The same open-loop burst (16 clients × 12 requests fired concurrently)
-//! drives three pipeline depths on a flat and a wide back end. Two views
-//! per configuration:
+//! drives three pipeline depths on a flat and a wide back end; the batched
+//! depths run twice, once strict (decide-then-execute) and once
+//! speculative (execute during the consensus round, promote on a matching
+//! decision). Two views per configuration:
 //!
 //! * **simulated metrics** (printed table): committed requests per
-//!   simulated second and mean issue→delivery latency — what batching buys
-//!   the *modelled* system as one consensus slot, one group WAL append and
-//!   one replica shipment amortise over a whole batch;
+//!   simulated second and mean issue→delivery latency — what batching and
+//!   speculation buy the *modelled* system as one consensus slot, one
+//!   group WAL append and one replica shipment amortise over a whole
+//!   batch, and as execution overlaps the consensus round;
 //! * **host throughput** (criterion): wall-clock cost of simulating the
 //!   workload — shows the pipeline bookkeeping itself stays cheap.
 //!
+//! The flush-window backstop is sized to the shard fan-out: a single
+//! shard produces outcomes ~16× slower than sixteen, so it needs a
+//! proportionally longer window before the queue can exceed the smaller
+//! batch cap — with a 1 ms window the 1-shard queue drains at two or
+//! three outcomes per flush and batch 8 and batch 64 coincide exactly
+//! (the pre-PR-6 JSON rows). 5 ms at 1 shard and 1 ms at 16 lets every
+//! depth actually fill.
+//!
 //! The driver records the printed rows in `BENCH_batching.json` so the
-//! perf trajectory tracks the pipeline across PRs. The acceptance bar —
-//! batch 64 strictly out-commits batch 1 at 16 shards — is asserted here,
-//! so a regression fails the bench run instead of silently aging the JSON.
+//! perf trajectory tracks the pipeline across PRs. The acceptance bars
+//! are asserted here, so a regression fails the bench run instead of
+//! silently aging the JSON:
+//!
+//! * batch 64 strictly out-commits batch 1 at 16 shards;
+//! * batch 64 strictly beats batch 8 at 1 shard (the depths no longer
+//!   coincide);
+//! * speculation-on batch-64 mean committed latency is strictly below
+//!   speculation-off at both 1 and 16 shards;
+//! * 16-shard batch-64 commit/s holds the 5905 bar, speculation on or
+//!   off.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use etx_base::config::SpeculationConfig;
 use etx_base::time::Dur;
 use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
 use std::hint::black_box;
@@ -24,15 +45,27 @@ use std::hint::black_box;
 const REQUESTS: u64 = 12;
 const CLIENTS: usize = 16;
 
-/// (mean latency ms, committed req per simulated second).
-fn run_once(shards: u32, batch: usize, seed: u64) -> (f64, f64) {
+/// Flush-window backstop for a batched depth, sized to the outcome
+/// arrival rate (see module docs).
+fn flush_window(shards: u32) -> Dur {
+    if shards == 1 {
+        Dur::from_millis(5)
+    } else {
+        Dur::from_millis(1)
+    }
+}
+
+/// (mean latency ms, committed req per simulated second, SpecHit count).
+fn run_once(shards: u32, batch: usize, spec: bool, seed: u64) -> (f64, f64, usize) {
+    let spec_cfg = if spec { SpeculationConfig::on() } else { SpeculationConfig::disabled() };
     let mut b = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
         .shards(shards)
         .clients(CLIENTS)
         .workload(Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 })
-        .requests(REQUESTS);
+        .requests(REQUESTS)
+        .speculation(spec_cfg);
     if batch > 1 {
-        b = b.batching(batch, Dur::from_millis(1));
+        b = b.batching(batch, flush_window(shards));
     }
     let mut s = b.build();
     let expected = s.requests as usize;
@@ -41,41 +74,80 @@ fn run_once(shards: u32, batch: usize, seed: u64) -> (f64, f64) {
     let lats = s.request_latencies_ms();
     let mean_ms = lats.iter().sum::<f64>() / lats.len() as f64;
     let span_s = s.sim.now().as_millis_f64() / 1_000.0;
-    (mean_ms, s.delivered_commits() as f64 / span_s)
+    (mean_ms, s.delivered_commits() as f64 / span_s, s.spec_hits())
 }
 
 fn bench_commit_pipeline(c: &mut Criterion) {
-    // The sweep IS the experiment: ETX_BATCH_SIZE (the CI matrix hook that
-    // pins every scenario to one depth) would collapse it to a single row.
+    // The sweep IS the experiment: the CI matrix hooks that pin every
+    // scenario to one depth / one speculation mode would collapse it to a
+    // single row. Batching and speculation are set explicitly per row
+    // (explicit always wins over the environment), but batch-1 rows set
+    // no batching at all, so scrub the env to keep them flat.
     std::env::remove_var("ETX_BATCH_SIZE");
+    std::env::remove_var("ETX_SPECULATION");
+    std::env::remove_var("ETX_READ_PATH");
     println!(
         "\n=== X6: commit pipeline (OpenLoopBurst, {CLIENTS} clients x {REQUESTS} requests) ===\n"
     );
-    println!("{:>8}{:>8}{:>16}{:>16}", "shards", "batch", "latency ms", "sim commit/s");
-    let mut at_16 = Vec::new();
+    println!(
+        "{:>8}{:>8}{:>8}{:>16}{:>16}{:>12}",
+        "shards", "batch", "spec", "latency ms", "sim commit/s", "spec hits"
+    );
+    let mut rows = Vec::new();
     for &shards in &[1u32, 16] {
-        for &batch in &[1usize, 8, 64] {
-            let (lat, cps) = run_once(shards, batch, 0xBA7C4);
-            println!("{shards:>8}{batch:>8}{lat:>16.2}{cps:>16.1}");
-            if shards == 16 {
-                at_16.push((batch, cps));
-            }
-            c.bench_function(&format!("pipeline/{shards}shards_batch{batch}"), |b| {
+        for &(batch, spec) in &[(1usize, false), (8, false), (8, true), (64, false), (64, true)] {
+            let (lat, cps, hits) = run_once(shards, batch, spec, 0xBA7C4);
+            let mode = if spec { "on" } else { "off" };
+            println!("{shards:>8}{batch:>8}{mode:>8}{lat:>16.2}{cps:>16.1}{hits:>12}");
+            rows.push(((shards, batch, spec), (lat, cps, hits)));
+            let tag = if spec { "_spec" } else { "" };
+            c.bench_function(&format!("pipeline/{shards}shards_batch{batch}{tag}"), |b| {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    black_box(run_once(shards, batch, seed))
+                    black_box(run_once(shards, batch, spec, seed))
                 })
             });
         }
     }
-    let cps_of = |b: usize| at_16.iter().find(|(x, _)| *x == b).map(|(_, c)| *c).unwrap();
+    let row = |shards: u32, batch: usize, spec: bool| {
+        rows.iter().find(|(k, _)| *k == (shards, batch, spec)).map(|(_, v)| *v).unwrap()
+    };
     assert!(
-        cps_of(64) > cps_of(1),
+        row(16, 64, false).1 > row(16, 1, false).1,
         "batch 64 must strictly out-commit batch 1 at 16 shards ({:.1} vs {:.1} commit/s)",
-        cps_of(64),
-        cps_of(1)
+        row(16, 64, false).1,
+        row(16, 1, false).1
     );
+    assert!(
+        row(1, 64, false).0 < row(1, 8, false).0,
+        "the deepened burst must separate batch 64 from batch 8 at 1 shard \
+         ({:.2} vs {:.2} ms)",
+        row(1, 64, false).0,
+        row(1, 8, false).0
+    );
+    for &shards in &[1u32, 16] {
+        let (on, off) = (row(shards, 64, true), row(shards, 64, false));
+        assert!(
+            on.2 >= 1,
+            "speculation-on batch-64 at {shards} shards must promote batches (0 SpecHits)"
+        );
+        assert!(
+            on.0 < off.0,
+            "speculation-on batch-64 latency must be strictly below speculation-off \
+             at {shards} shards ({:.2} vs {:.2} ms)",
+            on.0,
+            off.0
+        );
+    }
+    for &spec in &[false, true] {
+        assert!(
+            row(16, 64, spec).1 >= 5905.0,
+            "16-shard batch-64 commit/s must hold the 5905 bar (spec {}: {:.1})",
+            if spec { "on" } else { "off" },
+            row(16, 64, spec).1
+        );
+    }
 }
 
 criterion_group!(benches, bench_commit_pipeline);

@@ -120,6 +120,15 @@ impl DecisionLog {
         self.pending.len() + self.inflight.as_ref().map_or(0, |(_, b)| b.len())
     }
 
+    /// Our proposal currently awaiting a slot decision, if any: the slot
+    /// it went into and the batch it carries. The speculation stage reads
+    /// this right after [`DecisionLog::propose`] to learn where the flush
+    /// landed — if the proposal resolved synchronously there is nothing in
+    /// flight and nothing worth speculating on.
+    pub fn inflight_proposal(&self) -> Option<(u64, &OutcomeBatch)> {
+        self.inflight.as_ref().map(|(slot, batch)| (*slot, batch))
+    }
+
     /// Submits a batch of outcomes for sequencing and drives proposals.
     /// Entries already final (or already queued) are skipped. Returns any
     /// slots that became applied synchronously (single-replica quorums and

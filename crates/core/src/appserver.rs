@@ -48,7 +48,7 @@
 //! (stamps carried on every request), so a lagging follower forwards
 //! rather than serve stale state and read-your-writes survives client
 //! failover. Multi-shard reads additionally run the snapshot-validation
-//! loop documented on [`ReadState`], which is what makes a cross-shard
+//! loop documented on `ReadState`, which is what makes a cross-shard
 //! fan-out read transactionally atomic rather than a fractured per-shard
 //! sample; validation that cannot converge falls back to the locking slow
 //! path.
@@ -170,6 +170,9 @@ pub struct AppServer {
     batch_queue: Vec<(ResultId, Decision)>,
     /// Pending window-flush timer for the pipeline queue, if armed.
     batch_timer: Option<TimerId>,
+    /// The decision-log slot whose in-flight proposal was last shipped for
+    /// speculative execution (so a proposal is shipped at most once).
+    spec_shipped: Option<u64>,
     fsms: HashMap<ResultId, Phase>,
     /// In-flight fast-path reads (read-only scripts routed around the
     /// commit pipeline).
@@ -251,6 +254,7 @@ impl AppServer {
             log,
             batch_queue: Vec::new(),
             batch_timer: None,
+            spec_shipped: None,
             fsms: HashMap::new(),
             reads: HashMap::new(),
             shard_seq: BTreeMap::new(),
@@ -846,7 +850,49 @@ impl AppServer {
         let sus_vec = self.suspicion_snapshot();
         let sus = move |n: NodeId| sus_vec.contains(&n);
         let applied = self.log.propose(ctx, &mut self.regs, entries, &sus);
+        // Speculation stage: ship the proposal to the shard primaries in
+        // the same event that started its consensus round, so the batch
+        // executes while the round runs.
+        self.ship_speculation(ctx);
         self.apply_slots(ctx, applied);
+    }
+
+    /// Ships the current in-flight slot proposal to the shard primaries as
+    /// `SpecExec` frames (at most once per slot): the primaries execute
+    /// the batch against a speculative snapshot while the slot's
+    /// consensus round runs, and promote the buffered work if the slot
+    /// decides as proposed. A proposal that resolved synchronously leaves
+    /// nothing in flight — and nothing worth overlapping with.
+    fn ship_speculation(&mut self, ctx: &mut dyn Context) {
+        if !self.cfg.speculation.enabled {
+            return;
+        }
+        let Some((slot, batch)) = self.log.inflight_proposal() else { return };
+        if self.spec_shipped == Some(slot) {
+            return;
+        }
+        // Split the proposal per database exactly as termination will if
+        // the slot decides as proposed: same targets, same slot order.
+        // Singleton splits are skipped — they would terminate as bare
+        // `Decide` messages, which never consult the speculation stash.
+        let mut per_db: BTreeMap<NodeId, Vec<(ResultId, Outcome)>> = BTreeMap::new();
+        for (rid, decision) in batch {
+            let targets = self
+                .terminate_targets
+                .get(rid)
+                .cloned()
+                .unwrap_or_else(|| self.topo.db_servers.clone());
+            for db in targets {
+                per_db.entry(db).or_default().push((*rid, decision.outcome));
+            }
+        }
+        self.spec_shipped = Some(slot);
+        for (db, entries) in per_db {
+            if entries.len() < 2 {
+                continue;
+            }
+            ctx.send(db, Payload::Db(DbMsg::SpecExec { slot, entries }));
+        }
     }
 
     /// Processes decided, in-order slots: every first-occurrence outcome is
@@ -860,7 +906,7 @@ impl AppServer {
                 .into_iter()
                 .filter_map(|(rid, decision)| self.claim_initiated(ctx, rid, decision))
                 .collect();
-            self.start_terminate_group(ctx, group);
+            self.start_terminate_group(ctx, Some(slot.slot), group);
         }
     }
 
@@ -868,7 +914,7 @@ impl AppServer {
     /// an initiator (the wo-register "write returns the earlier value").
     fn outcome_final(&mut self, ctx: &mut dyn Context, rid: ResultId, decision: Decision) {
         if let Some(item) = self.claim_initiated(ctx, rid, decision) {
-            self.start_terminate_group(ctx, vec![item]);
+            self.start_terminate_group(ctx, None, vec![item]);
         }
     }
 
@@ -935,6 +981,7 @@ impl AppServer {
     fn start_terminate_group(
         &mut self,
         ctx: &mut dyn Context,
+        slot: Option<u64>,
         items: Vec<(ResultId, Decision, Vec<NodeId>)>,
     ) {
         let mut per_db: BTreeMap<NodeId, Vec<(ResultId, Outcome)>> = BTreeMap::new();
@@ -962,7 +1009,12 @@ impl AppServer {
         for (db, entries) in per_db {
             let payload = match entries.as_slice() {
                 [(rid, outcome)] => Payload::Db(DbMsg::Decide { rid: *rid, outcome: *outcome }),
-                _ => Payload::Db(DbMsg::DecideBatch { entries }),
+                _ => {
+                    // Multi-entry groups only come from applied slots: a
+                    // finalised singleton (`outcome_final`) never coalesces.
+                    let slot = slot.expect("multi-entry terminate groups come from applied slots");
+                    Payload::Db(DbMsg::DecideBatch { slot, entries })
+                }
             };
             ctx.send(db, payload);
         }
@@ -1122,6 +1174,9 @@ impl Process for AppServer {
                         let sus = |n: NodeId| sus_vec.contains(&n);
                         self.log.on_slot_decided(ctx, &mut self.regs, slot, &value, &sus)
                     };
+                    // A decided slot lets the log pump the next pending
+                    // batch into a fresh proposal — overlap that one too.
+                    self.ship_speculation(ctx);
                     self.apply_slots(ctx, applied);
                 }
                 None => self.on_decided(ctx, reg, value),

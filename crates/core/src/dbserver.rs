@@ -24,7 +24,7 @@
 //! batch, where the same outcomes arriving as N separate `Decide`s would
 //! occupy it N times.
 
-use etx_base::config::CostModel;
+use etx_base::config::{CostModel, SpeculationConfig};
 use etx_base::ids::{NodeId, ResultId};
 use etx_base::msg::{DbMsg, DbReplyMsg, Payload, ReplMsg};
 use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
@@ -33,7 +33,7 @@ use etx_base::trace::{Component, TraceKind};
 use etx_base::value::Outcome;
 use etx_base::wal::{StableRecord, LOG_WAL};
 use etx_store::Engine;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// A database server's place in its shard replica group.
 ///
@@ -74,6 +74,16 @@ pub struct DbServer {
     /// is what follower reads multiply — every replica serving reads adds
     /// one more lane.
     read_busy_until: Time,
+    /// Speculative batch execution knobs. Off by default: a server that
+    /// never receives `SpecExec` frames behaves exactly as before the
+    /// speculation stage existed, and one that does but has this off
+    /// ignores them (the frame is purely advisory).
+    spec: SpeculationConfig,
+    /// When each speculatively pre-paid slot's device work completes —
+    /// the instant a matching decision can be acknowledged, regardless of
+    /// what else has been charged on the device since. Volatile, like the
+    /// device horizon itself.
+    spec_ready: HashMap<u64, Time>,
 }
 
 impl std::fmt::Debug for DbServer {
@@ -107,7 +117,15 @@ impl DbServer {
             awaiting_sync: false,
             log_busy_until: Time::ZERO,
             read_busy_until: Time::ZERO,
+            spec: SpeculationConfig::default(),
+            spec_ready: HashMap::new(),
         }
+    }
+
+    /// Sets the speculative-execution knobs (builder style).
+    pub fn with_speculation(mut self, spec: SpeculationConfig) -> Self {
+        self.spec = spec;
+        self
     }
 
     /// Ships any freshly committed write sets to this shard's followers
@@ -291,7 +309,49 @@ impl DbServer {
                     Payload::DbReply(DbReplyMsg::AckDecide { rid, outcome: applied, seq }),
                 );
             }
-            DbMsg::DecideBatch { entries } => {
+            DbMsg::SpecExec { slot, entries } => {
+                // Speculation stage: the batch just got *proposed* into
+                // `slot`; execute it now, against a snapshot overlay,
+                // while consensus runs. Primary-only and purely advisory —
+                // followers and speculation-off servers ignore the frame.
+                if !self.spec.enabled || self.repl.sync_from.is_some() {
+                    return;
+                }
+                let mut fresh_commits = 0usize;
+                let mut fresh_aborts = 0usize;
+                for &(rid, outcome) in &entries {
+                    if self.engine.decision(rid).is_none() {
+                        match outcome {
+                            Outcome::Commit => fresh_commits += 1,
+                            Outcome::Abort => fresh_aborts += 1,
+                        }
+                    }
+                }
+                let service = if fresh_commits > 0 {
+                    jittered(ctx, self.cost.db_commit, self.cost.jitter)
+                } else if fresh_aborts > 0 {
+                    jittered(ctx, self.cost.db_abort, self.cost.jitter)
+                } else {
+                    Dur::ZERO
+                };
+                if !self.engine.speculate(slot, &entries, service, self.spec.inflight_cap()) {
+                    return; // a stash for this slot already exists
+                }
+                // Pre-pay the commit processing on the serial log device
+                // *now* — this is the overlap with the consensus round. If
+                // the slot decides as proposed, the work is already done
+                // (or at least already queued ahead of newer arrivals), and
+                // the recorded completion instant — not the then-current
+                // device horizon — is all the acknowledgement waits for.
+                let queued = self.charge_serial(ctx, service);
+                self.spec_ready.insert(slot, ctx.now() + queued);
+                while self.spec_ready.len() > self.spec.inflight_cap() {
+                    let oldest = *self.spec_ready.keys().min().expect("non-empty");
+                    self.spec_ready.remove(&oldest);
+                }
+                ctx.trace(TraceKind::SpecExec { slot, len: entries.len() as u32 });
+            }
+            DbMsg::DecideBatch { slot, entries } => {
                 // Group commit: the whole batch applies behind ONE durable
                 // append and one commit-processing charge — the per-request
                 // cost the pipeline amortises away. Per-branch semantics
@@ -302,6 +362,66 @@ impl DbServer {
                     .filter(|(rid, _)| self.engine.decision(*rid).is_some())
                     .map(|&(rid, _)| rid)
                     .collect();
+                // Speculation resolution: a stash whose proposal matches
+                // the decided batch exactly is promoted (its device time
+                // was pre-paid at SpecExec); a mismatched stash is
+                // discarded and the batch replays on the ordinary path
+                // below. With speculation off there is never a stash and
+                // this is a no-op.
+                let had_stash = self.engine.speculation(slot).is_some();
+                let ready_at = self.spec_ready.remove(&slot);
+                self.spec_ready.retain(|&s, _| s > slot);
+                if let Some(p) = self.engine.promote_speculation(slot, &entries) {
+                    ctx.trace(TraceKind::SpecHit { slot, len: p.acks.len() as u32 });
+                    if let Some(w) = p.writes.first() {
+                        if matches!(w.rec, StableRecord::Group { .. }) {
+                            ctx.trace(TraceKind::GroupAppend { len: w.rec.leaves().len() as u32 });
+                        }
+                    }
+                    self.apply_log_writes(ctx, p.writes);
+                    let fresh_commits: Vec<ResultId> = p
+                        .acks
+                        .iter()
+                        .filter(|(rid, o)| !already.contains(rid) && *o == Outcome::Commit)
+                        .map(|&(rid, _)| rid)
+                        .collect();
+                    for (rid, outcome) in &p.acks {
+                        if !already.contains(rid) {
+                            ctx.trace(TraceKind::DbDecide { rid: *rid, outcome: *outcome });
+                        }
+                    }
+                    if !fresh_commits.is_empty() {
+                        // Attribute the pre-paid commit cost across the
+                        // batch, like the ordinary path does with its own
+                        // charge.
+                        let share = p.cost.scaled(1.0 / fresh_commits.len() as f64);
+                        for &rid in &fresh_commits {
+                            ctx.trace(TraceKind::Span { rid, comp: Component::Commit, dur: share });
+                        }
+                    }
+                    // The device was claimed at SpecExec time; the reply
+                    // waits only until *that* pre-paid work completes —
+                    // later arrivals queued behind it are not its problem.
+                    let now = ctx.now();
+                    let dur = match ready_at {
+                        Some(t) if t > now => t.since(now),
+                        _ => Dur::ZERO,
+                    };
+                    let seq = self.engine.ship_position();
+                    ctx.send_after(
+                        dur,
+                        from,
+                        Payload::DbReply(DbReplyMsg::AckDecideBatch { entries: p.acks, seq }),
+                    );
+                    self.ship_commits(ctx);
+                    return;
+                }
+                if had_stash {
+                    // The decided batch diverged from the speculated one:
+                    // the buffered execution is gone, and the DbDecide
+                    // traces below are the replay.
+                    ctx.trace(TraceKind::SpecAbort { slot });
+                }
                 let (acks, writes) = self.engine.decide_batch(&entries);
                 // Trace only real group frames: a batch whose members yield
                 // a single record appends it bare, like the replication path.

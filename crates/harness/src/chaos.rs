@@ -9,7 +9,7 @@
 use crate::properties::{check, LivenessChecks, PropertyReport};
 use crate::scenario::{MiddleTier, ScenarioBuilder};
 use crate::workloads::Workload;
-use etx_base::config::ReadPathConfig;
+use etx_base::config::{ReadPathConfig, SpeculationConfig};
 use etx_base::time::{Dur, Time};
 use etx_base::trace::TraceKind;
 use etx_fd::ForcedSuspicion;
@@ -88,6 +88,12 @@ pub struct ChaosOutcome {
     /// Fast-path reads a lagging follower forwarded to its primary
     /// (evidence that a run genuinely exercised the freshness gate).
     pub forwarded_reads: usize,
+    /// Decided slots whose speculatively executed batch was promoted
+    /// (evidence that a run genuinely overlapped execution with consensus).
+    pub spec_hits: usize,
+    /// Decided slots whose speculation buffer was discarded and replayed
+    /// (evidence that a run genuinely exercised mis-speculation recovery).
+    pub spec_aborts: usize,
 }
 
 impl ChaosOutcome {
@@ -219,7 +225,18 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     );
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
-    ChaosOutcome { seed, run, settled, report, faults, batched_slots, forwarded_reads }
+    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    ChaosOutcome {
+        seed,
+        run,
+        settled,
+        report,
+        faults,
+        batched_slots,
+        forwarded_reads,
+        spec_hits,
+        spec_aborts,
+    }
 }
 
 /// The hot-shard chaos scenario: a skewed key-addressed workload hammers
@@ -285,7 +302,18 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     );
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
-    ChaosOutcome { seed, run, settled, report, faults, batched_slots, forwarded_reads }
+    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    ChaosOutcome {
+        seed,
+        run,
+        settled,
+        report,
+        faults,
+        batched_slots,
+        forwarded_reads,
+        spec_hits,
+        spec_aborts,
+    }
 }
 
 /// The mid-batch chaos scenario for the commit pipeline: an open-loop
@@ -353,7 +381,85 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     );
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
-    ChaosOutcome { seed, run, settled, report, faults, batched_slots, forwarded_reads }
+    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    ChaosOutcome {
+        seed,
+        run,
+        settled,
+        report,
+        faults,
+        batched_slots,
+        forwarded_reads,
+        spec_hits,
+        spec_aborts,
+    }
+}
+
+/// The speculation chaos scenario: an open-loop burst fills the pipeline
+/// with real batches under speculative execution, and a shard primary is
+/// **crash/recovery-cycled the moment it stashes its first speculative
+/// batch** — strictly between `SpecExec` and the slot's decision. The
+/// crash wipes the (volatile) speculation buffer, so the decided slot
+/// arrives at a recovered primary with nothing stashed and must replay on
+/// the ordinary decide-then-execute path.
+///
+/// The full §3 specification is checked afterwards. What this certifies
+/// is the speculation stage's durability claim: a speculatively buffered
+/// batch is *not yet state* — it writes no WAL frame, ships nothing to
+/// followers, and a crash at the worst moment leaves exactly the
+/// recovery obligations of the non-speculative pipeline.
+pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0x5BEC_0DE5);
+    let shards = opts.shards.unwrap_or(4).max(1);
+    let batch = opts.batch_size.max(8);
+    let workload = Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 };
+    let mut scenario = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .shards(shards)
+        .replication(opts.replication.max(1))
+        .clients(opts.clients)
+        .requests(opts.requests)
+        .batching(batch, Dur::from_millis(1))
+        .speculation(SpeculationConfig::on())
+        .workload(workload)
+        .build();
+
+    let mut faults = Vec::new();
+    let victim_shard = rng.range_u64(0, u64::from(shards) - 1) as u32;
+    let victim = scenario.shard_primary(victim_shard);
+    let down_for = Dur::from_millis(rng.range_u64(5, 30));
+    scenario.sim.on_trace(
+        move |ev| ev.node == victim && matches!(ev.kind, TraceKind::SpecExec { .. }),
+        FaultAction::CrashRecover(victim, down_for),
+    );
+    faults.push(format!(
+        "cycle shard-{victim_shard} primary {victim} on its first speculative batch, \
+         back {down_for}"
+    ));
+
+    let expected = scenario.requests as usize;
+    let run = scenario.run_until_settled(expected);
+    let settled = run == RunOutcome::Predicate;
+    scenario.quiesce(Dur::from_millis(400));
+
+    let report = check(
+        scenario.sim.trace().events(),
+        &scenario.topo.clients,
+        LivenessChecks { t1: settled, t2: settled },
+    );
+    let batched_slots = scenario.batched_slots();
+    let forwarded_reads = scenario.reads_forwarded();
+    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    ChaosOutcome {
+        seed,
+        run,
+        settled,
+        report,
+        faults,
+        batched_slots,
+        forwarded_reads,
+        spec_hits,
+        spec_aborts,
+    }
 }
 
 /// The read-path chaos scenario: a read-dominated open-loop workload runs
@@ -430,5 +536,16 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     );
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
-    ChaosOutcome { seed, run, settled, report, faults, batched_slots, forwarded_reads }
+    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    ChaosOutcome {
+        seed,
+        run,
+        settled,
+        report,
+        faults,
+        batched_slots,
+        forwarded_reads,
+        spec_hits,
+        spec_aborts,
+    }
 }

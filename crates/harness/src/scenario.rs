@@ -2,7 +2,10 @@
 //! under any of the four middle-tier protocols, ready to run and observe.
 
 use crate::workloads::Workload;
-use etx_base::config::{BatchingConfig, CostModel, FdConfig, ProtocolConfig, ReadPathConfig};
+use etx_base::config::{
+    env_override, parse_toggle, BatchingConfig, CostModel, FdConfig, ProtocolConfig,
+    ReadPathConfig, SpeculationConfig,
+};
 use etx_base::ids::{NodeId, ResultId, Topology};
 use etx_base::shard::{ShardId, ShardMap, ShardSpec};
 use etx_base::time::{Dur, Time};
@@ -76,6 +79,14 @@ pub struct ScenarioBuilder {
     /// so route-specific tests keep meaning what they say under the CI
     /// read-path matrix.
     read_path_explicit: bool,
+    /// Whether [`ScenarioBuilder::batching`] was called: an explicit
+    /// pipeline depth always wins over the `ETX_BATCH_SIZE` process-wide
+    /// override, for the same reason as `read_path_explicit`.
+    batching_explicit: bool,
+    /// Whether [`ScenarioBuilder::speculation`] was called: an explicit
+    /// setting always wins over the `ETX_SPECULATION` process-wide
+    /// override.
+    speculation_explicit: bool,
 }
 
 impl ScenarioBuilder {
@@ -98,6 +109,8 @@ impl ScenarioBuilder {
             client_retry: RetryPolicy::GiveUp,
             forced_suspicions: Vec::new(),
             read_path_explicit: false,
+            batching_explicit: false,
+            speculation_explicit: false,
         }
     }
 
@@ -120,6 +133,7 @@ impl ScenarioBuilder {
             route_to_last_responder: false,
             batching: etx_base::config::BatchingConfig::default(),
             read_path: ReadPathConfig::default(),
+            speculation: SpeculationConfig::default(),
         };
         b.fd = FdConfig {
             heartbeat_every: Dur::from_millis(2),
@@ -162,11 +176,30 @@ impl ScenarioBuilder {
     /// and decide them in one decision-log slot. `size = 1` is the
     /// degenerate per-request configuration.
     ///
-    /// The `ETX_BATCH_SIZE` environment variable, when set, overrides
-    /// `size` at [`ScenarioBuilder::build`] time — this is the CI batching
+    /// The `ETX_BATCH_SIZE` environment variable pins the pipeline depth
+    /// for scenarios that do **not** call this method — the CI batching
     /// matrix's hook for running the whole suite under a deep pipeline.
+    /// An explicit `batching` call always wins over the environment: a
+    /// test that pins a depth means it.
     pub fn batching(mut self, size: usize, window: Dur) -> Self {
         self.pcfg.batching = BatchingConfig::new(size, window);
+        self.batching_explicit = true;
+        self
+    }
+
+    /// Configures speculative batch execution: with `enabled`, flushed
+    /// pipeline batches execute on the shard primaries *while* their
+    /// decision-log slot runs consensus, and the buffered work is
+    /// promoted (or discarded and replayed) when the slot decides.
+    ///
+    /// The `ETX_SPECULATION` environment variable pins the stage for
+    /// scenarios that do **not** call this method (`1`/`on` enables,
+    /// `0`/`off` disables) — the CI matrix's hook for running the whole
+    /// suite down both paths. An explicit `speculation` call always wins
+    /// over the environment.
+    pub fn speculation(mut self, cfg: SpeculationConfig) -> Self {
+        self.pcfg.speculation = cfg;
+        self.speculation_explicit = true;
         self
     }
 
@@ -252,34 +285,35 @@ impl ScenarioBuilder {
 
     /// Builds the simulator with all processes registered.
     pub fn build(mut self) -> Scenario {
-        // CI batching-matrix hook: ETX_BATCH_SIZE forces the pipeline depth
-        // for every scenario in the process, so the whole test suite runs
-        // under the degenerate (1) and deep (64) configurations unchanged.
-        // The window backstop reuses the cleaner cadence, which already
-        // scales with the scenario's cost model (fast vs. paper-scale).
+        // CI matrix hooks, all routed through the one `env_override`
+        // helper so the precedence rule is uniform: the environment pins
+        // every scenario that did not set the knob explicitly, and an
+        // explicit builder call always wins — a test that pins a depth,
+        // route, or stage means it, and silently replacing it made
+        // knob-specific assertions fail confusingly under the matrix.
+        //
+        // ETX_BATCH_SIZE forces the pipeline depth (the window backstop
+        // reuses the cleaner cadence, which already scales with the
+        // scenario's cost model — fast vs. paper-scale).
         if let Some(size) =
-            std::env::var("ETX_BATCH_SIZE").ok().and_then(|v| v.parse::<usize>().ok())
+            env_override("ETX_BATCH_SIZE", self.batching_explicit, |v| v.parse::<usize>().ok())
         {
             let window = if size > 1 { self.pcfg.cleaner_interval } else { Dur::ZERO };
             self.pcfg.batching = BatchingConfig::new(size, window);
         }
-        // CI read-path-matrix hook: ETX_READ_PATH pins every scenario
-        // that did not pick a route explicitly — "1"/"on" forces the fast
+        // ETX_READ_PATH pins the read route — "1"/"on" forces the fast
         // lane (with follower reads; shards with one replica just serve
-        // from the primary), "0"/"off" forces the historical commit
-        // route. An explicit `.read_path(..)` always wins: silently
-        // replacing a route a test configured made route-specific
-        // assertions fail confusingly under the matrix.
-        if !self.read_path_explicit {
-            match std::env::var("ETX_READ_PATH").ok().as_deref() {
-                Some("1") | Some("on") | Some("true") => {
-                    self.pcfg.read_path = ReadPathConfig::follower_reads();
-                }
-                Some("0") | Some("off") | Some("false") => {
-                    self.pcfg.read_path = ReadPathConfig::disabled();
-                }
-                _ => {}
-            }
+        // from the primary), "0"/"off" forces the historical commit route.
+        if let Some(on) = env_override("ETX_READ_PATH", self.read_path_explicit, parse_toggle) {
+            self.pcfg.read_path =
+                if on { ReadPathConfig::follower_reads() } else { ReadPathConfig::disabled() };
+        }
+        // ETX_SPECULATION pins the speculation stage — "1"/"on" overlaps
+        // batch execution with the consensus round, "0"/"off" keeps the
+        // strict decide-then-execute pipeline.
+        if let Some(on) = env_override("ETX_SPECULATION", self.speculation_explicit, parse_toggle) {
+            self.pcfg.speculation =
+                if on { SpeculationConfig::on() } else { SpeculationConfig::disabled() };
         }
         let db_count = match self.sharding {
             Some((shards, repl)) => shards as usize * repl,
@@ -438,15 +472,19 @@ impl ScenarioBuilder {
                 }
             };
             db_seeds.insert(node, data.clone());
+            let spec = self.pcfg.speculation;
             sim.add_node(
                 "db",
                 Box::new(move |_| {
-                    Box::new(DbServer::with_replication(
-                        alist.clone(),
-                        cost.clone(),
-                        data.clone(),
-                        repl.clone(),
-                    ))
+                    Box::new(
+                        DbServer::with_replication(
+                            alist.clone(),
+                            cost.clone(),
+                            data.clone(),
+                            repl.clone(),
+                        )
+                        .with_speculation(spec),
+                    )
                 }),
             );
         }
@@ -545,6 +583,24 @@ impl Scenario {
     /// commit / batched replication apply actually amortising the log).
     pub fn group_appends(&self) -> usize {
         self.sim.trace().count_kind(|k| matches!(k, TraceKind::GroupAppend { len } if *len >= 2))
+    }
+
+    /// Count of batches a shard primary executed speculatively while the
+    /// decision-log slot was still running consensus.
+    pub fn spec_execs(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::SpecExec { .. }))
+    }
+
+    /// Count of decided slots whose speculatively buffered execution was
+    /// promoted (the decided batch matched the speculated one).
+    pub fn spec_hits(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::SpecHit { .. }))
+    }
+
+    /// Count of decided slots whose speculation buffer was discarded and
+    /// replayed on the decide-then-execute path (mis-speculation).
+    pub fn spec_aborts(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::SpecAbort { .. }))
     }
 
     /// Distinct attempts that took the read fast lane (classified

@@ -20,6 +20,7 @@
 
 use crate::locks::{LockGrant, LockMode, LockTable};
 use etx_base::ids::ResultId;
+use etx_base::time::Dur;
 use etx_base::value::{DbOp, ExecStatus, OpOutput, Outcome, Vote};
 use etx_base::wal::StableRecord;
 use std::collections::{BTreeMap, HashMap};
@@ -49,6 +50,39 @@ struct Branch {
 }
 
 pub use etx_base::value::{ShippedCommit, ShippedEntries};
+
+/// One stashed speculative batch execution, keyed by the decision-log slot
+/// its batch was *proposed* into. Everything here is provisional: the
+/// overlay is a snapshot layered over committed state, never written
+/// through to `data`, the WAL or the replication outbox, and the whole
+/// stash is volatile (a crash discards it — recovery replays only decided
+/// state, which is exactly the correctness story).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecSlot {
+    /// The proposed `(branch, outcome)` pairs, in proposal order. The
+    /// decided slot must match these exactly for the stash to promote.
+    pub entries: Vec<(ResultId, Outcome)>,
+    /// The per-branch acknowledgements the batch would produce.
+    pub acks: Vec<(ResultId, Outcome)>,
+    /// Buffered writes: committed state as it *would* look after the
+    /// batch, expressed as an overlay (key → post-batch value).
+    pub overlay: BTreeMap<String, i64>,
+    /// Device time the host pre-paid when it executed the batch
+    /// speculatively (so promotion can attribute latency spans to it).
+    pub cost: Dur,
+}
+
+/// What promoting a matched speculation yields: exactly what
+/// [`Engine::decide_batch`] would have returned, plus the pre-paid cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecPromotion {
+    /// Per-branch applied outcomes, for the batched acknowledgement.
+    pub acks: Vec<(ResultId, Outcome)>,
+    /// The (group) WAL append the promotion must make durable.
+    pub writes: Vec<LogWrite>,
+    /// Device time already charged at speculation time.
+    pub cost: Dur,
+}
 
 /// What [`Engine::apply_replicated`] did with an incoming apply.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,6 +117,9 @@ pub struct Engine {
     repl_last_seq: u64,
     /// Follower role: out-of-order applies waiting for their predecessors.
     repl_pending: BTreeMap<u64, (ResultId, ShippedEntries)>,
+    /// Primary role: stashed speculative batch executions, keyed by the
+    /// proposed decision-log slot. Volatile by design — never recovered.
+    spec: BTreeMap<u64, SpecSlot>,
 }
 
 impl Engine {
@@ -398,6 +435,101 @@ impl Engine {
             _ => vec![LogWrite { rec: StableRecord::Group { records: members }, force }],
         };
         (acks, writes)
+    }
+
+    // ---- speculative batch execution ----------------------------------------
+
+    /// Executes a *proposed* (not yet decided) batch against a speculative
+    /// snapshot: computes the would-be acknowledgements and buffers the
+    /// would-be writes as an overlay over committed state, without
+    /// touching `data`, the lock table, the decision memo, the WAL or the
+    /// replication outbox. The stash is keyed by the proposed slot; the
+    /// first proposal stashed for a slot wins (a second is refused) and a
+    /// stash beyond `cap` evicts the oldest slot first. `cost` records
+    /// whatever device time the host pre-paid for the execution.
+    ///
+    /// Returns whether the batch was stashed. Refusals are harmless: the
+    /// slot simply decides the ordinary decide-then-execute way.
+    pub fn speculate(
+        &mut self,
+        slot: u64,
+        entries: &[(ResultId, Outcome)],
+        cost: Dur,
+        cap: usize,
+    ) -> bool {
+        if self.spec.contains_key(&slot) {
+            return false;
+        }
+        let mut overlay = BTreeMap::new();
+        let mut acks = Vec::with_capacity(entries.len());
+        for &(rid, outcome) in entries {
+            let applied = if let Some(&prev) = self.decided.get(&rid) {
+                prev
+            } else {
+                match outcome {
+                    Outcome::Abort => Outcome::Abort,
+                    Outcome::Commit => match self.branches.get(&rid).map(|b| b.state) {
+                        Some(BranchState::Prepared) => {
+                            let b = self.branches.get(&rid).expect("prepared branch");
+                            for (k, &v) in &b.writes {
+                                overlay.insert(k.clone(), v);
+                            }
+                            Outcome::Commit
+                        }
+                        // Vacuous commit (this server not involved).
+                        None => Outcome::Commit,
+                        // Would violate V.2 if it ever decided this way;
+                        // speculate the conservative answer.
+                        Some(_) => Outcome::Abort,
+                    },
+                }
+            };
+            acks.push((rid, applied));
+        }
+        while self.spec.len() >= cap.max(1) {
+            let oldest = *self.spec.keys().next().expect("non-empty stash");
+            self.spec.remove(&oldest);
+        }
+        self.spec.insert(slot, SpecSlot { entries: entries.to_vec(), acks, overlay, cost });
+        true
+    }
+
+    /// Resolves the speculation stash against slot `slot`'s **decided**
+    /// batch. On an exact match (same branches, same outcomes, same
+    /// order) the buffered execution is promoted — internally this runs
+    /// [`Engine::decide_batch`], so the applied state, WAL framing, ship
+    /// sequence and acknowledgements are *provably* those of the
+    /// non-speculative path — and `Some(promotion)` is returned. On a
+    /// mismatch (another proposer won the slot, or first-occurrence
+    /// filtering changed the batch) the stash is discarded and `None`
+    /// says "replay on the ordinary path".
+    ///
+    /// Either way, every stash at or below `slot` is dropped: slots apply
+    /// in order, so those proposals can never be decided unchanged again.
+    pub fn promote_speculation(
+        &mut self,
+        slot: u64,
+        decided: &[(ResultId, Outcome)],
+    ) -> Option<SpecPromotion> {
+        let stash = self.spec.remove(&slot);
+        self.spec.retain(|&s, _| s > slot);
+        let stash = stash.filter(|s| s.entries == decided)?;
+        let (acks, writes) = self.decide_batch(decided);
+        debug_assert!(
+            stash.overlay.iter().all(|(k, v)| self.data.get(k) == Some(v)),
+            "promoted overlay must equal the decided application"
+        );
+        Some(SpecPromotion { acks, writes, cost: stash.cost })
+    }
+
+    /// The stash for a proposed slot, if any (tests and diagnostics).
+    pub fn speculation(&self, slot: u64) -> Option<&SpecSlot> {
+        self.spec.get(&slot)
+    }
+
+    /// Number of speculation buffers currently stashed.
+    pub fn spec_slots(&self) -> usize {
+        self.spec.len()
     }
 
     /// One-phase commit for the unreliable baseline (Figure 7a): commit an
@@ -1080,6 +1212,119 @@ mod tests {
         let dup = f.apply_replicated(4, rid(4), vec![("k4".into(), 99)].into());
         assert!(dup.writes.is_empty() && !dup.need_sync);
         assert_eq!(f.committed("k4"), Some(4), "no double-apply of the straddled entry");
+    }
+
+    #[test]
+    fn speculation_buffers_without_touching_observable_state() {
+        let mut e = Engine::with_data([("k".to_string(), 1)]);
+        e.execute(rid(1), &[put("k", 5)]);
+        e.vote(rid(1));
+        let entries = vec![(rid(1), Outcome::Commit)];
+        assert!(e.speculate(7, &entries, Dur::from_millis(1), 4));
+        // Nothing a client, follower or the WAL could see has changed.
+        assert_eq!(e.committed("k"), Some(1), "overlay must not write through");
+        assert!(e.take_repl_outbox().is_empty(), "nothing ships speculatively");
+        assert_eq!(e.decision(rid(1)), None, "no decision memoized");
+        assert!(e.is_prepared(rid(1)), "branch stays in-doubt, locks held");
+        assert_eq!(e.ship_position(), 0);
+        let s = e.speculation(7).expect("stashed");
+        assert_eq!(s.overlay.get("k"), Some(&5));
+        assert_eq!(s.acks, entries);
+        assert_eq!(s.cost, Dur::from_millis(1));
+        // First proposal stashed for a slot wins; a second is refused.
+        assert!(!e.speculate(7, &entries, Dur::ZERO, 4));
+    }
+
+    #[test]
+    fn promotion_on_match_equals_the_nonspeculative_run() {
+        let build = || {
+            let mut e = Engine::with_data([("a".to_string(), 0)]);
+            for i in 1..=2u64 {
+                e.execute(rid(i), &[put(&format!("a{i}"), i as i64)]);
+                e.vote(rid(i));
+            }
+            e
+        };
+        let entries = vec![(rid(1), Outcome::Commit), (rid(2), Outcome::Abort)];
+        // Speculating twin.
+        let mut spec = build();
+        assert!(spec.speculate(0, &entries, Dur::from_millis(3), 4));
+        let p = spec.promote_speculation(0, &entries).expect("exact match promotes");
+        assert_eq!(p.cost, Dur::from_millis(3));
+        // Plain twin.
+        let mut plain = build();
+        let (acks, writes) = plain.decide_batch(&entries);
+        assert_eq!(p.acks, acks);
+        assert_eq!(p.writes, writes, "identical WAL bytes, identical framing");
+        assert_eq!(spec.snapshot(), plain.snapshot());
+        assert_eq!(spec.take_repl_outbox(), plain.take_repl_outbox());
+        assert_eq!(spec.ship_position(), plain.ship_position());
+        assert_eq!(spec.spec_slots(), 0, "promotion consumes the stash");
+    }
+
+    #[test]
+    fn mismatched_speculation_discards_and_replays_cleanly() {
+        let build = || {
+            let mut e = Engine::new();
+            for i in 1..=2u64 {
+                e.execute(rid(i), &[put(&format!("m{i}"), 10 + i as i64)]);
+                e.vote(rid(i));
+            }
+            e
+        };
+        let speculated = vec![(rid(1), Outcome::Commit), (rid(2), Outcome::Commit)];
+        // The slot decides in the *other* order (another proposer won).
+        let decided = vec![(rid(2), Outcome::Commit), (rid(1), Outcome::Commit)];
+        let mut spec = build();
+        assert!(spec.speculate(0, &speculated, Dur::from_millis(2), 4));
+        assert!(spec.promote_speculation(0, &decided).is_none(), "order mismatch aborts");
+        assert_eq!(spec.spec_slots(), 0, "mismatch still consumes the stash");
+        // Replay on the ordinary path lands exactly the plain run's state.
+        let (acks, writes) = spec.decide_batch(&decided);
+        let mut plain = build();
+        let (packs, pwrites) = plain.decide_batch(&decided);
+        assert_eq!(acks, packs);
+        assert_eq!(writes, pwrites);
+        assert_eq!(spec.snapshot(), plain.snapshot());
+        assert_eq!(spec.take_repl_outbox(), plain.take_repl_outbox());
+    }
+
+    #[test]
+    fn speculation_stash_is_capped_and_gcs_below_the_decided_slot() {
+        let mut e = Engine::new();
+        let entries = |i: u64| vec![(rid(i), Outcome::Abort)];
+        // Cap 2: stashing a third slot evicts the oldest.
+        assert!(e.speculate(0, &entries(1), Dur::ZERO, 2));
+        assert!(e.speculate(1, &entries(2), Dur::ZERO, 2));
+        assert!(e.speculate(2, &entries(3), Dur::ZERO, 2));
+        assert_eq!(e.spec_slots(), 2);
+        assert!(e.speculation(0).is_none(), "oldest slot evicted first");
+        // Resolving slot 1 drops every stash at or below it.
+        assert!(e.promote_speculation(1, &entries(2)).is_some());
+        assert_eq!(e.spec_slots(), 1, "slot 2's stash survives");
+        assert!(e.speculation(2).is_some());
+        // Resolving a later slot with no stash still GCs stale ones.
+        assert!(e.promote_speculation(5, &entries(9)).is_none());
+        assert_eq!(e.spec_slots(), 0);
+    }
+
+    #[test]
+    fn speculation_never_leaks_into_recovery() {
+        // A primary crashes between SpecExec and the slot decision: its
+        // WAL has no trace of the speculative execution, so recovery
+        // rebuilds pre-batch state with the in-doubt branch intact.
+        let mut e = Engine::new();
+        let mut wal: Vec<StableRecord> = Vec::new();
+        e.execute(rid(1), &[put("s", 9)]);
+        for w in e.vote(rid(1)).1 {
+            wal.push(w.rec);
+        }
+        assert!(e.speculate(3, &[(rid(1), Outcome::Commit)], Dur::ZERO, 4));
+        // Crash now: only the WAL survives.
+        let r = Engine::recover(&wal);
+        assert_eq!(r.committed("s"), None, "speculative write never became durable");
+        assert!(r.is_prepared(rid(1)), "in-doubt branch restored, locks held");
+        assert_eq!(r.spec_slots(), 0, "the stash is volatile");
     }
 
     #[test]

@@ -30,6 +30,15 @@ fn batching_pinned() -> bool {
     std::env::var("ETX_BATCH_SIZE").is_ok()
 }
 
+/// `ETX_SPECULATION=1` adds `SpecExec` frames (and reshapes batched
+/// scheduling); the golden hashes pin the speculation-*off* pipeline.
+fn speculation_pinned() -> bool {
+    matches!(
+        std::env::var("ETX_SPECULATION").ok().as_deref(),
+        Some("1") | Some("on") | Some("true")
+    )
+}
+
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
@@ -57,8 +66,9 @@ fn trace_bytes(mut s: Scenario, settle: usize) -> Vec<u8> {
 
 #[test]
 fn fast_path_off_replays_pre_existing_traces_byte_identically() {
-    if batching_pinned() {
-        return; // hashes were captured at the default pipeline depth
+    if batching_pinned() || speculation_pinned() {
+        return; // hashes were captured at the default pipeline depth,
+                // with the strict decide-then-execute order
     }
     // Scenario 1: flat back end, primary crash mid-protocol (the
     // determinism suite's failover run).
