@@ -130,6 +130,126 @@ impl ReadPathConfig {
     }
 }
 
+/// Time-bounded read-lease knobs: how shard primaries let their replicas
+/// (and the application servers that route reads at them) serve fast-path
+/// reads **without** the per-read freshness-stamp gate.
+///
+/// With leases **disabled** (the default) the read fast lane behaves
+/// exactly as [`ReadPathConfig`] describes: every follower read is gated
+/// on the issuing server's freshness stamp and forwards to the primary
+/// when the follower trails, and multi-shard snapshot-validation collects
+/// go to primaries only. No lease frames, timers, or trace events exist —
+/// a leases-off run replays the pre-lease trace byte-for-byte.
+///
+/// With leases **enabled**, a shard primary grants each follower a lease
+/// asserting "serving your applied prefix is authoritative through `T`",
+/// renewed by piggybacking on the commit shipments the follower receives
+/// anyway (plus a renewal timer that covers write-quiet stretches) and
+/// advertised to application servers on `AckDecide`/`AckDecideBatch`,
+/// primary-served read replies, and bare `LeaseRenew` frames. An in-lease
+/// follower serves any read — including its calls of a multi-shard
+/// snapshot-validation collect, which without leases go primary-only —
+/// with the server-wide `min_seq` gate replaced by the *client's own*
+/// causality floor (so read-your-writes still holds exactly); lease
+/// expiry, not per-read gating, bounds staleness. Each grant carries a
+/// **floor** (the grantor's ship position at mint): a follower serves
+/// in-lease only once its applied prefix has reached the floor, so a
+/// renewal can never retroactively bless a prefix older than what the
+/// primary had already shipped when it minted.
+///
+/// ## Why in-lease collects cannot observe a fractured transfer
+///
+/// Leases change **routing only**. A multi-shard collect is still
+/// accepted by the application server's snapshot validation — every
+/// reply's position matching its per-replica freshness stamp (`fresh`),
+/// or positions unchanged across two consecutive collects (`stable`),
+/// with the in-doubt veto on both — positions are monotone, so either
+/// proof brackets a common instant at which all replies coexisted.
+///
+/// What the validation cannot see from an appserver is a cross-shard
+/// transaction *already half-applied* at a follower that knows nothing of
+/// the other shard's branch. That hole is closed on the **write side**:
+/// a lease-granting primary **holds its yes vote** on a cross-shard
+/// branch, shipping the branch's in-doubt intent to its followers, and
+/// releases the vote only when every follower has acknowledged the intent
+/// — or, if an intent frame is lost (they are deliberately never
+/// retransmitted), when every lease outstanding at hold time has provably
+/// lapsed (grant minting is withheld while the branch is unsettled, so
+/// that horizon cannot grow while a hold waits on it). A follower holding
+/// a live intent forwards reads to its primary, whose in-doubt veto
+/// catches the straddle. Since no coordinator can learn the yes — and
+/// hence no sibling shard can commit the transaction — before the
+/// release, any collect that observes the transfer's effects anywhere
+/// postdates it: the laggard shard's follower either still holds the
+/// intent (forwards), has applied the commit too (consistent), or missed
+/// the intent frame and is provably out of lease (forwards).
+///
+/// After a crash, a recovering primary cannot know which leases were
+/// outstanding, so it installs a **write-ack fence** of one `duration`:
+/// commit acknowledgements are withheld until every lease the deposed
+/// incarnation could have granted has provably expired. Followers keep
+/// serving their (pre-crash) prefix in-lease meanwhile — consistent,
+/// because nothing newer has been acknowledged to anyone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLeaseConfig {
+    /// Grant, renew and honor read leases on the shard replica groups.
+    pub enabled: bool,
+    /// How long a grant is authoritative for, on the simulated clock.
+    /// Soundness does not depend on it (the vote-hold handshake does
+    /// that); raising it trades a longer forward-free window for a longer
+    /// partition staleness bound, recovery fence, and vote-escape horizon.
+    pub duration: Dur,
+    /// How long before expiry the renewal timer fires (the timer period is
+    /// `duration - renew_margin`), so an idle follower's lease is renewed
+    /// while still comfortably valid.
+    pub renew_margin: Dur,
+}
+
+impl Default for ReadLeaseConfig {
+    fn default() -> Self {
+        ReadLeaseConfig::disabled()
+    }
+}
+
+impl ReadLeaseConfig {
+    /// Leases off: the stamp-gated read path, trace-identical to PR 4/5.
+    pub fn disabled() -> Self {
+        ReadLeaseConfig {
+            enabled: false,
+            duration: Dur::from_millis(40),
+            renew_margin: Dur::from_millis(10),
+        }
+    }
+
+    /// Leases on at paper-environment scale (Appendix 3 cost model): a
+    /// 40 ms grant keeps the staleness bound, recovery fence and
+    /// vote-escape horizon each well under a failure-detector timeout.
+    pub fn on() -> Self {
+        ReadLeaseConfig { enabled: true, ..ReadLeaseConfig::disabled() }
+    }
+
+    /// Leases on at [`CostModel::fast_for_tests`] scale: a 2 ms grant,
+    /// proportionally shrunk with that model's costs.
+    pub fn fast_for_tests() -> Self {
+        ReadLeaseConfig {
+            enabled: true,
+            duration: Dur::from_micros(2_000),
+            renew_margin: Dur::from_micros(500),
+        }
+    }
+
+    /// The renewal-timer period: `duration - renew_margin`, floored at
+    /// half the duration so a degenerate margin cannot stall renewal.
+    pub fn renew_period(&self) -> Dur {
+        let floor = Dur((self.duration.0 / 2).max(1));
+        if self.renew_margin < self.duration {
+            Dur((self.duration.0 - self.renew_margin.0).max(floor.0))
+        } else {
+            floor
+        }
+    }
+}
+
 /// Speculative batch execution knobs: whether shard primaries execute a
 /// flushed pipeline batch *while* its decision-log slot is still running
 /// consensus, instead of strictly after the slot decides.
@@ -187,9 +307,9 @@ impl SpeculationConfig {
 /// Applies an environment override for a scenario knob **only when the
 /// scenario did not set the knob explicitly**: an explicit builder call
 /// always wins over ambient CI matrix variables. Every env-tunable knob
-/// (`ETX_BATCH_SIZE`, `ETX_READ_PATH`, `ETX_SPECULATION`) must route its
-/// override through this helper so the precedence rule cannot be
-/// reimplemented inconsistently per knob.
+/// (`ETX_BATCH_SIZE`, `ETX_READ_PATH`, `ETX_READ_LEASES`,
+/// `ETX_SPECULATION`) must route its override through this helper so the
+/// precedence rule cannot be reimplemented inconsistently per knob.
 pub fn env_override<T>(
     var: &str,
     explicit: bool,
@@ -243,6 +363,9 @@ pub struct ProtocolConfig {
     /// Read fast lane: consensus-free routing of read-only scripts
     /// (default: disabled — reads take the paper's commit route).
     pub read_path: ReadPathConfig,
+    /// Time-bounded read leases on the shard replica groups (default:
+    /// disabled — follower reads stay freshness-stamp gated).
+    pub read_leases: ReadLeaseConfig,
     /// Speculative batch execution: overlap commit application with the
     /// consensus round (default: disabled — strict decide-then-execute).
     pub speculation: SpeculationConfig,
@@ -260,6 +383,7 @@ impl Default for ProtocolConfig {
             route_to_last_responder: false,
             batching: BatchingConfig::default(),
             read_path: ReadPathConfig::default(),
+            read_leases: ReadLeaseConfig::default(),
             speculation: SpeculationConfig::default(),
         }
     }
@@ -451,6 +575,42 @@ mod tests {
     }
 
     #[test]
+    fn read_leases_default_off_and_presets_compose() {
+        let l = ReadLeaseConfig::default();
+        assert!(!l.enabled, "paper-faithful default: stamp-gated follower reads");
+        assert_eq!(ReadLeaseConfig::disabled(), ReadLeaseConfig::default());
+        assert!(ReadLeaseConfig::on().enabled);
+        assert!(ReadLeaseConfig::fast_for_tests().enabled);
+        // The renewal timer must fire while the previous grant is still
+        // comfortably valid, whatever the margin.
+        for cfg in [ReadLeaseConfig::on(), ReadLeaseConfig::fast_for_tests()] {
+            assert!(cfg.renew_period() < cfg.duration);
+            assert!(cfg.renew_period().0 > 0);
+        }
+        let degenerate = ReadLeaseConfig {
+            enabled: true,
+            duration: Dur::from_millis(2),
+            renew_margin: Dur::from_millis(5),
+        };
+        assert_eq!(degenerate.renew_period(), Dur::from_millis(1), "floors at duration/2");
+        // Soundness of in-lease collects leans on the grant expiring below
+        // the exec→commit-visible protocol floor of the matching cost model
+        // (SQL execution + prepare + commit is a conservative under-count
+        // of that path — the real one adds network hops and a consensus
+        // round).
+        let paper = CostModel::default();
+        assert!(
+            ReadLeaseConfig::on().duration
+                < Dur(paper.sql.0 + paper.db_prepare.0 + paper.db_commit.0)
+        );
+        let fast = CostModel::fast_for_tests();
+        assert!(
+            ReadLeaseConfig::fast_for_tests().duration
+                < Dur(fast.sql.0 + fast.db_prepare.0 + fast.db_commit.0)
+        );
+    }
+
+    #[test]
     fn speculation_defaults_off_and_presets_compose() {
         let s = SpeculationConfig::default();
         assert!(!s.enabled, "paper-faithful default: decide before executing");
@@ -485,6 +645,7 @@ mod tests {
         assert!(!p.route_to_last_responder, "paper-faithful default");
         assert!(!p.batching.is_batching(), "paper-faithful default pipeline");
         assert!(!p.read_path.enabled, "paper-faithful default read route");
+        assert!(!p.read_leases.enabled, "paper-faithful default follower gate");
         assert!(!p.speculation.enabled, "paper-faithful default execute order");
         let fd = FdConfig::default();
         assert!(fd.initial_timeout > fd.heartbeat_every);

@@ -8,6 +8,7 @@
 //! Appendix 3 (2PC and primary-backup).
 
 use crate::ids::{NodeId, RegId, RequestId, ResultId};
+use crate::time::Time;
 use crate::value::{
     DbOp, Decision, ExecStatus, OpOutput, Outcome, RegValue, Request, ShippedEntries, Vote,
 };
@@ -65,6 +66,9 @@ impl Payload {
             Payload::DbReply(DbReplyMsg::Ready) => "Ready",
             Payload::Repl(ReplMsg::Apply { .. }) => "ReplApply",
             Payload::Repl(ReplMsg::ApplyBatch { .. }) => "ReplApplyBatch",
+            Payload::Repl(ReplMsg::LeaseRenew { .. }) => "LeaseRenew",
+            Payload::Repl(ReplMsg::Intent { .. }) => "Intent",
+            Payload::Repl(ReplMsg::IntentAck { .. }) => "IntentAck",
             Payload::Repl(ReplMsg::SyncReq) => "ReplSyncReq",
             Payload::Repl(ReplMsg::SyncState { .. }) => "ReplSyncState",
             Payload::Consensus(ConsensusMsg::Estimate { .. }) => "CEstimate",
@@ -160,6 +164,15 @@ pub enum DbMsg {
     Prepare {
         /// Transaction branch.
         rid: ResultId,
+        /// Whether the transaction spans more than one shard. A
+        /// lease-granting primary holds its *yes* vote on a cross-shard
+        /// branch until every follower has acknowledged the branch's
+        /// [`ReplMsg::Intent`] (or every outstanding lease has provably
+        /// lapsed) — the handshake that keeps an in-lease follower from
+        /// serving the stale half of a half-applied cross-shard
+        /// transaction. Single-shard branches never fracture, so their
+        /// votes are never held.
+        cross: bool,
     },
     /// `[Decide, j, outcome]` — deliver the decision.
     Decide {
@@ -208,6 +221,10 @@ pub enum DbMsg {
     /// compares `min_seq` with its applied replication position: behind it,
     /// the follower forwards this same message to its primary instead of
     /// serving stale state; at or past it, the follower serves locally.
+    /// With read leases active the follower additionally requires its own
+    /// grant window to be unexpired — an expired lease forwards regardless
+    /// of position, which is what turns per-read gating into a pure
+    /// time-bounded staleness contract.
     Read {
         /// The read-only attempt this call belongs to.
         rid: ResultId,
@@ -232,9 +249,11 @@ pub enum DbMsg {
         /// reaches a server that never saw the write's acknowledgement,
         /// the client's stamp — carried from the write's own
         /// [`AppMsg::Result`] — keeps a lagging follower from serving
-        /// pre-write state. Writes by *other* clients that this server has
-        /// not yet observed remain outside the gate (the lease follow-up
-        /// recorded in the ROADMAP closes that too).
+        /// pre-write state. With read leases active
+        /// ([`crate::config::ReadLeaseConfig`]), the issuer sends only (b):
+        /// an in-lease follower owes the client its own writes, while
+        /// staleness against everything else is bounded by lease expiry
+        /// rather than per-read gating.
         min_seq: u64,
         /// Where the answer must go (preserved across forwards, so the
         /// primary answering a forwarded read replies straight to the
@@ -270,6 +289,13 @@ pub enum DbReplyMsg {
         /// Application servers fold this into their per-shard freshness
         /// stamp for follower reads ([`DbMsg::Read::min_seq`]).
         seq: u64,
+        /// Read-lease advertisement (piggybacked renewal): when the
+        /// primary's replica leases are active, the instant through which
+        /// its followers' applied prefixes are authoritative. Application
+        /// servers fold it into their per-shard lease view and route reads
+        /// — including multi-shard collects — at followers while it is in
+        /// force. `None` whenever leases are disabled or withheld.
+        lease: Option<Time>,
     },
     /// Baseline's one-phase commit acknowledgement.
     AckCommitOnePhase {
@@ -286,6 +312,9 @@ pub enum DbReplyMsg {
         /// The replying primary's commit-ship position after the batch
         /// (same freshness role as [`DbReplyMsg::AckDecide::seq`]).
         seq: u64,
+        /// Read-lease advertisement (same role as
+        /// [`DbReplyMsg::AckDecide::lease`]).
+        lease: Option<Time>,
     },
     /// Answer to a [`DbMsg::Read`]: the per-op outputs of one read-only
     /// call, served from committed state, plus the consistency metadata
@@ -317,6 +346,24 @@ pub enum DbReplyMsg {
         /// it yet", so this flag is how the laggard shard exposes a
         /// half-applied transaction to the validation check.
         indoubt: bool,
+        /// Whether the values were served **under an active read lease**
+        /// (a follower inside its grant window, or a primary — trivially
+        /// authoritative — with leases enabled). Informational: leases
+        /// steer *routing* (which replica a collect lands on), never the
+        /// issuer's snapshot validation — a multi-shard collect is
+        /// accepted only by the same freshness/stability/no-in-doubt rule
+        /// whether its replies were leased or not. (Atomicity under
+        /// follower serving is instead guaranteed server-side, by the
+        /// cross-shard vote-hold / intent handshake — see
+        /// [`ReplMsg::Intent`].)
+        leased: bool,
+        /// Read-lease advertisement from a serving *primary* (same role as
+        /// [`DbReplyMsg::AckDecide::lease`]; what keeps application
+        /// servers routing at followers through read-dominated stretches
+        /// where no decide traffic would otherwise refresh the view).
+        /// Followers send `None` — the advertisement tracks what the
+        /// grantor has granted, not what a grantee holds.
+        lease: Option<Time>,
     },
     /// `[Ready]` — recovery notification (Figure 3 line 2): "I crashed and
     /// came back; anything I had not prepared is gone."
@@ -342,6 +389,10 @@ pub enum ReplMsg {
         /// Post-commit key values (absolute, not deltas — replay-safe;
         /// Arc-shared so per-follower broadcast copies are refcount bumps).
         entries: ShippedEntries,
+        /// Piggybacked read-lease renewal: the follower's applied prefix is
+        /// authoritative through this instant (`None` when leases are
+        /// disabled, or withheld because a cross-shard branch is live).
+        lease: Option<Time>,
     },
     /// Primary → followers: several committed branches shipped in one
     /// message (the batched form of [`ReplMsg::Apply`], produced when a
@@ -350,6 +401,52 @@ pub enum ReplMsg {
     ApplyBatch {
         /// `(seq, branch, post-commit key values)` triples, in ship order.
         items: Vec<crate::value::ShippedCommit>,
+        /// Piggybacked read-lease renewal (same role as
+        /// [`ReplMsg::Apply::lease`]).
+        lease: Option<Time>,
+    },
+    /// Primary → followers *and application servers*: a bare read-lease
+    /// renewal, sent at startup and from the renewal timer when no commit
+    /// shipment has ridden one recently (write-quiet stretches must not
+    /// let follower leases lapse, and a read-only workload must not leave
+    /// the application servers' routing tables blind to the grants). The
+    /// followers' applied prefixes are authoritative through `through`.
+    /// Never sent with leases disabled.
+    LeaseRenew {
+        /// The instant the grant is valid through.
+        through: Time,
+        /// Grant floor: the grantor's commit-ship position when the grant
+        /// was minted. A follower adopting this renewal may serve reads
+        /// under it only once its applied position has reached the floor —
+        /// otherwise a bare renewal racing ahead of a lost or delayed
+        /// `Apply` would re-authorize a prefix that is *missing* commits
+        /// the rest of the system has already observed. (Application
+        /// servers ignore the field; it gates serving, not routing.)
+        floor: u64,
+    },
+    /// Lease-granting primary → followers: branch `rid` is a **cross-shard
+    /// in-doubt intent**. The primary is holding its yes vote for `rid`
+    /// hostage to this notice: until every follower acknowledges (or every
+    /// outstanding lease lapses), no coordinator can decide the branch, so
+    /// no sibling shard can commit it either. A follower holding a live
+    /// intent forwards in-lease reads to the primary — whose ordinary
+    /// in-doubt check then vetoes fractured snapshots — until the intent
+    /// resolves (the branch's commit applies, or a renewal minted after
+    /// the branch settled clears it). Never retransmitted: a lost intent
+    /// just means the vote waits out the escape horizon.
+    Intent {
+        /// The cross-shard branch.
+        rid: ResultId,
+        /// When the primary recorded the intent (used by followers to
+        /// expire intents older than a later renewal's mint instant —
+        /// which is how aborted branches, whose outcome never ships, get
+        /// cleared).
+        at: Time,
+    },
+    /// Follower → its shard primary: intent recorded; release the vote.
+    IntentAck {
+        /// The acknowledged branch.
+        rid: ResultId,
     },
     /// Follower → its shard primary: "send me your state" (recovery, or a
     /// detected gap in the apply stream).
@@ -471,7 +568,7 @@ mod tests {
     #[test]
     fn background_classification() {
         assert!(Payload::Fd(FdMsg::Heartbeat { seq: 1 }).is_background());
-        assert!(!Payload::Db(DbMsg::Prepare { rid: rid() }).is_background());
+        assert!(!Payload::Db(DbMsg::Prepare { rid: rid(), cross: false }).is_background());
     }
 
     #[test]
@@ -484,7 +581,7 @@ mod tests {
                 stamps: Vec::new(),
             })
             .label(),
-            Payload::Db(DbMsg::Prepare { rid: rid() }).label(),
+            Payload::Db(DbMsg::Prepare { rid: rid(), cross: false }).label(),
             Payload::Db(DbMsg::Decide { rid: rid(), outcome: Outcome::Commit }).label(),
             Payload::Db(DbMsg::DecideBatch { slot: 0, entries: vec![(rid(), Outcome::Commit)] })
                 .label(),
@@ -506,14 +603,24 @@ mod tests {
                 outputs: vec![],
                 pos: 0,
                 indoubt: false,
+                leased: false,
+                lease: None,
             })
             .label(),
             Payload::DbReply(DbReplyMsg::AckDecideBatch {
                 entries: vec![(rid(), Outcome::Commit)],
                 seq: 1,
+                lease: None,
             })
             .label(),
-            Payload::Repl(ReplMsg::ApplyBatch { items: vec![(1, rid(), Arc::from([]))] }).label(),
+            Payload::Repl(ReplMsg::ApplyBatch {
+                items: vec![(1, rid(), Arc::from([]))],
+                lease: None,
+            })
+            .label(),
+            Payload::Repl(ReplMsg::LeaseRenew { through: Time(1), floor: 0 }).label(),
+            Payload::Repl(ReplMsg::Intent { rid: rid(), at: Time(1) }).label(),
+            Payload::Repl(ReplMsg::IntentAck { rid: rid() }).label(),
             Payload::DbReply(DbReplyMsg::Ready).label(),
             Payload::Consensus(ConsensusMsg::DecideReq { inst: RegId::owner(rid()) }).label(),
         ];

@@ -48,6 +48,20 @@ pub enum TimerTag {
     /// A shard follower re-requests a recovery snapshot from its primary
     /// until one arrives (intra-shard replication catch-up liveness).
     ReplSyncRetry,
+    /// A shard primary's read-lease renewal tick: grant the followers a
+    /// fresh lease (unless withheld) and re-arm. Armed only when
+    /// [`crate::config::ReadLeaseConfig::enabled`] is set — a leases-off
+    /// run schedules no such timer.
+    LeaseRenewTick,
+    /// A lease-granting primary's held cross-shard vote reaches its escape
+    /// horizon: every lease that was outstanding when the vote was held has
+    /// provably lapsed, so the vote may be released even though some
+    /// follower never acknowledged the branch's intent (covers a crashed
+    /// or partitioned follower without blocking commit liveness).
+    VoteEscape {
+        /// The branch whose vote was held.
+        rid: ResultId,
+    },
     /// An application server re-issues the unanswered calls of an in-flight
     /// fast-path read, falling back to the shard primaries (covers a read
     /// target that crashed with the request in flight).

@@ -188,6 +188,51 @@ pub enum TraceKind {
         /// The read's freshness stamp it fell short of.
         need: u64,
     },
+    /// The issuer's retry backstop re-sent a fast-path read's unanswered
+    /// calls (a crashed replica or a lost message must not stall an
+    /// idempotent read). Only emitted by the read fast lane.
+    ReadRetried {
+        /// The read-only attempt being chased.
+        rid: ResultId,
+        /// Consecutive backstop firings without an intervening collect
+        /// round (drives the exponential back-off; reset when a new
+        /// snapshot-validation round starts).
+        backoff: u32,
+    },
+    /// A shard primary's renewal timer granted its followers a fresh read
+    /// lease: their applied prefixes are authoritative through `through`.
+    /// (Piggybacked renewals on commit shipments are not traced — they
+    /// ride existing messages; this event marks the timer-driven grants
+    /// that keep leases alive through write-quiet stretches.)
+    LeaseGrant {
+        /// The instant the grant is valid through.
+        through: Time,
+    },
+    /// A shard follower refused to serve a fast-path read because its read
+    /// lease had expired (it forwards to the primary, like a stamp-gated
+    /// lagging follower — `ReadForwarded` follows this event).
+    LeaseExpired {
+        /// The read-only attempt refused.
+        rid: ResultId,
+    },
+    /// A lease-granting shard primary held its yes vote on a cross-shard
+    /// branch until its followers acknowledged the branch's in-doubt
+    /// intent (or every outstanding lease lapsed) — the handshake that
+    /// keeps an in-lease follower from serving the stale half of a
+    /// half-applied cross-shard transaction.
+    VoteHeld {
+        /// The branch whose vote was held.
+        rid: ResultId,
+    },
+    /// A recovering shard primary installed its write-ack fence: commit
+    /// acknowledgements are withheld until `until`, by which point every
+    /// read lease the deposed incarnation could have granted has expired —
+    /// the drain that keeps pre-crash in-lease follower reads consistent
+    /// with what has been acknowledged.
+    LeaseFence {
+        /// When the fence lifts.
+        until: Time,
+    },
     /// A wo-register reached a decision at this node (first local knowledge).
     RegDecided {
         /// Which register.

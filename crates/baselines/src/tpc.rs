@@ -135,8 +135,9 @@ impl TpcServer {
             self.log_outcome(ctx, rid, decision, Vec::new());
             return;
         }
+        let cross = involved.len() > 1;
         for db in &involved {
-            ctx.send(*db, Payload::Db(DbMsg::Prepare { rid }));
+            ctx.send(*db, Payload::Db(DbMsg::Prepare { rid, cross }));
         }
         self.fsms.insert(rid, Phase::Preparing { result, involved, votes: HashMap::new() });
     }

@@ -1,12 +1,14 @@
 //! X7 — the read fast lane: read fraction 0/50/90/99% at 1 and 16 shards,
-//! down three read routes.
+//! down four read routes.
 //!
 //! The same open-loop `ReadMostly` mix (32 clients × 12 requests fired
 //! concurrently, replication factor 2, commit pipeline at batch 8) runs
 //! with the lane **off** (reads take the full commit machinery), **on**
-//! against shard primaries only, and **on with follower reads** (reads
-//! spread over each shard's replica group, freshness-gated). Two views per
-//! configuration:
+//! against shard primaries only, **on with follower reads** (reads
+//! spread over each shard's replica group, freshness-gated), and **on
+//! with read leases** (in-lease followers additionally serve multi-shard
+//! snapshot collects that follower mode forces to primaries). Two views
+//! per configuration:
 //!
 //! * **simulated metrics** (printed table): committed requests per
 //!   simulated second and mean issue→delivery latency — what skipping the
@@ -16,14 +18,19 @@
 //!
 //! The driver records the printed rows in `BENCH_reads.json`. The
 //! acceptance bars — at 16 shards the 90%-read mix must commit ≥ 2× more
-//! per simulated second with the lane on than off, and follower reads
-//! must beat primary-only on that same mix — are asserted here, so a
-//! regression fails the bench run instead of silently aging the JSON.
+//! per simulated second with the lane on than off (primary, follower and
+//! leased routes all clear it), follower reads must beat primary-only on
+//! that same mix, and the leased route must beat plain follower reads at
+//! the 99%-read mix it targets — are asserted here, so a regression fails
+//! the bench run instead of silently aging the JSON. (Leased trails plain
+//! follower by ~2% at 90% reads — the residual cost of the cross-shard
+//! vote-hold handshake plus lease renewal traffic, within one seed's
+//! noise band — and wins by ~12% at 99%; see `BENCH_reads.json` notes.)
 //! The run also reports how many op-vector elements the Arc-shared
 //! message payloads shared by refcount instead of deep-copying.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use etx_base::config::ReadPathConfig;
+use etx_base::config::{ReadLeaseConfig, ReadPathConfig};
 use etx_base::time::Dur;
 use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
 use std::hint::black_box;
@@ -36,6 +43,10 @@ enum Route {
     Off,
     Primary,
     Follower,
+    /// Follower reads plus time-bounded read leases: in-lease followers
+    /// serve *multi-shard* collects too (no forward hop), at the price of
+    /// the cross-shard vote-hold handshake on the write side.
+    Leased,
 }
 
 impl Route {
@@ -44,6 +55,7 @@ impl Route {
             Route::Off => "off",
             Route::Primary => "primary",
             Route::Follower => "follower",
+            Route::Leased => "leased",
         }
     }
 
@@ -51,7 +63,14 @@ impl Route {
         match self {
             Route::Off => ReadPathConfig::disabled(),
             Route::Primary => ReadPathConfig::primary_only(),
-            Route::Follower => ReadPathConfig::follower_reads(),
+            Route::Follower | Route::Leased => ReadPathConfig::follower_reads(),
+        }
+    }
+
+    fn leases(self) -> ReadLeaseConfig {
+        match self {
+            Route::Leased => ReadLeaseConfig::on(),
+            _ => ReadLeaseConfig::disabled(),
         }
     }
 }
@@ -66,6 +85,7 @@ fn run_once(shards: u32, read_pct: u8, route: Route, seed: u64) -> (f64, f64, u6
         .requests(REQUESTS)
         .batching(8, Dur::from_millis(1))
         .read_path(route.config())
+        .read_leases(route.leases())
         .workload(Workload::ReadMostly { accounts: shards * 8, read_pct, amount: 1 })
         .build();
     let expected = s.requests as usize;
@@ -81,6 +101,7 @@ fn bench_read_path(c: &mut Criterion) {
     // The sweep IS the experiment: the CI matrix hooks would pin every
     // scenario to one route / one pipeline depth and collapse it.
     std::env::remove_var("ETX_READ_PATH");
+    std::env::remove_var("ETX_READ_LEASES");
     std::env::remove_var("ETX_BATCH_SIZE");
     println!(
         "\n=== X7: read fast lane (ReadMostly, {CLIENTS} clients x {REQUESTS} requests, \
@@ -91,9 +112,10 @@ fn bench_read_path(c: &mut Criterion) {
         "shards", "read%", "route", "latency ms", "sim commit/s", "ops shared"
     );
     let mut at_16_90 = Vec::new();
+    let mut at_16_99 = Vec::new();
     for &shards in &[1u32, 16] {
         for &read_pct in &[0u8, 50, 90, 99] {
-            for &route in &[Route::Off, Route::Primary, Route::Follower] {
+            for &route in &[Route::Off, Route::Primary, Route::Follower, Route::Leased] {
                 let (lat, cps, shared) = run_once(shards, read_pct, route, 0x0EAD);
                 println!(
                     "{shards:>8}{read_pct:>8}{:>10}{lat:>16.2}{cps:>16.1}{shared:>14}",
@@ -101,6 +123,9 @@ fn bench_read_path(c: &mut Criterion) {
                 );
                 if shards == 16 && read_pct == 90 {
                     at_16_90.push((route.label(), cps));
+                }
+                if shards == 16 && read_pct == 99 {
+                    at_16_99.push((route.label(), cps));
                 }
                 // Host-side timing only for the legs the acceptance bar
                 // reads, to keep the bench run short.
@@ -140,6 +165,27 @@ fn bench_read_path(c: &mut Criterion) {
         "follower reads must beat primary-only on the same workload ({:.1} vs {:.1} commit/s)",
         cps_of("follower"),
         cps_of("primary")
+    );
+    assert!(
+        cps_of("leased") >= 2.0 * cps_of("off"),
+        "read leases must clear the 2x bar at 16 shards / 90% reads ({:.1} vs {:.1} commit/s)",
+        cps_of("leased"),
+        cps_of("off")
+    );
+    let cps99_of = |label: &str| {
+        at_16_99.iter().find(|(l, _)| *l == label).map(|&(_, c)| c).expect("swept above")
+    };
+    // Leases earn their keep where collects dominate and write churn is
+    // thin: at 99% reads every multi-shard snapshot spreads over the
+    // replica group instead of queueing on primaries. (At 90% reads the
+    // two routes sit within one seed's noise of each other; that
+    // comparison is deliberately not asserted.)
+    assert!(
+        cps99_of("leased") > cps99_of("follower"),
+        "read leases must beat plain follower reads at 16 shards / 99% reads \
+         ({:.1} vs {:.1} commit/s)",
+        cps99_of("leased"),
+        cps99_of("follower")
     );
 }
 

@@ -32,7 +32,7 @@ use crate::woreg::WoRegisters;
 use crate::Suspects;
 use etx_base::ids::{NodeId, RegId, ResultId};
 use etx_base::runtime::Context;
-use etx_base::value::{Decision, OutcomeBatch, RegValue};
+use etx_base::value::{Decision, Outcome, OutcomeBatch, RegValue};
 use std::collections::BTreeMap;
 
 /// One decided slot's worth of *newly final* outcomes, in slot order.
@@ -73,12 +73,14 @@ pub struct DecisionLog {
     /// `(nil, abort)`) could re-surface a settled attempt as a fresh
     /// "first occurrence" with a conflicting outcome.
     watermarks: BTreeMap<NodeId, u64>,
-    /// Full membership of each applied slot that is not yet fully settled —
-    /// the bookkeeping behind [`DecisionLog::gc_client`]'s return value,
-    /// which is what lets the host compact a slot's consensus instance once
-    /// no request in it can ever be asked about again. Bounded by the
-    /// clients' unsettled windows, like everything else here.
-    applied_members: BTreeMap<u64, Vec<ResultId>>,
+    /// Full membership (with outcomes) of each applied slot that is not yet
+    /// fully settled — the bookkeeping behind [`DecisionLog::gc_client`]'s
+    /// return value, which is what lets the host compact a slot's consensus
+    /// instance once no request in it can ever be asked about again.
+    /// Outcomes ride along so the compacted placeholder can keep the slot's
+    /// arbitration content (results dropped). Bounded by the clients'
+    /// unsettled windows, like everything else here.
+    applied_members: BTreeMap<u64, Vec<(ResultId, Outcome)>>,
 }
 
 impl Default for DecisionLog {
@@ -186,12 +188,19 @@ impl DecisionLog {
     /// settled request is never retransmitted, so its attempts can never be
     /// proposed again). Returns the applied slots that became **fully
     /// settled** — every member request below its client's watermark, in
-    /// slot order — so the host can compact their consensus instances
-    /// (§5's register-array cleanup). Such a slot's decision can never be
-    /// needed again anywhere: its entries are never re-proposed, and any
-    /// server that missed it needs only *a* decided value to advance its
-    /// apply cursor, not the original batch.
-    pub fn gc_client(&mut self, client: NodeId, ack_below: u64) -> Vec<u64> {
+    /// slot order — paired with an **outcomes-only tombstone batch** (the
+    /// slot's entries with their result payloads dropped) for the host to
+    /// compact each slot's consensus instance down to (§5's register-array
+    /// cleanup). The tombstone must keep the `(attempt, outcome)` pairs:
+    /// a server that resyncs the slot *after* compaction still needs the
+    /// first-occurrence arbitration memory, because its cleaner — which
+    /// never heard this client's watermark — may later re-propose a member
+    /// attempt as `(nil, abort)`. Compacting to an empty batch erased that
+    /// memory and let the conflicting abort surface as a fresh first
+    /// occurrence (a real divergence: some databases applied the cleaner's
+    /// abort after others applied the original commit). Only the results —
+    /// the unbounded payload — are shed.
+    pub fn gc_client(&mut self, client: NodeId, ack_below: u64) -> Vec<(u64, OutcomeBatch)> {
         let w = self.watermarks.entry(client).or_insert(0);
         *w = (*w).max(ack_below);
         let stale = |rid: &ResultId| rid.request.client == client && rid.request.seq < ack_below;
@@ -203,8 +212,12 @@ impl DecisionLog {
         };
         let mut forgettable = Vec::new();
         self.applied_members.retain(|&slot, members| {
-            if members.iter().all(settled) {
-                forgettable.push(slot);
+            if members.iter().all(|(rid, _)| settled(rid)) {
+                let tombstone = members
+                    .iter()
+                    .map(|&(rid, outcome)| (rid, Decision { result: None, outcome }))
+                    .collect();
+                forgettable.push((slot, tombstone));
                 false
             } else {
                 true
@@ -299,7 +312,7 @@ impl DecisionLog {
         let mut out = Vec::new();
         while let Some(batch) = self.decided_ahead.remove(&self.next_apply) {
             self.applied_members
-                .insert(self.next_apply, batch.iter().map(|(rid, _)| *rid).collect());
+                .insert(self.next_apply, batch.iter().map(|(rid, d)| (*rid, d.outcome)).collect());
             let mut firsts = Vec::new();
             for (rid, decision) in batch {
                 if !self.seen.contains_key(&rid) && !self.settled(&rid) {
@@ -388,9 +401,38 @@ mod tests {
         log.record_decided(1, &RegValue::Batch(batch(&[3])));
         log.drain_applied();
         assert!(log.gc_client(NodeId(0), 2).is_empty(), "slot 0 still carries unsettled request 2");
-        assert_eq!(log.gc_client(NodeId(0), 3), vec![0], "slot 0 now fully settled");
-        assert_eq!(log.gc_client(NodeId(0), 4), vec![1]);
+        let settled = log.gc_client(NodeId(0), 3);
+        assert_eq!(settled.len(), 1, "slot 0 now fully settled");
+        assert_eq!(settled[0].0, 0);
+        assert_eq!(
+            settled[0].1,
+            vec![
+                (rid(1), Decision { result: None, outcome: Outcome::Commit }),
+                (rid(2), Decision { result: None, outcome: Outcome::Commit }),
+            ],
+            "tombstone keeps the outcomes, drops the results"
+        );
+        assert_eq!(log.gc_client(NodeId(0), 4).iter().map(|(s, _)| *s).collect::<Vec<_>>(), [1]);
         assert!(log.gc_client(NodeId(0), 10).is_empty(), "forgotten slots are not re-reported");
+    }
+
+    #[test]
+    fn resynced_tombstone_slot_still_arbitrates_against_a_late_cleaner_abort() {
+        // A server that resyncs a slot *after* its consensus instance was
+        // compacted receives the outcomes-only tombstone. Its cleaner (which
+        // never heard the client's watermark) may then propose `(nil, abort)`
+        // for a member attempt — the tombstone's arbitration memory must
+        // swallow it, or this server terminates the settled attempt with a
+        // conflicting abort (an A.3 divergence across databases).
+        let mut log = DecisionLog::default();
+        let tombstone = vec![(rid(1), Decision { result: None, outcome: Outcome::Commit })];
+        log.record_decided(0, &RegValue::Batch(tombstone));
+        let applied = log.drain_applied();
+        assert_eq!(applied[0].entries.len(), 1, "tombstone entries apply as first occurrences");
+        log.record_decided(1, &RegValue::Batch(vec![(rid(1), Decision::nil_abort())]));
+        let applied = log.drain_applied();
+        assert!(applied[0].entries.is_empty(), "late abort is a filtered duplicate");
+        assert_eq!(log.decision_of(rid(1)).unwrap().outcome, Outcome::Commit);
     }
 
     #[test]

@@ -55,7 +55,7 @@
 
 use etx_base::config::{CostModel, ProtocolConfig};
 use etx_base::ids::{NodeId, RegId, RequestId, ResultId, TimerId, Topology};
-use etx_base::msg::{AppMsg, ClientMsg, DbMsg, DbReplyMsg, Payload};
+use etx_base::msg::{AppMsg, ClientMsg, DbMsg, DbReplyMsg, Payload, ReplMsg};
 use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
 use etx_base::shard::ShardMap;
 use etx_base::time::{Dur, Time};
@@ -123,6 +123,13 @@ struct ReadState {
     /// stamp's observation and the read — which lets the **first** collect
     /// accept without a validation round (see `on_read_reply`).
     sent_stamps: Vec<u64>,
+    /// Per-call read-your-writes floor: the highest position the issuing
+    /// *client's* causality token carried for the call's shard. In lease
+    /// mode this — not the server-wide stamp — is the `min_seq` a
+    /// follower-routed call is gated on: an in-lease follower's prefix is
+    /// authoritative, so the only staleness that matters is relative to
+    /// what this client has itself observed.
+    floors: Vec<u64>,
     /// Whether any reply of the current collect flagged an in-doubt write
     /// on a read key.
     indoubt: bool,
@@ -185,6 +192,25 @@ pub struct AppServer {
     /// keeps read-your-writes intact across client failover. Ordered so
     /// stamp vectors serialize deterministically.
     shard_seq: BTreeMap<NodeId, u64>,
+    /// Latest read-lease expiry advertised per shard primary (ridden on
+    /// decide acknowledgements and primary-served read replies). While the
+    /// advertisement is in force, the shard's followers hold a grant at
+    /// most `renew_margin` older — so the read lane may route any call at
+    /// them, including multi-shard snapshot-validation collects, without
+    /// the forward hop. Only populated when leases are enabled.
+    shard_lease: BTreeMap<NodeId, Time>,
+    /// Latest applied position observed *per serving replica* (fed by
+    /// read replies, keyed by the actual answering node — unlike
+    /// [`AppServer::shard_seq`], which is keyed by shard primary and fed
+    /// by commit acknowledgements too). A follower-routed call of a
+    /// leased collect validates `fresh` against this: positions are
+    /// monotone, so a reply matching the last position this replica ever
+    /// reported proves the replica stood still from that observation to
+    /// the sample — an interval containing the send instant, exactly the
+    /// common-instant bracket the primary-stamp argument uses. (Without
+    /// it, a follower lagging the primary-fed stamp by even one apply
+    /// forces every leased collect into a second validation round.)
+    replica_seq: BTreeMap<NodeId, u64>,
     /// Attempts whose `regD` write *we* initiated (owner or cleaner): we are
     /// responsible for termination once the register decides.
     initiators: HashSet<ResultId>,
@@ -258,6 +284,8 @@ impl AppServer {
             fsms: HashMap::new(),
             reads: HashMap::new(),
             shard_seq: BTreeMap::new(),
+            shard_lease: BTreeMap::new(),
+            replica_seq: BTreeMap::new(),
             initiators: HashSet::new(),
             terminate_targets: HashMap::new(),
             cleaned: HashSet::new(),
@@ -301,12 +329,15 @@ impl AppServer {
         // Slots whose every member is settled shed their consensus payload
         // too — without this the register bank retains one decided batch
         // (results included) per slot forever, unbounding memory with total
-        // throughput. Compacted (not forgotten): the slot stays decided as
-        // an empty batch, so a replica that missed the original decision
-        // gets a benign answer instead of re-opening and re-deciding the
-        // position — which would break first-occurrence arbitration.
-        for slot in self.log.gc_client(client, ack_below) {
-            if self.regs.compact(RegId::slot(slot), RegValue::Batch(Vec::new())) {
+        // throughput. Compacted (not forgotten), and down to an
+        // outcomes-only tombstone rather than an empty batch: a replica
+        // that resyncs the slot after compaction still needs the
+        // `(attempt, outcome)` pairs for first-occurrence arbitration — its
+        // cleaner never heard this client's watermark and may re-propose a
+        // member attempt as `(nil, abort)`, which must lose to the original
+        // outcome everywhere. Only the result payloads are shed.
+        for (slot, tombstone) in self.log.gc_client(client, ack_below) {
+            if self.regs.compact(RegId::slot(slot), RegValue::Batch(tombstone)) {
                 ctx.trace(TraceKind::SlotGc { slot });
             }
         }
@@ -341,10 +372,13 @@ impl AppServer {
         let rid = ResultId { request: request.id, attempt };
         // Causality token first: whatever positions this client has
         // observed (through any server) bound the freshness of every read
-        // this request may trigger here — including this very request.
-        for (db, seq) in stamps {
+        // this request may trigger here — including this very request. The
+        // token itself is kept around: in lease mode it is the per-call
+        // read-your-writes floor a fast-path read sends to followers.
+        for &(db, seq) in &stamps {
             self.observe_shard_seq(db, seq);
         }
+        let token = stamps;
         // Garbage collection (§5 leaves it open; this is the natural hook):
         // the client's watermark tells us which of its requests are settled
         // forever — their attempts can never be retransmitted again and
@@ -386,7 +420,7 @@ impl AppServer {
                 // are absorbed like any other in-progress attempt).
                 if self.cfg.read_path.enabled && request.script.is_read_only() {
                     if !self.reads.contains_key(&rid) {
-                        self.start_read(ctx, rid, request);
+                        self.start_read(ctx, rid, request, &token);
                     }
                     return;
                 }
@@ -402,12 +436,24 @@ impl AppServer {
 
     /// Starts a fast-path read: records the routed calls, charges the
     /// dispatch cost and defers the fan-out behind it (stage-1 dispatch).
-    fn start_read(&mut self, ctx: &mut dyn Context, rid: ResultId, request: Request) {
+    fn start_read(
+        &mut self,
+        ctx: &mut dyn Context,
+        rid: ResultId,
+        request: Request,
+        token: &[(NodeId, u64)],
+    ) {
         let calls = request.script.calls.clone();
         ctx.trace(TraceKind::ReadFastPath { rid, shards: calls.len() as u32 });
         let dur = jittered(ctx, self.cost.start, self.cost.jitter);
         ctx.trace(TraceKind::Span { rid, comp: Component::Start, dur });
         let n = calls.len();
+        let floors = calls
+            .iter()
+            .map(|c| {
+                token.iter().filter(|(db, _)| *db == c.db).map(|&(_, seq)| seq).max().unwrap_or(0)
+            })
+            .collect();
         self.reads.insert(
             rid,
             ReadState {
@@ -416,6 +462,7 @@ impl AppServer {
                 outputs: vec![None; n],
                 positions: vec![0; n],
                 sent_stamps: vec![0; n],
+                floors,
                 indoubt: false,
                 prev_positions: None,
                 round: 0,
@@ -437,12 +484,40 @@ impl AppServer {
         let multi = calls.len() > 1;
         let mut stamps = Vec::with_capacity(calls.len());
         for (idx, call) in calls.iter().enumerate() {
-            stamps.push(self.send_read_call(ctx, rid, idx, call, 0, multi));
+            let to_primary = self.read_to_primary(ctx.now(), multi, call.db);
+            stamps.push(self.send_read_call(ctx, rid, idx, call, 0, to_primary, 0));
         }
         if let Some(state) = self.reads.get_mut(&rid) {
             state.sent_stamps = stamps;
         }
         ctx.set_timer(self.cfg.terminate_retry, TimerTag::ReadRetry { rid });
+    }
+
+    /// Whether the shard's advertised lease is in force right now.
+    fn lease_active(&self, now: Time, db: NodeId) -> bool {
+        self.shard_lease.get(&db).is_some_and(|&through| through > now)
+    }
+
+    /// Folds a lease advertisement (ridden on a decide acknowledgement or
+    /// a primary-served read reply) into the per-shard lease table.
+    fn observe_shard_lease(&mut self, db: NodeId, lease: Option<Time>) {
+        if let Some(through) = lease {
+            let slot = self.shard_lease.entry(db).or_insert(Time::ZERO);
+            if *slot < through {
+                *slot = through;
+            }
+        }
+    }
+
+    /// First-dispatch routing rule for one call of a fast-path read.
+    /// Single-shard reads spread over the replica group (when follower
+    /// reads are on). Multi-shard collects historically went straight to
+    /// the shard primaries — snapshot validation needed the authoritative
+    /// positions — but an in-force lease makes the followers' positions
+    /// authoritative too, so the collect may spread as well: that is the
+    /// forward hop the lease exists to kill.
+    fn read_to_primary(&self, now: Time, multi: bool, db: NodeId) -> bool {
+        multi && !(self.cfg.read_leases.enabled && self.lease_active(now, db))
     }
 
     /// Sends one read call, stamped with the highest commit seq this server
@@ -453,7 +528,14 @@ impl AppServer {
     /// traffic, which is what multiplies read capacity with the
     /// replication factor. A chosen follower serves locally if it has
     /// caught up to the stamp and forwards to the primary otherwise.
-    /// Returns the stamp the call was sent with.
+    /// Returns the server-wide stamp observed at send time — what the
+    /// collect's freshness validation compares reply positions against,
+    /// regardless of what `min_seq` went on the wire.
+    ///
+    /// `salt` rotates the deterministic replica pick (0 on first dispatch;
+    /// the retry backstop passes its back-off count so a re-send lands on
+    /// a *different* replica than the one that went unanswered).
+    #[allow(clippy::too_many_arguments)] // one knob per routing dimension
     fn send_read_call(
         &self,
         ctx: &mut dyn Context,
@@ -462,9 +544,12 @@ impl AppServer {
         call: &DbCall,
         round: u32,
         to_primary: bool,
+        salt: u32,
     ) -> u64 {
-        let min_seq = self.shard_seq.get(&call.db).copied().unwrap_or(0);
-        let target = if to_primary || !self.cfg.read_path.follower_reads {
+        let stamp = self.shard_seq.get(&call.db).copied().unwrap_or(0);
+        let leased = self.cfg.read_leases.enabled && self.lease_active(ctx.now(), call.db);
+        let spread = !to_primary && (self.cfg.read_path.follower_reads || leased);
+        let target = if !spread {
             call.db
         } else {
             match self.shards.shard_of_node(call.db) {
@@ -472,11 +557,21 @@ impl AppServer {
                     let replicas = self.shards.replicas(shard);
                     match replicas.len() {
                         0 => call.db,
-                        n => replicas[read_pick(rid, idx, n)],
+                        n => replicas[(read_pick(rid, idx, n) + salt as usize) % n],
                     }
                 }
                 None => call.db,
             }
+        };
+        // In lease mode a follower-routed call is gated on the issuing
+        // client's own causality floor, not the server-wide stamp: the
+        // in-lease follower's prefix is authoritative, so the only
+        // staleness that matters is read-your-writes relative to this
+        // client. Everywhere else the server-wide stamp gates as before.
+        let min_seq = if leased && target != call.db {
+            self.reads.get(&rid).map_or(stamp, |s| s.floors[idx])
+        } else {
+            stamp
         };
         ctx.send(
             target,
@@ -489,7 +584,20 @@ impl AppServer {
                 reply_to: self.me,
             }),
         );
-        min_seq
+        // The stamp `fresh` validates against is the last position the
+        // *target node itself* reported: for a primary that is the
+        // server-wide shard stamp; for a follower it is the replica's own
+        // observed position (primary-fed stamps would run ahead of a
+        // healthy follower by in-flight shipments and force a second
+        // collect round). Either way the argument is the same — positions
+        // are monotone, so a reply equal to a stamp observed before the
+        // send proves the serving node stood still across an interval
+        // containing the send instant.
+        if target == call.db {
+            stamp
+        } else {
+            self.replica_seq.get(&target).copied().unwrap_or(0)
+        }
     }
 
     /// A read call answered. Replies from superseded collect rounds are
@@ -505,13 +613,20 @@ impl AppServer {
     fn on_read_reply(
         &mut self,
         ctx: &mut dyn Context,
+        from: NodeId,
         rid: ResultId,
         call: u32,
         round: u32,
         outputs: Vec<OpOutput>,
         pos: u64,
         indoubt: bool,
+        _leased: bool,
+        lease: Option<Time>,
     ) {
+        // A primary-served reply advertises the shard's current lease
+        // offer (followers send `None`) — fold it in even if the read
+        // itself has already settled.
+        self.observe_shard_lease(from, lease);
         let Some(state) = self.reads.get_mut(&rid) else {
             return; // settled (or GC'd) read; late duplicate reply
         };
@@ -527,8 +642,13 @@ impl AppServer {
         state.indoubt |= indoubt;
         let db = state.calls[idx].db;
         let done = !state.outputs.iter().any(Option::is_none);
-        // Every reply is also a freshness observation of its shard.
+        // Every reply is also a freshness observation of its shard — and
+        // of the specific replica that answered.
         self.observe_shard_seq(db, pos);
+        let slot = self.replica_seq.entry(from).or_insert(0);
+        if *slot < pos {
+            *slot = pos;
+        }
         if !done {
             return;
         }
@@ -552,6 +672,17 @@ impl AppServer {
         let multi = state.calls.len() > 1;
         let fresh = state.positions.iter().zip(&state.sent_stamps).all(|(p, s)| p == s);
         let stable = state.prev_positions.as_deref() == Some(&state.positions[..]);
+        // Leases never weaken this rule: they only change *routing* (which
+        // replica a call lands on), while acceptance stays
+        // freshness/stability + the in-doubt veto. What makes the rule
+        // sound against a follower that cannot see another shard's
+        // prepared branches is server-side: a lease-granting primary
+        // holds its yes vote on a cross-shard branch until its followers
+        // acknowledge the branch's in-doubt intent (or every outstanding
+        // lease lapses), so any collect observing the transaction's
+        // effects anywhere postdates that release — and the stale shard's
+        // in-lease follower then forwards into the primary's in-doubt
+        // veto rather than serving the fractured half.
         let accept = !multi || (!state.indoubt && (fresh || stable));
         let exhausted = state.round + 1 >= self.cfg.read_path.snapshot_rounds();
         if accept {
@@ -561,7 +692,16 @@ impl AppServer {
         } else {
             let state = self.reads.get_mut(&rid).expect("read still in flight");
             // Start the next collect: remember this round's positions,
-            // clear the slate, and re-sample every shard primary.
+            // clear the slate, and re-sample every shard primary. The loss
+            // backstop's back-off deliberately does NOT reset here: a
+            // collect that just completed proves the lane is answering, so
+            // there is no loss evidence to cover — and under a saturated
+            // burst, re-arming the backstop at its base period once per
+            // validation round turns queued-but-coming replies into
+            // duplicate sends that feed the very queue delaying them
+            // (measured: −28% commit/s on the primary route's 99%-read
+            // leg). A genuinely lost re-send is still covered, just at the
+            // already-backed-off cadence.
             state.prev_positions = Some(state.positions.clone());
             state.round += 1;
             state.indoubt = false;
@@ -571,9 +711,22 @@ impl AppServer {
             let round = state.round;
             let calls = state.calls.clone();
             ctx.trace(TraceKind::ReadSnapshotRound { rid, round });
+            // Re-collects follow first-dispatch routing: primaries by
+            // default (authoritative positions make `stable` attainable),
+            // in-lease followers when a lease is in force — a follower
+            // standing still across two collects proves `stable` just as
+            // soundly, since the vote-hold handshake pins any half-applied
+            // cross-shard transaction behind its in-doubt veto. Each
+            // re-send's freshly observed stamp replaces the stale one — a
+            // shard that moved since the original dispatch can still prove
+            // `fresh` against the position this server knows *now*.
+            let mut stamps = Vec::with_capacity(calls.len());
             for (idx, call) in calls.iter().enumerate() {
-                self.send_read_call(ctx, rid, idx, call, round, true);
+                let to_primary = self.read_to_primary(ctx.now(), true, call.db);
+                stamps.push(self.send_read_call(ctx, rid, idx, call, round, to_primary, 0));
             }
+            let state = self.reads.get_mut(&rid).expect("read still in flight");
+            state.sent_stamps = stamps;
         }
     }
 
@@ -616,29 +769,57 @@ impl AppServer {
         ctx.set_timer(dur, TimerTag::Dispatch { rid, stage: 0 });
     }
 
-    /// Retry backstop for fast-path reads: unanswered calls of the current
-    /// collect are re-sent straight to their shard primaries (a crashed
-    /// follower or a lost message must not stall an idempotent read). The
-    /// timer re-arms with exponential back-off while anything is pending —
-    /// a reply that is merely queued behind a busy read lane should not
-    /// draw repeated duplicate load onto the primaries.
+    /// Retry backstop for fast-path reads (a crashed replica or a lost
+    /// message must not stall an idempotent read). Re-sends exactly the
+    /// unanswered calls of the current collect, *within the same collect
+    /// epoch and against their original stamps*. Every stamp of the round
+    /// still dates from the one dispatch instant, so the freshness
+    /// argument is untouched (a reply matching its stamp proves the shard
+    /// stood still from that shared instant to the sample, re-sent or
+    /// not), collected replies keep their progress, and — crucially — a
+    /// backstop firing on replies that are merely *queued* behind a busy
+    /// lane never abandons them: the originals still land and fill their
+    /// slots, the duplicates are dropped by the per-call fill guard.
+    /// (An earlier draft restarted a fully unanswered collect as a fresh
+    /// wire epoch with refreshed stamps; under a saturated burst that
+    /// orphans every queued reply of the old epoch and re-queues the whole
+    /// fan-out each firing — measured at −20..28% commit/s on the
+    /// saturated 16-shard legs. The price of keeping the epoch is that a
+    /// genuinely lost call whose shard moved during the timeout fails
+    /// `fresh` and costs one validation round — and *that* round refreshes
+    /// every stamp at a single instant, in `on_read_reply`, which is the
+    /// only place a refresh is sound: completing a partially answered
+    /// collect against refreshed stamps would mix observation instants
+    /// with no common point, exactly the fractured cross-shard read the
+    /// validation exists to forbid.)
+    ///
+    /// Routing: the first re-send rotates to a *different* replica of the
+    /// same shard — the unanswered one may be down, and its crash is
+    /// invisible here by design — and from the second firing on it
+    /// escalates to the shard primary, which is always eventually
+    /// reachable. The timer re-arms with exponential back-off while
+    /// anything is pending — a reply that is merely queued behind a busy
+    /// read lane should not draw repeated duplicate load onto the
+    /// primaries.
     fn on_read_retry(&mut self, ctx: &mut dyn Context, rid: ResultId) {
-        let (round, pending) = match self.reads.get_mut(&rid) {
-            Some(state) => {
-                state.backoff += 1;
-                let pending: Vec<(usize, DbCall)> = state
-                    .calls
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| state.outputs[*i].is_none())
-                    .map(|(i, c)| (i, c.clone()))
-                    .collect();
-                (state.round, pending)
-            }
-            None => return,
-        };
-        for (idx, call) in &pending {
-            self.send_read_call(ctx, rid, *idx, call, round, true);
+        let Some(state) = self.reads.get_mut(&rid) else { return };
+        state.backoff += 1;
+        let backoff = state.backoff;
+        let multi = state.calls.len() > 1;
+        ctx.trace(TraceKind::ReadRetried { rid, backoff });
+        let unanswered: Vec<usize> = state
+            .outputs
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_none())
+            .map(|(idx, _)| idx)
+            .collect();
+        let round = state.round;
+        let calls = state.calls.clone();
+        for idx in unanswered {
+            let call = &calls[idx];
+            let to_primary = backoff > 1 || self.read_to_primary(ctx.now(), multi, call.db);
+            self.send_read_call(ctx, rid, idx, call, round, to_primary, backoff);
         }
         let shift = self.reads[&rid].backoff.min(3);
         let delay = Dur(self.cfg.terminate_retry.0.saturating_mul(1 << shift));
@@ -741,8 +922,9 @@ impl AppServer {
             rid,
             Phase::Preparing { result, involved: involved.clone(), votes: HashMap::new() },
         );
+        let cross = involved.len() > 1;
         for db in involved {
-            ctx.send(db, Payload::Db(DbMsg::Prepare { rid }));
+            ctx.send(db, Payload::Db(DbMsg::Prepare { rid, cross }));
         }
     }
 
@@ -1198,22 +1380,45 @@ impl Process for AppServer {
             Event::Message { from, payload: Payload::DbReply(reply) } => match reply {
                 DbReplyMsg::ExecReply { rid, status } => self.on_exec_reply(ctx, rid, status),
                 DbReplyMsg::Vote { rid, vote } => self.on_vote(ctx, from, rid, vote),
-                DbReplyMsg::AckDecide { rid, seq, .. } => {
+                DbReplyMsg::AckDecide { rid, seq, lease, .. } => {
                     self.observe_shard_seq(from, seq);
+                    self.observe_shard_lease(from, lease);
                     self.on_ack_decide(ctx, from, rid);
                 }
-                DbReplyMsg::AckDecideBatch { entries, seq } => {
+                DbReplyMsg::AckDecideBatch { entries, seq, lease } => {
                     self.observe_shard_seq(from, seq);
+                    self.observe_shard_lease(from, lease);
                     for (rid, _) in entries {
                         self.on_ack_decide(ctx, from, rid);
                     }
                 }
-                DbReplyMsg::ReadReply { rid, call, round, outputs, pos, indoubt } => {
-                    self.on_read_reply(ctx, rid, call, round, outputs, pos, indoubt);
+                DbReplyMsg::ReadReply {
+                    rid,
+                    call,
+                    round,
+                    outputs,
+                    pos,
+                    indoubt,
+                    leased,
+                    lease,
+                } => {
+                    self.on_read_reply(
+                        ctx, from, rid, call, round, outputs, pos, indoubt, leased, lease,
+                    );
                 }
                 DbReplyMsg::Ready => self.on_ready(ctx, from),
                 DbReplyMsg::AckCommitOnePhase { .. } => { /* baseline-only message */ }
             },
+            // A shard primary's bare lease grant (startup establishment or
+            // the renewal heartbeat): fold the advert into the routing
+            // table so collects spread at in-lease followers even on
+            // workloads whose decide traffic would never piggyback one.
+            Event::Message {
+                from,
+                payload: Payload::Repl(ReplMsg::LeaseRenew { through, floor: _ }),
+            } => {
+                self.observe_shard_lease(from, Some(through));
+            }
             Event::Timer { tag, .. } => match tag {
                 TimerTag::Dispatch { rid, stage: 0 } => self.dispatch_rega(ctx, rid),
                 TimerTag::Dispatch { rid, stage: 1 } => self.dispatch_reads(ctx, rid),

@@ -24,13 +24,13 @@
 //! batch, where the same outcomes arriving as N separate `Decide`s would
 //! occupy it N times.
 
-use etx_base::config::{CostModel, SpeculationConfig};
+use etx_base::config::{CostModel, ReadLeaseConfig, SpeculationConfig};
 use etx_base::ids::{NodeId, ResultId};
 use etx_base::msg::{DbMsg, DbReplyMsg, Payload, ReplMsg};
 use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
 use etx_base::time::{Dur, Time};
 use etx_base::trace::{Component, TraceKind};
-use etx_base::value::Outcome;
+use etx_base::value::{Outcome, Vote};
 use etx_base::wal::{StableRecord, LOG_WAL};
 use etx_store::Engine;
 use std::collections::{HashMap, HashSet};
@@ -82,8 +82,80 @@ pub struct DbServer {
     /// When each speculatively pre-paid slot's device work completes —
     /// the instant a matching decision can be acknowledged, regardless of
     /// what else has been charged on the device since. Volatile, like the
-    /// device horizon itself.
+    /// device horizon itself. Kept in **lockstep** with the engine's
+    /// stash set ([`etx_store::Engine::spec_slot_ids`]): an inflight-cap
+    /// eviction that dropped the buffer must drop the pre-paid instant
+    /// too, and vice versa.
     spec_ready: HashMap<u64, Time>,
+    /// Read-lease knobs. Off by default: no grants, no renewal timer, no
+    /// lease fields on any outgoing message — byte-identical behavior to
+    /// the stamp-gated read path.
+    leases: ReadLeaseConfig,
+    /// Primary role: the latest lease expiry offered to this shard's
+    /// followers (what decide acknowledgements and primary-served read
+    /// replies advertise to application servers). Volatile — which is why
+    /// recovery installs [`DbServer::lease_fence`] instead of trusting it.
+    lease_granted: Time,
+    /// Follower role: the instant through which this replica's applied
+    /// prefix is authoritative (granted by the primary, renewed by
+    /// piggyback on commit shipments and by bare `LeaseRenew` frames).
+    /// Serving a fast-path read past this instant is forbidden.
+    lease_through: Time,
+    /// Primary role, recovery only: commit acknowledgements are withheld
+    /// until this instant, by which point every lease the pre-crash
+    /// incarnation could have granted has expired — a deposed primary's
+    /// leases drain before the recovered one acknowledges its first write.
+    lease_fence: Time,
+    /// Primary role: cross-shard XA branches currently live here (from
+    /// `Prepare` until their decide arrives), plus WAL-recovered prepared
+    /// branches after a crash. Lease renewal is **withheld** while this is
+    /// non-empty: a grant minted mid-branch would extend the window a
+    /// held vote must wait out, and the intent-staleness rule (a renewal
+    /// clears intents older than its mint) leans on every mint postdating
+    /// the settlement of everything prepared before it. Only populated
+    /// when leases are enabled.
+    unsettled_xa: HashSet<ResultId>,
+    /// Primary role: yes votes on cross-shard branches being withheld
+    /// until every follower acknowledges the branch's [`ReplMsg::Intent`]
+    /// — or until the escape horizon at which every lease outstanding
+    /// when the vote was computed has provably lapsed. This is the
+    /// soundness linchpin of follower-served collects: a decide can only
+    /// postdate its votes, so by the time *any* shard applies the
+    /// transaction, every in-lease follower of this shard either knows
+    /// the branch is in doubt (and forwards reads into the primary's
+    /// in-doubt veto) or holds no valid lease at all. Volatile: a crash
+    /// drops held votes with the rest of the in-flight work, and the
+    /// cleaner aborts the orphaned branches.
+    held_votes: HashMap<ResultId, HeldVote>,
+    /// Follower role: cross-shard branches announced as in doubt by this
+    /// shard's primary ([`ReplMsg::Intent`]) and not yet resolved. While
+    /// any intent is live the follower forwards fast-path reads to the
+    /// primary — the coarse, conservative counterpart of the primary's
+    /// key-level in-doubt veto. An intent resolves when the branch's
+    /// commit applies here, or when a lease renewal minted after the
+    /// branch settled arrives (which is how aborts — whose outcome never
+    /// ships — get cleared). Volatile, like the lease it guards.
+    live_intents: HashMap<ResultId, Time>,
+    /// Follower role: the grant floor of the lease held ([`ReplMsg::
+    /// LeaseRenew::floor`]): serving under the lease additionally requires
+    /// the applied position to have reached it, so a bare renewal can
+    /// never re-authorize a prefix that lost a commit shipment.
+    lease_floor: u64,
+}
+
+/// A yes vote a lease-granting primary is withholding on a cross-shard
+/// branch until its followers acknowledge the branch's in-doubt intent.
+struct HeldVote {
+    /// Where the vote reply goes (the preparing application server).
+    to: NodeId,
+    /// The withheld vote (always `Yes` — no votes are never held).
+    vote: Vote,
+    /// When the vote reply would have left without the hold (prepare
+    /// service time was charged normally); releasing never sends earlier
+    /// than this.
+    send_at: Time,
+    /// Followers that have acknowledged the intent so far.
+    acks: HashSet<NodeId>,
 }
 
 impl std::fmt::Debug for DbServer {
@@ -119,6 +191,14 @@ impl DbServer {
             read_busy_until: Time::ZERO,
             spec: SpeculationConfig::default(),
             spec_ready: HashMap::new(),
+            leases: ReadLeaseConfig::default(),
+            lease_granted: Time::ZERO,
+            lease_through: Time::ZERO,
+            lease_fence: Time::ZERO,
+            unsettled_xa: HashSet::new(),
+            held_votes: HashMap::new(),
+            live_intents: HashMap::new(),
+            lease_floor: 0,
         }
     }
 
@@ -126,6 +206,110 @@ impl DbServer {
     pub fn with_speculation(mut self, spec: SpeculationConfig) -> Self {
         self.spec = spec;
         self
+    }
+
+    /// Sets the read-lease knobs (builder style).
+    pub fn with_read_leases(mut self, leases: ReadLeaseConfig) -> Self {
+        self.leases = leases;
+        self
+    }
+
+    /// Whether this server grants leases at all: a lease-enabled shard
+    /// primary with at least one follower to grant to.
+    fn grants_leases(&self) -> bool {
+        self.leases.enabled && self.repl.sync_from.is_none() && !self.repl.followers.is_empty()
+    }
+
+    /// Whether a grant may be (re)issued right now. Renewal is withheld
+    /// while any cross-shard XA branch is live on this primary — see
+    /// [`etx_base::config::ReadLeaseConfig`] for why that timing is what
+    /// keeps in-lease follower collects transactionally atomic.
+    fn lease_safe(&self) -> bool {
+        self.grants_leases() && self.unsettled_xa.is_empty()
+    }
+
+    /// Issues a grant valid through `now + duration` (when permitted) and
+    /// records it as the latest offer. Returns what should ride the
+    /// outgoing message: the fresh grant, or `None` when withheld.
+    fn mint_lease(&mut self, now: Time) -> Option<Time> {
+        if !self.lease_safe() {
+            return None;
+        }
+        let through = now + self.leases.duration;
+        if through > self.lease_granted {
+            self.lease_granted = through;
+        }
+        Some(through)
+    }
+
+    /// Mints a grant (when safe) and pushes it as a bare `LeaseRenew`
+    /// frame to every follower — and to every application server, whose
+    /// routing table is what actually steers collects at followers: fed
+    /// only by piggybacked adverts, a read-only workload would stay blind
+    /// to the leases and keep routing collects at the primary. The startup
+    /// establishment and the renewal heartbeat both come through here.
+    fn grant_lease_now(&mut self, ctx: &mut dyn Context) {
+        if let Some(through) = self.mint_lease(ctx.now()) {
+            let floor = self.engine.ship_position();
+            ctx.trace(TraceKind::LeaseGrant { through });
+            for f in self.repl.followers.clone() {
+                ctx.send(f, Payload::Repl(ReplMsg::LeaseRenew { through, floor }));
+            }
+            for a in self.alist.clone() {
+                ctx.send(a, Payload::Repl(ReplMsg::LeaseRenew { through, floor }));
+            }
+        }
+    }
+
+    /// The escape horizon for a vote held right now: the instant by which
+    /// every lease this primary has outstanding — including any the
+    /// pre-crash incarnation could have granted, which is exactly what the
+    /// recovery fence bounds — has provably expired. Minting is withheld
+    /// while the branch is unsettled, so the horizon cannot move while a
+    /// hold is waiting on it.
+    fn vote_horizon(&self) -> Time {
+        self.lease_granted.max(self.lease_fence)
+    }
+
+    /// Releases a held cross-shard vote (all intents acknowledged, or the
+    /// escape horizon passed). No-op if the vote was already released —
+    /// the escape timer always fires eventually, acks or not. The vote
+    /// goes out no earlier than the instant its network delay would have
+    /// delivered it unheld; if the handshake outlasted that (an intent
+    /// ack round trip usually does), it goes out immediately.
+    fn release_vote(&mut self, ctx: &mut dyn Context, rid: ResultId) {
+        if let Some(h) = self.held_votes.remove(&rid) {
+            let dur =
+                if h.send_at > ctx.now() { h.send_at.since(ctx.now()) } else { Dur::ZERO };
+            ctx.send_after(dur, h.to, Payload::DbReply(DbReplyMsg::Vote { rid, vote: h.vote }));
+        }
+    }
+
+    /// The lease advertisement a primary attaches to decide
+    /// acknowledgements and read replies: the latest *offered* expiry, if
+    /// still in force. Advertising only what followers were actually
+    /// offered (rather than minting here) keeps application servers from
+    /// routing reads at followers whose own grants are older.
+    fn advertised_lease(&self, now: Time) -> Option<Time> {
+        if self.grants_leases() && self.lease_granted > now {
+            Some(self.lease_granted)
+        } else {
+            None
+        }
+    }
+
+    /// Applies the recovery write-ack fence to a commit acknowledgement's
+    /// reply delay: until every pre-crash lease has provably expired, no
+    /// decide may be acknowledged (the drain that keeps still-leased
+    /// followers' pre-crash prefixes consistent with everything any
+    /// application server has observed).
+    fn fence_ack(&self, ctx: &dyn Context, dur: Dur) -> Dur {
+        let now = ctx.now();
+        if self.lease_fence > now {
+            dur.max(self.lease_fence.since(now))
+        } else {
+            dur
+        }
     }
 
     /// Ships any freshly committed write sets to this shard's followers
@@ -138,6 +322,11 @@ impl DbServer {
         if self.repl.followers.is_empty() || batch.is_empty() {
             return;
         }
+        // Lease renewal rides the shipment itself: the follower that
+        // applies this batch is, at that instant, exactly as caught up as
+        // the grant asserts. Withheld (None) while a cross-shard branch is
+        // live — the follower's lease then simply runs out its term.
+        let lease = self.mint_lease(ctx.now());
         match batch.as_slice() {
             [(seq, rid, entries)] => {
                 for &f in &self.repl.followers {
@@ -147,13 +336,14 @@ impl DbServer {
                             seq: *seq,
                             rid: *rid,
                             entries: entries.clone(),
+                            lease,
                         }),
                     );
                 }
             }
             _ => {
                 for &f in &self.repl.followers {
-                    ctx.send(f, Payload::Repl(ReplMsg::ApplyBatch { items: batch.clone() }));
+                    ctx.send(f, Payload::Repl(ReplMsg::ApplyBatch { items: batch.clone(), lease }));
                 }
             }
         }
@@ -191,12 +381,35 @@ impl DbServer {
         ctx.send(primary, Payload::Repl(ReplMsg::SyncReq));
     }
 
+    /// Follower role: adopts a (piggybacked or bare) lease renewal carrying
+    /// grant floor `floor`, and expires intents the renewal settles.
+    fn renew_lease(&mut self, lease: Option<Time>, floor: u64) {
+        if let Some(through) = lease {
+            if self.leases.enabled && through > self.lease_through {
+                self.lease_through = through;
+                self.lease_floor = self.lease_floor.max(floor);
+                // A grant is minted only while no cross-shard branch is
+                // unsettled at the primary, so a branch whose intent was
+                // recorded strictly before this grant's mint instant
+                // (`through - duration`) had already been decided there:
+                // a commit is covered by the grant's floor, and an abort
+                // never becomes visible at all. Either way the intent is
+                // resolved.
+                let dur = self.leases.duration;
+                self.live_intents.retain(|_, at| *at + dur >= through);
+            }
+        }
+    }
+
     fn on_repl_msg(&mut self, ctx: &mut dyn Context, from: NodeId, msg: ReplMsg) {
         match msg {
-            ReplMsg::Apply { seq, rid, entries } => {
+            ReplMsg::Apply { seq, rid, entries, lease } => {
                 let res = self.engine.apply_replicated(seq, rid, entries);
                 for w in &res.writes {
                     ctx.trace(TraceKind::DbReplicated { rid: w.rec.rid() });
+                    // An applied commit resolves its in-doubt intent: the
+                    // transaction is now in this replica's served prefix.
+                    self.live_intents.remove(&w.rec.rid());
                 }
                 self.apply_log_writes(ctx, res.writes);
                 if res.need_sync {
@@ -204,15 +417,48 @@ impl DbServer {
                     // were down): pull a snapshot to jump over it.
                     self.request_sync(ctx);
                 }
+                // Adopt the piggybacked renewal only after applying, with
+                // the shipment's own position as its floor — the grant
+                // asserts exactly "caught up through this shipment", so a
+                // lost or gapped apply leaves the lease unservable rather
+                // than re-authorizing a stale prefix.
+                self.renew_lease(lease, seq);
             }
-            ReplMsg::ApplyBatch { items } => {
+            ReplMsg::ApplyBatch { items, lease } => {
+                let floor = items.iter().map(|(seq, _, _)| *seq).max().unwrap_or(0);
                 let res = self.engine.apply_replicated_batch(items);
                 for w in &res.writes {
                     ctx.trace(TraceKind::DbReplicated { rid: w.rec.rid() });
+                    self.live_intents.remove(&w.rec.rid());
                 }
                 self.apply_log_writes_grouped(ctx, res.writes);
                 if res.need_sync {
                     self.request_sync(ctx);
+                }
+                self.renew_lease(lease, floor);
+            }
+            ReplMsg::LeaseRenew { through, floor } => {
+                self.renew_lease(Some(through), floor);
+            }
+            ReplMsg::Intent { rid, at } => {
+                // Record the in-doubt branch and release the primary's held
+                // vote. Only meaningful on a lease-holding follower; a
+                // primary never receives intents (it sends them).
+                if self.leases.enabled && self.repl.sync_from.is_some() {
+                    self.live_intents.insert(rid, at);
+                    ctx.send(from, Payload::Repl(ReplMsg::IntentAck { rid }));
+                }
+            }
+            ReplMsg::IntentAck { rid } => {
+                let release = match self.held_votes.get_mut(&rid) {
+                    Some(h) => {
+                        h.acks.insert(from);
+                        h.acks.len() >= self.repl.followers.len()
+                    }
+                    None => false,
+                };
+                if release {
+                    self.release_vote(ctx, rid);
                 }
             }
             ReplMsg::SyncReq => {
@@ -274,16 +520,67 @@ impl DbServer {
                 ctx.trace(TraceKind::Span { rid, comp: Component::Sql, dur });
                 ctx.send_after(dur, from, Payload::DbReply(DbReplyMsg::ExecReply { rid, status }));
             }
-            DbMsg::Prepare { rid } => {
+            DbMsg::Prepare { rid, cross } => {
+                // Lease bookkeeping: from here until its decide arrives, a
+                // cross-shard branch is (or is about to be) in doubt on
+                // this primary, so lease renewal is withheld. Gated on the
+                // leases knob — the set stays empty (and renewal logic
+                // untouched) otherwise.
+                if self.leases.enabled
+                    && cross
+                    && self.repl.sync_from.is_none()
+                    && self.engine.decision(rid).is_none()
+                {
+                    self.unsettled_xa.insert(rid);
+                }
                 let (vote, writes) = self.engine.vote(rid);
                 self.apply_log_writes(ctx, writes);
                 let service = jittered(ctx, self.cost.db_prepare, self.cost.jitter);
                 let dur = self.charge_serial(ctx, service);
                 ctx.trace(TraceKind::DbVote { rid, vote });
                 ctx.trace(TraceKind::Span { rid, comp: Component::Prepare, dur: service });
-                ctx.send_after(dur, from, Payload::DbReply(DbReplyMsg::Vote { rid, vote }));
+                if self.held_votes.contains_key(&rid) {
+                    // Duplicate Prepare while the vote is held: the pending
+                    // release will answer it.
+                } else if vote == Vote::Yes
+                    && cross
+                    && self.grants_leases()
+                    && self.vote_horizon() > ctx.now()
+                {
+                    // Cross-shard vote hold: no coordinator may learn this
+                    // yes — and therefore no sibling shard may commit the
+                    // transaction — until every follower knows the branch
+                    // is in doubt, or every lease outstanding right now
+                    // has lapsed. Any later `fresh`/`stable` collect that
+                    // observes the transaction's effects at some shard
+                    // necessarily postdates this release, so an in-lease
+                    // follower here either forwards into the in-doubt veto
+                    // or is no longer leased. Intents are not
+                    // retransmitted: a lost one just rides out the escape
+                    // horizon (minting is withheld while the branch is
+                    // unsettled, so the horizon cannot grow meanwhile).
+                    ctx.trace(TraceKind::VoteHeld { rid });
+                    let at = ctx.now();
+                    self.held_votes.insert(
+                        rid,
+                        HeldVote { to: from, vote, send_at: ctx.now() + dur, acks: HashSet::new() },
+                    );
+                    for f in self.repl.followers.clone() {
+                        ctx.send(f, Payload::Repl(ReplMsg::Intent { rid, at }));
+                    }
+                    ctx.set_timer(
+                        self.vote_horizon().since(ctx.now()),
+                        TimerTag::VoteEscape { rid },
+                    );
+                } else {
+                    ctx.send_after(dur, from, Payload::DbReply(DbReplyMsg::Vote { rid, vote }));
+                }
             }
             DbMsg::Decide { rid, outcome } => {
+                self.unsettled_xa.remove(&rid);
+                // A decision makes a held vote moot (the cleaner can abort
+                // a branch whose vote never arrived): drop it unsent.
+                self.held_votes.remove(&rid);
                 let already = self.engine.decision(rid).is_some();
                 let (applied, writes) = self.engine.decide(rid, outcome);
                 self.apply_log_writes(ctx, writes);
@@ -303,10 +600,12 @@ impl DbServer {
                     self.charge_serial(ctx, service)
                 };
                 let seq = self.engine.ship_position();
+                let dur = self.fence_ack(ctx, dur);
+                let lease = self.advertised_lease(ctx.now());
                 ctx.send_after(
                     dur,
                     from,
-                    Payload::DbReply(DbReplyMsg::AckDecide { rid, outcome: applied, seq }),
+                    Payload::DbReply(DbReplyMsg::AckDecide { rid, outcome: applied, seq, lease }),
                 );
             }
             DbMsg::SpecExec { slot, entries } => {
@@ -345,13 +644,22 @@ impl DbServer {
                 // device horizon — is all the acknowledgement waits for.
                 let queued = self.charge_serial(ctx, service);
                 self.spec_ready.insert(slot, ctx.now() + queued);
-                while self.spec_ready.len() > self.spec.inflight_cap() {
-                    let oldest = *self.spec_ready.keys().min().expect("non-empty");
-                    self.spec_ready.remove(&oldest);
-                }
+                // Lockstep with the engine's inflight-cap eviction: the
+                // stash set is authoritative, so whatever `speculate`
+                // evicted to make room is dropped here too. Evicting from
+                // `spec_ready` alone would leave the engine holding a
+                // buffer that could later promote with no pre-paid
+                // instant — or leak forever on a never-decided slot.
+                let live: HashSet<u64> = self.engine.spec_slot_ids().into_iter().collect();
+                self.spec_ready.retain(|s, _| live.contains(s));
+                debug_assert!(self.spec_ready.contains_key(&slot));
                 ctx.trace(TraceKind::SpecExec { slot, len: entries.len() as u32 });
             }
             DbMsg::DecideBatch { slot, entries } => {
+                for (rid, _) in &entries {
+                    self.unsettled_xa.remove(rid);
+                    self.held_votes.remove(rid);
+                }
                 // Group commit: the whole batch applies behind ONE durable
                 // append and one commit-processing charge — the per-request
                 // cost the pipeline amortises away. Per-branch semantics
@@ -408,10 +716,16 @@ impl DbServer {
                         _ => Dur::ZERO,
                     };
                     let seq = self.engine.ship_position();
+                    let dur = self.fence_ack(ctx, dur);
+                    let lease = self.advertised_lease(ctx.now());
                     ctx.send_after(
                         dur,
                         from,
-                        Payload::DbReply(DbReplyMsg::AckDecideBatch { entries: p.acks, seq }),
+                        Payload::DbReply(DbReplyMsg::AckDecideBatch {
+                            entries: p.acks,
+                            seq,
+                            lease,
+                        }),
                     );
                     self.ship_commits(ctx);
                     return;
@@ -461,10 +775,12 @@ impl DbServer {
                     Dur::ZERO // pure re-delivery: answered from the memo
                 };
                 let seq = self.engine.ship_position();
+                let dur = self.fence_ack(ctx, dur);
+                let lease = self.advertised_lease(ctx.now());
                 ctx.send_after(
                     dur,
                     from,
-                    Payload::DbReply(DbReplyMsg::AckDecideBatch { entries: acks, seq }),
+                    Payload::DbReply(DbReplyMsg::AckDecideBatch { entries: acks, seq, lease }),
                 );
             }
             DbMsg::Read { rid, call, round, ops, min_seq, reply_to } => {
@@ -475,8 +791,32 @@ impl DbServer {
                 // preserved) to its primary, whose committed state is the
                 // source of truth the stamp was observed against.
                 let is_follower = self.repl.sync_from.is_some();
-                if is_follower && self.engine.repl_position() < min_seq {
+                // Lease mode: an in-lease follower's applied prefix is
+                // authoritative, so the only stamp it must still honour is
+                // the issuing client's own causality floor (read-your-writes
+                // across a lease boundary). Past expiry it behaves exactly
+                // like a stamp-gated lagging follower: forward to the
+                // primary.
+                let lease_expired =
+                    self.leases.enabled && is_follower && ctx.now() >= self.lease_through;
+                // Even inside the grant window, serving is refused when the
+                // applied prefix has not reached the grant's floor (a bare
+                // renewal must not paper over a lost commit shipment) or
+                // when any cross-shard branch is announced in doubt here —
+                // the forward lands the read on the primary, whose
+                // key-level in-doubt check vetoes fractured snapshots.
+                let lease_blocked = self.leases.enabled
+                    && is_follower
+                    && !lease_expired
+                    && (self.engine.repl_position() < self.lease_floor
+                        || !self.live_intents.is_empty());
+                if is_follower
+                    && (lease_expired || lease_blocked || self.engine.repl_position() < min_seq)
+                {
                     let primary = self.repl.sync_from.expect("follower has a primary");
+                    if lease_expired {
+                        ctx.trace(TraceKind::LeaseExpired { rid });
+                    }
                     ctx.trace(TraceKind::ReadForwarded {
                         rid,
                         have: self.engine.repl_position(),
@@ -505,6 +845,14 @@ impl DbServer {
                 let service = jittered(ctx, self.cost.sql_read, self.cost.jitter);
                 let dur = self.charge_read(ctx, service);
                 ctx.trace(TraceKind::Span { rid, comp: Component::Sql, dur: service });
+                // `leased` marks a lease-covered serve (a follower inside
+                // its grant, or the granting primary itself) — the issuer's
+                // snapshot validation accepts an all-leased collect without
+                // the position-stability rule. Only primaries advertise
+                // grants onward.
+                let leased =
+                    self.leases.enabled && (!is_follower || ctx.now() < self.lease_through);
+                let lease = if is_follower { None } else { self.advertised_lease(ctx.now()) };
                 ctx.send_after(
                     dur,
                     reply_to,
@@ -515,10 +863,13 @@ impl DbServer {
                         outputs,
                         pos,
                         indoubt,
+                        leased,
+                        lease,
                     }),
                 );
             }
             DbMsg::CommitOnePhase { rid } => {
+                self.unsettled_xa.remove(&rid);
                 let already = self.engine.decision(rid) == Some(Outcome::Commit);
                 let (ok, writes) = self.engine.commit_one_phase(rid);
                 self.apply_log_writes(ctx, writes);
@@ -530,6 +881,7 @@ impl DbServer {
                 } else {
                     Dur::ZERO
                 };
+                let dur = self.fence_ack(ctx, dur);
                 ctx.send_after(
                     dur,
                     from,
@@ -557,15 +909,56 @@ impl DbServer {
 impl Process for DbServer {
     fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
         match event {
-            Event::Init => {
-                // Fresh start: nothing to announce (Figure 3 takes
-                // `recovery = false` here).
+            // Fresh start: nothing to announce (Figure 3 takes
+            // `recovery = false` here). A lease-granting primary
+            // establishes leases immediately — a read burst that lands
+            // before the first heartbeat must find the followers
+            // already authoritative — then starts its renewal clock so
+            // grants stay alive through write-quiet stretches.
+            Event::Init if self.grants_leases() => {
+                self.grant_lease_now(ctx);
+                ctx.set_timer(self.leases.renew_period(), TimerTag::LeaseRenewTick);
             }
+            Event::Init => {}
             Event::Recovered => {
                 // Rebuild from the WAL over the seed data, then tell the
                 // application servers we are back (Figure 3 lines 1–2).
                 let log = ctx.log_read(LOG_WAL);
                 self.engine = Engine::recover_with_seed(self.seed_data.clone(), &log);
+                // The speculation pre-pay ledger is volatile device state;
+                // the rebuilt engine holds no speculation buffers either,
+                // so clearing keeps the two in lockstep across a crash.
+                self.spec_ready.clear();
+                // Prepared branches recovered from the WAL are live
+                // cross-shard work: lease renewal stays withheld until
+                // their decides arrive.
+                if self.leases.enabled {
+                    self.unsettled_xa = self.engine.prepared_rids().into_iter().collect();
+                }
+                // The pre-crash incarnation's grants are unknown (volatile
+                // bookkeeping): fence commit acknowledgements for one full
+                // lease term so every lease it could have granted provably
+                // expires before the recovered primary acks a write.
+                self.lease_granted = Time::ZERO;
+                self.lease_through = Time::ZERO;
+                // Held votes and in-doubt intents are volatile too: a lost
+                // vote is aborted by the cleaner, and a recovered follower
+                // cannot serve anything until a fresh renewal (whose floor
+                // forces full catch-up) arrives anyway.
+                self.held_votes.clear();
+                self.live_intents.clear();
+                self.lease_floor = 0;
+                if self.grants_leases() {
+                    self.lease_fence = ctx.now() + self.leases.duration;
+                    ctx.trace(TraceKind::LeaseFence { until: self.lease_fence });
+                    // Fresh grants are safe straight away — a lease only
+                    // authorizes serving the follower's *applied prefix*;
+                    // it is the write acknowledgements the fence delays.
+                    // (Minting is still withheld while WAL-recovered
+                    // prepared branches are unsettled, via `lease_safe`.)
+                    self.grant_lease_now(ctx);
+                    ctx.set_timer(self.leases.renew_period(), TimerTag::LeaseRenewTick);
+                }
                 for a in self.alist.clone() {
                     ctx.send(a, Payload::DbReply(DbReplyMsg::Ready));
                 }
@@ -581,6 +974,20 @@ impl Process for DbServer {
                     ctx.send(primary, Payload::Repl(ReplMsg::SyncReq));
                 }
                 ctx.set_timer(self.repl.sync_retry, TimerTag::ReplSyncRetry);
+            }
+            Event::Timer { tag: TimerTag::VoteEscape { rid }, .. } => {
+                // Escape horizon reached: every lease outstanding when the
+                // vote was held has lapsed, so releasing is safe even if
+                // some follower never acknowledged the intent.
+                self.release_vote(ctx, rid);
+            }
+            Event::Timer { tag: TimerTag::LeaseRenewTick, .. } => {
+                // Renewal heartbeat: grant when safe (withheld while a
+                // cross-shard branch is live — the follower's lease then
+                // runs out its term and reads forward to the primary's
+                // in-doubt veto), and always re-arm.
+                self.grant_lease_now(ctx);
+                ctx.set_timer(self.leases.renew_period(), TimerTag::LeaseRenewTick);
             }
             _ => {}
         }

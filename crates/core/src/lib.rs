@@ -70,6 +70,7 @@ mod tests {
             route_to_last_responder: false,
             batching: etx_base::config::BatchingConfig::default(),
             read_path: etx_base::config::ReadPathConfig::default(),
+            read_leases: etx_base::config::ReadLeaseConfig::default(),
             speculation: etx_base::config::SpeculationConfig::default(),
         };
         let fd_cfg = FdConfig {

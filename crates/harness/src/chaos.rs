@@ -94,6 +94,12 @@ pub struct ChaosOutcome {
     /// Decided slots whose speculation buffer was discarded and replayed
     /// (evidence that a run genuinely exercised mis-speculation recovery).
     pub spec_aborts: usize,
+    /// Read leases minted by shard primaries (evidence that a run
+    /// genuinely had leases outstanding when its faults landed).
+    pub lease_grants: usize,
+    /// Follower reads refused because the replica's lease had lapsed
+    /// (evidence that the staleness bound, not luck, kept reads fresh).
+    pub lease_expired_reads: usize,
 }
 
 impl ChaosOutcome {
@@ -226,6 +232,8 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
     let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    let (lease_grants, lease_expired_reads) =
+        (scenario.lease_grants(), scenario.lease_expired_reads());
     ChaosOutcome {
         seed,
         run,
@@ -236,6 +244,8 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         forwarded_reads,
         spec_hits,
         spec_aborts,
+        lease_grants,
+        lease_expired_reads,
     }
 }
 
@@ -303,6 +313,8 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
     let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    let (lease_grants, lease_expired_reads) =
+        (scenario.lease_grants(), scenario.lease_expired_reads());
     ChaosOutcome {
         seed,
         run,
@@ -313,6 +325,8 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         forwarded_reads,
         spec_hits,
         spec_aborts,
+        lease_grants,
+        lease_expired_reads,
     }
 }
 
@@ -382,6 +396,8 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
     let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    let (lease_grants, lease_expired_reads) =
+        (scenario.lease_grants(), scenario.lease_expired_reads());
     ChaosOutcome {
         seed,
         run,
@@ -392,6 +408,8 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         forwarded_reads,
         spec_hits,
         spec_aborts,
+        lease_grants,
+        lease_expired_reads,
     }
 }
 
@@ -449,6 +467,8 @@ pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
     let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    let (lease_grants, lease_expired_reads) =
+        (scenario.lease_grants(), scenario.lease_expired_reads());
     ChaosOutcome {
         seed,
         run,
@@ -459,6 +479,8 @@ pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         forwarded_reads,
         spec_hits,
         spec_aborts,
+        lease_grants,
+        lease_expired_reads,
     }
 }
 
@@ -537,6 +559,8 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let batched_slots = scenario.batched_slots();
     let forwarded_reads = scenario.reads_forwarded();
     let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    let (lease_grants, lease_expired_reads) =
+        (scenario.lease_grants(), scenario.lease_expired_reads());
     ChaosOutcome {
         seed,
         run,
@@ -547,5 +571,102 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         forwarded_reads,
         spec_hits,
         spec_aborts,
+        lease_grants,
+        lease_expired_reads,
+    }
+}
+
+/// The read-lease chaos scenario: the lease fast path (follower reads
+/// served with **no stamp check and no forward hop** while the replica's
+/// lease is live) runs under the two faults that attack its soundness
+/// argument directly:
+///
+/// * shard 0's **primary** — the lease grantor — is crash/recovery-cycled
+///   the moment the first fast-path read is classified, with leases
+///   outstanding at every replica and appserver. Recovery must fence its
+///   write acknowledgements until every lease its previous incarnation
+///   could have granted has lapsed (the failover drain), or a pre-crash
+///   in-lease read could contradict a post-crash acknowledged write;
+/// * shard 1's **replication stream** (primary → follower) is blocked for
+///   a window. Lease renewals ride that stream, so the follower must fall
+///   out of lease and start forwarding (`LeaseExpired`) no later than one
+///   lease duration after the partition — the staleness bound.
+///
+/// The full §3 specification is checked afterwards: exactly-once delivery,
+/// committed results only, and read-your-writes all have to survive the
+/// lease machinery's consensus-free serving.
+pub fn run_read_lease_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    use etx_base::config::ReadLeaseConfig;
+    let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0x1EA5_EFA1);
+    let shards = opts.shards.unwrap_or(4).max(2);
+    let replication = opts.replication.max(2);
+    let workload = Workload::ReadAfterWrite { accounts: shards * 8, amount: 10 };
+    let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .shards(shards)
+        .replication(replication)
+        .clients(opts.clients)
+        .requests(opts.requests)
+        .read_path(ReadPathConfig::follower_reads())
+        .read_leases(ReadLeaseConfig::fast_for_tests())
+        .workload(workload);
+    if opts.batch_size > 1 {
+        builder = builder.batching(opts.batch_size, Dur::from_millis(1));
+    }
+    let mut scenario = builder.build();
+
+    let mut faults = Vec::new();
+
+    // Fault 1: cycle shard 0's PRIMARY on the first classified fast-path
+    // read — the grantor dies with its leases still outstanding, so the
+    // post-recovery fence is what stands between in-lease follower serves
+    // and the recovered primary's fresh acknowledgements.
+    let grantor = scenario.shard_replicas(0)[0];
+    let down_for = Dur::from_millis(rng.range_u64(5, 30));
+    scenario.sim.on_trace(
+        move |ev| matches!(ev.kind, TraceKind::ReadFastPath { .. }),
+        FaultAction::CrashRecover(grantor, down_for),
+    );
+    faults.push(format!(
+        "cycle shard-0 primary {grantor} on the first fast-path read, back {down_for}"
+    ));
+
+    // Fault 2: block shard 1's replication stream — renewals stop with it,
+    // so the follower's lease lapses and its reads must forward instead of
+    // serving what is now unboundedly stale state.
+    let lag_primary = scenario.shard_replicas(1)[0];
+    let lag_follower = scenario.shard_replicas(1)[1];
+    let heal = Time(rng.range_u64(60, 150) * 1_000);
+    scenario.sim.block_link(lag_primary, lag_follower, heal);
+    faults.push(format!(
+        "block replication {lag_primary} → {lag_follower} until {heal} (lease starvation)"
+    ));
+
+    let expected = scenario.requests as usize;
+    let run = scenario.run_until_settled(expected);
+    let settled = run == RunOutcome::Predicate;
+    scenario.quiesce(Dur::from_millis(400));
+
+    let report = check(
+        scenario.sim.trace().events(),
+        &scenario.topo.clients,
+        LivenessChecks { t1: settled, t2: settled },
+    );
+    let batched_slots = scenario.batched_slots();
+    let forwarded_reads = scenario.reads_forwarded();
+    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
+    let (lease_grants, lease_expired_reads) =
+        (scenario.lease_grants(), scenario.lease_expired_reads());
+    ChaosOutcome {
+        seed,
+        run,
+        settled,
+        report,
+        faults,
+        batched_slots,
+        forwarded_reads,
+        spec_hits,
+        spec_aborts,
+        lease_grants,
+        lease_expired_reads,
     }
 }

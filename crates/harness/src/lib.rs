@@ -29,7 +29,7 @@ pub mod sweeps;
 pub mod workloads;
 
 pub use chaos::{
-    run_chaos, run_hot_shard_chaos, run_mid_batch_chaos, run_read_path_chaos,
+    run_chaos, run_hot_shard_chaos, run_mid_batch_chaos, run_read_lease_chaos, run_read_path_chaos,
     run_speculation_chaos, ChaosOptions, ChaosOutcome,
 };
 pub use figures::{figure1, figure1_all, figure7, figure8, Fig1Scenario, Fig8Table};

@@ -4,7 +4,7 @@
 use crate::workloads::Workload;
 use etx_base::config::{
     env_override, parse_toggle, BatchingConfig, CostModel, FdConfig, ProtocolConfig,
-    ReadPathConfig, SpeculationConfig,
+    ReadLeaseConfig, ReadPathConfig, SpeculationConfig,
 };
 use etx_base::ids::{NodeId, ResultId, Topology};
 use etx_base::shard::{ShardId, ShardMap, ShardSpec};
@@ -87,6 +87,10 @@ pub struct ScenarioBuilder {
     /// setting always wins over the `ETX_SPECULATION` process-wide
     /// override.
     speculation_explicit: bool,
+    /// Whether [`ScenarioBuilder::read_leases`] was called: an explicit
+    /// setting always wins over the `ETX_READ_LEASES` process-wide
+    /// override.
+    read_leases_explicit: bool,
 }
 
 impl ScenarioBuilder {
@@ -111,6 +115,7 @@ impl ScenarioBuilder {
             read_path_explicit: false,
             batching_explicit: false,
             speculation_explicit: false,
+            read_leases_explicit: false,
         }
     }
 
@@ -133,6 +138,7 @@ impl ScenarioBuilder {
             route_to_last_responder: false,
             batching: etx_base::config::BatchingConfig::default(),
             read_path: ReadPathConfig::default(),
+            read_leases: ReadLeaseConfig::default(),
             speculation: SpeculationConfig::default(),
         };
         b.fd = FdConfig {
@@ -217,6 +223,25 @@ impl ScenarioBuilder {
     pub fn read_path(mut self, cfg: ReadPathConfig) -> Self {
         self.pcfg.read_path = cfg;
         self.read_path_explicit = true;
+        self
+    }
+
+    /// Configures time-bounded read leases: shard primaries grant their
+    /// followers "my ship position is authoritative through T" and
+    /// advertise the grants to application servers, which then route any
+    /// fast-path read — multi-shard snapshot-validation collects included
+    /// — at in-lease followers with no stamp gate and no forward hop.
+    /// Only meaningful on top of an enabled read fast lane.
+    ///
+    /// The `ETX_READ_LEASES` environment variable pins the mode for
+    /// scenarios that do **not** call this method (`1`/`on` forces the
+    /// fast-test lease preset, `0`/`off` forces leases off) — the CI
+    /// read-path matrix's hook for running the whole suite down both
+    /// legs. An explicit `read_leases` call always wins over the
+    /// environment.
+    pub fn read_leases(mut self, cfg: ReadLeaseConfig) -> Self {
+        self.pcfg.read_leases = cfg;
+        self.read_leases_explicit = true;
         self
     }
 
@@ -314,6 +339,23 @@ impl ScenarioBuilder {
         if let Some(on) = env_override("ETX_SPECULATION", self.speculation_explicit, parse_toggle) {
             self.pcfg.speculation =
                 if on { SpeculationConfig::on() } else { SpeculationConfig::disabled() };
+        }
+        // ETX_READ_LEASES pins the lease mode — "1"/"on" forces the
+        // fast-test lease preset (duration scaled for the miniature cost
+        // model), "0"/"off" forces the stamp-gated route. The off leg must
+        // replay lease-less runs byte-for-byte — the golden-trace tests
+        // assert exactly that.
+        if let Some(on) = env_override("ETX_READ_LEASES", self.read_leases_explicit, parse_toggle) {
+            self.pcfg.read_leases =
+                if on { ReadLeaseConfig::fast_for_tests() } else { ReadLeaseConfig::disabled() };
+        }
+        // Leases exist to serve the read fast lane; without it there is
+        // nothing to lease-cover, so the grant machinery (renewal timers,
+        // piggybacked grants, recovery fences) stays out of the schedule
+        // entirely. This keeps the lease-on CI leg from perturbing every
+        // write-only scenario in the suite.
+        if !self.pcfg.read_path.enabled {
+            self.pcfg.read_leases = ReadLeaseConfig::disabled();
         }
         let db_count = match self.sharding {
             Some((shards, repl)) => shards as usize * repl,
@@ -473,6 +515,7 @@ impl ScenarioBuilder {
             };
             db_seeds.insert(node, data.clone());
             let spec = self.pcfg.speculation;
+            let leases = self.pcfg.read_leases;
             sim.add_node(
                 "db",
                 Box::new(move |_| {
@@ -483,7 +526,8 @@ impl ScenarioBuilder {
                             data.clone(),
                             repl.clone(),
                         )
-                        .with_speculation(spec),
+                        .with_speculation(spec)
+                        .with_read_leases(leases),
                     )
                 }),
             );
@@ -626,6 +670,30 @@ impl Scenario {
     /// primary (the freshness gate firing).
     pub fn reads_forwarded(&self) -> usize {
         self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadForwarded { .. }))
+    }
+
+    /// Count of timer-driven lease grants shard primaries issued (the
+    /// piggybacked renewals on commit shipments are untraced).
+    pub fn lease_grants(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::LeaseGrant { .. }))
+    }
+
+    /// Count of fast-path reads a follower refused because its read lease
+    /// had expired (each is followed by a `ReadForwarded` hop).
+    pub fn lease_expired_reads(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::LeaseExpired { .. }))
+    }
+
+    /// Count of write-ack fences recovering lease-granting primaries
+    /// installed (each withholds commit acks for one full lease term).
+    pub fn lease_fences(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::LeaseFence { .. }))
+    }
+
+    /// Count of retry-backstop firings for fast-path reads (each re-sends
+    /// the unanswered calls of the current collect).
+    pub fn reads_retried(&self) -> usize {
+        self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadRetried { .. }))
     }
 
     /// Count of snapshot-validation re-collects issued by multi-shard

@@ -154,6 +154,21 @@ impl Engine {
         matches!(self.branches.get(&rid).map(|b| b.state), Some(BranchState::Prepared))
     }
 
+    /// Every in-doubt (prepared, undecided) branch. Used by a recovering
+    /// lease-granting primary to rebuild its renewal-withholding set: a
+    /// WAL-recovered prepared branch is a live cross-shard transaction,
+    /// and leases must not be renewed while one exists.
+    pub fn prepared_rids(&self) -> Vec<ResultId> {
+        let mut rids: Vec<ResultId> = self
+            .branches
+            .iter()
+            .filter(|(_, b)| b.state == BranchState::Prepared)
+            .map(|(&rid, _)| rid)
+            .collect();
+        rids.sort_unstable();
+        rids
+    }
+
     /// Number of keys currently locked (diagnostics).
     pub fn locked_keys(&self) -> usize {
         self.locks.locked_keys()
@@ -530,6 +545,16 @@ impl Engine {
     /// Number of speculation buffers currently stashed.
     pub fn spec_slots(&self) -> usize {
         self.spec.len()
+    }
+
+    /// The proposed slots currently stashed, in ascending order. The host
+    /// keeps its per-slot bookkeeping (pre-paid completion instants) in
+    /// **lockstep** with this set: whatever the engine's inflight-cap
+    /// eviction dropped must be dropped there too, or a capped slot could
+    /// later promote a buffer that no longer exists — or be acknowledged
+    /// at an instant pre-paid for work that was thrown away.
+    pub fn spec_slot_ids(&self) -> Vec<u64> {
+        self.spec.keys().copied().collect()
     }
 
     /// One-phase commit for the unreliable baseline (Figure 7a): commit an

@@ -67,6 +67,7 @@ fn adaptive_routing_recovers_faster_after_primary_death() {
             route_to_last_responder: adaptive,
             batching: etx_base::config::BatchingConfig::default(),
             read_path: etx_base::config::ReadPathConfig::default(),
+            read_leases: etx_base::config::ReadLeaseConfig::default(),
             speculation: etx_base::config::SpeculationConfig::default(),
         };
         pcfg.route_to_last_responder = adaptive;

@@ -39,6 +39,17 @@ fn speculation_pinned() -> bool {
     )
 }
 
+/// `ETX_READ_LEASES=1` adds lease-renewal timers and grant frames to
+/// every read-path scenario with replication; the golden hashes pin the
+/// lease-*off* schedules, and the off leg is where the replay identity is
+/// asserted.
+fn leases_pinned() -> bool {
+    matches!(
+        std::env::var("ETX_READ_LEASES").ok().as_deref(),
+        Some("1") | Some("on") | Some("true")
+    )
+}
+
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
     for &b in bytes {
@@ -66,9 +77,9 @@ fn trace_bytes(mut s: Scenario, settle: usize) -> Vec<u8> {
 
 #[test]
 fn fast_path_off_replays_pre_existing_traces_byte_identically() {
-    if batching_pinned() || speculation_pinned() {
+    if batching_pinned() || speculation_pinned() || leases_pinned() {
         return; // hashes were captured at the default pipeline depth,
-                // with the strict decide-then-execute order
+                // with the strict decide-then-execute order, lease-free
     }
     // Scenario 1: flat back end, primary crash mid-protocol (the
     // determinism suite's failover run).
@@ -538,5 +549,80 @@ fn concurrent_reads_never_abort_writers() {
         fast_aborts <= slow_aborts,
         "lock-free reads must not create aborts the locking route avoids \
          (fast {fast_aborts} vs slow {slow_aborts})"
+    );
+}
+
+// ---- retry rotation and epoch restart (regression) --------------------------
+
+/// A read target that crashes with calls in flight must neither stall
+/// the read nor stampede straight to the primaries. The backstop's first
+/// firing restarts a multi-shard collect as a **fresh wire epoch** —
+/// every stamp re-observed at one instant, stale replies dropped by the
+/// round check — and rotates each call to a *different* replica of the
+/// same shard; only the second firing escalates to the shard primary.
+/// Pure reads on frozen state make any mis-rotation or fractured stamp
+/// refresh visible as a wrong value or an unsettled request.
+#[test]
+fn read_retry_rotates_replicas_before_escalating_to_primaries() {
+    let mut retried_total = 0usize;
+    let mut rotated_serve = false;
+    for seed in [11u64, 42, 170, 901] {
+        let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+            .shards(4)
+            .replication(3)
+            .clients(3)
+            .requests(9)
+            .read_path(ReadPathConfig::follower_reads())
+            .workload(Workload::ReadMostly { accounts: 24, read_pct: 100, amount: 10 })
+            .build();
+        // Kill one shard-0 replica just as the read burst takes off and
+        // bring it back long after: every call routed at it goes
+        // unanswered until the backstop rotates the pick.
+        let victim = s.shard_replicas(0)[1];
+        s.sim.crash_at(etx::base::time::Time(200), victim);
+        s.sim.recover_at(etx::base::time::Time(60_000), victim);
+        let n = s.requests as usize;
+        let out = s.run_until_settled(n);
+        assert_eq!(out, etx::sim::RunOutcome::Predicate, "seed {seed}: must settle");
+        s.quiesce(Dur::from_millis(100));
+        // Frozen state: every delivered read is exact.
+        for (rid, decision) in read_deliveries(&s) {
+            assert_eq!(decision.outcome, Outcome::Commit, "seed {seed}, {rid}");
+            let result = decision.result.expect("reads carry results");
+            for (label, value) in result.entries.iter().filter(|(l, _)| l.starts_with("acct")) {
+                assert_eq!(*value, 1_000, "seed {seed}, {rid}, {label}: wrong frozen value");
+            }
+        }
+        retried_total += s.reads_retried();
+        // The escalation ladder is short: rotate once, then primary. A
+        // backoff past 2 would mean the backstop kept shooting past a
+        // live, answering primary.
+        let mut first_retry: std::collections::HashMap<etx::base::ids::ResultId, _> =
+            std::collections::HashMap::new();
+        for e in s.sim.trace().events() {
+            if let TraceKind::ReadRetried { rid, backoff } = e.kind {
+                assert!(
+                    backoff <= 2,
+                    "seed {seed}, {rid}: retry escalated past the primary tier (backoff {backoff})"
+                );
+                first_retry.entry(rid).or_insert(e.at);
+            }
+        }
+        // S2's point: the first firing lands on a *replica*, not the
+        // primary — somewhere in the sweep a retried read must end up
+        // follower-served after its retry.
+        for e in s.sim.trace().events() {
+            if let TraceKind::FollowerRead { rid } = e.kind {
+                if first_retry.get(&rid).is_some_and(|&t| e.at > t) {
+                    rotated_serve = true;
+                }
+            }
+        }
+    }
+    assert!(retried_total >= 1, "the sweep never exercised the read-retry backstop");
+    assert!(
+        rotated_serve,
+        "no retried read was ever served by a rotated-to follower — the first \
+         backstop firing is escalating straight to the primaries"
     );
 }

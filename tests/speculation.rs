@@ -265,3 +265,32 @@ proptest! {
         prop_assert_eq!(primary.spec_slots(), 0, "every stash resolved or discarded");
     }
 }
+
+#[test]
+fn inflight_cap_evictions_keep_prepay_ledger_and_buffers_in_lockstep() {
+    // A cap of one slot forces an eviction on every overlapping proposal:
+    // each new SpecExec throws out the previous slot's buffer, and the
+    // pre-paid device instant must go with it. A ledger that survives its
+    // buffer would either ack a later promotion against a stale instant
+    // or leak entries on never-decided slots; a buffer that survives its
+    // ledger entry would promote with no pre-paid time at all. Under the
+    // churn, the pipeline must still settle every request and end in the
+    // strict pipeline's exact durable state.
+    let capped = SpeculationConfig { enabled: true, max_inflight_slots: 1 };
+    let on = settle(burst(907, capped));
+    let off = settle(burst(907, SpeculationConfig::disabled()));
+    let expected = on.requests as usize;
+    assert_eq!(on.delivered_commits(), expected);
+    assert_eq!(off.delivered_commits(), expected);
+    assert!(on.spec_execs() >= 1, "the capped burst must still ship speculative batches");
+    for shard in 0..2 {
+        let reference = off.rebuilt_committed(off.shard_primary(shard));
+        for &replica in on.shard_replicas(shard) {
+            assert_eq!(
+                on.rebuilt_committed(replica),
+                reference,
+                "cap-evicted replica {replica} of shard {shard} diverged from the strict run"
+            );
+        }
+    }
+}
