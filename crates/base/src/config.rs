@@ -331,6 +331,107 @@ pub fn parse_toggle(v: &str) -> Option<bool> {
     }
 }
 
+/// The optional protocol features layered over the paper's core pipeline,
+/// gathered in one place: commit-pipeline batching, the read fast lane,
+/// time-bounded read leases, and speculative batch execution. The default
+/// set is every feature off — the paper-faithful shape, byte-for-byte.
+///
+/// ## Override precedence (the one rule)
+///
+/// Every feature knob resolves the same way, strongest first:
+///
+/// 1. **Explicit builder call** (`.features(..)` or a per-knob method such
+///    as `.batching(..)`) — a test that pins a knob means it.
+/// 2. **Environment variable** (`ETX_BATCH_SIZE`, `ETX_READ_PATH`,
+///    `ETX_READ_LEASES`, `ETX_SPECULATION`) — the CI matrix hook that pins
+///    every scenario which left the knob at its default.
+/// 3. **Default** — feature off.
+///
+/// [`FeatureSet::apply_env`] implements steps 2–3 against the explicitness
+/// record, routed through [`env_override`] per knob so the rule cannot be
+/// reimplemented inconsistently.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FeatureSet {
+    /// Commit-pipeline batching: how request outcomes group into
+    /// decision-log slots (default: batches of one — the paper's shape).
+    pub batching: BatchingConfig,
+    /// Read fast lane: consensus-free routing of read-only scripts
+    /// (default: disabled — reads take the paper's commit route).
+    pub read_path: ReadPathConfig,
+    /// Time-bounded read leases on the shard replica groups (default:
+    /// disabled — follower reads stay freshness-stamp gated).
+    pub read_leases: ReadLeaseConfig,
+    /// Speculative batch execution: overlap commit application with the
+    /// consensus round (default: disabled — strict decide-then-execute).
+    pub speculation: SpeculationConfig,
+}
+
+/// Which [`FeatureSet`] knobs a scenario set explicitly. An explicit knob
+/// is immune to its environment variable (precedence rule above); the
+/// `.features(..)` builder entry marks all four at once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeatureExplicit {
+    /// `.batching(..)` (or `.features(..)`) was called.
+    pub batching: bool,
+    /// `.read_path(..)` (or `.features(..)`) was called.
+    pub read_path: bool,
+    /// `.read_leases(..)` (or `.features(..)`) was called.
+    pub read_leases: bool,
+    /// `.speculation(..)` (or `.features(..)`) was called.
+    pub speculation: bool,
+}
+
+impl FeatureExplicit {
+    /// Every knob explicit — the `.features(..)` builder entry.
+    pub fn all() -> Self {
+        FeatureExplicit { batching: true, read_path: true, read_leases: true, speculation: true }
+    }
+}
+
+impl FeatureSet {
+    /// Applies the environment-variable layer of the precedence rule: each
+    /// knob the scenario did not set explicitly may be pinned by its CI
+    /// matrix variable. `batch_window` is the flush deadline an env-forced
+    /// pipeline depth gets (callers pass a cadence already scaled to the
+    /// scenario's cost model, e.g. the cleaner interval).
+    ///
+    /// * `ETX_BATCH_SIZE=<n>` forces the pipeline depth.
+    /// * `ETX_READ_PATH=1|0` forces the read fast lane (with follower
+    ///   reads) on or the historical commit route.
+    /// * `ETX_READ_LEASES=1|0` forces the fast-test lease preset or the
+    ///   stamp-gated route.
+    /// * `ETX_SPECULATION=1|0` overlaps batch execution with the consensus
+    ///   round or keeps strict decide-then-execute.
+    pub fn apply_env(&mut self, explicit: FeatureExplicit, batch_window: Dur) {
+        if let Some(size) =
+            env_override("ETX_BATCH_SIZE", explicit.batching, |v| v.parse::<usize>().ok())
+        {
+            let window = if size > 1 { batch_window } else { Dur::ZERO };
+            self.batching = BatchingConfig::new(size, window);
+        }
+        if let Some(on) = env_override("ETX_READ_PATH", explicit.read_path, parse_toggle) {
+            self.read_path =
+                if on { ReadPathConfig::follower_reads() } else { ReadPathConfig::disabled() };
+        }
+        if let Some(on) = env_override("ETX_SPECULATION", explicit.speculation, parse_toggle) {
+            self.speculation =
+                if on { SpeculationConfig::on() } else { SpeculationConfig::disabled() };
+        }
+        if let Some(on) = env_override("ETX_READ_LEASES", explicit.read_leases, parse_toggle) {
+            self.read_leases =
+                if on { ReadLeaseConfig::fast_for_tests() } else { ReadLeaseConfig::disabled() };
+        }
+        // Leases exist to serve the read fast lane; without it there is
+        // nothing to lease-cover, so the grant machinery (renewal timers,
+        // piggybacked grants, recovery fences) stays out of the schedule
+        // entirely. This keeps the lease-on CI leg from perturbing every
+        // write-only scenario in the suite.
+        if !self.read_path.enabled {
+            self.read_leases = ReadLeaseConfig::disabled();
+        }
+    }
+}
+
 /// Tunables of the e-Transaction protocol itself.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolConfig {
@@ -357,18 +458,10 @@ pub struct ProtocolConfig {
     /// client sends retries to the server that answered it last instead of
     /// always starting at `a1`.
     pub route_to_last_responder: bool,
-    /// Commit-pipeline batching: how request outcomes group into
-    /// decision-log slots (default: batches of one — the paper's shape).
-    pub batching: BatchingConfig,
-    /// Read fast lane: consensus-free routing of read-only scripts
-    /// (default: disabled — reads take the paper's commit route).
-    pub read_path: ReadPathConfig,
-    /// Time-bounded read leases on the shard replica groups (default:
-    /// disabled — follower reads stay freshness-stamp gated).
-    pub read_leases: ReadLeaseConfig,
-    /// Speculative batch execution: overlap commit application with the
-    /// consensus round (default: disabled — strict decide-then-execute).
-    pub speculation: SpeculationConfig,
+    /// The optional protocol features (batching, read fast lane, read
+    /// leases, speculation), defaulting to all-off — the paper's shape.
+    /// See [`FeatureSet`] for the one override-precedence rule.
+    pub features: FeatureSet,
 }
 
 impl Default for ProtocolConfig {
@@ -381,10 +474,7 @@ impl Default for ProtocolConfig {
             consensus_resync: Dur::from_millis(120),
             consensus_round_patience: Dur::from_millis(40),
             route_to_last_responder: false,
-            batching: BatchingConfig::default(),
-            read_path: ReadPathConfig::default(),
-            read_leases: ReadLeaseConfig::default(),
-            speculation: SpeculationConfig::default(),
+            features: FeatureSet::default(),
         }
     }
 }
@@ -510,6 +600,28 @@ impl CostModel {
     /// Mid-point one-way network latency (used by analytic step costing).
     pub fn net_mean(&self) -> Dur {
         Dur((self.net_min.0 + self.net_max.0) / 2)
+    }
+
+    /// Every service time zero and no jitter: nothing stalls on a modelled
+    /// cost. On the simulator this collapses latency to pure message
+    /// ordering; on the threaded backend it is the honest wall-clock
+    /// configuration — throughput bounded by the hardware (threads, locks,
+    /// channels), not by sleeps replaying the paper's 1999 testbed.
+    pub fn zeroed() -> Self {
+        CostModel {
+            net_min: Dur::ZERO,
+            net_max: Dur::ZERO,
+            start: Dur::ZERO,
+            end: Dur::ZERO,
+            sql: Dur::ZERO,
+            sql_read: Dur::ZERO,
+            sql_xa_overhead: Dur::ZERO,
+            db_prepare: Dur::ZERO,
+            db_commit: Dur::ZERO,
+            db_abort: Dur::ZERO,
+            log_force: Dur::ZERO,
+            jitter: 0.0,
+        }
     }
 }
 
@@ -643,12 +755,44 @@ mod tests {
         let p = ProtocolConfig::default();
         assert!(p.client_backoff > p.terminate_retry);
         assert!(!p.route_to_last_responder, "paper-faithful default");
-        assert!(!p.batching.is_batching(), "paper-faithful default pipeline");
-        assert!(!p.read_path.enabled, "paper-faithful default read route");
-        assert!(!p.read_leases.enabled, "paper-faithful default follower gate");
-        assert!(!p.speculation.enabled, "paper-faithful default execute order");
+        assert!(!p.features.batching.is_batching(), "paper-faithful default pipeline");
+        assert!(!p.features.read_path.enabled, "paper-faithful default read route");
+        assert!(!p.features.read_leases.enabled, "paper-faithful default follower gate");
+        assert!(!p.features.speculation.enabled, "paper-faithful default execute order");
         let fd = FdConfig::default();
         assert!(fd.initial_timeout > fd.heartbeat_every);
         assert!(fd.max_timeout > fd.initial_timeout);
+    }
+
+    #[test]
+    fn explicit_features_are_immune_to_env() {
+        // An all-explicit set never consults the environment at all (the
+        // env closure would otherwise fire on ambient CI matrix variables,
+        // making this test flaky under the matrix — immunity is the point).
+        let mut f = FeatureSet {
+            batching: BatchingConfig::new(8, Dur::from_millis(1)),
+            read_path: ReadPathConfig::follower_reads(),
+            read_leases: ReadLeaseConfig::fast_for_tests(),
+            speculation: SpeculationConfig::on(),
+        };
+        let before = f;
+        f.apply_env(FeatureExplicit::all(), Dur::from_millis(5));
+        assert_eq!(f, before, "explicit knobs beat any environment");
+    }
+
+    #[test]
+    fn leases_require_the_read_lane() {
+        let mut f =
+            FeatureSet { read_leases: ReadLeaseConfig::fast_for_tests(), ..FeatureSet::default() };
+        f.apply_env(FeatureExplicit::all(), Dur::ZERO);
+        assert!(!f.read_leases.enabled, "leases without the fast lane are inert and disabled");
+    }
+
+    #[test]
+    fn zeroed_cost_model_never_stalls() {
+        let z = CostModel::zeroed();
+        assert_eq!(z.net_mean(), Dur::ZERO);
+        assert_eq!(z.log_force + z.sql + z.start + z.end, Dur::ZERO);
+        assert_eq!(z.jitter, 0.0);
     }
 }

@@ -35,6 +35,7 @@ pub mod error;
 pub mod ids;
 pub mod msg;
 pub mod retry;
+pub mod rng;
 pub mod runtime;
 pub mod shard;
 pub mod time;

@@ -1,12 +1,14 @@
-//! Deterministic pseudo-random number generation for the simulator.
+//! Deterministic pseudo-random number generation for the runtime backends.
 //!
-//! The kernel deliberately does **not** use the `rand` crate: simulation
-//! schedules must stay bit-identical across dependency upgrades, because
-//! regression tests pin behaviour to seeds. SplitMix64 is tiny, fast, passes
-//! BigCrush when used as a stream, and — most importantly — is fully
-//! specified right here.
+//! The simulation kernel deliberately does **not** use the `rand` crate:
+//! simulation schedules must stay bit-identical across dependency upgrades,
+//! because regression tests pin behaviour to seeds. SplitMix64 is tiny,
+//! fast, passes BigCrush when used as a stream, and — most importantly — is
+//! fully specified right here. The threaded backend reuses it for per-node
+//! process randomness (deterministic per node, though thread interleaving
+//! of course is not).
 
-use etx_base::time::Dur;
+use crate::time::Dur;
 
 /// A seedable SplitMix64 generator.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -6,14 +6,19 @@
 //! timers, lifecycle notifications) and reacts through a [`Context`]
 //! (sending messages, arming timers, reading the clock, tracing).
 //!
-//! Writing protocols against `dyn Context` keeps them runtime-agnostic: the
-//! deterministic simulator in `etx-sim` is the primary host, but the same
-//! state machines could be driven by a thread-per-node or async runtime.
+//! Writing protocols against `dyn Context` keeps them runtime-agnostic, and
+//! the [`Host`] trait is the other half of that seam: a host owns node
+//! registration, the run loop, and the trace sink. Two hosts exist — the
+//! deterministic discrete-event simulator in `etx-sim` (virtual clock,
+//! byte-identical replay, first-class fault injection) and the
+//! multi-threaded backend in `etx-rt` (one OS thread and inbox per node,
+//! real monotonic clocks, wall-clock numbers). The *identical* protocol
+//! state machines run on both.
 
 use crate::ids::{NodeId, RegId, ResultId, TimerId};
 use crate::msg::Payload;
 use crate::time::{Dur, Time};
-use crate::trace::TraceKind;
+use crate::trace::{MsgStats, Trace, TraceKind};
 use crate::wal::StableRecord;
 
 /// What a timer means when it fires. Like [`Payload`], timer vocabulary is
@@ -225,8 +230,13 @@ pub fn jittered(ctx: &mut dyn Context, d: Dur, frac: f64) -> Dur {
     d.scaled(factor)
 }
 
-/// A protocol participant: one state machine per simulated process.
-pub trait Process {
+/// A protocol participant: one state machine per hosted process.
+///
+/// `Send` is a supertrait because the threaded runtime backend moves each
+/// process onto its own OS thread (and hands it back at shutdown for
+/// post-run introspection). Processes are plain owned data, so this costs
+/// implementors nothing.
+pub trait Process: Send {
     /// Handles one event. All sends/timers go through `ctx`. The handler
     /// runs to completion instantaneously in simulated time; real elapsed
     /// work is modelled with [`Context::send_after`] / dispatch timers.
@@ -243,6 +253,103 @@ pub trait Process {
     fn as_any(&self) -> Option<&dyn core::any::Any> {
         None
     }
+}
+
+/// A process factory: invoked at node creation and — on hosts that support
+/// crash/recovery — again at every recovery (volatile state is rebuilt from
+/// scratch; stable storage persists). `Send` because the threaded backend
+/// moves factories onto node threads.
+pub type NodeFactory = Box<dyn FnMut(NodeId) -> Box<dyn Process> + Send>;
+
+/// Why a host run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The caller's predicate became true.
+    Predicate,
+    /// The event queue drained completely (simulator only; a threaded run
+    /// always has live timers).
+    Exhausted,
+    /// The host's clock exceeded its configured limit.
+    TimeLimit,
+    /// More than the configured number of events were processed.
+    EventLimit,
+}
+
+/// Which runtime backend hosts a scenario. The selector the harness's
+/// `ScenarioBuilder::runtime` knob and the `ETX_RUNTIME` environment
+/// variable resolve to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RuntimeKind {
+    /// The deterministic discrete-event simulator (`etx-sim`): virtual
+    /// clock, byte-identical replay per seed, first-class fault injection.
+    /// The default — every deterministic test and golden trace lives here.
+    #[default]
+    Sim,
+    /// The multi-threaded backend (`etx-rt`): one OS thread and inbox per
+    /// node, real monotonic clocks, wall-clock throughput. No determinism,
+    /// no fault injection — by design.
+    Threaded,
+}
+
+impl RuntimeKind {
+    /// Parses an `ETX_RUNTIME` value (`sim` | `threaded`; unknown values
+    /// are ignored so a typo falls back rather than silently re-routing
+    /// the whole suite).
+    pub fn parse(v: &str) -> Option<RuntimeKind> {
+        match v {
+            "sim" => Some(RuntimeKind::Sim),
+            "threaded" | "thread" | "rt" => Some(RuntimeKind::Threaded),
+            _ => None,
+        }
+    }
+
+    /// Stable label (diagnostics, bench tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeKind::Sim => "sim",
+            RuntimeKind::Threaded => "threaded",
+        }
+    }
+}
+
+/// A runtime backend hosting a set of [`Process`] state machines.
+///
+/// A host owns the three things the harness seam needs and nothing more:
+/// **node registration** (ids contiguous in registration order, so
+/// `Topology::new` layouts hold on every backend), the **run loop**, and
+/// the **trace/stats sink** the experiment accessors read. Everything
+/// beyond this — fault injection, virtual-time stepping, storage
+/// inspection mid-run — is a backend capability, exposed on the concrete
+/// type and gated by [`Host::supports_fault_injection`]-style probes.
+pub trait Host {
+    /// Registers a node. Ids are assigned contiguously in registration
+    /// order. The factory builds the process at startup (and again at every
+    /// recovery, on hosts that can crash nodes).
+    fn add_node(&mut self, name: &'static str, factory: NodeFactory) -> NodeId;
+
+    /// Current time on this host's clock (virtual for the simulator,
+    /// monotonic-since-start for the threaded backend).
+    fn host_now(&self) -> Time;
+
+    /// Drives the system until `pred` over the collected trace holds, the
+    /// host's own limits hit, or (simulator only) the event queue drains.
+    fn run_trace_until(&mut self, pred: Box<dyn FnMut(&Trace) -> bool + '_>) -> RunOutcome;
+
+    /// Lets in-flight background work (decide pushes, acks) drain for
+    /// `extra` on this host's clock.
+    fn quiesce_for(&mut self, extra: Dur);
+
+    /// Read access to the trace sink. Callback-shaped because the threaded
+    /// backend keeps the sink behind a lock.
+    fn with_trace(&self, f: &mut dyn FnMut(&Trace));
+
+    /// Read access to the message statistics sink.
+    fn with_stats(&self, f: &mut dyn FnMut(&MsgStats));
+
+    /// Whether this host can inject faults (crashes, partitions, link
+    /// blocks). Deterministic-chaos tooling must check this and reject
+    /// unsupported backends loudly rather than silently not injecting.
+    fn supports_fault_injection(&self) -> bool;
 }
 
 #[cfg(test)]

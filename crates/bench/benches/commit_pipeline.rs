@@ -37,7 +37,7 @@
 //!   off.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use etx_base::config::SpeculationConfig;
+use etx_base::config::{BatchingConfig, SpeculationConfig};
 use etx_base::time::Dur;
 use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
 use std::hint::black_box;
@@ -65,7 +65,7 @@ fn run_once(shards: u32, batch: usize, spec: bool, seed: u64) -> (f64, f64, usiz
         .requests(REQUESTS)
         .speculation(spec_cfg);
     if batch > 1 {
-        b = b.batching(batch, flush_window(shards));
+        b = b.batching(BatchingConfig::new(batch, flush_window(shards)));
     }
     let mut s = b.build();
     let expected = s.requests as usize;
@@ -73,7 +73,7 @@ fn run_once(shards: u32, batch: usize, spec: bool, seed: u64) -> (f64, f64, usiz
     assert_eq!(out, etx_sim::RunOutcome::Predicate, "pipeline bench run must settle");
     let lats = s.request_latencies_ms();
     let mean_ms = lats.iter().sum::<f64>() / lats.len() as f64;
-    let span_s = s.sim.now().as_millis_f64() / 1_000.0;
+    let span_s = s.now().as_millis_f64() / 1_000.0;
     (mean_ms, s.delivered_commits() as f64 / span_s, s.spec_hits())
 }
 

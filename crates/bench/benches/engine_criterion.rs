@@ -59,7 +59,7 @@ fn bench_simulation(c: &mut Criterion) {
             seed += 1;
             let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed).build();
             let out = s.run_until_settled(1);
-            black_box((out, s.sim.processed()))
+            black_box((out, s.sim().processed()))
         })
     });
 
@@ -69,7 +69,7 @@ fn bench_simulation(c: &mut Criterion) {
             seed += 1;
             let mut s = ScenarioBuilder::fast(MiddleTier::Baseline, seed).build();
             let out = s.run_until_settled(1);
-            black_box((out, s.sim.processed()))
+            black_box((out, s.sim().processed()))
         })
     });
 }

@@ -30,7 +30,7 @@
 //! message payloads shared by refcount instead of deep-copying.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use etx_base::config::{ReadLeaseConfig, ReadPathConfig};
+use etx_base::config::{BatchingConfig, ReadLeaseConfig, ReadPathConfig};
 use etx_base::time::Dur;
 use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
 use std::hint::black_box;
@@ -83,7 +83,7 @@ fn run_once(shards: u32, read_pct: u8, route: Route, seed: u64) -> (f64, f64, u6
         .replication(2)
         .clients(CLIENTS)
         .requests(REQUESTS)
-        .batching(8, Dur::from_millis(1))
+        .batching(BatchingConfig::new(8, Dur::from_millis(1)))
         .read_path(route.config())
         .read_leases(route.leases())
         .workload(Workload::ReadMostly { accounts: shards * 8, read_pct, amount: 1 })
@@ -93,7 +93,7 @@ fn run_once(shards: u32, read_pct: u8, route: Route, seed: u64) -> (f64, f64, u6
     assert_eq!(out, etx_sim::RunOutcome::Predicate, "read-path bench run must settle");
     let lats = s.request_latencies_ms();
     let mean_ms = lats.iter().sum::<f64>() / lats.len() as f64;
-    let span_s = s.sim.now().as_millis_f64() / 1_000.0;
+    let span_s = s.now().as_millis_f64() / 1_000.0;
     (mean_ms, s.delivered_commits() as f64 / span_s, etx_base::value::shared_op_elems())
 }
 

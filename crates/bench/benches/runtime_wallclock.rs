@@ -1,0 +1,110 @@
+//! X8 — the runtime seam's price tag: the same workload hosted by the
+//! deterministic simulator and by the multi-threaded backend, timed on
+//! the *wall clock*.
+//!
+//! An open-loop burst (16 clients × 8 requests fired concurrently,
+//! replication factor 2) runs at 1 and 16 hash shards on both runtimes.
+//! Both legs use `CostModel::zeroed()`: with every modelled service time
+//! at zero the simulator leg measures pure discrete-event dispatch, and
+//! the threaded leg measures real thread/channel/lock overhead instead
+//! of sleeping out the model — an honest hardware-bound comparison, not
+//! a comparison of configured sleeps. (The threaded backend ignores the
+//! simulated network model entirely; sends are real mpsc pushes.)
+//!
+//! The printed rows — wall-clock milliseconds to settle and committed
+//! requests per wall second — are recorded in `BENCH_runtime.json`. The
+//! acceptance bars are deliberately machine-independent: every leg must
+//! settle completely (exactly-once, all requests committed) and no leg
+//! may take longer than `WALL_CAP` — a regression that turns the
+//! threaded backend pathological fails the bench instead of silently
+//! aging the JSON.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use etx_base::config::CostModel;
+use etx_base::runtime::RuntimeKind;
+use etx_base::time::Dur;
+use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 16;
+const REQUESTS: u64 = 8;
+/// Generous per-leg ceiling: a healthy run is orders of magnitude under
+/// it on any hardware; only a pathological regression trips it.
+const WALL_CAP: Duration = Duration::from_secs(20);
+
+/// Builds, runs and settles one leg; returns (wall time of the run
+/// itself, committed requests). Build and thread teardown are excluded —
+/// they are setup cost, not protocol throughput.
+fn run_once(kind: RuntimeKind, shards: u32, seed: u64) -> (Duration, usize) {
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+        .runtime(kind)
+        .shards(shards)
+        .replication(2)
+        .clients(CLIENTS)
+        .requests(REQUESTS)
+        .cost(CostModel::zeroed())
+        .workload(Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 })
+        .build();
+    let expected = s.requests as usize;
+    let started = Instant::now();
+    let out = s.run_until_settled(expected);
+    let wall = started.elapsed();
+    assert_eq!(out, etx_sim::RunOutcome::Predicate, "{} leg must settle", kind.label());
+    s.quiesce(Dur::from_millis(20));
+    s.stop();
+    assert_eq!(s.delivered_commits(), expected, "{} leg must commit everything", kind.label());
+    (wall, expected)
+}
+
+/// Best of three: thread scheduling noise makes single threaded-leg
+/// timings jumpy; the minimum is the stable signal.
+fn best_of(kind: RuntimeKind, shards: u32) -> (Duration, usize) {
+    (0..3).map(|i| run_once(kind, shards, 0x17E + i)).min_by_key(|&(wall, _)| wall).unwrap()
+}
+
+fn bench_runtime_wallclock(c: &mut Criterion) {
+    // The sweep IS the experiment: the CI threaded job exports
+    // ETX_RUNTIME=threaded, which would collapse the comparison.
+    std::env::remove_var("ETX_RUNTIME");
+    println!(
+        "\n=== X8: runtime wall clock (OpenLoopBurst, {CLIENTS} clients x {REQUESTS} requests, \
+         replication 2, zeroed cost model) ===\n"
+    );
+    println!("{:>8}{:>12}{:>14}{:>18}", "shards", "runtime", "wall ms", "commit/s (wall)");
+    for &shards in &[1u32, 16] {
+        for &kind in &[RuntimeKind::Sim, RuntimeKind::Threaded] {
+            let (wall, committed) = best_of(kind, shards);
+            assert!(
+                wall < WALL_CAP,
+                "{} leg at {shards} shard(s) took {wall:?} — pathological",
+                kind.label()
+            );
+            let cps = committed as f64 / wall.as_secs_f64();
+            println!(
+                "{shards:>8}{:>12}{:>14.2}{cps:>18.0}",
+                kind.label(),
+                wall.as_secs_f64() * 1_000.0
+            );
+        }
+    }
+    // Host-side criterion timing on the 1-shard legs only: the threaded
+    // leg spawns and joins a full node fleet per iteration, so the group
+    // config below keeps the sample budget small.
+    for &kind in &[RuntimeKind::Sim, RuntimeKind::Threaded] {
+        c.bench_function(&format!("runtime_wallclock/1shard_{}", kind.label()), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(kind, 1, seed))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(2));
+    targets = bench_runtime_wallclock
+}
+criterion_main!(benches);

@@ -23,6 +23,7 @@
 //! traffic.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use etx_base::config::BatchingConfig;
 use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
 use std::hint::black_box;
 
@@ -38,7 +39,7 @@ fn run_once(shards: u32, seed: u64) -> (f64, f64) {
         // per-request slots (batch 1), ordering hundreds of concurrent
         // outcomes serializes at the decision log and masks the back-end
         // scale-out this sweep exists to measure.
-        .batching(16, etx_base::time::Dur::from_millis(1))
+        .batching(BatchingConfig::new(16, etx_base::time::Dur::from_millis(1)))
         .workload(Workload::ShardedBank { accounts: shards * 8, cross_pct: CROSS_PCT, amount: 1 })
         .requests(REQUESTS)
         .build();
@@ -47,7 +48,7 @@ fn run_once(shards: u32, seed: u64) -> (f64, f64) {
     assert_eq!(out, etx_sim::RunOutcome::Predicate, "shard bench run must settle");
     let lats = s.request_latencies_ms();
     let mean_ms = lats.iter().sum::<f64>() / lats.len() as f64;
-    let span_s = s.sim.now().as_millis_f64() / 1_000.0;
+    let span_s = s.now().as_millis_f64() / 1_000.0;
     (mean_ms, lats.len() as f64 / span_s)
 }
 

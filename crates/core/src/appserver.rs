@@ -268,7 +268,7 @@ impl AppServer {
         let engine_cfg =
             EngineConfig { patience: cfg.consensus_round_patience, resync: cfg.consensus_resync };
         let regs = WoRegisters::new(me, &topo.app_servers, engine_cfg);
-        let log = DecisionLog::new(cfg.batching.max_batch);
+        let log = DecisionLog::new(cfg.features.batching.max_batch);
         AppServer {
             me,
             topo,
@@ -418,7 +418,7 @@ impl AppServer {
                 // contract exists for. Route it around the pipeline as
                 // direct snapshot reads (duplicates of an in-flight read
                 // are absorbed like any other in-progress attempt).
-                if self.cfg.read_path.enabled && request.script.is_read_only() {
+                if self.cfg.features.read_path.enabled && request.script.is_read_only() {
                     if !self.reads.contains_key(&rid) {
                         self.start_read(ctx, rid, request, &token);
                     }
@@ -517,7 +517,7 @@ impl AppServer {
     /// authoritative too, so the collect may spread as well: that is the
     /// forward hop the lease exists to kill.
     fn read_to_primary(&self, now: Time, multi: bool, db: NodeId) -> bool {
-        multi && !(self.cfg.read_leases.enabled && self.lease_active(now, db))
+        multi && !(self.cfg.features.read_leases.enabled && self.lease_active(now, db))
     }
 
     /// Sends one read call, stamped with the highest commit seq this server
@@ -547,8 +547,8 @@ impl AppServer {
         salt: u32,
     ) -> u64 {
         let stamp = self.shard_seq.get(&call.db).copied().unwrap_or(0);
-        let leased = self.cfg.read_leases.enabled && self.lease_active(ctx.now(), call.db);
-        let spread = !to_primary && (self.cfg.read_path.follower_reads || leased);
+        let leased = self.cfg.features.read_leases.enabled && self.lease_active(ctx.now(), call.db);
+        let spread = !to_primary && (self.cfg.features.read_path.follower_reads || leased);
         let target = if !spread {
             call.db
         } else {
@@ -684,7 +684,7 @@ impl AppServer {
         // in-lease follower then forwards into the primary's in-doubt
         // veto rather than serving the fractured half.
         let accept = !multi || (!state.indoubt && (fresh || stable));
-        let exhausted = state.round + 1 >= self.cfg.read_path.snapshot_rounds();
+        let exhausted = state.round + 1 >= self.cfg.features.read_path.snapshot_rounds();
         if accept {
             self.finish_read(ctx, rid);
         } else if exhausted {
@@ -998,7 +998,7 @@ impl AppServer {
         if self.batch_queue.is_empty() {
             return;
         }
-        let batching = self.cfg.batching;
+        let batching = self.cfg.features.batching;
         // Size and window checks are O(1); the idle check walks every
         // in-flight FSM, so it runs only when the cheap rules don't already
         // force a flush (they always do in the per-request configuration).
@@ -1046,7 +1046,7 @@ impl AppServer {
     /// decides as proposed. A proposal that resolved synchronously leaves
     /// nothing in flight — and nothing worth overlapping with.
     fn ship_speculation(&mut self, ctx: &mut dyn Context) {
-        if !self.cfg.speculation.enabled {
+        if !self.cfg.features.speculation.enabled {
             return;
         }
         let Some((slot, batch)) = self.log.inflight_proposal() else { return };

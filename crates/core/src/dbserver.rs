@@ -279,8 +279,7 @@ impl DbServer {
     /// ack round trip usually does), it goes out immediately.
     fn release_vote(&mut self, ctx: &mut dyn Context, rid: ResultId) {
         if let Some(h) = self.held_votes.remove(&rid) {
-            let dur =
-                if h.send_at > ctx.now() { h.send_at.since(ctx.now()) } else { Dur::ZERO };
+            let dur = if h.send_at > ctx.now() { h.send_at.since(ctx.now()) } else { Dur::ZERO };
             ctx.send_after(dur, h.to, Payload::DbReply(DbReplyMsg::Vote { rid, vote: h.vote }));
         }
     }

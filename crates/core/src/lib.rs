@@ -68,10 +68,7 @@ mod tests {
             consensus_resync: Dur::from_millis(8),
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: false,
-            batching: etx_base::config::BatchingConfig::default(),
-            read_path: etx_base::config::ReadPathConfig::default(),
-            read_leases: etx_base::config::ReadLeaseConfig::default(),
-            speculation: etx_base::config::SpeculationConfig::default(),
+            features: etx_base::config::FeatureSet::default(),
         };
         let fd_cfg = FdConfig {
             heartbeat_every: Dur::from_millis(2),

@@ -9,7 +9,8 @@
 use crate::properties::{check, LivenessChecks, PropertyReport};
 use crate::scenario::{MiddleTier, ScenarioBuilder};
 use crate::workloads::Workload;
-use etx_base::config::{ReadPathConfig, SpeculationConfig};
+use etx_base::config::{BatchingConfig, ReadPathConfig, SpeculationConfig};
+use etx_base::runtime::RuntimeKind;
 use etx_base::time::{Dur, Time};
 use etx_base::trace::TraceKind;
 use etx_fd::ForcedSuspicion;
@@ -154,6 +155,7 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
 
     let mut forced = Vec::new();
     let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .runtime(RuntimeKind::Sim)
         .dbs(opts.dbs)
         .clients(opts.clients)
         .requests(opts.requests)
@@ -162,7 +164,7 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         builder = builder.shards(shards).replication(opts.replication);
     }
     if opts.batch_size > 1 {
-        builder = builder.batching(opts.batch_size, Dur::from_millis(1));
+        builder = builder.batching(BatchingConfig::new(opts.batch_size, Dur::from_millis(1)));
     }
     if opts.loss_rate > 0.0 {
         builder = builder.net(NetConfig {
@@ -201,7 +203,7 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         }
         crashed.push(node);
         let at = Time(rng.range_u64(0, horizon_ms) * 1_000);
-        scenario.sim.crash_at(at, node);
+        scenario.sim_mut().crash_at(at, node);
         faults.push(format!("crash app {node} at {at}"));
     }
 
@@ -212,8 +214,8 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         let node = scenario.topo.db_servers[idx];
         let at = Time(rng.range_u64(0, horizon_ms) * 1_000);
         let back = at + Dur::from_millis(rng.range_u64(5, 60));
-        scenario.sim.crash_at(at, node);
-        scenario.sim.recover_at(back, node);
+        scenario.sim_mut().crash_at(at, node);
+        scenario.sim_mut().recover_at(back, node);
         faults.push(format!("cycle db {node} at {at} → {back}"));
     }
 
@@ -225,7 +227,7 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     scenario.quiesce(Dur::from_millis(400));
 
     let report = check(
-        scenario.sim.trace().events(),
+        scenario.trace().events(),
         &scenario.topo.clients,
         LivenessChecks { t1: settled, t2: settled },
     );
@@ -265,13 +267,14 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let replication = opts.replication.max(1);
     let workload = Workload::HotShard { accounts: shards * 4, hot_pct: 70, amount: 10 };
     let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .runtime(RuntimeKind::Sim)
         .shards(shards)
         .replication(replication)
         .clients(opts.clients)
         .requests(opts.requests)
         .workload(workload);
     if opts.batch_size > 1 {
-        builder = builder.batching(opts.batch_size, Dur::from_millis(1));
+        builder = builder.batching(BatchingConfig::new(opts.batch_size, Dur::from_millis(1)));
     }
     let mut scenario = builder.build();
 
@@ -285,7 +288,7 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     // is prepared/in-doubt, the decision push is about to land) and bring
     // it back shortly after — the paper's good-database model.
     let down_for = Dur::from_millis(rng.range_u64(10, 40));
-    scenario.sim.on_trace(
+    scenario.sim_mut().on_trace(
         move |ev| ev.node == hot_primary && matches!(ev.kind, TraceKind::DbVote { .. }),
         FaultAction::CrashRecover(hot_primary, down_for),
     );
@@ -295,8 +298,8 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     for &f in hot_replicas.iter().skip(1) {
         let at = Time(rng.range_u64(0, 100) * 1_000);
         let back = at + Dur::from_millis(rng.range_u64(5, 50));
-        scenario.sim.crash_at(at, f);
-        scenario.sim.recover_at(back, f);
+        scenario.sim_mut().crash_at(at, f);
+        scenario.sim_mut().recover_at(back, f);
         faults.push(format!("cycle hot-shard follower {f} at {at} → {back}"));
     }
 
@@ -306,7 +309,7 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     scenario.quiesce(Dur::from_millis(400));
 
     let report = check(
-        scenario.sim.trace().events(),
+        scenario.trace().events(),
         &scenario.topo.clients,
         LivenessChecks { t1: settled, t2: settled },
     );
@@ -352,17 +355,18 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let batch = opts.batch_size.max(8);
     let workload = Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 };
     let mut scenario = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .runtime(RuntimeKind::Sim)
         .shards(shards)
         .replication(opts.replication.max(1))
         .clients(opts.clients)
         .requests(opts.requests)
-        .batching(batch, Dur::from_millis(1))
+        .batching(BatchingConfig::new(batch, Dur::from_millis(1)))
         .workload(workload)
         .build();
 
     let mut faults = Vec::new();
     let a1 = scenario.topo.primary();
-    scenario.sim.on_trace(
+    scenario.sim_mut().on_trace(
         move |ev| {
             ev.node == a1 && matches!(ev.kind, TraceKind::BatchDecided { len, .. } if len >= 2)
         },
@@ -373,7 +377,7 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let victim_shard = rng.range_u64(0, u64::from(shards) - 1) as u32;
     let victim = scenario.shard_primary(victim_shard);
     let down_for = Dur::from_millis(rng.range_u64(5, 30));
-    scenario.sim.on_trace(
+    scenario.sim_mut().on_trace(
         move |ev| {
             ev.node == victim && matches!(ev.kind, TraceKind::GroupAppend { len } if len >= 2)
         },
@@ -389,7 +393,7 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     scenario.quiesce(Dur::from_millis(400));
 
     let report = check(
-        scenario.sim.trace().events(),
+        scenario.trace().events(),
         &scenario.topo.clients,
         LivenessChecks { t1: settled, t2: settled },
     );
@@ -432,11 +436,12 @@ pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let batch = opts.batch_size.max(8);
     let workload = Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 };
     let mut scenario = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .runtime(RuntimeKind::Sim)
         .shards(shards)
         .replication(opts.replication.max(1))
         .clients(opts.clients)
         .requests(opts.requests)
-        .batching(batch, Dur::from_millis(1))
+        .batching(BatchingConfig::new(batch, Dur::from_millis(1)))
         .speculation(SpeculationConfig::on())
         .workload(workload)
         .build();
@@ -445,7 +450,7 @@ pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let victim_shard = rng.range_u64(0, u64::from(shards) - 1) as u32;
     let victim = scenario.shard_primary(victim_shard);
     let down_for = Dur::from_millis(rng.range_u64(5, 30));
-    scenario.sim.on_trace(
+    scenario.sim_mut().on_trace(
         move |ev| ev.node == victim && matches!(ev.kind, TraceKind::SpecExec { .. }),
         FaultAction::CrashRecover(victim, down_for),
     );
@@ -460,7 +465,7 @@ pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     scenario.quiesce(Dur::from_millis(400));
 
     let report = check(
-        scenario.sim.trace().events(),
+        scenario.trace().events(),
         &scenario.topo.clients,
         LivenessChecks { t1: settled, t2: settled },
     );
@@ -510,6 +515,7 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     // actually *lag* (and therefore forward) rather than trivially serve.
     let workload = Workload::ReadAfterWrite { accounts: shards * 8, amount: 10 };
     let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .runtime(RuntimeKind::Sim)
         .shards(shards)
         .replication(replication)
         .clients(opts.clients)
@@ -517,7 +523,7 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         .read_path(ReadPathConfig::follower_reads())
         .workload(workload);
     if opts.batch_size > 1 {
-        builder = builder.batching(opts.batch_size, Dur::from_millis(1));
+        builder = builder.batching(BatchingConfig::new(opts.batch_size, Dur::from_millis(1)));
     }
     let mut scenario = builder.build();
 
@@ -527,7 +533,7 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     // read — a read racing a crashing replica.
     let crash_victim = scenario.shard_replicas(0)[1];
     let down_for = Dur::from_millis(rng.range_u64(5, 30));
-    scenario.sim.on_trace(
+    scenario.sim_mut().on_trace(
         move |ev| matches!(ev.kind, TraceKind::ReadFastPath { .. }),
         FaultAction::CrashRecover(crash_victim, down_for),
     );
@@ -541,7 +547,7 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let lag_primary = scenario.shard_replicas(1)[0];
     let lag_follower = scenario.shard_replicas(1)[1];
     let heal = Time(rng.range_u64(60, 150) * 1_000);
-    scenario.sim.block_link(lag_primary, lag_follower, heal);
+    scenario.sim_mut().block_link(lag_primary, lag_follower, heal);
     faults.push(format!(
         "block replication {lag_primary} → {lag_follower} until {heal} (lagging follower)"
     ));
@@ -552,7 +558,7 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     scenario.quiesce(Dur::from_millis(400));
 
     let report = check(
-        scenario.sim.trace().events(),
+        scenario.trace().events(),
         &scenario.topo.clients,
         LivenessChecks { t1: settled, t2: settled },
     );
@@ -602,6 +608,7 @@ pub fn run_read_lease_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let replication = opts.replication.max(2);
     let workload = Workload::ReadAfterWrite { accounts: shards * 8, amount: 10 };
     let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
+        .runtime(RuntimeKind::Sim)
         .shards(shards)
         .replication(replication)
         .clients(opts.clients)
@@ -610,7 +617,7 @@ pub fn run_read_lease_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         .read_leases(ReadLeaseConfig::fast_for_tests())
         .workload(workload);
     if opts.batch_size > 1 {
-        builder = builder.batching(opts.batch_size, Dur::from_millis(1));
+        builder = builder.batching(BatchingConfig::new(opts.batch_size, Dur::from_millis(1)));
     }
     let mut scenario = builder.build();
 
@@ -622,7 +629,7 @@ pub fn run_read_lease_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     // and the recovered primary's fresh acknowledgements.
     let grantor = scenario.shard_replicas(0)[0];
     let down_for = Dur::from_millis(rng.range_u64(5, 30));
-    scenario.sim.on_trace(
+    scenario.sim_mut().on_trace(
         move |ev| matches!(ev.kind, TraceKind::ReadFastPath { .. }),
         FaultAction::CrashRecover(grantor, down_for),
     );
@@ -636,7 +643,7 @@ pub fn run_read_lease_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let lag_primary = scenario.shard_replicas(1)[0];
     let lag_follower = scenario.shard_replicas(1)[1];
     let heal = Time(rng.range_u64(60, 150) * 1_000);
-    scenario.sim.block_link(lag_primary, lag_follower, heal);
+    scenario.sim_mut().block_link(lag_primary, lag_follower, heal);
     faults.push(format!(
         "block replication {lag_primary} → {lag_follower} until {heal} (lease starvation)"
     ));
@@ -647,7 +654,7 @@ pub fn run_read_lease_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     scenario.quiesce(Dur::from_millis(400));
 
     let report = check(
-        scenario.sim.trace().events(),
+        scenario.trace().events(),
         &scenario.topo.clients,
         LivenessChecks { t1: settled, t2: settled },
     );

@@ -8,6 +8,7 @@ use crate::stats::Summary;
 use crate::workloads::Workload;
 use etx_base::config::CostModel;
 use etx_base::ids::RequestId;
+use etx_base::runtime::RuntimeKind;
 use etx_base::time::Dur;
 use etx_base::trace::{Component, TraceKind};
 use etx_base::value::Outcome;
@@ -40,13 +41,14 @@ pub struct Fig8Table {
 
 /// Runs one failure-free trial of `tier` and returns the latency breakdown.
 fn one_trial(tier: MiddleTier, seed: u64, cost: CostModel) -> Option<crate::latency::Breakdown> {
-    let mut scenario = ScenarioBuilder::new(tier, seed).cost(cost).requests(1).build();
+    let mut scenario =
+        ScenarioBuilder::new(tier, seed).runtime(RuntimeKind::Sim).cost(cost).requests(1).build();
     let out = scenario.run_until_settled(1);
     if out != RunOutcome::Predicate {
         return None;
     }
     let client = scenario.topo.clients[0];
-    breakdown_for(scenario.sim.trace().events(), RequestId { client, seq: 1 })
+    breakdown_for(scenario.trace().events(), RequestId { client, seq: 1 })
 }
 
 /// Regenerates Figure 8: `trials` failure-free bank-update runs per
@@ -163,6 +165,7 @@ pub fn figure7(base_seed: u64) -> Vec<Fig7Row> {
     let mut rows = Vec::new();
     for tier in tiers {
         let mut scenario = ScenarioBuilder::new(tier, base_seed)
+            .runtime(RuntimeKind::Sim)
             .cost(CostModel::default().without_jitter())
             .net(NetConfig::deterministic())
             .requests(1)
@@ -173,8 +176,8 @@ pub fn figure7(base_seed: u64) -> Vec<Fig7Row> {
         rows.push(Fig7Row {
             label: tier.label(),
             steps,
-            protocol_msgs: scenario.sim.stats().protocol_total(),
-            total_msgs: scenario.sim.stats().total(),
+            protocol_msgs: scenario.stats().protocol_total(),
+            total_msgs: scenario.stats().total(),
         });
     }
     rows
@@ -246,13 +249,14 @@ pub fn figure1(scenario: Fig1Scenario, seed: u64) -> Fig1Report {
         _ => Workload::BankUpdate { amount: 100 },
     };
     let mut s = ScenarioBuilder::new(MiddleTier::Etx { apps: 3 }, seed)
+        .runtime(RuntimeKind::Sim)
         .workload(workload)
         .requests(1)
         .build();
     let a1 = s.topo.primary();
     match scenario {
         Fig1Scenario::FailoverCommit => {
-            s.sim.on_trace(
+            s.sim_mut().on_trace(
                 move |ev| {
                     ev.node == a1
                         && matches!(ev.kind, TraceKind::Span { comp: Component::LogOutcome, .. })
@@ -261,7 +265,7 @@ pub fn figure1(scenario: Fig1Scenario, seed: u64) -> Fig1Report {
             );
         }
         Fig1Scenario::FailoverAbort => {
-            s.sim.on_trace(
+            s.sim_mut().on_trace(
                 move |ev| {
                     ev.node == a1
                         && matches!(ev.kind, TraceKind::Span { comp: Component::LogStart, .. })
@@ -275,21 +279,21 @@ pub fn figure1(scenario: Fig1Scenario, seed: u64) -> Fig1Report {
     let deadline = match scenario {
         Fig1Scenario::FailureFreeAbort => {
             // Run until the client has seen the abort of attempt 1.
-            s.sim.run_until(|sim| {
+            s.sim_mut().run_until(|sim| {
                 sim.trace().count_kind(|k| matches!(k, TraceKind::ClientRetry { .. })) >= 1
             })
         }
-        Fig1Scenario::FailoverAbort => s.sim.run_until(|sim| {
+        Fig1Scenario::FailoverAbort => s.sim_mut().run_until(|sim| {
             sim.trace().count_kind(|k| {
                 matches!(k, TraceKind::ClientRetry { .. } | TraceKind::Deliver { .. })
             }) >= 1
         }),
-        _ => s.sim.run_until(|sim| {
+        _ => s.sim_mut().run_until(|sim| {
             sim.trace().count_kind(|k| matches!(k, TraceKind::Deliver { .. })) >= 1
         }),
     };
     assert_eq!(deadline, RunOutcome::Predicate, "{}: run must settle", scenario.label());
-    let trace = s.sim.trace().events();
+    let trace = s.trace().events();
     let (attempt, outcome, at) = trace
         .iter()
         .find_map(|e| match e.kind {
@@ -298,8 +302,7 @@ pub fn figure1(scenario: Fig1Scenario, seed: u64) -> Fig1Report {
             _ => None,
         })
         .expect("decisive client event");
-    let cleaner_used =
-        s.sim.trace().count_kind(|k| matches!(k, TraceKind::CleanerTakeover { .. })) > 0;
+    let cleaner_used = s.trace().count_kind(|k| matches!(k, TraceKind::CleanerTakeover { .. })) > 0;
     let safety_ok = crate::properties::check(
         trace,
         &s.topo.clients,

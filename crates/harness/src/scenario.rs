@@ -1,19 +1,22 @@
 //! Scenario construction: one call builds a complete three-tier system
-//! under any of the four middle-tier protocols, ready to run and observe.
+//! under any of the four middle-tier protocols, on either runtime backend,
+//! ready to run and observe.
 
 use crate::workloads::Workload;
 use etx_base::config::{
-    env_override, parse_toggle, BatchingConfig, CostModel, FdConfig, ProtocolConfig,
+    env_override, BatchingConfig, CostModel, FdConfig, FeatureExplicit, FeatureSet, ProtocolConfig,
     ReadLeaseConfig, ReadPathConfig, SpeculationConfig,
 };
 use etx_base::ids::{NodeId, ResultId, Topology};
+use etx_base::runtime::{Host, RuntimeKind};
 use etx_base::shard::{ShardId, ShardMap, ShardSpec};
 use etx_base::time::{Dur, Time};
-use etx_base::trace::TraceKind;
+use etx_base::trace::{MsgStats, Trace, TraceKind};
 use etx_base::value::Outcome;
 use etx_baselines::{BaselineServer, PbRole, PbServer, RetryPolicy, SimpleClient, TpcServer};
 use etx_core::{AppServer, DbServer, EtxClient, IssueMode, ReplRole};
 use etx_fd::{ForcedSuspicion, HeartbeatFd, ScriptedFd};
+use etx_rt::{ThreadedConfig, ThreadedHost};
 use etx_sim::{NetConfig, RunOutcome, Sim, SimConfig};
 
 /// Which protocol runs the middle tier.
@@ -74,23 +77,17 @@ pub struct ScenarioBuilder {
     client_timeout: Dur,
     client_retry: RetryPolicy,
     forced_suspicions: Vec<ForcedSuspicion>,
-    /// Whether [`ScenarioBuilder::read_path`] was called: an explicit
-    /// route always wins over the `ETX_READ_PATH` process-wide override,
-    /// so route-specific tests keep meaning what they say under the CI
-    /// read-path matrix.
-    read_path_explicit: bool,
-    /// Whether [`ScenarioBuilder::batching`] was called: an explicit
-    /// pipeline depth always wins over the `ETX_BATCH_SIZE` process-wide
-    /// override, for the same reason as `read_path_explicit`.
-    batching_explicit: bool,
-    /// Whether [`ScenarioBuilder::speculation`] was called: an explicit
-    /// setting always wins over the `ETX_SPECULATION` process-wide
-    /// override.
-    speculation_explicit: bool,
-    /// Whether [`ScenarioBuilder::read_leases`] was called: an explicit
-    /// setting always wins over the `ETX_READ_LEASES` process-wide
-    /// override.
-    read_leases_explicit: bool,
+    /// Which runtime backend hosts the scenario (default: the simulator).
+    runtime: RuntimeKind,
+    /// Whether [`ScenarioBuilder::runtime`] was called: an explicit
+    /// backend always wins over the `ETX_RUNTIME` process-wide override
+    /// (a chaos test that needs fault injection means the simulator).
+    runtime_explicit: bool,
+    /// Which feature knobs were set explicitly: an explicit builder call
+    /// always wins over the per-knob environment variable, so
+    /// knob-specific tests keep meaning what they say under the CI
+    /// matrix. See [`FeatureSet`] for the one precedence rule.
+    explicit: FeatureExplicit,
 }
 
 impl ScenarioBuilder {
@@ -112,10 +109,9 @@ impl ScenarioBuilder {
             client_timeout: Dur::from_millis(800),
             client_retry: RetryPolicy::GiveUp,
             forced_suspicions: Vec::new(),
-            read_path_explicit: false,
-            batching_explicit: false,
-            speculation_explicit: false,
-            read_leases_explicit: false,
+            runtime: RuntimeKind::Sim,
+            runtime_explicit: false,
+            explicit: FeatureExplicit::default(),
         }
     }
 
@@ -136,10 +132,7 @@ impl ScenarioBuilder {
             consensus_resync: Dur::from_millis(8),
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: false,
-            batching: etx_base::config::BatchingConfig::default(),
-            read_path: ReadPathConfig::default(),
-            read_leases: ReadLeaseConfig::default(),
-            speculation: SpeculationConfig::default(),
+            features: FeatureSet::default(),
         };
         b.fd = FdConfig {
             heartbeat_every: Dur::from_millis(2),
@@ -177,20 +170,53 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the runtime backend: the deterministic simulator (default)
+    /// or the multi-threaded host. On [`RuntimeKind::Threaded`] the
+    /// scenario's network model is ignored (channels are genuinely
+    /// reliable and as fast as the machine) and fault injection is
+    /// unavailable — [`Scenario::sim_mut`] panics, pointing here.
+    ///
+    /// The `ETX_RUNTIME` environment variable (`sim` | `threaded`) pins
+    /// the backend for scenarios that do **not** call this method — the CI
+    /// hook for running the equivalence suite on real threads. An explicit
+    /// `runtime` call always wins over the environment: a chaos test that
+    /// needs fault injection, or a golden-trace test that needs
+    /// determinism, means the simulator.
+    pub fn runtime(mut self, kind: RuntimeKind) -> Self {
+        self.runtime = kind;
+        self.runtime_explicit = true;
+        self
+    }
+
+    /// Sets all optional protocol features in one call, marking every knob
+    /// explicit (immune to the per-knob environment variables; see
+    /// [`FeatureSet`] for the one precedence rule).
+    pub fn features(mut self, f: FeatureSet) -> Self {
+        self.pcfg.features = f;
+        self.explicit = FeatureExplicit::all();
+        self
+    }
+
     /// Enables commit-pipeline batching: application servers accumulate up
-    /// to `size` concurrent request outcomes (or wait at most `window`)
-    /// and decide them in one decision-log slot. `size = 1` is the
-    /// degenerate per-request configuration.
+    /// to `cfg.max_batch` concurrent request outcomes (or wait at most
+    /// `cfg.window`) and decide them in one decision-log slot.
+    /// `max_batch = 1` is the degenerate per-request configuration.
     ///
     /// The `ETX_BATCH_SIZE` environment variable pins the pipeline depth
     /// for scenarios that do **not** call this method — the CI batching
     /// matrix's hook for running the whole suite under a deep pipeline.
     /// An explicit `batching` call always wins over the environment: a
     /// test that pins a depth means it.
-    pub fn batching(mut self, size: usize, window: Dur) -> Self {
-        self.pcfg.batching = BatchingConfig::new(size, window);
-        self.batching_explicit = true;
+    pub fn batching(mut self, cfg: BatchingConfig) -> Self {
+        self.pcfg.features.batching = cfg;
+        self.explicit.batching = true;
         self
+    }
+
+    /// Old two-argument spelling of [`ScenarioBuilder::batching`].
+    #[deprecated(note = "use `batching(BatchingConfig::new(size, window))`")]
+    pub fn batching_size_window(self, size: usize, window: Dur) -> Self {
+        self.batching(BatchingConfig::new(size, window))
     }
 
     /// Configures speculative batch execution: with `enabled`, flushed
@@ -204,8 +230,8 @@ impl ScenarioBuilder {
     /// suite down both paths. An explicit `speculation` call always wins
     /// over the environment.
     pub fn speculation(mut self, cfg: SpeculationConfig) -> Self {
-        self.pcfg.speculation = cfg;
-        self.speculation_explicit = true;
+        self.pcfg.features.speculation = cfg;
+        self.explicit.speculation = true;
         self
     }
 
@@ -221,8 +247,8 @@ impl ScenarioBuilder {
     /// routes. An explicit `read_path` call always wins over the
     /// environment: a test that pins a route means it.
     pub fn read_path(mut self, cfg: ReadPathConfig) -> Self {
-        self.pcfg.read_path = cfg;
-        self.read_path_explicit = true;
+        self.pcfg.features.read_path = cfg;
+        self.explicit.read_path = true;
         self
     }
 
@@ -240,8 +266,8 @@ impl ScenarioBuilder {
     /// legs. An explicit `read_leases` call always wins over the
     /// environment.
     pub fn read_leases(mut self, cfg: ReadLeaseConfig) -> Self {
-        self.pcfg.read_leases = cfg;
-        self.read_leases_explicit = true;
+        self.pcfg.features.read_leases = cfg;
+        self.explicit.read_leases = true;
         self
     }
 
@@ -308,55 +334,21 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Builds the simulator with all processes registered.
+    /// Builds the system with all processes registered on the selected
+    /// runtime backend.
     pub fn build(mut self) -> Scenario {
-        // CI matrix hooks, all routed through the one `env_override`
-        // helper so the precedence rule is uniform: the environment pins
-        // every scenario that did not set the knob explicitly, and an
-        // explicit builder call always wins — a test that pins a depth,
-        // route, or stage means it, and silently replacing it made
-        // knob-specific assertions fail confusingly under the matrix.
-        //
-        // ETX_BATCH_SIZE forces the pipeline depth (the window backstop
-        // reuses the cleaner cadence, which already scales with the
-        // scenario's cost model — fast vs. paper-scale).
-        if let Some(size) =
-            env_override("ETX_BATCH_SIZE", self.batching_explicit, |v| v.parse::<usize>().ok())
-        {
-            let window = if size > 1 { self.pcfg.cleaner_interval } else { Dur::ZERO };
-            self.pcfg.batching = BatchingConfig::new(size, window);
-        }
-        // ETX_READ_PATH pins the read route — "1"/"on" forces the fast
-        // lane (with follower reads; shards with one replica just serve
-        // from the primary), "0"/"off" forces the historical commit route.
-        if let Some(on) = env_override("ETX_READ_PATH", self.read_path_explicit, parse_toggle) {
-            self.pcfg.read_path =
-                if on { ReadPathConfig::follower_reads() } else { ReadPathConfig::disabled() };
-        }
-        // ETX_SPECULATION pins the speculation stage — "1"/"on" overlaps
-        // batch execution with the consensus round, "0"/"off" keeps the
-        // strict decide-then-execute pipeline.
-        if let Some(on) = env_override("ETX_SPECULATION", self.speculation_explicit, parse_toggle) {
-            self.pcfg.speculation =
-                if on { SpeculationConfig::on() } else { SpeculationConfig::disabled() };
-        }
-        // ETX_READ_LEASES pins the lease mode — "1"/"on" forces the
-        // fast-test lease preset (duration scaled for the miniature cost
-        // model), "0"/"off" forces the stamp-gated route. The off leg must
-        // replay lease-less runs byte-for-byte — the golden-trace tests
-        // assert exactly that.
-        if let Some(on) = env_override("ETX_READ_LEASES", self.read_leases_explicit, parse_toggle) {
-            self.pcfg.read_leases =
-                if on { ReadLeaseConfig::fast_for_tests() } else { ReadLeaseConfig::disabled() };
-        }
-        // Leases exist to serve the read fast lane; without it there is
-        // nothing to lease-cover, so the grant machinery (renewal timers,
-        // piggybacked grants, recovery fences) stays out of the schedule
-        // entirely. This keeps the lease-on CI leg from perturbing every
-        // write-only scenario in the suite.
-        if !self.pcfg.read_path.enabled {
-            self.pcfg.read_leases = ReadLeaseConfig::disabled();
-        }
+        // CI matrix hooks. The feature knobs resolve through the one
+        // precedence rule documented on `FeatureSet` (explicit builder
+        // call > environment variable > default), implemented in a single
+        // place; the env-forced batch window backstop reuses the cleaner
+        // cadence, which already scales with the scenario's cost model —
+        // fast vs. paper-scale.
+        let window = self.pcfg.cleaner_interval;
+        self.pcfg.features.apply_env(self.explicit, window);
+        // ETX_RUNTIME pins the backend the same way — `sim` | `threaded`,
+        // explicit `.runtime(..)` immune.
+        let runtime = env_override("ETX_RUNTIME", self.runtime_explicit, RuntimeKind::parse)
+            .unwrap_or(self.runtime);
         let db_count = match self.sharding {
             Some((shards, repl)) => shards as usize * repl,
             None => self.dbs,
@@ -371,10 +363,27 @@ impl ScenarioBuilder {
             }
             None => ShardMap::one_per_db(&topo.db_servers),
         };
-        let mut sim_cfg = SimConfig::with_seed(self.seed);
-        sim_cfg.cost = self.cost.clone();
-        sim_cfg.net = self.net.clone();
-        let mut sim = Sim::new(sim_cfg);
+        let mut backend = match runtime {
+            RuntimeKind::Sim => {
+                let mut sim_cfg = SimConfig::with_seed(self.seed);
+                sim_cfg.cost = self.cost.clone();
+                sim_cfg.net = self.net.clone();
+                Backend::Sim(Sim::new(sim_cfg))
+            }
+            RuntimeKind::Threaded => {
+                // The network model is a simulator capability: threaded
+                // channels are genuinely reliable and undelayed. Modelled
+                // *service* times (the cost model) are honored on both.
+                let mut tcfg = ThreadedConfig::with_seed(self.seed);
+                tcfg.cost = self.cost.clone();
+                Backend::Threaded {
+                    host: ThreadedHost::new(tcfg),
+                    trace: Trace::default(),
+                    stats: MsgStats::default(),
+                }
+            }
+        };
+        let sim = backend.host_mut();
         let seed_data = self.workload.seed_data();
 
         // Clients first (ids must match Topology::new order).
@@ -514,8 +523,8 @@ impl ScenarioBuilder {
                 }
             };
             db_seeds.insert(node, data.clone());
-            let spec = self.pcfg.speculation;
-            let leases = self.pcfg.read_leases;
+            let spec = self.pcfg.features.speculation;
+            let leases = self.pcfg.features.read_leases;
             sim.add_node(
                 "db",
                 Box::new(move |_| {
@@ -533,15 +542,60 @@ impl ScenarioBuilder {
             );
         }
 
-        Scenario { sim, topo, shard_map, db_seeds, requests: self.requests * self.clients as u64 }
+        Scenario {
+            backend,
+            topo,
+            shard_map,
+            db_seeds,
+            requests: self.requests * self.clients as u64,
+        }
+    }
+}
+
+/// The runtime backend a built scenario runs on. Sim keeps its trace and
+/// stats inline (borrowable for free); the threaded host keeps them behind
+/// a lock, so the scenario caches snapshots refreshed at every run /
+/// quiesce / stop boundary.
+#[derive(Debug)]
+pub enum Backend {
+    /// The deterministic discrete-event simulator.
+    Sim(Sim),
+    /// The multi-threaded host plus the scenario's snapshot cache of its
+    /// locked trace/stats sinks.
+    Threaded {
+        /// The host.
+        host: ThreadedHost,
+        /// Trace snapshot as of the last run/quiesce/stop boundary.
+        trace: Trace,
+        /// Stats snapshot as of the last run/quiesce/stop boundary.
+        stats: MsgStats,
+    },
+}
+
+impl Backend {
+    fn host_mut(&mut self) -> &mut dyn Host {
+        match self {
+            Backend::Sim(sim) => sim,
+            Backend::Threaded { host, .. } => host,
+        }
+    }
+
+    fn kind(&self) -> RuntimeKind {
+        match self {
+            Backend::Sim(_) => RuntimeKind::Sim,
+            Backend::Threaded { .. } => RuntimeKind::Threaded,
+        }
     }
 }
 
 /// A built system plus convenience queries over its trace.
 #[derive(Debug)]
 pub struct Scenario {
-    /// The simulator (public: tests inject faults directly).
-    pub sim: Sim,
+    /// Which backend hosts the run (the simulator, or the threaded host
+    /// with its snapshot cache). Prefer the backend-neutral accessors
+    /// ([`Scenario::trace`], [`Scenario::stats`], [`Scenario::now`]) and
+    /// the capability gates ([`Scenario::sim`], [`Scenario::sim_mut`]).
+    backend: Backend,
     /// Who is who.
     pub topo: Topology,
     /// How the keyspace maps onto the database tier (flat topologies get
@@ -555,14 +609,130 @@ pub struct Scenario {
 }
 
 impl Scenario {
+    /// Which runtime backend hosts this scenario.
+    pub fn runtime_kind(&self) -> RuntimeKind {
+        self.backend.kind()
+    }
+
+    /// Whether the backend can inject faults (crashes, partitions, link
+    /// blocks). True on the simulator only; chaos tooling must check this
+    /// (or go through [`Scenario::sim_mut`], which checks it loudly).
+    pub fn supports_fault_injection(&self) -> bool {
+        matches!(self.backend, Backend::Sim(_))
+    }
+
+    /// The simulator, for capabilities only it has (fault injection, live
+    /// trace callbacks, virtual-time stepping, mid-run storage reads).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the threaded backend: determinism and chaos are simulator
+    /// capabilities by design, and silently not injecting a fault would
+    /// turn a chaos test into a green no-op.
+    pub fn sim(&self) -> &Sim {
+        match &self.backend {
+            Backend::Sim(sim) => sim,
+            Backend::Threaded { .. } => panic!(
+                "this scenario runs on the threaded backend, which supports no fault \
+                 injection, virtual time, or deterministic replay — build it with \
+                 RuntimeKind::Sim (and keep chaos tests pinned there via \
+                 ScenarioBuilder::runtime, which beats ETX_RUNTIME)"
+            ),
+        }
+    }
+
+    /// Mutable simulator access (crash_at / recover_at / block_link /
+    /// on_trace / run_until*). Same capability gate as [`Scenario::sim`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on the threaded backend, like [`Scenario::sim`].
+    pub fn sim_mut(&mut self) -> &mut Sim {
+        match &mut self.backend {
+            Backend::Sim(sim) => sim,
+            Backend::Threaded { .. } => panic!(
+                "this scenario runs on the threaded backend, which supports no fault \
+                 injection, virtual time, or deterministic replay — build it with \
+                 RuntimeKind::Sim (and keep chaos tests pinned there via \
+                 ScenarioBuilder::runtime, which beats ETX_RUNTIME)"
+            ),
+        }
+    }
+
+    /// The threaded host, when this scenario runs on it (introspection in
+    /// runtime-equivalence tests; `None` on the simulator).
+    pub fn threaded(&self) -> Option<&ThreadedHost> {
+        match &self.backend {
+            Backend::Threaded { host, .. } => Some(host),
+            Backend::Sim(_) => None,
+        }
+    }
+
+    /// Refreshes the threaded backend's trace/stats snapshot cache. No-op
+    /// on the simulator, whose sinks are read in place.
+    fn sync(&mut self) {
+        if let Backend::Threaded { host, trace, stats } = &mut self.backend {
+            *trace = host.trace_snapshot();
+            *stats = host.stats_snapshot();
+        }
+    }
+
+    /// The collected trace, backend-neutral. On the threaded backend this
+    /// is the snapshot taken at the last run/quiesce/stop boundary —
+    /// exactly the points after which tests read it.
+    pub fn trace(&self) -> &Trace {
+        match &self.backend {
+            Backend::Sim(sim) => sim.trace(),
+            Backend::Threaded { trace, .. } => trace,
+        }
+    }
+
+    /// Message statistics, backend-neutral (same snapshot discipline as
+    /// [`Scenario::trace`]).
+    pub fn stats(&self) -> &MsgStats {
+        match &self.backend {
+            Backend::Sim(sim) => sim.stats(),
+            Backend::Threaded { stats, .. } => stats,
+        }
+    }
+
+    /// Current time on the hosting backend's clock (virtual for the
+    /// simulator, monotonic-since-start for the threaded host).
+    pub fn now(&self) -> Time {
+        match &self.backend {
+            Backend::Sim(sim) => sim.now(),
+            Backend::Threaded { host, .. } => host.host_now(),
+        }
+    }
+
+    /// Counts trace events whose kind matches `pred` — the one filtered
+    /// count every `*_reads` / `spec_*` / `lease_*` accessor routes
+    /// through.
+    fn count(&self, pred: impl FnMut(&TraceKind) -> bool) -> usize {
+        self.trace().count_kind(pred)
+    }
+
+    /// Collects the distinct attempt ids of trace events `f` maps to
+    /// `Some(rid)` — deduplicated because every replica that processes an
+    /// attempt traces its own copy of most per-attempt events.
+    fn distinct_rids(&self, mut f: impl FnMut(&TraceKind) -> Option<ResultId>) -> usize {
+        let mut rids = std::collections::BTreeSet::new();
+        for e in self.trace().events() {
+            if let Some(rid) = f(&e.kind) {
+                rids.insert(rid);
+            }
+        }
+        rids.len()
+    }
+
     /// Runs until the client has delivered (or been told the fate of) `n`
     /// requests — deliveries for e-Transactions, deliveries+exceptions for
     /// baselines.
     pub fn run_until_settled(&mut self, n: usize) -> RunOutcome {
         let mut scanned = 0usize;
         let mut done = 0usize;
-        self.sim.run_until(move |s| {
-            let events = s.trace().events();
+        let outcome = self.backend.host_mut().run_trace_until(Box::new(move |trace| {
+            let events = trace.events();
             for e in &events[scanned..] {
                 if matches!(e.kind, TraceKind::Deliver { .. } | TraceKind::Exception { .. }) {
                     done += 1;
@@ -570,19 +740,31 @@ impl Scenario {
             }
             scanned = events.len();
             done >= n
-        })
+        }));
+        self.sync();
+        outcome
     }
 
     /// Lets in-flight background work (decide pushes, acks) finish.
     pub fn quiesce(&mut self, extra: Dur) {
-        let deadline = self.sim.now() + extra;
-        let _ = self.sim.run_until_time(deadline);
+        self.backend.host_mut().quiesce_for(extra);
+        self.sync();
+    }
+
+    /// Shuts the run down: on the threaded backend, joins every node
+    /// thread (unlocking post-run process/log introspection) and takes a
+    /// final trace/stats snapshot. No-op on the simulator, which has no
+    /// threads to join.
+    pub fn stop(&mut self) {
+        if let Backend::Threaded { host, .. } = &mut self.backend {
+            host.stop();
+        }
+        self.sync();
     }
 
     /// All deliveries so far: (attempt, outcome, steps, at).
     pub fn deliveries(&self) -> Vec<(ResultId, Outcome, u32, Time)> {
-        self.sim
-            .trace()
+        self.trace()
             .events()
             .iter()
             .filter_map(|e| match e.kind {
@@ -598,14 +780,26 @@ impl Scenario {
     }
 
     /// Every delivered `(attempt, decision)` pair — results included —
-    /// read straight out of the (live) client processes. Unlike
+    /// read straight out of the client processes. Unlike
     /// [`Scenario::deliveries`] this exposes the delivered *values*, which
     /// the trace deliberately does not carry; value-level assertions (the
     /// read-equivalence property among them) live here.
-    pub fn delivered_results(&self) -> Vec<(ResultId, etx_base::value::Decision)> {
+    ///
+    /// Takes `&mut self` because on the threaded backend the client
+    /// processes belong to their threads while running: the scenario is
+    /// stopped (threads joined) first. The simulator reads live processes
+    /// and keeps running.
+    pub fn delivered_results(&mut self) -> Vec<(ResultId, etx_base::value::Decision)> {
+        if matches!(self.backend, Backend::Threaded { .. }) {
+            self.stop();
+        }
         let mut out = Vec::new();
         for &client in &self.topo.clients {
-            let Some(proc_ref) = self.sim.process_ref(client) else { continue };
+            let proc_ref = match &self.backend {
+                Backend::Sim(sim) => sim.process_ref(client),
+                Backend::Threaded { host, .. } => host.process_ref(client),
+            };
+            let Some(proc_ref) = proc_ref else { continue };
             let Some(any) = proc_ref.as_any() else { continue };
             if let Some(c) = any.downcast_ref::<EtxClient>() {
                 out.extend(c.delivered().iter().cloned());
@@ -618,101 +812,92 @@ impl Scenario {
     /// outcome — the definition of "this run exercised real batches",
     /// shared by the chaos runners and the batching tests.
     pub fn batched_slots(&self) -> usize {
-        self.sim
-            .trace()
-            .count_kind(|k| matches!(k, TraceKind::BatchDecided { len, .. } if *len >= 2))
+        self.count(|k| matches!(k, TraceKind::BatchDecided { len, .. } if *len >= 2))
     }
 
     /// Count of group WAL appends framing more than one record (group
     /// commit / batched replication apply actually amortising the log).
     pub fn group_appends(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::GroupAppend { len } if *len >= 2))
+        self.count(|k| matches!(k, TraceKind::GroupAppend { len } if *len >= 2))
     }
 
     /// Count of batches a shard primary executed speculatively while the
     /// decision-log slot was still running consensus.
     pub fn spec_execs(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::SpecExec { .. }))
+        self.count(|k| matches!(k, TraceKind::SpecExec { .. }))
     }
 
     /// Count of decided slots whose speculatively buffered execution was
     /// promoted (the decided batch matched the speculated one).
     pub fn spec_hits(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::SpecHit { .. }))
+        self.count(|k| matches!(k, TraceKind::SpecHit { .. }))
     }
 
     /// Count of decided slots whose speculation buffer was discarded and
     /// replayed on the decide-then-execute path (mis-speculation).
     pub fn spec_aborts(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::SpecAbort { .. }))
+        self.count(|k| matches!(k, TraceKind::SpecAbort { .. }))
     }
 
     /// Distinct attempts that took the read fast lane (classified
-    /// read-only and routed around the commit pipeline). Deduplicated by
-    /// attempt id — every replica that processes the attempt traces its
-    /// own `ReadFastPath`.
+    /// read-only and routed around the commit pipeline).
     pub fn fast_path_reads(&self) -> usize {
-        let mut rids = std::collections::BTreeSet::new();
-        for e in self.sim.trace().events() {
-            if let TraceKind::ReadFastPath { rid, .. } = e.kind {
-                rids.insert(rid);
-            }
-        }
-        rids.len()
+        self.distinct_rids(|k| match k {
+            TraceKind::ReadFastPath { rid, .. } => Some(*rid),
+            _ => None,
+        })
     }
 
     /// Count of fast-path reads served locally by a shard follower.
     pub fn follower_reads_served(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::FollowerRead { .. }))
+        self.count(|k| matches!(k, TraceKind::FollowerRead { .. }))
     }
 
     /// Count of fast-path reads a lagging follower forwarded to its
     /// primary (the freshness gate firing).
     pub fn reads_forwarded(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadForwarded { .. }))
+        self.count(|k| matches!(k, TraceKind::ReadForwarded { .. }))
     }
 
     /// Count of timer-driven lease grants shard primaries issued (the
     /// piggybacked renewals on commit shipments are untraced).
     pub fn lease_grants(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::LeaseGrant { .. }))
+        self.count(|k| matches!(k, TraceKind::LeaseGrant { .. }))
     }
 
     /// Count of fast-path reads a follower refused because its read lease
     /// had expired (each is followed by a `ReadForwarded` hop).
     pub fn lease_expired_reads(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::LeaseExpired { .. }))
+        self.count(|k| matches!(k, TraceKind::LeaseExpired { .. }))
     }
 
     /// Count of write-ack fences recovering lease-granting primaries
     /// installed (each withholds commit acks for one full lease term).
     pub fn lease_fences(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::LeaseFence { .. }))
+        self.count(|k| matches!(k, TraceKind::LeaseFence { .. }))
     }
 
     /// Count of retry-backstop firings for fast-path reads (each re-sends
     /// the unanswered calls of the current collect).
     pub fn reads_retried(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadRetried { .. }))
+        self.count(|k| matches!(k, TraceKind::ReadRetried { .. }))
     }
 
     /// Count of snapshot-validation re-collects issued by multi-shard
     /// fast-path reads (a collect disagreed with its predecessor).
     pub fn read_snapshot_rounds(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadSnapshotRound { .. }))
+        self.count(|k| matches!(k, TraceKind::ReadSnapshotRound { .. }))
     }
 
     /// Count of fast-path reads that exhausted their snapshot-validation
     /// budget and fell back to the locking slow path.
     pub fn read_fallbacks(&self) -> usize {
-        self.sim.trace().count_kind(|k| matches!(k, TraceKind::ReadFallback { .. }))
+        self.count(|k| matches!(k, TraceKind::ReadFallback { .. }))
     }
 
     /// Database commit events (per (db, rid), at most one each).
     pub fn db_commits(&self) -> usize {
-        self.sim
-            .trace()
-            .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
+        self.count(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
     }
 
     /// The default primary application server.
@@ -735,27 +920,19 @@ impl Scenario {
     /// materializes an attempt traces its own `ShardRoute`, and client
     /// rebroadcasts under faults add more — raw event counts overstate.)
     pub fn cross_shard_routes(&self) -> usize {
-        let mut rids = std::collections::BTreeSet::new();
-        for e in self.sim.trace().events() {
-            if let TraceKind::ShardRoute { rid, shards } = e.kind {
-                if shards > 1 {
-                    rids.insert(rid);
-                }
-            }
-        }
-        rids.len()
+        self.distinct_rids(|k| match k {
+            TraceKind::ShardRoute { rid, shards } if *shards > 1 => Some(*rid),
+            _ => None,
+        })
     }
 
     /// Count of distinct attempts that were shard-routed at all (single- or
     /// multi-shard) — the denominator for cross-shard fractions.
     pub fn shard_routed_attempts(&self) -> usize {
-        let mut rids = std::collections::BTreeSet::new();
-        for e in self.sim.trace().events() {
-            if let TraceKind::ShardRoute { rid, .. } = e.kind {
-                rids.insert(rid);
-            }
-        }
-        rids.len()
+        self.distinct_rids(|k| match k {
+            TraceKind::ShardRoute { rid, .. } => Some(*rid),
+            _ => None,
+        })
     }
 
     /// Per-request client-perceived latency in milliseconds: delivery time
@@ -765,7 +942,7 @@ impl Scenario {
     pub fn request_latencies_ms(&self) -> Vec<f64> {
         let mut issues: std::collections::BTreeMap<etx_base::ids::RequestId, Time> =
             std::collections::BTreeMap::new();
-        for e in self.sim.trace().events() {
+        for e in self.trace().events() {
             if let TraceKind::Issue { request } = e.kind {
                 issues.entry(request).or_insert(e.at);
             }
@@ -779,13 +956,24 @@ impl Scenario {
     }
 
     /// Reconstructs a database server's committed state from its durable
-    /// log: the kernel exposes stable storage (not process memory), and
+    /// log: both hosts expose stable storage (not process memory), and
     /// recovery is deterministic, so replaying the WAL over the server's
     /// seed slice yields exactly what the server holds committed. This is
     /// how tests assert replica-group convergence.
-    pub fn rebuilt_committed(&self, db: NodeId) -> std::collections::BTreeMap<String, i64> {
+    ///
+    /// Takes `&mut self` because on the threaded backend the logs belong
+    /// to their node threads while running: the scenario is stopped
+    /// (threads joined) first. The simulator reads storage mid-run and
+    /// keeps running.
+    pub fn rebuilt_committed(&mut self, db: NodeId) -> std::collections::BTreeMap<String, i64> {
+        if matches!(self.backend, Backend::Threaded { .. }) {
+            self.stop();
+        }
         let seed = self.db_seeds.get(&db).cloned().unwrap_or_default();
-        let log = self.sim.storage(db).read(etx_base::wal::LOG_WAL);
-        etx_store::Engine::recover_with_seed(seed, log).snapshot().clone()
+        let log: Vec<etx_base::wal::StableRecord> = match &self.backend {
+            Backend::Sim(sim) => sim.storage(db).read(etx_base::wal::LOG_WAL).to_vec(),
+            Backend::Threaded { host, .. } => host.log_read(db, etx_base::wal::LOG_WAL),
+        };
+        etx_store::Engine::recover_with_seed(seed, &log).snapshot().clone()
     }
 }

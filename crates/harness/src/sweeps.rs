@@ -67,18 +67,18 @@ pub fn failover_sweep(seed: u64, fd_timeouts: &[Dur]) -> Vec<FailoverPoint> {
             let a1 = s.topo.primary();
             match crash {
                 CrashPoint::None => {}
-                CrashPoint::AfterRegA => s.sim.on_trace(
+                CrashPoint::AfterRegA => s.sim_mut().on_trace(
                     move |ev| {
                         ev.node == a1
                             && matches!(ev.kind, TraceKind::Span { comp: Component::LogStart, .. })
                     },
                     FaultAction::Crash(a1),
                 ),
-                CrashPoint::AfterVote => s.sim.on_trace(
+                CrashPoint::AfterVote => s.sim_mut().on_trace(
                     move |ev| matches!(ev.kind, TraceKind::DbVote { .. }),
                     FaultAction::Crash(a1),
                 ),
-                CrashPoint::AfterRegD => s.sim.on_trace(
+                CrashPoint::AfterRegD => s.sim_mut().on_trace(
                     move |ev| {
                         ev.node == a1
                             && matches!(
@@ -208,7 +208,7 @@ pub fn scalability_sweep(
                 assert_eq!(out, RunOutcome::Predicate);
                 let (_, _, _, at) = s.deliveries()[0];
                 lats.push(at.as_millis_f64());
-                msgs += s.sim.stats().protocol_total();
+                msgs += s.stats().protocol_total();
             }
             rows.push(ScalePoint {
                 apps: a,
@@ -262,7 +262,7 @@ pub fn cross_shard_sweep(
         assert_eq!(out, RunOutcome::Predicate, "cross-shard sweep run must settle");
         let delivered = s.deliveries().len();
         let lats = s.request_latencies_ms();
-        let span = s.sim.now().as_millis_f64().max(f64::MIN_POSITIVE) / 1_000.0;
+        let span = s.now().as_millis_f64().max(f64::MIN_POSITIVE) / 1_000.0;
         let routed = s.shard_routed_attempts();
         rows.push(CrossShardPoint {
             shards,

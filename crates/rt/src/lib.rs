@@ -1,0 +1,699 @@
+//! # etx-rt — the multi-threaded runtime backend
+//!
+//! Runs the *identical* protocol state machines the deterministic simulator
+//! hosts, but on real hardware: one OS thread and one mpsc inbox per node,
+//! real monotonic clocks behind timers, and in-memory stable logs mutated
+//! behind the same `log_append`/`log_read` contract. This is the backend
+//! that turns every simulated bench figure into an honest wall-clock
+//! number — commits per second on the host, not per simulated second.
+//!
+//! What deliberately does **not** exist here:
+//!
+//! * **Fault injection.** Crashes, recoveries, partitions and link blocks
+//!   are simulator capabilities ([`Host::supports_fault_injection`] returns
+//!   `false`); chaos tooling must reject this backend loudly rather than
+//!   silently not injecting. Consequently `Event::Recovered`,
+//!   `Event::NodeDown` and `Event::NodeUp` are never delivered —
+//!   `subscribe_node_events` is accepted and simply never fires.
+//! * **Modelled network delay and loss.** Channels are genuinely reliable
+//!   and as fast as the machine; the reliable-channel abstraction of §4
+//!   holds by construction.
+//! * **Determinism.** Per-node randomness is still seeded (same master
+//!   seed → same per-node streams), but thread interleaving is the OS
+//!   scheduler's. Byte-identical replay remains the simulator's job.
+//!
+//! Cost-model service times are honored exactly as in the simulator — a
+//! forced `log_append` returns the modelled duration and `send_after`
+//! really does wait — so a scenario built on the paper's cost model behaves
+//! recognizably on both backends. Wall-clock benches pass
+//! [`etx_base::config::CostModel::zeroed`] instead, which removes every
+//! modelled stall and leaves only what the hardware charges.
+
+use etx_base::config::CostModel;
+use etx_base::ids::{NodeId, TimerId};
+use etx_base::msg::Payload;
+use etx_base::rng::Rng;
+use etx_base::runtime::{Context, Event, Host, NodeFactory, Process, RunOutcome, TimerTag};
+use etx_base::time::{Dur, Time};
+use etx_base::trace::{MsgStats, Trace, TraceEvent, TraceKind};
+use etx_base::wal::StableRecord;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Threaded-host parameters.
+#[derive(Debug, Clone)]
+pub struct ThreadedConfig {
+    /// Master seed: each node derives an independent randomness stream from
+    /// it (deterministic per node; interleaving is not).
+    pub seed: u64,
+    /// Environment cost constants. Modelled service times are honored with
+    /// real waits; use [`CostModel::zeroed`] for pure-hardware numbers.
+    pub cost: CostModel,
+    /// Hard stop for [`Host::run_trace_until`]: longest wall-clock wait for
+    /// the predicate before giving up with [`RunOutcome::TimeLimit`].
+    pub wall_limit: Duration,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        ThreadedConfig { seed: 0, cost: CostModel::default(), wall_limit: Duration::from_secs(60) }
+    }
+}
+
+impl ThreadedConfig {
+    /// Config with a given seed and defaults elsewhere.
+    pub fn with_seed(seed: u64) -> Self {
+        ThreadedConfig { seed, ..ThreadedConfig::default() }
+    }
+}
+
+/// One node's in-memory stable logs (same named-append-only-log contract as
+/// the simulator's `StableStorage`; crash survival is moot on a backend
+/// that cannot crash nodes, but the mutation surface is identical).
+#[derive(Debug, Default)]
+struct LogStore {
+    logs: BTreeMap<&'static str, Vec<StableRecord>>,
+}
+
+impl LogStore {
+    fn append(&mut self, log: &'static str, rec: StableRecord) {
+        self.logs.entry(log).or_default().push(rec);
+    }
+
+    fn read(&self, log: &'static str) -> Vec<StableRecord> {
+        self.logs.get(log).cloned().unwrap_or_default()
+    }
+}
+
+/// What travels over a node's inbox.
+enum Wire {
+    Msg { from: NodeId, payload: Payload, depth: u32 },
+    Stop,
+}
+
+/// The shared observability sink all node threads write into. Trace
+/// timestamps are taken *inside* the trace lock from the shared monotonic
+/// epoch, so trace order and timestamp order agree — the property checker's
+/// happened-before comparisons hold exactly as on the simulator.
+struct Sink {
+    epoch: Instant,
+    trace: Mutex<Trace>,
+    stats: Mutex<MsgStats>,
+}
+
+impl Sink {
+    fn now(&self) -> Time {
+        Time(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+/// A deferred local action: a timer armed through `set_timer`, or the tail
+/// of a `send_after` whose modelled service time has not elapsed yet.
+struct Deferred {
+    due: Time,
+    seq: u64,
+    kind: DeferredKind,
+}
+
+enum DeferredKind {
+    Timer { id: TimerId, tag: TimerTag, depth: u32 },
+    Send { to: NodeId, payload: Payload, depth: u32 },
+}
+
+impl PartialEq for Deferred {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for Deferred {}
+impl PartialOrd for Deferred {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Deferred {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Per-node runtime state living on the node's own thread.
+struct NodeRt {
+    me: NodeId,
+    senders: Arc<Vec<Sender<Wire>>>,
+    sink: Arc<Sink>,
+    cost: CostModel,
+    rng: Rng,
+    storage: LogStore,
+    deferred: BinaryHeap<Reverse<Deferred>>,
+    cancelled: HashSet<u64>,
+    timer_seq: u64,
+    defer_seq: u64,
+}
+
+impl NodeRt {
+    fn dispatch(&mut self, process: &mut Box<dyn Process>, event: Event, depth: u32) {
+        let now = self.sink.now();
+        let mut ctx = ThreadCtx { rt: self, now, depth };
+        process.on_event(&mut ctx, event);
+    }
+
+    /// Fires every deferred action that is due, in (due, seq) order.
+    fn fire_due(&mut self, process: &mut Box<dyn Process>) {
+        loop {
+            let now = self.sink.now();
+            match self.deferred.peek() {
+                Some(Reverse(d)) if d.due <= now => {}
+                _ => return,
+            }
+            let Reverse(d) = self.deferred.pop().expect("peeked");
+            match d.kind {
+                DeferredKind::Timer { id, tag, depth } => {
+                    if !self.cancelled.remove(&id.0) {
+                        self.dispatch(process, Event::Timer { id, tag }, depth);
+                    }
+                }
+                DeferredKind::Send { to, payload, depth } => {
+                    self.transmit(to, payload, depth);
+                }
+            }
+        }
+    }
+
+    /// Wall-clock wait until the next deferred action (None = nothing
+    /// pending).
+    fn next_wait(&self) -> Option<Duration> {
+        self.deferred.peek().map(|Reverse(d)| {
+            let now = self.sink.now();
+            Duration::from_micros(d.due.0.saturating_sub(now.0))
+        })
+    }
+
+    /// Puts a message on the destination's inbox (records stats; a
+    /// destination that already shut down is ignored, matching the
+    /// simulator's drop-to-down accounting shape).
+    fn transmit(&mut self, to: NodeId, payload: Payload, depth: u32) {
+        let background = payload.is_background();
+        self.sink.stats.lock().expect("stats lock").record_sent(payload.label(), background);
+        if let Some(tx) = self.senders.get(to.0 as usize) {
+            let _ = tx.send(Wire::Msg { from: self.me, payload, depth });
+        }
+    }
+
+    fn defer(&mut self, due: Time, kind: DeferredKind) {
+        self.defer_seq += 1;
+        self.deferred.push(Reverse(Deferred { due, seq: self.defer_seq, kind }));
+    }
+}
+
+/// The `Context` capability surface, threaded-backend flavour. `now` is
+/// pinned at handler entry — same convention as the simulator, where a
+/// handler runs instantaneously at one instant.
+struct ThreadCtx<'a> {
+    rt: &'a mut NodeRt,
+    now: Time,
+    depth: u32,
+}
+
+impl ThreadCtx<'_> {
+    fn send_impl(&mut self, depth_base: u32, extra: Dur, to: NodeId, payload: Payload) {
+        let background = payload.is_background();
+        let depth = if background { 0 } else { depth_base + 1 };
+        if extra == Dur::ZERO {
+            self.rt.transmit(to, payload, depth);
+        } else {
+            let due = self.now + extra;
+            self.rt.defer(due, DeferredKind::Send { to, payload, depth });
+        }
+    }
+}
+
+impl Context for ThreadCtx<'_> {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn me(&self) -> NodeId {
+        self.rt.me
+    }
+
+    fn send(&mut self, to: NodeId, payload: Payload) {
+        self.send_impl(self.depth, Dur::ZERO, to, payload);
+    }
+
+    fn send_after(&mut self, delay: Dur, to: NodeId, payload: Payload) {
+        self.send_impl(self.depth, delay, to, payload);
+    }
+
+    fn set_timer(&mut self, delay: Dur, tag: TimerTag) -> TimerId {
+        self.rt.timer_seq += 1;
+        let id = TimerId(self.rt.timer_seq);
+        let due = self.now + delay;
+        self.rt.defer(due, DeferredKind::Timer { id, tag, depth: self.depth });
+        id
+    }
+
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.rt.cancelled.insert(id.0);
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.rt.rng.next_u64()
+    }
+
+    fn log_append(&mut self, log: &'static str, rec: StableRecord, forced: bool) -> Dur {
+        self.rt.storage.append(log, rec);
+        if forced {
+            self.rt.rng.jitter(self.rt.cost.log_force, self.rt.cost.jitter)
+        } else {
+            Dur::ZERO
+        }
+    }
+
+    fn log_read(&self, log: &'static str) -> Vec<StableRecord> {
+        self.rt.storage.read(log)
+    }
+
+    fn trace(&mut self, kind: TraceKind) {
+        // Timestamp under the lock: trace order == timestamp order.
+        let mut trace = self.rt.sink.trace.lock().expect("trace lock");
+        let at = self.rt.sink.now();
+        trace.push(TraceEvent::new(at, self.rt.me, kind));
+    }
+
+    fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    fn send_at_depth(&mut self, depth: u32, to: NodeId, payload: Payload) {
+        self.send_impl(depth, Dur::ZERO, to, payload);
+    }
+
+    fn send_after_at_depth(&mut self, depth: u32, delay: Dur, to: NodeId, payload: Payload) {
+        self.send_impl(depth, delay, to, payload);
+    }
+
+    fn subscribe_node_events(&mut self) {
+        // Accepted and inert: this backend cannot crash nodes, so the
+        // perfect-failure-detector oracle never has anything to report.
+    }
+}
+
+/// What a node thread hands back at shutdown: the process (for post-run
+/// introspection through `Process::as_any`) and its stable logs.
+struct NodeShell {
+    process: Box<dyn Process>,
+    storage: LogStore,
+}
+
+enum Phase {
+    /// Nodes may still be registered; no thread exists yet.
+    Building,
+    /// Threads are live and processing.
+    Running,
+    /// Threads joined; shells available for introspection.
+    Stopped,
+}
+
+/// The multi-threaded host. Register nodes, then [`ThreadedHost::start`]
+/// (or let the first run call do it), run, and [`ThreadedHost::stop`] to
+/// join the node threads and unlock post-run introspection
+/// ([`ThreadedHost::process_ref`], [`ThreadedHost::log_read`]).
+pub struct ThreadedHost {
+    cfg: ThreadedConfig,
+    phase: Phase,
+    pending: Vec<(&'static str, NodeFactory)>,
+    names: Vec<&'static str>,
+    senders: Vec<Sender<Wire>>,
+    handles: Vec<JoinHandle<NodeShell>>,
+    shells: Vec<Option<NodeShell>>,
+    sink: Arc<Sink>,
+}
+
+impl std::fmt::Debug for ThreadedHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedHost")
+            .field("nodes", &self.names.len())
+            .field(
+                "phase",
+                &match self.phase {
+                    Phase::Building => "building",
+                    Phase::Running => "running",
+                    Phase::Stopped => "stopped",
+                },
+            )
+            .finish()
+    }
+}
+
+impl ThreadedHost {
+    /// Creates an empty host. The wall clock starts at [`ThreadedHost::start`].
+    pub fn new(cfg: ThreadedConfig) -> Self {
+        ThreadedHost {
+            cfg,
+            phase: Phase::Building,
+            pending: Vec::new(),
+            names: Vec::new(),
+            senders: Vec::new(),
+            handles: Vec::new(),
+            shells: Vec::new(),
+            sink: Arc::new(Sink {
+                epoch: Instant::now(),
+                trace: Mutex::new(Trace::default()),
+                stats: Mutex::new(MsgStats::default()),
+            }),
+        }
+    }
+
+    /// Spawns every registered node on its own thread and delivers
+    /// `Event::Init` to each (in registration order on each node's own
+    /// thread; cross-node Init interleaving is unordered, exactly like any
+    /// real deployment's staggered start).
+    pub fn start(&mut self) {
+        if !matches!(self.phase, Phase::Building) {
+            return;
+        }
+        // Reset the epoch so Time(0) is the moment processing begins, not
+        // host construction.
+        self.sink = Arc::new(Sink {
+            epoch: Instant::now(),
+            trace: Mutex::new(Trace::default()),
+            stats: Mutex::new(MsgStats::default()),
+        });
+        let mut receivers = Vec::new();
+        for _ in &self.pending {
+            let (tx, rx) = channel::<Wire>();
+            self.senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(self.senders.clone());
+        let mut master = Rng::new(self.cfg.seed);
+        for (idx, ((name, mut factory), rx)) in self.pending.drain(..).zip(receivers).enumerate() {
+            let me = NodeId(idx as u32);
+            let senders = Arc::clone(&senders);
+            let sink = Arc::clone(&self.sink);
+            let cost = self.cfg.cost.clone();
+            let rng = master.fork();
+            let handle = std::thread::Builder::new()
+                .name(format!("etx-{name}-{idx}"))
+                .spawn(move || {
+                    let mut process = factory(me);
+                    let mut rt = NodeRt {
+                        me,
+                        senders,
+                        sink,
+                        cost,
+                        rng,
+                        storage: LogStore::default(),
+                        deferred: BinaryHeap::new(),
+                        cancelled: HashSet::new(),
+                        timer_seq: 0,
+                        defer_seq: 0,
+                    };
+                    node_main(&mut rt, &mut process, rx);
+                    NodeShell { process, storage: rt.storage }
+                })
+                .expect("spawn node thread");
+            self.handles.push(handle);
+        }
+        self.phase = Phase::Running;
+    }
+
+    /// Signals every node thread to exit, joins them, and keeps each node's
+    /// final process + stable logs for introspection. Idempotent.
+    pub fn stop(&mut self) {
+        match self.phase {
+            Phase::Building => {
+                // Nothing ever ran; still transition so introspection of an
+                // empty run does not hang.
+                self.phase = Phase::Stopped;
+                return;
+            }
+            Phase::Stopped => return,
+            Phase::Running => {}
+        }
+        for tx in &self.senders {
+            let _ = tx.send(Wire::Stop);
+        }
+        for handle in self.handles.drain(..) {
+            let shell = handle.join().expect("node thread panicked");
+            self.shells.push(Some(shell));
+        }
+        self.phase = Phase::Stopped;
+    }
+
+    /// Whether [`ThreadedHost::stop`] has run.
+    pub fn is_stopped(&self) -> bool {
+        matches!(self.phase, Phase::Stopped)
+    }
+
+    /// Node name (diagnostics).
+    pub fn node_name(&self, node: NodeId) -> &'static str {
+        self.names[node.0 as usize]
+    }
+
+    /// Read access to a node's final process state. Only available after
+    /// [`ThreadedHost::stop`] — while threads run, each process belongs to
+    /// its thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host has not been stopped.
+    pub fn process_ref(&self, node: NodeId) -> Option<&dyn Process> {
+        assert!(
+            self.is_stopped(),
+            "threaded-host process introspection requires stop() — node threads own their \
+             processes while running"
+        );
+        self.shells.get(node.0 as usize).and_then(|s| s.as_ref()).map(|s| &*s.process)
+    }
+
+    /// Reads back a node's stable log. Only available after
+    /// [`ThreadedHost::stop`], for the same ownership reason as
+    /// [`ThreadedHost::process_ref`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the host has not been stopped.
+    pub fn log_read(&self, node: NodeId, log: &'static str) -> Vec<StableRecord> {
+        assert!(
+            self.is_stopped(),
+            "threaded-host log introspection requires stop() — node threads own their logs \
+             while running"
+        );
+        self.shells
+            .get(node.0 as usize)
+            .and_then(|s| s.as_ref())
+            .map(|s| s.storage.read(log))
+            .unwrap_or_default()
+    }
+
+    /// A snapshot of the trace collected so far.
+    pub fn trace_snapshot(&self) -> Trace {
+        self.sink.trace.lock().expect("trace lock").clone()
+    }
+
+    /// A snapshot of the message statistics collected so far.
+    pub fn stats_snapshot(&self) -> MsgStats {
+        self.sink.stats.lock().expect("stats lock").clone()
+    }
+}
+
+impl Drop for ThreadedHost {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn node_main(rt: &mut NodeRt, process: &mut Box<dyn Process>, rx: Receiver<Wire>) {
+    rt.dispatch(process, Event::Init, 0);
+    // Idle wait when no timer is pending: purely a wake-up bound for
+    // catching Stop/disconnect promptly; protocol liveness never relies on
+    // it because every retry path arms a real timer.
+    const IDLE_WAIT: Duration = Duration::from_millis(50);
+    loop {
+        rt.fire_due(process);
+        let wait = rt.next_wait().unwrap_or(IDLE_WAIT).min(IDLE_WAIT);
+        match rx.recv_timeout(wait) {
+            Ok(Wire::Msg { from, payload, depth }) => {
+                rt.dispatch(process, Event::Message { from, payload }, depth);
+            }
+            Ok(Wire::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+impl Host for ThreadedHost {
+    fn add_node(&mut self, name: &'static str, factory: NodeFactory) -> NodeId {
+        assert!(
+            matches!(self.phase, Phase::Building),
+            "threaded host: all nodes must be registered before the run starts"
+        );
+        let id = NodeId(self.pending.len() as u32);
+        self.pending.push((name, factory));
+        self.names.push(name);
+        id
+    }
+
+    fn host_now(&self) -> Time {
+        self.sink.now()
+    }
+
+    fn run_trace_until(&mut self, mut pred: Box<dyn FnMut(&Trace) -> bool + '_>) -> RunOutcome {
+        self.start();
+        let poll = Duration::from_micros(200);
+        loop {
+            {
+                let trace = self.sink.trace.lock().expect("trace lock");
+                if pred(&trace) {
+                    return RunOutcome::Predicate;
+                }
+            }
+            if self.sink.epoch.elapsed() > self.cfg.wall_limit {
+                return RunOutcome::TimeLimit;
+            }
+            std::thread::sleep(poll);
+        }
+    }
+
+    fn quiesce_for(&mut self, extra: Dur) {
+        self.start();
+        std::thread::sleep(Duration::from_micros(extra.0));
+    }
+
+    fn with_trace(&self, f: &mut dyn FnMut(&Trace)) {
+        let trace = self.sink.trace.lock().expect("trace lock");
+        f(&trace)
+    }
+
+    fn with_stats(&self, f: &mut dyn FnMut(&MsgStats)) {
+        let stats = self.sink.stats.lock().expect("stats lock");
+        f(&stats)
+    }
+
+    fn supports_fault_injection(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use etx_base::msg::FdMsg;
+    use etx_base::wal::LOG_WAL;
+
+    /// Sends `n` pings to a peer on Init; notes pongs.
+    struct Pinger {
+        peer: Option<NodeId>,
+        n: u64,
+    }
+    impl Process for Pinger {
+        fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+            match event {
+                Event::Init => {
+                    if let Some(peer) = self.peer {
+                        for i in 0..self.n {
+                            ctx.send(peer, Payload::Fd(FdMsg::Heartbeat { seq: i }));
+                        }
+                    }
+                }
+                Event::Message { .. } => ctx.trace(TraceKind::Note("pong")),
+                _ => {}
+            }
+        }
+    }
+
+    fn pongs(t: &Trace) -> usize {
+        t.count_kind(|k| matches!(k, TraceKind::Note("pong")))
+    }
+
+    #[test]
+    fn messages_flow_between_threads() {
+        let mut host = ThreadedHost::new(ThreadedConfig::with_seed(1));
+        let _a = host.add_node("a", Box::new(|_| Box::new(Pinger { peer: Some(NodeId(1)), n: 5 })));
+        let _b = host.add_node("b", Box::new(|_| Box::new(Pinger { peer: None, n: 0 })));
+        let out = host.run_trace_until(Box::new(|t| pongs(t) == 5));
+        assert_eq!(out, RunOutcome::Predicate);
+        host.stop();
+        assert_eq!(host.stats_snapshot().sent("Heartbeat"), 5);
+    }
+
+    struct TimerBox;
+    impl Process for TimerBox {
+        fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+            match event {
+                Event::Init => {
+                    let keep = ctx.set_timer(Dur::from_millis(5), TimerTag::CleanerTick);
+                    let kill = ctx.set_timer(Dur::from_millis(1), TimerTag::FdCheck);
+                    ctx.cancel_timer(kill);
+                    let _ = keep;
+                }
+                Event::Timer { tag, .. } => {
+                    assert_eq!(tag, TimerTag::CleanerTick, "cancelled timer must not fire");
+                    ctx.trace(TraceKind::Note("tick"));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_the_real_clock_and_cancel() {
+        let mut host = ThreadedHost::new(ThreadedConfig::with_seed(2));
+        host.add_node("t", Box::new(|_| Box::new(TimerBox)));
+        let out = host.run_trace_until(Box::new(|t| {
+            t.count_kind(|k| matches!(k, TraceKind::Note("tick"))) == 1
+        }));
+        assert_eq!(out, RunOutcome::Predicate);
+        assert!(host.host_now() >= Time(5_000), "timer must not fire early");
+        host.stop();
+    }
+
+    struct Durable;
+    impl Process for Durable {
+        fn on_event(&mut self, ctx: &mut dyn Context, event: Event) {
+            if let Event::Init = event {
+                let rid = etx_base::ids::ResultId::first(etx_base::ids::RequestId {
+                    client: NodeId(0),
+                    seq: 1,
+                });
+                let d = ctx.log_append(LOG_WAL, StableRecord::CoordStart { rid }, true);
+                assert!(d > Dur::ZERO, "forced writes cost modelled time");
+                assert_eq!(ctx.log_read(LOG_WAL).len(), 1, "read-your-append");
+                ctx.trace(TraceKind::Note("logged"));
+            }
+        }
+    }
+
+    #[test]
+    fn stable_logs_survive_to_introspection() {
+        let mut host = ThreadedHost::new(ThreadedConfig::with_seed(3));
+        let n = host.add_node("d", Box::new(|_| Box::new(Durable)));
+        host.run_trace_until(Box::new(|t| {
+            t.count_kind(|k| matches!(k, TraceKind::Note("logged"))) == 1
+        }));
+        host.stop();
+        assert_eq!(host.log_read(n, LOG_WAL).len(), 1);
+        assert!(host.process_ref(n).is_some());
+    }
+
+    #[test]
+    fn fault_injection_is_rejected() {
+        let host = ThreadedHost::new(ThreadedConfig::default());
+        assert!(!host.supports_fault_injection());
+    }
+
+    #[test]
+    fn run_times_out_when_predicate_never_holds() {
+        let mut cfg = ThreadedConfig::with_seed(4);
+        cfg.wall_limit = Duration::from_millis(50);
+        let mut host = ThreadedHost::new(cfg);
+        host.add_node("a", Box::new(|_| Box::new(Pinger { peer: None, n: 0 })));
+        assert_eq!(host.run_trace_until(Box::new(|_| false)), RunOutcome::TimeLimit);
+    }
+}

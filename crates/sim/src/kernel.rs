@@ -18,7 +18,9 @@ use crate::storage::StableStorage;
 use etx_base::config::CostModel;
 use etx_base::ids::{NodeId, TimerId};
 use etx_base::msg::Payload;
-use etx_base::runtime::{Context, Event, Process, TimerTag};
+use etx_base::runtime::{Context, Event, Host, NodeFactory, Process, TimerTag};
+
+pub use etx_base::runtime::RunOutcome;
 use etx_base::time::{Dur, Time};
 use etx_base::trace::{TraceEvent, TraceKind};
 use etx_base::wal::StableRecord;
@@ -59,22 +61,9 @@ impl SimConfig {
     }
 }
 
-/// Why a run loop returned.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RunOutcome {
-    /// The caller's predicate became true.
-    Predicate,
-    /// The event queue drained completely.
-    Exhausted,
-    /// Simulated time exceeded [`SimConfig::max_time`].
-    TimeLimit,
-    /// More than [`SimConfig::max_events`] events were processed.
-    EventLimit,
-}
-
 /// A process factory: invoked at node creation and again at every recovery
 /// (volatile state is rebuilt from scratch; stable storage persists).
-pub type Factory = Box<dyn FnMut(NodeId) -> Box<dyn Process>>;
+pub type Factory = NodeFactory;
 
 /// Fault applied when a trace trigger fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -492,6 +481,43 @@ impl Sim {
     /// introspection only, never a protocol channel.
     pub fn process_ref(&self, node: NodeId) -> Option<&dyn Process> {
         self.nodes[node.0 as usize].process.as_deref()
+    }
+}
+
+/// The simulator is the deterministic implementation of the runtime seam:
+/// virtual clock, byte-identical replay per seed, and (uniquely among the
+/// backends) first-class fault injection.
+impl Host for Sim {
+    fn add_node(&mut self, name: &'static str, factory: NodeFactory) -> NodeId {
+        Sim::add_node(self, name, factory)
+    }
+
+    fn host_now(&self) -> Time {
+        self.now()
+    }
+
+    fn run_trace_until(
+        &mut self,
+        mut pred: Box<dyn FnMut(&etx_base::trace::Trace) -> bool + '_>,
+    ) -> RunOutcome {
+        self.run_until(move |s| pred(s.trace()))
+    }
+
+    fn quiesce_for(&mut self, extra: Dur) {
+        let deadline = self.now() + extra;
+        let _ = self.run_until_time(deadline);
+    }
+
+    fn with_trace(&self, f: &mut dyn FnMut(&etx_base::trace::Trace)) {
+        f(self.trace())
+    }
+
+    fn with_stats(&self, f: &mut dyn FnMut(&etx_base::trace::MsgStats)) {
+        f(self.stats())
+    }
+
+    fn supports_fault_injection(&self) -> bool {
+        true
     }
 }
 

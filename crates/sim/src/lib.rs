@@ -44,8 +44,11 @@
 pub mod kernel;
 pub mod net;
 pub mod observe;
-pub mod rng;
 pub mod storage;
+
+/// Deterministic SplitMix64 stream (shared with the threaded backend; the
+/// module moved to `etx-base` with the runtime seam).
+pub use etx_base::rng;
 
 pub use kernel::{FaultAction, RunOutcome, Sim, SimConfig};
 pub use net::NetConfig;

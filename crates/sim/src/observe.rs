@@ -1,125 +1,9 @@
 //! Run observability: the collected trace and message statistics.
+//!
+//! The concrete types moved to `etx-base::trace` when the runtime seam
+//! grew a second (threaded) backend — both hosts fill the same sink types,
+//! which is what keeps the harness accessors and the §3 property checker
+//! backend-neutral. Re-exported here so `etx_sim::{Trace, MsgStats}` paths
+//! keep working.
 
-use etx_base::trace::{TraceEvent, TraceKind};
-use std::collections::BTreeMap;
-
-/// The totally ordered record of everything observable that happened in a
-/// run. The experiment harness and the property checker consume this.
-#[derive(Debug, Default)]
-pub struct Trace {
-    events: Vec<TraceEvent>,
-}
-
-impl Trace {
-    /// Appends an event (kernel-internal).
-    pub(crate) fn push(&mut self, ev: TraceEvent) {
-        self.events.push(ev);
-    }
-
-    /// All events, in order.
-    pub fn events(&self) -> &[TraceEvent] {
-        &self.events
-    }
-
-    /// Number of events.
-    pub fn len(&self) -> usize {
-        self.events.len()
-    }
-
-    /// True when nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
-    }
-
-    /// Counts events matching a predicate on the kind.
-    pub fn count_kind(&self, mut pred: impl FnMut(&TraceKind) -> bool) -> usize {
-        self.events.iter().filter(|e| pred(&e.kind)).count()
-    }
-
-    /// First event matching a predicate.
-    pub fn find(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> Option<&TraceEvent> {
-        self.events.iter().find(|e| pred(e))
-    }
-}
-
-/// Message-volume accounting, used by the Figure 7 experiment ("total
-/// messages exchanged") and by tests asserting protocol overheads.
-#[derive(Debug, Default)]
-pub struct MsgStats {
-    per_label: BTreeMap<&'static str, u64>,
-    total: u64,
-    background: u64,
-    dropped_to_down: u64,
-}
-
-impl MsgStats {
-    pub(crate) fn record_sent(&mut self, label: &'static str, background: bool) {
-        *self.per_label.entry(label).or_insert(0) += 1;
-        self.total += 1;
-        if background {
-            self.background += 1;
-        }
-    }
-
-    pub(crate) fn record_dropped_to_down(&mut self) {
-        self.dropped_to_down += 1;
-    }
-
-    /// Messages sent with the given label.
-    pub fn sent(&self, label: &str) -> u64 {
-        self.per_label.get(label).copied().unwrap_or(0)
-    }
-
-    /// All (label, count) pairs, alphabetically.
-    pub fn by_label(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.per_label.iter().map(|(&l, &c)| (l, c))
-    }
-
-    /// Total messages sent (including background heartbeats).
-    pub fn total(&self) -> u64 {
-        self.total
-    }
-
-    /// Protocol messages only (heartbeats excluded).
-    pub fn protocol_total(&self) -> u64 {
-        self.total - self.background
-    }
-
-    /// Messages whose receiver was down at delivery time.
-    pub fn dropped_to_down(&self) -> u64 {
-        self.dropped_to_down
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use etx_base::ids::NodeId;
-    use etx_base::time::Time;
-
-    #[test]
-    fn trace_collects_in_order() {
-        let mut t = Trace::default();
-        assert!(t.is_empty());
-        t.push(TraceEvent::new(Time(1), NodeId(0), TraceKind::Note("a")));
-        t.push(TraceEvent::new(Time(2), NodeId(1), TraceKind::Note("b")));
-        assert_eq!(t.len(), 2);
-        assert_eq!(t.count_kind(|k| matches!(k, TraceKind::Note(_))), 2);
-        assert_eq!(t.find(|e| e.node == NodeId(1)).unwrap().at, Time(2));
-    }
-
-    #[test]
-    fn stats_classify_background() {
-        let mut s = MsgStats::default();
-        s.record_sent("Request", false);
-        s.record_sent("Heartbeat", true);
-        s.record_sent("Heartbeat", true);
-        s.record_dropped_to_down();
-        assert_eq!(s.total(), 3);
-        assert_eq!(s.protocol_total(), 1);
-        assert_eq!(s.sent("Heartbeat"), 2);
-        assert_eq!(s.sent("nope"), 0);
-        assert_eq!(s.dropped_to_down(), 1);
-        assert_eq!(s.by_label().count(), 2);
-    }
-}
+pub use etx_base::trace::{MsgStats, Trace};

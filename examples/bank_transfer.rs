@@ -21,7 +21,7 @@ use etx::harness::{MiddleTier, ScenarioBuilder, Workload};
 use etx::sim::FaultAction;
 
 fn commits(s: &etx::harness::Scenario) -> usize {
-    s.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
+    s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
 }
 
 fn main() {
@@ -35,13 +35,13 @@ fn main() {
         .build();
     let coord = tpc.topo.app_servers[0];
     let db = tpc.topo.db_servers[0];
-    tpc.sim.on_trace(
+    tpc.sim_mut().on_trace(
         move |ev| {
             ev.node == db && matches!(ev.kind, TraceKind::DbDecide { outcome: Outcome::Commit, .. })
         },
         FaultAction::CrashRecover(coord, Dur::from_millis(200)),
     );
-    tpc.sim.run_until(|s| {
+    tpc.sim_mut().run_until(|s| {
         s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
             >= 2
     });
@@ -55,7 +55,7 @@ fn main() {
         .build();
     let a1 = etx_run.topo.primary();
     let db2 = etx_run.topo.db_servers[0];
-    etx_run.sim.on_trace(
+    etx_run.sim_mut().on_trace(
         move |ev| {
             ev.node == db2
                 && matches!(ev.kind, TraceKind::DbDecide { outcome: Outcome::Commit, .. })

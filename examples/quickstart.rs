@@ -35,14 +35,14 @@ fn main() {
     }
 
     // The exactly-once evidence: exactly one commit at the database.
-    let commits = scenario.sim.trace().count_kind(|k| {
+    let commits = scenario.trace().count_kind(|k| {
         matches!(k, TraceKind::DbDecide { outcome: etx::base::value::Outcome::Commit, .. })
     });
     println!("database commits for this request: {commits} (exactly once)");
 
     // And the full §3 specification holds on the recorded history.
     let report = etx::harness::check(
-        scenario.sim.trace().events(),
+        scenario.trace().events(),
         &scenario.topo.clients,
         etx::harness::LivenessChecks { t1: true, t2: false },
     );

@@ -39,7 +39,7 @@ fn main() {
     // prepared (in-doubt) at that instant — and recover it 25 ms later.
     for g in 0..4 {
         let p = s.shard_primary(g);
-        s.sim.on_trace(
+        s.sim_mut().on_trace(
             move |ev| ev.node == p && matches!(ev.kind, TraceKind::DbVote { .. }),
             FaultAction::CrashRecover(p, Dur::from_millis(25)),
         );
@@ -52,7 +52,7 @@ fn main() {
     s.quiesce(Dur::from_millis(500));
 
     let deliveries = s.deliveries();
-    let crashes = s.sim.trace().count_kind(|k| matches!(k, TraceKind::Crash));
+    let crashes = s.trace().count_kind(|k| matches!(k, TraceKind::Crash));
     let cross = s.cross_shard_routes();
     println!("faults   : {crashes} crash(es) injected mid-commit");
     println!("routing  : {cross} transaction(s) spanned more than one shard");
@@ -68,7 +68,8 @@ fn main() {
     // primary once replication quiesces.
     for g in 0..4 {
         let primary_state = s.rebuilt_committed(s.shard_primary(g));
-        for &r in s.shard_replicas(g).iter().skip(1) {
+        let followers: Vec<_> = s.shard_replicas(g).iter().skip(1).copied().collect();
+        for r in followers {
             assert_eq!(s.rebuilt_committed(r), primary_state, "shard {g} replica diverged");
         }
     }
@@ -78,7 +79,6 @@ fn main() {
     assert!(deliveries.iter().all(|(_, o, _, _)| *o == Outcome::Commit));
     assert!(cross >= 1, "the 100% transfer mix must cross shards");
     assert_eq!(initial, total);
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
     println!("\nspec     : T.1 T.2 A.1 A.2 A.3 V.1 V.2 all hold ✓");
 }

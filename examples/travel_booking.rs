@@ -35,7 +35,7 @@ fn main() {
     }
 
     let report = etx::harness::check(
-        scenario.sim.trace().events(),
+        scenario.trace().events(),
         &scenario.topo.clients,
         etx::harness::LivenessChecks { t1: true, t2: false },
     );

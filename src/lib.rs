@@ -15,5 +15,6 @@ pub use etx_consensus as consensus;
 pub use etx_core as protocol;
 pub use etx_fd as fd;
 pub use etx_harness as harness;
+pub use etx_rt as rt;
 pub use etx_sim as sim;
 pub use etx_store as store;

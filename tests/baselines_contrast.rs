@@ -10,7 +10,7 @@ use etx::harness::{check, LivenessChecks, MiddleTier, ScenarioBuilder, Workload}
 use etx::sim::FaultAction;
 
 fn commits(s: &etx::harness::Scenario) -> usize {
-    s.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
+    s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
 }
 
 /// Crash the (sole/primary) application server right after the database
@@ -22,7 +22,7 @@ fn crash_after_vote(tier: MiddleTier, seed: u64) -> etx::harness::Scenario {
         .build();
     let victim = s.topo.app_servers[0];
     let db = s.topo.db_servers[0];
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| ev.node == db && matches!(ev.kind, TraceKind::DbVote { .. }),
         FaultAction::Crash(victim),
     );
@@ -41,17 +41,18 @@ fn same_fault_four_protocols_four_outcomes() {
 
     // Primary-backup: database unblocked by the backup (needs perfect FD).
     let mut pb = crash_after_vote(MiddleTier::Pb, 2);
-    pb.sim.run_until(|s| s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })) >= 1);
+    pb.sim_mut()
+        .run_until(|s| s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })) >= 1);
     assert!(
-        pb.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })) >= 1,
+        pb.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })) >= 1,
         "the backup resolves the branch"
     );
 
     // 2PC: the database is BLOCKED until the coordinator returns.
     let mut tpc = crash_after_vote(MiddleTier::Tpc, 3);
-    tpc.sim.run_until_time(Time(1_500_000));
+    tpc.sim_mut().run_until_time(Time(1_500_000));
     assert_eq!(
-        tpc.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })),
+        tpc.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })),
         0,
         "2PC leaves the branch in-doubt while the coordinator is down"
     );
@@ -61,10 +62,10 @@ fn same_fault_four_protocols_four_outcomes() {
     // (The baseline never reaches a vote — it one-phase-commits — so crash
     // at vote never fires; crash immediately instead for the contrast.)
     let server = base.topo.app_servers[0];
-    base.sim.crash_at(Time(1_000), server);
-    base.sim.run_until_time(Time(1_000_000));
+    base.sim_mut().crash_at(Time(1_000), server);
+    base.sim_mut().run_until_time(Time(1_000_000));
     assert_eq!(
-        base.sim.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })),
+        base.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })),
         1,
         "baseline surfaces the ambiguity to the user"
     );
@@ -84,15 +85,15 @@ fn tpc_coordinator_crash_blocks_where_etx_delivers() {
     assert_eq!(etx_run.delivered_commits(), 1, "etx delivers through the coordinator crash");
 
     let mut tpc = crash_after_vote(MiddleTier::Tpc, 21);
-    tpc.sim.run_until_time(Time(5_000_000));
+    tpc.sim_mut().run_until_time(Time(5_000_000));
     assert_eq!(tpc.delivered_commits(), 0, "2PC delivers nothing while blocked");
     assert_eq!(
-        tpc.sim.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })),
+        tpc.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { .. })),
         0,
         "2PC's voted branch must stay in-doubt as long as the coordinator is down"
     );
     assert!(
-        tpc.sim.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })) >= 1,
+        tpc.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })) >= 1,
         "the 2PC user times out instead of receiving a result"
     );
 }
@@ -110,20 +111,20 @@ fn property_checker_flags_naive_retry_duplicate_commit() {
         .build();
     let coord = tpc.topo.app_servers[0];
     let db = tpc.topo.db_servers[0];
-    tpc.sim.on_trace(
+    tpc.sim_mut().on_trace(
         move |ev| {
             ev.node == db && matches!(ev.kind, TraceKind::DbDecide { outcome: Outcome::Commit, .. })
         },
         FaultAction::CrashRecover(coord, Dur::from_millis(200)),
     );
-    tpc.sim.run_until(|s| {
+    tpc.sim_mut().run_until(|s| {
         s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Commit, .. }))
             >= 2
     });
     tpc.quiesce(Dur::from_millis(100));
     assert!(commits(&tpc) >= 2, "the fault schedule must actually produce a double charge");
 
-    let report = check(tpc.sim.trace().events(), &tpc.topo.clients, LivenessChecks::default());
+    let report = check(tpc.trace().events(), &tpc.topo.clients, LivenessChecks::default());
     assert!(!report.ok(), "the checker must reject the duplicated execution");
     assert!(
         report.violations.iter().any(|v| v.contains("A.2")),
@@ -135,8 +136,7 @@ fn property_checker_flags_naive_retry_duplicate_commit() {
     let mut etx_run = crash_after_vote(MiddleTier::Etx { apps: 3 }, 31);
     etx_run.run_until_settled(1);
     etx_run.quiesce(Dur::from_millis(300));
-    check(etx_run.sim.trace().events(), &etx_run.topo.clients, LivenessChecks::default())
-        .assert_ok();
+    check(etx_run.trace().events(), &etx_run.topo.clients, LivenessChecks::default()).assert_ok();
 }
 
 #[test]
@@ -148,14 +148,14 @@ fn etx_client_never_sees_exceptions() {
         .requests(3)
         .build();
     let a1 = s.topo.primary();
-    s.sim.crash_at(Time(5_000), a1);
+    s.sim_mut().crash_at(Time(5_000), a1);
     let db = s.topo.db_servers[0];
-    s.sim.crash_at(Time(15_000), db);
-    s.sim.recover_at(Time(45_000), db);
+    s.sim_mut().crash_at(Time(15_000), db);
+    s.sim_mut().recover_at(Time(45_000), db);
     let out = s.run_until_settled(3);
     assert_eq!(out, etx::sim::RunOutcome::Predicate);
     assert_eq!(
-        s.sim.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })),
+        s.trace().count_kind(|k| matches!(k, TraceKind::Exception { .. })),
         0,
         "no exception ever reaches the e-Transaction user"
     );

@@ -2,6 +2,7 @@
 //! appends, batched replica shipping — checked against the full §3
 //! specification, including mid-batch crashes.
 
+use etx::base::config::BatchingConfig;
 use etx::base::ids::ResultId;
 use etx::base::time::{Dur, Time};
 use etx::base::trace::TraceKind;
@@ -18,7 +19,7 @@ fn open_loop_burst_fills_real_batches_and_preserves_the_spec() {
         .shards(4)
         .clients(2)
         .requests(12)
-        .batching(8, Dur::from_millis(1))
+        .batching(BatchingConfig::new(8, Dur::from_millis(1)))
         .workload(Workload::OpenLoopBurst { accounts: 32, amount: 1 })
         .build();
     let expected = s.requests as usize;
@@ -35,8 +36,7 @@ fn open_loop_burst_fills_real_batches_and_preserves_the_spec() {
         );
         assert!(s.group_appends() >= 1, "multi-request slots must reach the WAL as group appends");
     }
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -48,7 +48,7 @@ fn batch_of_one_reproduces_the_unbatched_protocol_exactly() {
         let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 4102)
             .workload(Workload::BankUpdate { amount: 7 })
             .requests(6)
-            .batching(size, Dur::from_millis(window_ms))
+            .batching(BatchingConfig::new(size, Dur::from_millis(window_ms)))
             .build();
         let out = s.run_until_settled(6);
         assert_eq!(out, RunOutcome::Predicate);
@@ -59,8 +59,8 @@ fn batch_of_one_reproduces_the_unbatched_protocol_exactly() {
     let degenerate = run(1, 0);
     assert_eq!(deep.delivered_commits(), 6);
     assert_eq!(
-        deep.sim.trace().events(),
-        degenerate.sim.trace().events(),
+        deep.trace().events(),
+        degenerate.trace().events(),
         "identical traces: the single-request path is a batch of one"
     );
     assert_eq!(deep.batched_slots(), 0, "a sequential client never forms real batches");
@@ -83,14 +83,14 @@ fn deep_pipeline_outcommits_per_request_slots_under_load() {
             .requests(16)
             .workload(Workload::OpenLoopBurst { accounts: 64, amount: 1 });
         if batch > 1 {
-            b = b.batching(batch, Dur::from_millis(1));
+            b = b.batching(BatchingConfig::new(batch, Dur::from_millis(1)));
         }
         let mut s = b.build();
         let expected = s.requests as usize;
         let out = s.run_until_settled(expected);
         assert_eq!(out, RunOutcome::Predicate, "batch={batch} run must settle");
-        check(s.sim.trace().events(), &s.topo.clients, LivenessChecks::default()).assert_ok();
-        s.delivered_commits() as f64 / s.sim.now().as_millis_f64()
+        check(s.trace().events(), &s.topo.clients, LivenessChecks::default()).assert_ok();
+        s.delivered_commits() as f64 / s.now().as_millis_f64()
     };
     let per_request = throughput(1);
     let batched = throughput(16);
@@ -160,7 +160,7 @@ fn follower_recovering_into_an_empty_batch_window_catches_up_as_a_noop() {
         .replication(2)
         .clients(2)
         .requests(8)
-        .batching(8, Dur::from_millis(1))
+        .batching(BatchingConfig::new(8, Dur::from_millis(1)))
         .workload(Workload::OpenLoopBurst { accounts: 16, amount: 1 })
         .build();
     let expected = s.requests as usize;
@@ -170,10 +170,10 @@ fn follower_recovering_into_an_empty_batch_window_catches_up_as_a_noop() {
     let follower = s.shard_replicas(0)[1];
     let settled = s.rebuilt_committed(follower);
     assert_eq!(settled, s.rebuilt_committed(s.shard_primary(0)), "converged before the cycle");
-    let now = s.sim.now();
+    let now = s.now();
     let back_at = Time(now.0 + 5_000);
-    s.sim.crash_at(Time(now.0 + 1_000), follower);
-    s.sim.recover_at(back_at, follower);
+    s.sim_mut().crash_at(Time(now.0 + 1_000), follower);
+    s.sim_mut().recover_at(back_at, follower);
     s.quiesce(Dur::from_millis(100)); // recovery + sync round trips
     assert_eq!(
         s.rebuilt_committed(follower),
@@ -181,7 +181,6 @@ fn follower_recovering_into_an_empty_batch_window_catches_up_as_a_noop() {
         "an empty-window catch-up must not change the follower's state"
     );
     let reapplied = s
-        .sim
         .trace()
         .events()
         .iter()
@@ -206,7 +205,7 @@ fn catch_up_snapshot_straddling_a_partially_shipped_batch_applies_exactly_once()
         .replication(2)
         .clients(4)
         .requests(8)
-        .batching(8, Dur::from_millis(1))
+        .batching(BatchingConfig::new(8, Dur::from_millis(1)))
         .workload(Workload::OpenLoopBurst { accounts: 32, amount: 1 })
         .build();
     // Crash the follower the instant its primary commits for the first
@@ -215,7 +214,7 @@ fn catch_up_snapshot_straddling_a_partially_shipped_batch_applies_exactly_once()
     // never saw — whatever the pipeline depth.
     let follower = s.shard_replicas(0)[1];
     let shard0_primary = s.shard_primary(0);
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| {
             ev.node == shard0_primary
                 && matches!(
@@ -231,7 +230,8 @@ fn catch_up_snapshot_straddling_a_partially_shipped_batch_applies_exactly_once()
     s.quiesce(Dur::from_millis(800));
     for g in 0..2 {
         let primary_state = s.rebuilt_committed(s.shard_primary(g));
-        for &r in s.shard_replicas(g).iter().skip(1) {
+        let followers: Vec<_> = s.shard_replicas(g).iter().skip(1).copied().collect();
+        for r in followers {
             assert_eq!(s.rebuilt_committed(r), primary_state, "replica {r} of shard {g} diverged");
         }
     }
@@ -240,7 +240,7 @@ fn catch_up_snapshot_straddling_a_partially_shipped_batch_applies_exactly_once()
     // skipped item would still break convergence above), and the recovery
     // must actually have adopted a fresh snapshot to jump the gap the
     // crash tore into the apply stream.
-    let log = s.sim.storage(follower).read(LOG_WAL);
+    let log = s.sim().storage(follower).read(LOG_WAL);
     let repl: Vec<(u64, ResultId)> = log
         .iter()
         .flat_map(|r| r.leaves())
@@ -257,8 +257,7 @@ fn catch_up_snapshot_straddling_a_partially_shipped_batch_applies_exactly_once()
         repl.iter().any(|(_, rid)| *rid == ResultId::repl_snapshot()),
         "the follower must have adopted a catch-up snapshot after its mid-run crash"
     );
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -275,4 +274,25 @@ fn chaos_seed_varies_faults_independently_of_the_run_seed() {
     a.assert_ok();
     b.assert_ok();
     assert_ne!(a.faults, b.faults, "distinct chaos seeds must produce distinct schedules");
+}
+
+/// The deprecated two-argument spelling must keep routing through the
+/// `BatchingConfig` path (and keep winning over `ETX_BATCH_SIZE`) until
+/// its removal: a burst under the shim forms the same real batches the
+/// struct form does.
+#[test]
+#[allow(deprecated)]
+fn deprecated_batching_shim_still_configures_the_pipeline() {
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 4101)
+        .shards(4)
+        .clients(2)
+        .requests(12)
+        .batching_size_window(8, Dur::from_millis(1))
+        .workload(Workload::OpenLoopBurst { accounts: 32, amount: 1 })
+        .build();
+    let expected = s.requests as usize;
+    assert_eq!(s.run_until_settled(expected), RunOutcome::Predicate);
+    s.quiesce(Dur::from_millis(300));
+    assert_eq!(s.delivered_commits(), expected);
+    assert!(s.batched_slots() >= 1, "the shim must still produce multi-request slots");
 }

@@ -19,13 +19,13 @@ fn run_traced(seed: u64) -> Vec<u8> {
         .build();
     let victim = s.topo.primary();
     let db = s.topo.db_servers[0];
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| ev.node == db && matches!(ev.kind, TraceKind::DbVote { .. }),
         FaultAction::Crash(victim),
     );
     s.run_until_settled(2);
     s.quiesce(Dur::from_millis(50));
-    format!("{:#?}", s.sim.trace().events()).into_bytes()
+    format!("{:#?}", s.trace().events()).into_bytes()
 }
 
 /// The sharded variant: 4 shards × 2 replicas, cross-shard transfers, and
@@ -39,13 +39,13 @@ fn run_traced_sharded(seed: u64) -> Vec<u8> {
         .requests(2)
         .build();
     let victim = s.shard_primary(0);
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| ev.node == victim && matches!(ev.kind, TraceKind::DbVote { .. }),
         FaultAction::CrashRecover(victim, etx::base::time::Dur::from_millis(20)),
     );
     s.run_until_settled(2);
     s.quiesce(Dur::from_millis(50));
-    format!("{:#?}", s.sim.trace().events()).into_bytes()
+    format!("{:#?}", s.trace().events()).into_bytes()
 }
 
 #[test]

@@ -48,7 +48,7 @@ fn run_stage(stage: Stage, seed: u64) {
         }),
         Stage::AfterDbCommit => Box::new(move |ev| matches!(ev.kind, TraceKind::DbDecide { .. })),
     };
-    s.sim.on_trace(pred, FaultAction::Crash(a1));
+    s.sim_mut().on_trace(pred, FaultAction::Crash(a1));
     let out = s.run_until_settled(1);
     assert_eq!(
         out,
@@ -59,8 +59,7 @@ fn run_stage(stage: Stage, seed: u64) {
     assert_eq!(s.delivered_commits(), 1, "stage {stage:?} seed {seed}");
     // Exactly one commit — never zero (lost) or two (duplicated).
     assert_eq!(s.db_commits(), 1, "stage {stage:?} seed {seed}: A.2");
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -82,13 +81,13 @@ fn double_crash_still_tolerated_with_five_replicas() {
         .build();
     let a1 = s.topo.app_servers[0];
     let a2 = s.topo.app_servers[1];
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| {
             ev.node == a1 && matches!(ev.kind, TraceKind::Span { comp: Component::LogStart, .. })
         },
         FaultAction::Crash(a1),
     );
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| matches!(ev.kind, TraceKind::CleanerTakeover { .. }) && ev.node == a2,
         FaultAction::Crash(a2),
     );
@@ -96,8 +95,7 @@ fn double_crash_still_tolerated_with_five_replicas() {
     assert_eq!(out, etx::sim::RunOutcome::Predicate);
     s.quiesce(Dur::from_millis(400));
     assert_eq!(s.db_commits(), 1);
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -113,11 +111,11 @@ fn db_crash_at_vote_and_at_decide_points() {
         } else {
             Box::new(move |ev| ev.node == db && matches!(ev.kind, TraceKind::DbDecide { .. }))
         };
-        s.sim.on_trace(pred, FaultAction::CrashRecover(db, Dur::from_millis(25)));
+        s.sim_mut().on_trace(pred, FaultAction::CrashRecover(db, Dur::from_millis(25)));
         let out = s.run_until_settled(1);
         assert_eq!(out, etx::sim::RunOutcome::Predicate, "{kind}: must deliver");
         s.quiesce(Dur::from_millis(400));
-        check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
+        check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
             .assert_ok();
     }
 }
@@ -143,6 +141,5 @@ fn false_suspicion_storm_costs_only_aborts_never_safety() {
     assert_eq!(out, etx::sim::RunOutcome::Predicate);
     s.quiesce(Dur::from_millis(400));
     assert_eq!(s.delivered_commits(), 2);
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }

@@ -25,11 +25,10 @@ fn long_request_stream_stays_correct_with_gc() {
     // watermark advances — a long stream may not accumulate one consensus
     // instance per slot forever.
     assert!(
-        s.sim.trace().count_kind(|k| matches!(k, TraceKind::SlotGc { .. })) > 0,
+        s.trace().count_kind(|k| matches!(k, TraceKind::SlotGc { .. })) > 0,
         "settled decision-log slots must be garbage-collected"
     );
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -41,13 +40,12 @@ fn gc_with_failover_in_the_middle_of_the_stream() {
         .requests(10)
         .build();
     let a1 = s.topo.primary();
-    s.sim.crash_at(Time(20_000), a1);
+    s.sim_mut().crash_at(Time(20_000), a1);
     let out = s.run_until_settled(10);
     assert_eq!(out, etx::sim::RunOutcome::Predicate);
     s.quiesce(Dur::from_millis(300));
     assert_eq!(s.delivered_commits(), 10);
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -65,10 +63,7 @@ fn adaptive_routing_recovers_faster_after_primary_death() {
             consensus_resync: Dur::from_millis(8),
             consensus_round_patience: Dur::from_millis(4),
             route_to_last_responder: adaptive,
-            batching: etx_base::config::BatchingConfig::default(),
-            read_path: etx_base::config::ReadPathConfig::default(),
-            read_leases: etx_base::config::ReadLeaseConfig::default(),
-            speculation: etx_base::config::SpeculationConfig::default(),
+            features: etx_base::config::FeatureSet::default(),
         };
         pcfg.route_to_last_responder = adaptive;
         let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 887)
@@ -77,10 +72,10 @@ fn adaptive_routing_recovers_faster_after_primary_death() {
             .requests(6)
             .build();
         let a1 = s.topo.primary();
-        s.sim.crash_at(Time(0), a1);
+        s.sim_mut().crash_at(Time(0), a1);
         let out = s.run_until_settled(6);
         assert_eq!(out, etx::sim::RunOutcome::Predicate);
-        s.sim.now()
+        s.now()
     };
     let faithful = run(false);
     let adaptive = run(true);
@@ -98,11 +93,10 @@ fn client_retry_trace_reflects_attempt_progression() {
         .workload(Workload::AlwaysDoomed)
         .requests(1)
         .build();
-    s.sim.run_until(|sim| {
+    s.sim_mut().run_until(|sim| {
         sim.trace().count_kind(|k| matches!(k, TraceKind::ClientRetry { .. })) >= 4
     });
     let attempts: Vec<u32> = s
-        .sim
         .trace()
         .events()
         .iter()

@@ -75,7 +75,7 @@ fn in_lease_followers_serve_multi_shard_collects() {
         .workload(Workload::ReadMostly { accounts: 32, read_pct: 100, amount: 10 })
         .build();
     settle(&mut s);
-    let trace = s.sim.trace();
+    let trace = s.trace();
     let multi: Vec<_> = trace
         .events()
         .iter()
@@ -119,7 +119,7 @@ fn starved_follower_serves_until_expiry_then_forwards() {
     // far beyond the first grants, well before the run drains.
     let replicas = s.shard_replicas(0).to_vec();
     s.quiesce(Dur::from_millis(6));
-    s.sim.block_link(replicas[0], replicas[1], Time(3_600_000_000));
+    s.sim_mut().block_link(replicas[0], replicas[1], Time(3_600_000_000));
     settle(&mut s);
     assert!(
         s.follower_reads_served() >= 1,
@@ -161,11 +161,11 @@ fn recovered_grantor_fences_acks_until_granted_leases_lapse() {
         .build();
     let grantor = s.shard_primary(0);
     let t_rec = Time(8_000);
-    s.sim.crash_at(Time(5_000), grantor);
-    s.sim.recover_at(t_rec, grantor);
+    s.sim_mut().crash_at(Time(5_000), grantor);
+    s.sim_mut().recover_at(t_rec, grantor);
     settle(&mut s);
     assert!(s.lease_fences() >= 1, "recovery with leases on must install a fence");
-    let trace = s.sim.trace();
+    let trace = s.trace();
     let until = trace
         .events()
         .iter()
@@ -236,7 +236,7 @@ fn leased_cross_shard_reads_never_observe_fractured_transfers() {
             .workload(workload.clone())
             .build();
         settle(&mut s);
-        let trace = s.sim.trace();
+        let trace = s.trace();
         let multi: Vec<_> = trace
             .events()
             .iter()
@@ -343,7 +343,7 @@ fn disabled_leases_leave_the_read_path_byte_identical() {
         }
         let mut s = b.build();
         settle(&mut s);
-        format!("{:#?}", s.sim.trace().events()).into_bytes()
+        format!("{:#?}", s.trace().events()).into_bytes()
     };
     assert_eq!(
         run(Some(ReadLeaseConfig::disabled())),
@@ -397,10 +397,10 @@ fn leased_runs_replay_byte_identical_traces() {
             .workload(Workload::ReadAfterWrite { accounts: 16, amount: 10 })
             .build();
         let grantor = s.shard_primary(0);
-        s.sim.crash_at(Time(5_000), grantor);
-        s.sim.recover_at(Time(8_000), grantor);
+        s.sim_mut().crash_at(Time(5_000), grantor);
+        s.sim_mut().recover_at(Time(8_000), grantor);
         settle(&mut s);
-        format!("{:#?}", s.sim.trace().events()).into_bytes()
+        format!("{:#?}", s.trace().events()).into_bytes()
     };
     assert_eq!(run(), run(), "a leased failover run diverged between replays");
 }

@@ -17,7 +17,7 @@
 //!   transfers never observes one half-applied (the snapshot-validation
 //!   loop), checked via the conserved-pair invariant.
 
-use etx::base::config::ReadPathConfig;
+use etx::base::config::{BatchingConfig, ReadPathConfig};
 use etx::base::time::Dur;
 use etx::base::trace::TraceKind;
 use etx::base::value::Outcome;
@@ -72,7 +72,7 @@ const GOLDEN_BATCHED: u64 = 0xBDF7_4F5E_D759_5D43;
 fn trace_bytes(mut s: Scenario, settle: usize) -> Vec<u8> {
     s.run_until_settled(settle);
     s.quiesce(Dur::from_millis(50));
-    format!("{:#?}", s.sim.trace().events()).into_bytes()
+    format!("{:#?}", s.trace().events()).into_bytes()
 }
 
 #[test]
@@ -89,7 +89,7 @@ fn fast_path_off_replays_pre_existing_traces_byte_identically() {
         .build();
     let victim = s.topo.primary();
     let db = s.topo.db_servers[0];
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| ev.node == db && matches!(ev.kind, TraceKind::DbVote { .. }),
         FaultAction::Crash(victim),
     );
@@ -108,7 +108,7 @@ fn fast_path_off_replays_pre_existing_traces_byte_identically() {
         .requests(2)
         .build();
     let victim = s.shard_primary(0);
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| ev.node == victim && matches!(ev.kind, TraceKind::DbVote { .. }),
         FaultAction::CrashRecover(victim, Dur::from_millis(20)),
     );
@@ -124,7 +124,7 @@ fn fast_path_off_replays_pre_existing_traces_byte_identically() {
         .shards(4)
         .clients(4)
         .requests(6)
-        .batching(8, Dur::from_millis(1))
+        .batching(BatchingConfig::new(8, Dur::from_millis(1)))
         .workload(Workload::OpenLoopBurst { accounts: 32, amount: 1 })
         .build();
     let n = s.requests as usize;
@@ -157,7 +157,7 @@ fn pure_reads_skip_the_commit_machinery_entirely() {
     s.quiesce(Dur::from_millis(50));
     assert_eq!(s.delivered_commits(), n, "reads deliver as committed results");
     assert_eq!(s.fast_path_reads(), n, "every request took the fast lane");
-    let trace = s.sim.trace();
+    let trace = s.trace();
     assert_eq!(
         trace.count_kind(|k| matches!(k, TraceKind::DbVote { .. })),
         0,
@@ -174,7 +174,7 @@ fn pure_reads_skip_the_commit_machinery_entirely() {
         "a pure-read run must never open a decision-log slot"
     );
     // No writes happened, so every read must observe exactly the seed data.
-    for (rid, decision) in read_deliveries(&s) {
+    for (rid, decision) in read_deliveries(&mut s) {
         let result = decision.result.expect("reads carry results");
         for (label, value) in &result.entries {
             if label.starts_with("acct") {
@@ -193,7 +193,7 @@ fn fast_path_off_sends_reads_down_the_old_route() {
     s.quiesce(Dur::from_millis(50));
     assert_eq!(s.fast_path_reads(), 0, "disabled lane classifies nothing");
     assert!(
-        s.sim.trace().count_kind(|k| matches!(k, TraceKind::DbVote { .. })) >= n,
+        s.trace().count_kind(|k| matches!(k, TraceKind::DbVote { .. })) >= n,
         "slow-path reads run the full voting phase"
     );
 }
@@ -208,7 +208,6 @@ fn cross_shard_reads_fan_out_and_merge() {
     // Some ReadMostly reads span two accounts; with 4 shards most pairs
     // land on distinct shards — the fan-out path.
     let multi = s
-        .sim
         .trace()
         .events()
         .iter()
@@ -216,7 +215,7 @@ fn cross_shard_reads_fan_out_and_merge() {
         .count();
     assert!(multi >= 1, "the sweep must exercise cross-shard read fan-out");
     // Every two-key read's merged result carries both keys' values.
-    for (rid, decision) in read_deliveries(&s) {
+    for (rid, decision) in read_deliveries(&mut s) {
         let result = decision.result.expect("reads carry results");
         let keys = result.entries.iter().filter(|(l, _)| l.starts_with("acct")).count();
         assert!(keys >= 1, "{rid}: merged read result lost its entries: {result}");
@@ -229,7 +228,9 @@ fn cross_shard_reads_fan_out_and_merge() {
 }
 
 /// Delivered `(rid, decision)` pairs, read out of the client processes.
-fn read_deliveries(s: &Scenario) -> Vec<(etx::base::ids::ResultId, etx::base::value::Decision)> {
+fn read_deliveries(
+    s: &mut Scenario,
+) -> Vec<(etx::base::ids::ResultId, etx::base::value::Decision)> {
     s.delivered_results()
 }
 
@@ -257,14 +258,14 @@ fn follower_staleness_bound_over_seed_sweep() {
             s.follower_reads_served() >= 1,
             "seed {seed}: an up-to-date follower must serve reads locally"
         );
-        assert_read_your_writes(&s, seed);
+        assert_read_your_writes(&mut s, seed);
 
         // Regime 2: followers starved of replication → forward, stay fresh.
         let mut s = staleness_scenario(seed);
         for shard in 0..4u32 {
             let replicas = s.shard_replicas(shard).to_vec();
             for &f in &replicas[1..] {
-                s.sim.block_link(replicas[0], f, etx::base::time::Time(3_600_000_000));
+                s.sim_mut().block_link(replicas[0], f, etx::base::time::Time(3_600_000_000));
             }
         }
         let out = s.run_until_settled(8);
@@ -274,7 +275,7 @@ fn follower_staleness_bound_over_seed_sweep() {
             s.reads_forwarded() >= 1,
             "seed {seed}: a follower behind the stamp must forward, not serve stale"
         );
-        assert_read_your_writes(&s, seed);
+        assert_read_your_writes(&mut s, seed);
     }
 }
 
@@ -290,7 +291,7 @@ fn staleness_scenario(seed: u64) -> Scenario {
 
 /// Every even-seq read must observe the value its preceding write
 /// committed: seed 1000 plus the pair's increment.
-fn assert_read_your_writes(s: &Scenario, seed: u64) {
+fn assert_read_your_writes(s: &mut Scenario, seed: u64) {
     let mut reads = 0;
     for (rid, decision) in read_deliveries(s) {
         if rid.request.seq % 2 == 0 {
@@ -364,15 +365,15 @@ fn chaotic_pure_read_run(
     // follower of replication (irrelevant to frozen state, lethal to a
     // fast path that forgot its freshness gate or retry backstop).
     let victim = s.shard_replicas(0)[1];
-    s.sim.crash_at(etx::base::time::Time(2_000), victim);
-    s.sim.recover_at(etx::base::time::Time(20_000), victim);
+    s.sim_mut().crash_at(etx::base::time::Time(2_000), victim);
+    s.sim_mut().recover_at(etx::base::time::Time(20_000), victim);
     let lag = s.shard_replicas(1).to_vec();
-    s.sim.block_link(lag[0], lag[1], etx::base::time::Time(100_000));
+    s.sim_mut().block_link(lag[0], lag[1], etx::base::time::Time(100_000));
     let n = s.requests as usize;
     let out = s.run_until_settled(n);
     assert_eq!(out, etx::sim::RunOutcome::Predicate, "seed {seed}: pure-read run must settle");
     s.quiesce(Dur::from_millis(100));
-    let mut rows: Vec<_> = read_deliveries(&s)
+    let mut rows: Vec<_> = read_deliveries(&mut s)
         .into_iter()
         .map(|(rid, decision)| {
             assert_eq!(decision.outcome, Outcome::Commit);
@@ -461,7 +462,6 @@ fn cross_shard_fast_reads_never_observe_fractured_transfers() {
             // The run must actually exercise the path under test: pair
             // reads fanning out over more than one shard.
             let multi = s
-                .sim
                 .trace()
                 .events()
                 .iter()
@@ -470,7 +470,7 @@ fn cross_shard_fast_reads_never_observe_fractured_transfers() {
             assert!(multi >= 1, "seed {seed}: no cross-shard fast read in the run");
             // Every delivered pair read must observe a conserved sum.
             let mut reads_checked = 0usize;
-            for (rid, decision) in read_deliveries(&s) {
+            for (rid, decision) in read_deliveries(&mut s) {
                 let request = workload.request(&s.topo, rid.request.client, rid.request.seq);
                 if !request.script.is_read_only() {
                     continue;
@@ -526,10 +526,8 @@ fn concurrent_reads_never_abort_writers() {
     // traffic besides writers is reads. Compare against the same run with
     // reads down the slow path (where reads DO lock): the fast lane must
     // produce no more aborts.
-    let fast_aborts = s
-        .sim
-        .trace()
-        .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Abort, .. }));
+    let fast_aborts =
+        s.trace().count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Abort, .. }));
     let mut slow = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 31)
         .shards(2)
         .replication(2)
@@ -542,7 +540,6 @@ fn concurrent_reads_never_abort_writers() {
     assert_eq!(out, etx::sim::RunOutcome::Predicate);
     slow.quiesce(Dur::from_millis(100));
     let slow_aborts = slow
-        .sim
         .trace()
         .count_kind(|k| matches!(k, TraceKind::DbDecide { outcome: Outcome::Abort, .. }));
     assert!(
@@ -579,14 +576,14 @@ fn read_retry_rotates_replicas_before_escalating_to_primaries() {
         // bring it back long after: every call routed at it goes
         // unanswered until the backstop rotates the pick.
         let victim = s.shard_replicas(0)[1];
-        s.sim.crash_at(etx::base::time::Time(200), victim);
-        s.sim.recover_at(etx::base::time::Time(60_000), victim);
+        s.sim_mut().crash_at(etx::base::time::Time(200), victim);
+        s.sim_mut().recover_at(etx::base::time::Time(60_000), victim);
         let n = s.requests as usize;
         let out = s.run_until_settled(n);
         assert_eq!(out, etx::sim::RunOutcome::Predicate, "seed {seed}: must settle");
         s.quiesce(Dur::from_millis(100));
         // Frozen state: every delivered read is exact.
-        for (rid, decision) in read_deliveries(&s) {
+        for (rid, decision) in read_deliveries(&mut s) {
             assert_eq!(decision.outcome, Outcome::Commit, "seed {seed}, {rid}");
             let result = decision.result.expect("reads carry results");
             for (label, value) in result.entries.iter().filter(|(l, _)| l.starts_with("acct")) {
@@ -599,7 +596,7 @@ fn read_retry_rotates_replicas_before_escalating_to_primaries() {
         // live, answering primary.
         let mut first_retry: std::collections::HashMap<etx::base::ids::ResultId, _> =
             std::collections::HashMap::new();
-        for e in s.sim.trace().events() {
+        for e in s.trace().events() {
             if let TraceKind::ReadRetried { rid, backoff } = e.kind {
                 assert!(
                     backoff <= 2,
@@ -611,7 +608,7 @@ fn read_retry_rotates_replicas_before_escalating_to_primaries() {
         // S2's point: the first firing lands on a *replica*, not the
         // primary — somewhere in the sweep a retried read must end up
         // follower-served after its retry.
-        for e in s.sim.trace().events() {
+        for e in s.trace().events() {
             if let TraceKind::FollowerRead { rid } = e.kind {
                 if first_retry.get(&rid).is_some_and(|&t| e.at > t) {
                     rotated_serve = true;

@@ -28,7 +28,7 @@ fn sharded(
 }
 
 /// Sums every `acct*` key across all shard primaries' committed state.
-fn total_money(s: &etx::harness::Scenario) -> i64 {
+fn total_money(s: &mut etx::harness::Scenario) -> i64 {
     (0..s.shard_map.shard_count())
         .map(|g| {
             s.rebuilt_committed(s.shard_primary(g))
@@ -43,7 +43,7 @@ fn total_money(s: &etx::harness::Scenario) -> i64 {
 #[test]
 fn cross_shard_transfers_commit_atomically_and_conserve_money() {
     let mut s = sharded(11, 4, 1, 100, 6);
-    let initial = total_money(&s);
+    let initial = total_money(&mut s);
     let out = s.run_until_settled(6);
     assert_eq!(out, etx::sim::RunOutcome::Predicate);
     s.quiesce(Dur::from_millis(300));
@@ -52,9 +52,8 @@ fn cross_shard_transfers_commit_atomically_and_conserve_money() {
     // Transfers only move money between accounts: conservation across the
     // whole partitioned keyspace proves the multi-branch commit is atomic
     // (a half-applied transfer would create or destroy money).
-    assert_eq!(total_money(&s), initial, "cross-shard transfers conserve total balance");
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    assert_eq!(total_money(&mut s), initial, "cross-shard transfers conserve total balance");
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -65,7 +64,6 @@ fn single_shard_transactions_keep_the_fast_path() {
     s.quiesce(Dur::from_millis(200));
     // Every routed plan spans exactly one shard…
     let spans: Vec<u32> = s
-        .sim
         .trace()
         .events()
         .iter()
@@ -79,7 +77,7 @@ fn single_shard_transactions_keep_the_fast_path() {
     // …and therefore each committed attempt was voted on by exactly one
     // database — the paper's one-database pattern, untouched by sharding.
     let mut voters_per_attempt = std::collections::BTreeMap::new();
-    for e in s.sim.trace().events() {
+    for e in s.trace().events() {
         if let TraceKind::DbVote { rid, .. } = e.kind {
             voters_per_attempt.entry(rid).or_insert_with(Vec::new).push(e.node);
         }
@@ -99,7 +97,7 @@ fn losing_a_shard_primary_mid_commit_still_delivers_exactly_once() {
     let mut s = sharded(23, 4, 2, 100, 1);
     for g in 0..4 {
         let p = s.shard_primary(g);
-        s.sim.on_trace(
+        s.sim_mut().on_trace(
             move |ev| ev.node == p && matches!(ev.kind, TraceKind::DbVote { .. }),
             FaultAction::CrashRecover(p, Dur::from_millis(25)),
         );
@@ -110,8 +108,7 @@ fn losing_a_shard_primary_mid_commit_still_delivers_exactly_once() {
     let deliveries = s.deliveries();
     assert_eq!(deliveries.len(), 1, "a single outcome, delivered exactly once");
     assert_eq!(deliveries[0].1, Outcome::Commit);
-    let report =
-        check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true });
+    let report = check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true });
     report.assert_ok();
 }
 
@@ -124,7 +121,7 @@ fn crashing_the_actual_voting_primary_mid_commit_terminates() {
         // One-shot trigger armed per db primary: the first to vote dies.
         for g in 0..4 {
             let p = s.shard_primary(g);
-            s.sim.on_trace(
+            s.sim_mut().on_trace(
                 move |ev| ev.node == p && matches!(ev.kind, TraceKind::DbVote { .. }),
                 FaultAction::CrashRecover(p, Dur::from_millis(30)),
             );
@@ -139,7 +136,7 @@ fn crashing_the_actual_voting_primary_mid_commit_terminates() {
             });
         assert_eq!(per_request.len(), 2, "seed {seed}: both requests settled");
         assert!(per_request.values().all(|&n| n == 1), "seed {seed}: exactly-once delivery");
-        check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
+        check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
             .assert_ok();
     }
 }
@@ -150,14 +147,15 @@ fn replica_groups_converge_through_async_replication() {
     // Cycle one follower of shard 0 mid-run: it must catch up via the
     // snapshot pull when it comes back.
     let follower = s.shard_replicas(0)[1];
-    s.sim.crash_at(etx::base::time::Time(5_000), follower);
-    s.sim.recover_at(etx::base::time::Time(60_000), follower);
+    s.sim_mut().crash_at(etx::base::time::Time(5_000), follower);
+    s.sim_mut().recover_at(etx::base::time::Time(60_000), follower);
     let run = s.run_until_settled(8);
     assert_eq!(run, etx::sim::RunOutcome::Predicate);
     s.quiesce(Dur::from_millis(800));
     for g in 0..2 {
         let primary_state = s.rebuilt_committed(s.shard_primary(g));
-        for &r in s.shard_replicas(g).iter().skip(1) {
+        let followers: Vec<_> = s.shard_replicas(g).iter().skip(1).copied().collect();
+        for r in followers {
             assert_eq!(
                 s.rebuilt_committed(r),
                 primary_state,
@@ -166,7 +164,7 @@ fn replica_groups_converge_through_async_replication() {
         }
     }
     assert!(
-        s.sim.trace().count_kind(|k| matches!(k, TraceKind::DbReplicated { .. })) > 0,
+        s.trace().count_kind(|k| matches!(k, TraceKind::DbReplicated { .. })) > 0,
         "followers must have applied replicated commits"
     );
 }

@@ -16,7 +16,7 @@
 //!   frame, ships nothing to followers, and vanishes in a crash, leaving
 //!   exactly the recovery obligations of the non-speculative pipeline.
 
-use etx::base::config::SpeculationConfig;
+use etx::base::config::{BatchingConfig, SpeculationConfig};
 use etx::base::ids::{NodeId, RequestId, ResultId};
 use etx::base::time::Dur;
 use etx::base::trace::TraceKind;
@@ -39,7 +39,7 @@ fn burst(seed: u64, spec: SpeculationConfig) -> Scenario {
         .replication(2)
         .clients(4)
         .requests(8)
-        .batching(8, Dur::from_millis(1))
+        .batching(BatchingConfig::new(8, Dur::from_millis(1)))
         .speculation(spec)
         .workload(Workload::OpenLoopBurst { accounts: 16, amount: 1 })
         .build()
@@ -52,8 +52,7 @@ fn settle(mut s: Scenario) -> Scenario {
     let out = s.run_until_settled(expected);
     assert_eq!(out, RunOutcome::Predicate, "every burst request must settle");
     s.quiesce(Dur::from_millis(400));
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
     s
 }
 
@@ -65,8 +64,8 @@ fn speculation_overlaps_consensus_and_commits_what_the_strict_pipeline_commits()
     // commits every request exactly once, so the final state is
     // schedule-independent — the strongest equivalence a reordering
     // optimisation can be held to.
-    let on = settle(burst(4201, SpeculationConfig::on()));
-    let off = settle(burst(4201, SpeculationConfig::disabled()));
+    let mut on = settle(burst(4201, SpeculationConfig::on()));
+    let mut off = settle(burst(4201, SpeculationConfig::disabled()));
     let expected = on.requests as usize;
     assert_eq!(on.delivered_commits(), expected);
     assert_eq!(off.delivered_commits(), expected);
@@ -76,7 +75,8 @@ fn speculation_overlaps_consensus_and_commits_what_the_strict_pipeline_commits()
     assert_eq!(off.spec_hits() + off.spec_aborts(), 0);
     for shard in 0..2 {
         let reference = off.rebuilt_committed(off.shard_primary(shard));
-        for &replica in on.shard_replicas(shard) {
+        let replicas: Vec<_> = on.shard_replicas(shard).to_vec();
+        for replica in replicas {
             assert_eq!(
                 on.rebuilt_committed(replica),
                 reference,
@@ -99,19 +99,20 @@ fn mis_speculation_aborts_and_replays_to_the_nonspeculative_values() {
     for seed in 0..12u64 {
         let mut s = burst(4300 + seed, SpeculationConfig::on());
         let a1 = s.topo.primary();
-        s.sim.on_trace(
+        s.sim_mut().on_trace(
             move |ev| matches!(ev.kind, TraceKind::SpecExec { .. }),
             FaultAction::Crash(a1),
         );
-        let s = settle(s);
+        let mut s = settle(s);
         aborts += s.spec_aborts();
-        let off = settle(burst(4300 + seed, SpeculationConfig::disabled()));
+        let mut off = settle(burst(4300 + seed, SpeculationConfig::disabled()));
         let expected = s.requests as usize;
         assert_eq!(s.delivered_commits(), expected, "seed {seed}: every request commits");
         assert_eq!(off.delivered_commits(), expected);
         for shard in 0..2 {
             let reference = off.rebuilt_committed(off.shard_primary(shard));
-            for &replica in s.shard_replicas(shard) {
+            let replicas: Vec<_> = s.shard_replicas(shard).to_vec();
+            for replica in replicas {
                 assert_eq!(
                     s.rebuilt_committed(replica),
                     reference,
@@ -165,15 +166,16 @@ fn crashed_speculation_buffer_leaves_no_durable_trace() {
     // stream would break convergence.
     let mut s = burst(4400, SpeculationConfig::on());
     let victim = s.shard_primary(0);
-    s.sim.on_trace(
+    s.sim_mut().on_trace(
         move |ev| ev.node == victim && matches!(ev.kind, TraceKind::SpecExec { .. }),
         FaultAction::CrashRecover(victim, Dur::from_millis(10)),
     );
-    let s = settle(s);
+    let mut s = settle(s);
     assert_eq!(s.delivered_commits(), s.requests as usize);
     for shard in 0..2 {
         let reference = s.rebuilt_committed(s.shard_primary(shard));
-        for &replica in s.shard_replicas(shard).iter().skip(1) {
+        let followers: Vec<_> = s.shard_replicas(shard).iter().skip(1).copied().collect();
+        for replica in followers {
             assert_eq!(
                 s.rebuilt_committed(replica),
                 reference,
@@ -277,15 +279,16 @@ fn inflight_cap_evictions_keep_prepay_ledger_and_buffers_in_lockstep() {
     // churn, the pipeline must still settle every request and end in the
     // strict pipeline's exact durable state.
     let capped = SpeculationConfig { enabled: true, max_inflight_slots: 1 };
-    let on = settle(burst(907, capped));
-    let off = settle(burst(907, SpeculationConfig::disabled()));
+    let mut on = settle(burst(907, capped));
+    let mut off = settle(burst(907, SpeculationConfig::disabled()));
     let expected = on.requests as usize;
     assert_eq!(on.delivered_commits(), expected);
     assert_eq!(off.delivered_commits(), expected);
     assert!(on.spec_execs() >= 1, "the capped burst must still ship speculative batches");
     for shard in 0..2 {
         let reference = off.rebuilt_committed(off.shard_primary(shard));
-        for &replica in on.shard_replicas(shard) {
+        let replicas: Vec<_> = on.shard_replicas(shard).to_vec();
+        for replica in replicas {
             assert_eq!(
                 on.rebuilt_committed(replica),
                 reference,

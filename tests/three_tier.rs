@@ -17,8 +17,7 @@ fn ten_sequential_bank_updates_commit_exactly_once_each() {
     s.quiesce(Dur::from_millis(200));
     assert_eq!(s.delivered_commits(), 10);
     assert_eq!(s.db_commits(), 10, "ten requests, ten commits, zero duplicates");
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -39,7 +38,6 @@ fn balance_read_back_reflects_exactly_once_effects() {
     assert_eq!(last.0.request.seq, 6);
     // Find the decision value the client received.
     let result = s
-        .sim
         .trace()
         .events()
         .iter()
@@ -69,8 +67,7 @@ fn travel_requests_drain_inventory_exactly_once() {
     assert_eq!(out, etx::sim::RunOutcome::Predicate);
     s.quiesce(Dur::from_millis(200));
     assert_eq!(s.delivered_commits(), 4, "sold-out results are delivered too");
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -87,8 +84,7 @@ fn concurrent_clients_contend_but_stay_exactly_once() {
     s.quiesce(Dur::from_millis(300));
     assert_eq!(s.delivered_commits(), 9);
     assert_eq!(s.db_commits(), 9);
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -118,8 +114,7 @@ fn message_loss_only_delays_never_duplicates() {
     assert_eq!(out, etx::sim::RunOutcome::Predicate);
     s.quiesce(Dur::from_millis(300));
     assert_eq!(s.db_commits(), 4);
-    check(s.sim.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true })
-        .assert_ok();
+    check(s.trace().events(), &s.topo.clients, LivenessChecks { t1: true, t2: true }).assert_ok();
 }
 
 #[test]
@@ -132,12 +127,10 @@ fn delivered_results_carry_business_data() {
     // Deliver events only prove commitment; V.1 ties them to a Computed
     // event. Double-check the computed result had the expected fields by
     // checking outcomes in the trace.
-    let computed = s.sim.trace().count_kind(|k| matches!(k, TraceKind::Computed { .. }));
+    let computed = s.trace().count_kind(|k| matches!(k, TraceKind::Computed { .. }));
     assert!(computed >= 1);
     assert_eq!(
-        s.sim
-            .trace()
-            .count_kind(|k| matches!(k, TraceKind::Deliver { outcome: Outcome::Commit, .. })),
+        s.trace().count_kind(|k| matches!(k, TraceKind::Deliver { outcome: Outcome::Commit, .. })),
         1
     );
 }
