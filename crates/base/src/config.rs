@@ -304,12 +304,58 @@ impl SpeculationConfig {
     }
 }
 
+/// Decision-log pipelining knobs: how many undecided decision-log slots
+/// the proposing application server keeps in flight at once.
+///
+/// At depth 1 (the default) the log runs one consensus round at a time —
+/// exactly the PR 6/7/8 pipeline, byte-for-byte. At depth `K > 1` the log
+/// proposes slots `s+1..s+K` as soon as pending outcomes exist, each slot
+/// running its own write-once consensus round concurrently; decides may
+/// arrive out of order, but promotion/apply stays strictly in slot order
+/// behind the log's low-water mark, so the `regD` write-once contract and
+/// first-occurrence-in-slot-order arbitration are untouched. With
+/// speculation on, the application server ships a `SpecExec` for *every*
+/// newly proposed slot, and shard primaries stack per-slot speculation
+/// buffers (youngest-first reads); a mismatch at slot `s` cascades — the
+/// stash for `s` and every speculative slot above it are discarded, since
+/// the slots above were executed against a now-wrong base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Maximum undecided decision-log slots in flight at once (≥ 1).
+    pub depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig { depth: 1 }
+    }
+}
+
+impl PipelineConfig {
+    /// A pipeline of `depth` concurrent slots, floored at one.
+    pub fn new(depth: usize) -> Self {
+        PipelineConfig { depth: depth.max(1) }
+    }
+
+    /// The effective window (the configured depth, floored at one — a
+    /// zero depth would silently stall the log).
+    pub fn window(&self) -> usize {
+        self.depth.max(1)
+    }
+
+    /// True iff more than one slot may be undecided at once.
+    pub fn is_pipelined(&self) -> bool {
+        self.window() > 1
+    }
+}
+
 /// Applies an environment override for a scenario knob **only when the
 /// scenario did not set the knob explicitly**: an explicit builder call
 /// always wins over ambient CI matrix variables. Every env-tunable knob
 /// (`ETX_BATCH_SIZE`, `ETX_READ_PATH`, `ETX_READ_LEASES`,
-/// `ETX_SPECULATION`) must route its override through this helper so the
-/// precedence rule cannot be reimplemented inconsistently per knob.
+/// `ETX_SPECULATION`, `ETX_PIPELINE_DEPTH`) must route its override
+/// through this helper so the precedence rule cannot be reimplemented
+/// inconsistently per knob.
 pub fn env_override<T>(
     var: &str,
     explicit: bool,
@@ -364,6 +410,10 @@ pub struct FeatureSet {
     /// Speculative batch execution: overlap commit application with the
     /// consensus round (default: disabled — strict decide-then-execute).
     pub speculation: SpeculationConfig,
+    /// Decision-log pipelining: a window of concurrent undecided slots
+    /// (default: depth 1 — one consensus round at a time, the paper's
+    /// shape).
+    pub pipeline: PipelineConfig,
 }
 
 /// Which [`FeatureSet`] knobs a scenario set explicitly. An explicit knob
@@ -379,12 +429,20 @@ pub struct FeatureExplicit {
     pub read_leases: bool,
     /// `.speculation(..)` (or `.features(..)`) was called.
     pub speculation: bool,
+    /// `.pipeline(..)` (or `.features(..)`) was called.
+    pub pipeline: bool,
 }
 
 impl FeatureExplicit {
     /// Every knob explicit — the `.features(..)` builder entry.
     pub fn all() -> Self {
-        FeatureExplicit { batching: true, read_path: true, read_leases: true, speculation: true }
+        FeatureExplicit {
+            batching: true,
+            read_path: true,
+            read_leases: true,
+            speculation: true,
+            pipeline: true,
+        }
     }
 }
 
@@ -402,6 +460,8 @@ impl FeatureSet {
     ///   stamp-gated route.
     /// * `ETX_SPECULATION=1|0` overlaps batch execution with the consensus
     ///   round or keeps strict decide-then-execute.
+    /// * `ETX_PIPELINE_DEPTH=<k>` forces the decision-log window: how many
+    ///   undecided slots run consensus concurrently.
     pub fn apply_env(&mut self, explicit: FeatureExplicit, batch_window: Dur) {
         if let Some(size) =
             env_override("ETX_BATCH_SIZE", explicit.batching, |v| v.parse::<usize>().ok())
@@ -416,6 +476,11 @@ impl FeatureSet {
         if let Some(on) = env_override("ETX_SPECULATION", explicit.speculation, parse_toggle) {
             self.speculation =
                 if on { SpeculationConfig::on() } else { SpeculationConfig::disabled() };
+        }
+        if let Some(depth) =
+            env_override("ETX_PIPELINE_DEPTH", explicit.pipeline, |v| v.parse::<usize>().ok())
+        {
+            self.pipeline = PipelineConfig::new(depth);
         }
         if let Some(on) = env_override("ETX_READ_LEASES", explicit.read_leases, parse_toggle) {
             self.read_leases =
@@ -734,6 +799,18 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_defaults_to_a_single_slot_and_floors_at_one() {
+        let p = PipelineConfig::default();
+        assert_eq!(p.depth, 1, "paper-faithful default: one round at a time");
+        assert!(!p.is_pipelined());
+        assert_eq!(PipelineConfig::new(0).window(), 1, "depth floors at one");
+        assert!(!PipelineConfig::new(0).is_pipelined());
+        let deep = PipelineConfig::new(4);
+        assert_eq!(deep.window(), 4);
+        assert!(deep.is_pipelined());
+    }
+
+    #[test]
     fn env_override_defers_to_explicit_settings() {
         // The precedence rule all three knobs share: explicit builder call
         // beats env var beats default. (Parsing is exercised without
@@ -759,6 +836,7 @@ mod tests {
         assert!(!p.features.read_path.enabled, "paper-faithful default read route");
         assert!(!p.features.read_leases.enabled, "paper-faithful default follower gate");
         assert!(!p.features.speculation.enabled, "paper-faithful default execute order");
+        assert!(!p.features.pipeline.is_pipelined(), "paper-faithful default slot window");
         let fd = FdConfig::default();
         assert!(fd.initial_timeout > fd.heartbeat_every);
         assert!(fd.max_timeout > fd.initial_timeout);
@@ -774,6 +852,7 @@ mod tests {
             read_path: ReadPathConfig::follower_reads(),
             read_leases: ReadLeaseConfig::fast_for_tests(),
             speculation: SpeculationConfig::on(),
+            pipeline: PipelineConfig::new(4),
         };
         let before = f;
         f.apply_env(FeatureExplicit::all(), Dur::from_millis(5));

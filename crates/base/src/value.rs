@@ -370,7 +370,9 @@ pub type ShippedCommit = (u64, ResultId, ShippedEntries);
 
 /// Values storable in a write-once register: `regA` holds an application
 /// server identity, `regD` holds a decision, a decision-log slot holds an
-/// ordered batch of decisions.
+/// ordered batch of decisions. The batch is [`Arc`]-shared so the decision
+/// log, the in-flight proposal window, and every consensus broadcast that
+/// carries the slot value clone a reference count, not the outcomes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegValue {
     /// An application-server identity (for `regA`).
@@ -378,7 +380,7 @@ pub enum RegValue {
     /// A decision (for `regD`).
     Decision(Decision),
     /// An ordered batch of per-attempt decisions (for `slot[k]`).
-    Batch(OutcomeBatch),
+    Batch(Arc<OutcomeBatch>),
 }
 
 impl RegValue {
@@ -402,6 +404,15 @@ impl RegValue {
     pub fn as_batch(&self) -> Option<&OutcomeBatch> {
         match self {
             RegValue::Batch(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts the outcome batch as a shared handle (a reference-count
+    /// clone, never an entry copy), if this is a decision-log slot value.
+    pub fn as_batch_shared(&self) -> Option<Arc<OutcomeBatch>> {
+        match self {
+            RegValue::Batch(b) => Some(Arc::clone(b)),
             _ => None,
         }
     }
@@ -505,8 +516,9 @@ mod tests {
         assert!(d.as_server().is_none());
         assert_eq!(d.as_decision().unwrap().outcome, Outcome::Abort);
         let rid = ResultId::first(RequestId { client: NodeId(0), seq: 1 });
-        let b = RegValue::Batch(vec![(rid, Decision::nil_abort())]);
+        let b = RegValue::Batch(Arc::new(vec![(rid, Decision::nil_abort())]));
         assert!(b.as_server().is_none() && b.as_decision().is_none());
         assert_eq!(b.as_batch().unwrap().len(), 1);
+        assert_eq!(b.as_batch_shared().unwrap().len(), 1);
     }
 }

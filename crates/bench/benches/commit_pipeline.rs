@@ -1,5 +1,8 @@
 //! X6 — the commit pipeline: batch size 1/8/64 at 1 and 16 shards,
-//! with and without speculative queue-oriented execution.
+//! with and without speculative queue-oriented execution — plus X6b, the
+//! decision-log **window sweep**: the batch-64 speculative configuration
+//! re-run at window depth 1/4/8 in the regime where the proposal cadence
+//! outruns the consensus round.
 //!
 //! The same open-loop burst (16 clients × 12 requests fired concurrently)
 //! drives three pipeline depths on a flat and a wide back end; the batched
@@ -8,10 +11,11 @@
 //! decision). Two views per configuration:
 //!
 //! * **simulated metrics** (printed table): committed requests per
-//!   simulated second and mean issue→delivery latency — what batching and
-//!   speculation buy the *modelled* system as one consensus slot, one
-//!   group WAL append and one replica shipment amortise over a whole
-//!   batch, and as execution overlaps the consensus round;
+//!   simulated second and mean issue→delivery latency — what batching,
+//!   speculation and the slot window buy the *modelled* system as one
+//!   consensus slot, one group WAL append and one replica shipment
+//!   amortise over a whole batch, as execution overlaps the consensus
+//!   round, and as consecutive rounds overlap each other;
 //! * **host throughput** (criterion): wall-clock cost of simulating the
 //!   workload — shows the pipeline bookkeeping itself stays cheap.
 //!
@@ -22,6 +26,14 @@
 //! three outcomes per flush and batch 8 and batch 64 coincide exactly
 //! (the pre-PR-6 JSON rows). 5 ms at 1 shard and 1 ms at 16 lets every
 //! depth actually fill.
+//!
+//! The window sweep inverts that sizing on purpose: a single undecided
+//! slot only serialises anything when flushes arrive *faster* than the
+//! ~3-hop write round decides (≈0.6–0.9 ms in the fast cost model), so
+//! X6b tightens the flush window below the round — 700 µs at 16 shards,
+//! and 500 µs under a deliberately light two-client load at 1 shard (the
+//! 16-client burst saturates the single serial SQL device, which hides
+//! the consensus round entirely — the JSON notes record that regime too).
 //!
 //! The driver records the printed rows in `BENCH_batching.json` so the
 //! perf trajectory tracks the pipeline across PRs. The acceptance bars
@@ -34,10 +46,15 @@
 //! * speculation-on batch-64 mean committed latency is strictly below
 //!   speculation-off at both 1 and 16 shards;
 //! * 16-shard batch-64 commit/s holds the 5905 bar, speculation on or
-//!   off.
+//!   off;
+//! * in the window sweep, depth ≥ 4 strictly beats depth 1 on 1-shard
+//!   mean latency (the window unblocks flushes the single-slot log
+//!   parks behind the undecided round) and holds the 6135 bar — the
+//!   single-slot speculative ceiling — at 16 shards, where depth 1 at
+//!   the same cadence stalls below it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use etx_base::config::{BatchingConfig, SpeculationConfig};
+use etx_base::config::{BatchingConfig, PipelineConfig, SpeculationConfig};
 use etx_base::time::Dur;
 use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
 use std::hint::black_box;
@@ -55,17 +72,30 @@ fn flush_window(shards: u32) -> Dur {
     }
 }
 
+/// One bench configuration: back-end width, offered load, batch cap with
+/// its flush window, speculation mode and decision-log window depth.
+#[derive(Clone, Copy, PartialEq)]
+struct Cfg {
+    shards: u32,
+    clients: usize,
+    batch: usize,
+    window: Dur,
+    spec: bool,
+    depth: usize,
+}
+
 /// (mean latency ms, committed req per simulated second, SpecHit count).
-fn run_once(shards: u32, batch: usize, spec: bool, seed: u64) -> (f64, f64, usize) {
-    let spec_cfg = if spec { SpeculationConfig::on() } else { SpeculationConfig::disabled() };
+fn run_once(cfg: Cfg, seed: u64) -> (f64, f64, usize) {
+    let spec_cfg = if cfg.spec { SpeculationConfig::on() } else { SpeculationConfig::disabled() };
     let mut b = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
-        .shards(shards)
-        .clients(CLIENTS)
-        .workload(Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 })
+        .shards(cfg.shards)
+        .clients(cfg.clients)
+        .workload(Workload::OpenLoopBurst { accounts: cfg.shards * 8, amount: 1 })
         .requests(REQUESTS)
-        .speculation(spec_cfg);
-    if batch > 1 {
-        b = b.batching(BatchingConfig::new(batch, flush_window(shards)));
+        .speculation(spec_cfg)
+        .pipeline(PipelineConfig::new(cfg.depth));
+    if cfg.batch > 1 {
+        b = b.batching(BatchingConfig::new(cfg.batch, cfg.window));
     }
     let mut s = b.build();
     let expected = s.requests as usize;
@@ -80,38 +110,94 @@ fn run_once(shards: u32, batch: usize, spec: bool, seed: u64) -> (f64, f64, usiz
 fn bench_commit_pipeline(c: &mut Criterion) {
     // The sweep IS the experiment: the CI matrix hooks that pin every
     // scenario to one depth / one speculation mode would collapse it to a
-    // single row. Batching and speculation are set explicitly per row
-    // (explicit always wins over the environment), but batch-1 rows set
-    // no batching at all, so scrub the env to keep them flat.
+    // single row. Batching, speculation and the window depth are set
+    // explicitly per row (explicit always wins over the environment), but
+    // batch-1 rows set no batching at all, so scrub the env to keep them
+    // flat.
     std::env::remove_var("ETX_BATCH_SIZE");
     std::env::remove_var("ETX_SPECULATION");
     std::env::remove_var("ETX_READ_PATH");
+    std::env::remove_var("ETX_PIPELINE_DEPTH");
     println!(
         "\n=== X6: commit pipeline (OpenLoopBurst, {CLIENTS} clients x {REQUESTS} requests) ===\n"
     );
     println!(
-        "{:>8}{:>8}{:>8}{:>16}{:>16}{:>12}",
-        "shards", "batch", "spec", "latency ms", "sim commit/s", "spec hits"
+        "{:>8}{:>8}{:>8}{:>8}{:>10}{:>16}{:>16}{:>12}",
+        "shards", "clients", "batch", "spec", "window", "latency ms", "sim commit/s", "spec hits"
     );
-    let mut rows = Vec::new();
+    let mut rows: Vec<(Cfg, (f64, f64, usize))> = Vec::new();
+    let run_row = |c: &mut Criterion, cfg: Cfg, rows: &mut Vec<(Cfg, (f64, f64, usize))>| {
+        let (lat, cps, hits) = run_once(cfg, 0xBA7C4);
+        let mode = if cfg.spec { "on" } else { "off" };
+        println!(
+            "{:>8}{:>8}{:>8}{mode:>8}{:>10}{lat:>16.2}{cps:>16.1}{hits:>12}",
+            cfg.shards,
+            cfg.clients,
+            cfg.batch,
+            format!("{}", cfg.window),
+        );
+        rows.push((cfg, (lat, cps, hits)));
+        let tag = if cfg.spec { "_spec" } else { "" };
+        let dtag = if cfg.depth > 1 { format!("_w{}", cfg.depth) } else { String::new() };
+        let name = format!("pipeline/{}shards_batch{}{tag}{dtag}", cfg.shards, cfg.batch);
+        c.bench_function(&name, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(run_once(cfg, seed))
+            })
+        });
+    };
     for &shards in &[1u32, 16] {
         for &(batch, spec) in &[(1usize, false), (8, false), (8, true), (64, false), (64, true)] {
-            let (lat, cps, hits) = run_once(shards, batch, spec, 0xBA7C4);
-            let mode = if spec { "on" } else { "off" };
-            println!("{shards:>8}{batch:>8}{mode:>8}{lat:>16.2}{cps:>16.1}{hits:>12}");
-            rows.push(((shards, batch, spec), (lat, cps, hits)));
-            let tag = if spec { "_spec" } else { "" };
-            c.bench_function(&format!("pipeline/{shards}shards_batch{batch}{tag}"), |b| {
+            let cfg = Cfg {
+                shards,
+                clients: CLIENTS,
+                batch,
+                window: flush_window(shards),
+                spec,
+                depth: 1,
+            };
+            run_row(c, cfg, &mut rows);
+        }
+    }
+    println!("\n=== X6b: decision-log window sweep (batch 64, speculation on) ===\n");
+    println!(
+        "{:>8}{:>8}{:>8}{:>8}{:>10}{:>16}{:>16}{:>12}",
+        "shards", "clients", "depth", "spec", "window", "latency ms", "sim commit/s", "spec hits"
+    );
+    let mut sweep_rows: Vec<(Cfg, (f64, f64, usize))> = Vec::new();
+    for &(shards, clients, win_us) in &[(1u32, 2usize, 500u64), (16, CLIENTS, 700)] {
+        for &depth in &[1usize, 4, 8] {
+            let cfg = Cfg {
+                shards,
+                clients,
+                batch: 64,
+                window: Dur::from_micros(win_us),
+                spec: true,
+                depth,
+            };
+            let (lat, cps, hits) = run_once(cfg, 0xBA7C4);
+            println!(
+                "{shards:>8}{clients:>8}{depth:>8}{:>8}{:>10}{lat:>16.2}{cps:>16.1}{hits:>12}",
+                "on",
+                format!("{}", cfg.window),
+            );
+            sweep_rows.push((cfg, (lat, cps, hits)));
+            c.bench_function(&format!("pipeline/window/{shards}shards_depth{depth}"), |b| {
                 let mut seed = 0u64;
                 b.iter(|| {
                     seed += 1;
-                    black_box(run_once(shards, batch, spec, seed))
+                    black_box(run_once(cfg, seed))
                 })
             });
         }
     }
     let row = |shards: u32, batch: usize, spec: bool| {
-        rows.iter().find(|(k, _)| *k == (shards, batch, spec)).map(|(_, v)| *v).unwrap()
+        rows.iter()
+            .find(|(k, _)| (k.shards, k.batch, k.spec) == (shards, batch, spec))
+            .map(|(_, v)| *v)
+            .unwrap()
     };
     assert!(
         row(16, 64, false).1 > row(16, 1, false).1,
@@ -146,6 +232,28 @@ fn bench_commit_pipeline(c: &mut Criterion) {
             "16-shard batch-64 commit/s must hold the 5905 bar (spec {}: {:.1})",
             if spec { "on" } else { "off" },
             row(16, 64, spec).1
+        );
+    }
+    let sweep = |shards: u32, depth: usize| {
+        sweep_rows
+            .iter()
+            .find(|(k, _)| (k.shards, k.depth) == (shards, depth))
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    for &depth in &[4usize, 8] {
+        assert!(
+            sweep(1, depth).0 < sweep(1, 1).0,
+            "a depth-{depth} window must strictly beat the single-slot log on 1-shard \
+             batch-64 mean latency at a sub-round flush cadence ({:.2} vs {:.2} ms)",
+            sweep(1, depth).0,
+            sweep(1, 1).0
+        );
+        assert!(
+            sweep(16, depth).1 >= 6135.0,
+            "16-shard batch-64 commit/s at depth {depth} must hold the 6135 bar \
+             (the single-slot speculative ceiling): {:.1}",
+            sweep(16, depth).1
         );
     }
 }

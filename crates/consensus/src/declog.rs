@@ -34,6 +34,7 @@ use etx_base::ids::{NodeId, RegId, ResultId};
 use etx_base::runtime::Context;
 use etx_base::value::{Decision, Outcome, OutcomeBatch, RegValue};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// One decided slot's worth of *newly final* outcomes, in slot order.
 /// Entries whose attempt already surfaced in an earlier slot are filtered
@@ -56,14 +57,24 @@ pub struct DecisionLog {
     /// the cap a backed-up pending queue would flow into a single slot and
     /// silently batch even in the degenerate configuration.
     max_batch: usize,
+    /// Maximum undecided slots this server keeps in flight at once — the
+    /// configured pipeline window. At 1 the log runs one consensus round
+    /// at a time (the PR 6/7/8 behaviour, byte-for-byte); at `K` it
+    /// proposes up to `K` consecutive slots whose rounds overlap.
+    window: usize,
     /// Outcomes waiting to be proposed (or re-proposed) into a slot.
     pending: OutcomeBatch,
-    /// Our current proposal: `(slot, batch)` — at most one in flight.
-    inflight: Option<(u64, OutcomeBatch)>,
+    /// Our in-flight proposals, slot → batch, at most `window` of them.
+    /// Batches are [`Arc`]-shared with the register write (and hence the
+    /// consensus broadcasts), so proposing copies no outcomes.
+    inflight: BTreeMap<u64, Arc<OutcomeBatch>>,
     /// Next slot index to apply (everything below is applied).
     next_apply: u64,
-    /// Slots decided ahead of a gap, waiting for in-order apply.
-    decided_ahead: BTreeMap<u64, OutcomeBatch>,
+    /// Slots decided ahead of a gap, waiting for in-order apply. Decides
+    /// may land out of slot order under a pipelined window; this buffer
+    /// (plus the `next_apply` low-water mark) is what keeps promotion and
+    /// apply strictly in slot order regardless.
+    decided_ahead: BTreeMap<u64, Arc<OutcomeBatch>>,
     /// Final decision per attempt (the first-occurrence arbitration).
     seen: BTreeMap<ResultId, Decision>,
     /// Per-client GC watermarks: every request below the watermark is
@@ -84,20 +95,22 @@ pub struct DecisionLog {
 }
 
 impl Default for DecisionLog {
-    /// An unbounded log view (no pipeline-depth cap).
+    /// An unbounded log view (no batch cap, single-slot window).
     fn default() -> Self {
-        DecisionLog::new(usize::MAX)
+        DecisionLog::new(usize::MAX, 1)
     }
 }
 
 impl DecisionLog {
     /// An empty log view (apply cursor at slot 0) whose slot proposals
-    /// carry at most `max_batch` outcomes (clamped to ≥ 1).
-    pub fn new(max_batch: usize) -> Self {
+    /// carry at most `max_batch` outcomes each and keep at most `window`
+    /// undecided slots in flight at once (both clamped to ≥ 1).
+    pub fn new(max_batch: usize, window: usize) -> Self {
         DecisionLog {
             max_batch: max_batch.max(1),
+            window: window.max(1),
             pending: OutcomeBatch::default(),
-            inflight: None,
+            inflight: BTreeMap::new(),
             next_apply: 0,
             decided_ahead: BTreeMap::new(),
             seen: BTreeMap::new(),
@@ -119,16 +132,23 @@ impl DecisionLog {
 
     /// Outcomes queued but not yet decided (diagnostics and tests).
     pub fn pending_len(&self) -> usize {
-        self.pending.len() + self.inflight.as_ref().map_or(0, |(_, b)| b.len())
+        self.pending.len() + self.inflight.values().map(|b| b.len()).sum::<usize>()
     }
 
-    /// Our proposal currently awaiting a slot decision, if any: the slot
-    /// it went into and the batch it carries. The speculation stage reads
-    /// this right after [`DecisionLog::propose`] to learn where the flush
-    /// landed — if the proposal resolved synchronously there is nothing in
-    /// flight and nothing worth speculating on.
-    pub fn inflight_proposal(&self) -> Option<(u64, &OutcomeBatch)> {
-        self.inflight.as_ref().map(|(slot, batch)| (*slot, batch))
+    /// Number of our proposals currently awaiting a slot decision.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Our proposals currently awaiting a slot decision, in slot order:
+    /// each the slot it went into and the batch it carries (a shared
+    /// handle — a reference-count clone, never an entry copy). The
+    /// speculation stage reads this right after [`DecisionLog::propose`]
+    /// to learn where the flush landed — proposals that resolved
+    /// synchronously are absent, because there is nothing left in flight
+    /// and nothing worth speculating on.
+    pub fn inflight_proposals(&self) -> Vec<(u64, Arc<OutcomeBatch>)> {
+        self.inflight.iter().map(|(&slot, batch)| (slot, Arc::clone(batch))).collect()
     }
 
     /// Submits a batch of outcomes for sequencing and drives proposals.
@@ -144,7 +164,7 @@ impl DecisionLog {
     ) -> Vec<AppliedSlot> {
         for (rid, decision) in entries {
             let queued = self.pending.iter().any(|(r, _)| *r == rid)
-                || self.inflight.iter().any(|(_, b)| b.iter().any(|(r, _)| *r == rid));
+                || self.inflight.values().any(|b| b.iter().any(|(r, _)| *r == rid));
             if self.seen.contains_key(&rid) || self.settled(&rid) || queued {
                 continue;
             }
@@ -234,8 +254,11 @@ impl DecisionLog {
 
     // ---- internals -------------------------------------------------------
 
-    /// Proposes pending outcomes into the lowest open slot, looping while
-    /// proposals resolve synchronously.
+    /// Proposes pending outcomes into the lowest open slots until the
+    /// pipeline window is full or the queue is empty, looping while
+    /// proposals resolve synchronously. At window 1 this is exactly the
+    /// single-slot propose loop of PR 6/7/8: one round in flight, the
+    /// next proposal only after it decides.
     fn pump(
         &mut self,
         ctx: &mut dyn Context,
@@ -250,15 +273,17 @@ impl DecisionLog {
                 !seen.contains_key(rid)
                     && watermarks.get(&rid.request.client).is_none_or(|&w| rid.request.seq >= w)
             });
-            if self.inflight.is_some() || self.pending.is_empty() {
+            if self.inflight.len() >= self.window || self.pending.is_empty() {
                 return out;
             }
             let slot = self.lowest_open_slot(regs);
             let take = self.pending.len().min(self.max_batch);
-            let batch: OutcomeBatch = self.pending.drain(..take).collect();
-            self.inflight = Some((slot, batch.clone()));
+            let batch: Arc<OutcomeBatch> = Arc::new(self.pending.drain(..take).collect());
+            self.inflight.insert(slot, Arc::clone(&batch));
             match regs.write(ctx, RegId::slot(slot), RegValue::Batch(batch), suspects) {
-                None => return out, // decision arrives via handle()
+                // Round in flight; the decision arrives via handle(). Keep
+                // looping — the window may have room for the next slot.
+                None => {}
                 Some(value) => {
                     // Decided synchronously (single-replica quorum, or the
                     // slot was already taken): absorb and keep pumping.
@@ -270,40 +295,41 @@ impl DecisionLog {
         }
     }
 
-    /// The lowest slot index with no decision known locally: gaps are
-    /// filled before new tail slots are opened, which is what keeps a
-    /// crashed proposer's abandoned slot from stalling the log (the next
-    /// proposal lands there and consensus arbitrates).
+    /// The lowest slot index with no decision known locally and no
+    /// proposal of ours in flight: gaps are filled before new tail slots
+    /// are opened, which is what keeps a crashed proposer's abandoned slot
+    /// from stalling the log (the next proposal lands there and consensus
+    /// arbitrates).
     fn lowest_open_slot(&self, regs: &WoRegisters) -> u64 {
         let mut k = self.next_apply;
-        while self.decided_ahead.contains_key(&k) || regs.read(RegId::slot(k)).is_some() {
+        while self.decided_ahead.contains_key(&k)
+            || self.inflight.contains_key(&k)
+            || regs.read(RegId::slot(k)).is_some()
+        {
             k += 1;
         }
         k
     }
 
     fn record_decided(&mut self, slot: u64, value: &RegValue) {
-        let Some(batch) = value.as_batch() else {
+        let Some(batch) = value.as_batch_shared() else {
             debug_assert!(false, "slot[{slot}] decided a non-batch value");
             return;
         };
         if slot >= self.next_apply {
-            self.decided_ahead.entry(slot).or_insert_with(|| batch.clone());
+            self.decided_ahead.entry(slot).or_insert_with(|| Arc::clone(&batch));
         }
         // Our proposal for this slot is settled: if another batch won, the
-        // outcomes we carried go back to pending for the next slot.
-        if let Some((s, ours)) = self.inflight.take() {
-            if s == slot {
-                for (rid, decision) in ours {
-                    if !batch.iter().any(|(r, _)| *r == rid)
-                        && !self.seen.contains_key(&rid)
-                        && !self.settled(&rid)
-                    {
-                        self.pending.push((rid, decision));
-                    }
+        // outcomes we carried go back to pending for the next slot. Other
+        // in-flight slots are untouched — their rounds are still running.
+        if let Some(ours) = self.inflight.remove(&slot) {
+            for (rid, decision) in ours.iter() {
+                if !batch.iter().any(|(r, _)| r == rid)
+                    && !self.seen.contains_key(rid)
+                    && !self.settled(rid)
+                {
+                    self.pending.push((*rid, decision.clone()));
                 }
-            } else {
-                self.inflight = Some((s, ours));
             }
         }
     }
@@ -314,10 +340,10 @@ impl DecisionLog {
             self.applied_members
                 .insert(self.next_apply, batch.iter().map(|(rid, d)| (*rid, d.outcome)).collect());
             let mut firsts = Vec::new();
-            for (rid, decision) in batch {
-                if !self.seen.contains_key(&rid) && !self.settled(&rid) {
-                    self.seen.insert(rid, decision.clone());
-                    firsts.push((rid, decision));
+            for (rid, decision) in batch.iter() {
+                if !self.seen.contains_key(rid) && !self.settled(rid) {
+                    self.seen.insert(*rid, decision.clone());
+                    firsts.push((*rid, decision.clone()));
                 }
             }
             out.push(AppliedSlot { slot: self.next_apply, entries: firsts });
@@ -345,11 +371,15 @@ mod tests {
         seqs.iter().map(|&s| (rid(s), commit())).collect()
     }
 
+    fn slot_value(seqs: &[u64]) -> RegValue {
+        RegValue::Batch(Arc::new(batch(seqs)))
+    }
+
     #[test]
     fn first_occurrence_wins_across_slots() {
         let mut log = DecisionLog::default();
-        log.record_decided(0, &RegValue::Batch(vec![(rid(1), commit())]));
-        log.record_decided(1, &RegValue::Batch(vec![(rid(1), Decision::nil_abort())]));
+        log.record_decided(0, &RegValue::Batch(Arc::new(vec![(rid(1), commit())])));
+        log.record_decided(1, &RegValue::Batch(Arc::new(vec![(rid(1), Decision::nil_abort())])));
         let applied = log.drain_applied();
         assert_eq!(applied.len(), 2);
         assert_eq!(applied[0].entries.len(), 1, "slot 0 carries the first occurrence");
@@ -360,10 +390,10 @@ mod tests {
     #[test]
     fn slots_apply_in_order_buffering_gaps() {
         let mut log = DecisionLog::default();
-        log.record_decided(1, &RegValue::Batch(batch(&[2])));
+        log.record_decided(1, &slot_value(&[2]));
         assert!(log.drain_applied().is_empty(), "slot 1 waits for slot 0");
         assert_eq!(log.applied_up_to(), 0);
-        log.record_decided(0, &RegValue::Batch(batch(&[1])));
+        log.record_decided(0, &slot_value(&[1]));
         let applied = log.drain_applied();
         assert_eq!(applied.len(), 2);
         assert_eq!((applied[0].slot, applied[1].slot), (0, 1));
@@ -372,19 +402,63 @@ mod tests {
 
     #[test]
     fn losing_a_slot_requeues_unserved_outcomes() {
-        let mut log = DecisionLog { inflight: Some((0, batch(&[7, 8]))), ..DecisionLog::default() };
+        let mut log = DecisionLog {
+            inflight: BTreeMap::from([(0, Arc::new(batch(&[7, 8])))]),
+            ..DecisionLog::default()
+        };
         // Slot 0 decides with someone else's batch that covers 7 but not 8.
-        log.record_decided(0, &RegValue::Batch(batch(&[7])));
+        log.record_decided(0, &slot_value(&[7]));
         log.drain_applied();
-        assert!(log.inflight.is_none());
+        assert!(log.inflight.is_empty());
         assert_eq!(log.pending, batch(&[8]), "only the unserved outcome is re-proposed");
         assert_eq!(log.decision_of(rid(7)).unwrap().outcome, Outcome::Commit);
     }
 
     #[test]
+    fn out_of_order_decides_apply_in_slot_order_across_the_window() {
+        // A pipelined window has slots 0 and 1 in flight; slot 1's round
+        // finishes first. Nothing may apply until slot 0 decides, and the
+        // apply order must be slot order, not decide order.
+        let mut log = DecisionLog {
+            window: 2,
+            inflight: BTreeMap::from([(0, Arc::new(batch(&[1, 2]))), (1, Arc::new(batch(&[3])))]),
+            ..DecisionLog::default()
+        };
+        log.record_decided(1, &slot_value(&[3]));
+        assert!(log.drain_applied().is_empty(), "slot 1 buffers behind the gap at 0");
+        assert_eq!(log.inflight_len(), 1, "slot 0's round is still running");
+        assert_eq!(log.applied_up_to(), 0);
+        log.record_decided(0, &slot_value(&[1, 2]));
+        let applied = log.drain_applied();
+        assert_eq!(applied.iter().map(|a| a.slot).collect::<Vec<_>>(), [0, 1]);
+        assert!(log.inflight.is_empty() && log.pending.is_empty());
+        assert_eq!(log.decision_of(rid(3)).unwrap().outcome, Outcome::Commit);
+    }
+
+    #[test]
+    fn losing_a_mid_window_slot_requeues_only_that_slots_outcomes() {
+        // Slot 0 is lost to another proposer's batch; slot 1's round (our
+        // proposal) must stay in flight untouched, and only slot 0's
+        // unserved outcomes go back to pending.
+        let mut log = DecisionLog {
+            window: 2,
+            inflight: BTreeMap::from([(0, Arc::new(batch(&[7, 8]))), (1, Arc::new(batch(&[9])))]),
+            ..DecisionLog::default()
+        };
+        log.record_decided(0, &slot_value(&[7]));
+        log.drain_applied();
+        assert_eq!(log.pending, batch(&[8]), "slot 0's unserved outcome is re-proposed");
+        assert_eq!(
+            log.inflight_proposals().iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            [1],
+            "slot 1's proposal is untouched"
+        );
+    }
+
+    #[test]
     fn gc_drops_settled_attempts_below_the_watermark() {
         let mut log = DecisionLog::default();
-        log.record_decided(0, &RegValue::Batch(batch(&[1, 2, 3])));
+        log.record_decided(0, &slot_value(&[1, 2, 3]));
         log.drain_applied();
         log.gc_client(NodeId(0), 3);
         assert!(log.decision_of(rid(1)).is_none());
@@ -397,8 +471,8 @@ mod tests {
     #[test]
     fn gc_reports_fully_settled_slots_exactly_once_in_order() {
         let mut log = DecisionLog::default();
-        log.record_decided(0, &RegValue::Batch(batch(&[1, 2])));
-        log.record_decided(1, &RegValue::Batch(batch(&[3])));
+        log.record_decided(0, &slot_value(&[1, 2]));
+        log.record_decided(1, &slot_value(&[3]));
         log.drain_applied();
         assert!(log.gc_client(NodeId(0), 2).is_empty(), "slot 0 still carries unsettled request 2");
         let settled = log.gc_client(NodeId(0), 3);
@@ -426,10 +500,10 @@ mod tests {
         // conflicting abort (an A.3 divergence across databases).
         let mut log = DecisionLog::default();
         let tombstone = vec![(rid(1), Decision { result: None, outcome: Outcome::Commit })];
-        log.record_decided(0, &RegValue::Batch(tombstone));
+        log.record_decided(0, &RegValue::Batch(Arc::new(tombstone)));
         let applied = log.drain_applied();
         assert_eq!(applied[0].entries.len(), 1, "tombstone entries apply as first occurrences");
-        log.record_decided(1, &RegValue::Batch(vec![(rid(1), Decision::nil_abort())]));
+        log.record_decided(1, &RegValue::Batch(Arc::new(vec![(rid(1), Decision::nil_abort())])));
         let applied = log.drain_applied();
         assert!(applied[0].entries.is_empty(), "late abort is a filtered duplicate");
         assert_eq!(log.decision_of(rid(1)).unwrap().outcome, Outcome::Commit);
@@ -441,11 +515,11 @@ mod tests {
         // conflicting entry then arrives in a later slot. It must be
         // swallowed, not surfaced as a fresh first occurrence.
         let mut log = DecisionLog::default();
-        log.record_decided(0, &RegValue::Batch(vec![(rid(1), commit())]));
+        log.record_decided(0, &RegValue::Batch(Arc::new(vec![(rid(1), commit())])));
         log.drain_applied();
         log.gc_client(NodeId(0), 2); // request 1 settled
         assert!(log.decision_of(rid(1)).is_none(), "arbitration memory GC'd");
-        log.record_decided(1, &RegValue::Batch(vec![(rid(1), Decision::nil_abort())]));
+        log.record_decided(1, &RegValue::Batch(Arc::new(vec![(rid(1), Decision::nil_abort())])));
         let applied = log.drain_applied();
         assert_eq!(applied.len(), 1);
         assert!(applied[0].entries.is_empty(), "settled attempt must not resurface");
@@ -458,7 +532,9 @@ mod tests {
         assert_eq!(log.applied_up_to(), 0);
         assert_eq!(log.pending_len(), 0);
         log.pending = batch(&[1]);
-        log.inflight = Some((0, batch(&[2, 3])));
-        assert_eq!(log.pending_len(), 3);
+        log.inflight.insert(0, Arc::new(batch(&[2, 3])));
+        log.inflight.insert(1, Arc::new(batch(&[4])));
+        assert_eq!(log.pending_len(), 4);
+        assert_eq!(log.inflight_len(), 2);
     }
 }

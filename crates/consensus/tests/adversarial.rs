@@ -295,7 +295,7 @@ fn compacted_instance_answers_late_writers_instead_of_reopening() {
     assert_eq!(w.decided[1].as_ref(), Some(&original));
     assert_eq!(w.decided[2], None, "node 2 must have missed the decision");
     // Both deciders compact the instance (all its requests settled).
-    let placeholder = RegValue::Batch(Vec::new());
+    let placeholder = RegValue::Batch(std::sync::Arc::new(Vec::new()));
     for idx in [0usize, 1] {
         assert!(
             w.engines[idx].as_mut().expect("live").compact(inst(), placeholder.clone()),

@@ -65,7 +65,8 @@ use etx_base::value::{
 };
 use etx_consensus::{AppliedSlot, DecisionLog, EngineConfig, WoEvent, WoRegisters};
 use etx_fd::FailureDetector;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 
 /// Per-attempt protocol state (the paper's compute thread, unrolled).
 #[derive(Debug)]
@@ -177,9 +178,14 @@ pub struct AppServer {
     batch_queue: Vec<(ResultId, Decision)>,
     /// Pending window-flush timer for the pipeline queue, if armed.
     batch_timer: Option<TimerId>,
-    /// The decision-log slot whose in-flight proposal was last shipped for
-    /// speculative execution (so a proposal is shipped at most once).
-    spec_shipped: Option<u64>,
+    /// The decision-log slots whose in-flight proposals were already
+    /// shipped for speculative execution (so each proposal is shipped at
+    /// most once); pruned to the live proposal window on every shipment.
+    spec_shipped: BTreeSet<u64>,
+    /// High-water mark of concurrently undecided slots this server has had
+    /// in flight — traced (once per new depth ≥ 2) as `PipelineWindow`, so
+    /// a depth-1 run's trace is untouched.
+    window_peak: u32,
     fsms: HashMap<ResultId, Phase>,
     /// In-flight fast-path reads (read-only scripts routed around the
     /// commit pipeline).
@@ -268,7 +274,7 @@ impl AppServer {
         let engine_cfg =
             EngineConfig { patience: cfg.consensus_round_patience, resync: cfg.consensus_resync };
         let regs = WoRegisters::new(me, &topo.app_servers, engine_cfg);
-        let log = DecisionLog::new(cfg.features.batching.max_batch);
+        let log = DecisionLog::new(cfg.features.batching.max_batch, cfg.features.pipeline.window());
         AppServer {
             me,
             topo,
@@ -280,7 +286,8 @@ impl AppServer {
             log,
             batch_queue: Vec::new(),
             batch_timer: None,
-            spec_shipped: None,
+            spec_shipped: BTreeSet::new(),
+            window_peak: 0,
             fsms: HashMap::new(),
             reads: HashMap::new(),
             shard_seq: BTreeMap::new(),
@@ -337,7 +344,7 @@ impl AppServer {
         // member attempt as `(nil, abort)`, which must lose to the original
         // outcome everywhere. Only the result payloads are shed.
         for (slot, tombstone) in self.log.gc_client(client, ack_below) {
-            if self.regs.compact(RegId::slot(slot), RegValue::Batch(tombstone)) {
+            if self.regs.compact(RegId::slot(slot), RegValue::Batch(Arc::new(tombstone))) {
                 ctx.trace(TraceKind::SlotGc { slot });
             }
         }
@@ -1032,48 +1039,70 @@ impl AppServer {
         let sus_vec = self.suspicion_snapshot();
         let sus = move |n: NodeId| sus_vec.contains(&n);
         let applied = self.log.propose(ctx, &mut self.regs, entries, &sus);
-        // Speculation stage: ship the proposal to the shard primaries in
-        // the same event that started its consensus round, so the batch
-        // executes while the round runs.
+        // Speculation stage: ship the proposals to the shard primaries in
+        // the same event that started their consensus rounds, so the
+        // batches execute while the rounds run.
         self.ship_speculation(ctx);
+        self.note_window(ctx);
         self.apply_slots(ctx, applied);
     }
 
-    /// Ships the current in-flight slot proposal to the shard primaries as
-    /// `SpecExec` frames (at most once per slot): the primaries execute
-    /// the batch against a speculative snapshot while the slot's
-    /// consensus round runs, and promote the buffered work if the slot
-    /// decides as proposed. A proposal that resolved synchronously leaves
+    /// Ships every not-yet-shipped in-flight slot proposal to the shard
+    /// primaries as `SpecExec` frames (at most once per slot): the
+    /// primaries stack the batches as per-slot speculative buffers while
+    /// the slots' consensus rounds run, and promote the buffered work
+    /// slot by slot as decides land in order. Under a pipelined window
+    /// several proposals may be in flight at once — all of them ship, not
+    /// just the head. A proposal that resolved synchronously leaves
     /// nothing in flight — and nothing worth overlapping with.
     fn ship_speculation(&mut self, ctx: &mut dyn Context) {
         if !self.cfg.features.speculation.enabled {
             return;
         }
-        let Some((slot, batch)) = self.log.inflight_proposal() else { return };
-        if self.spec_shipped == Some(slot) {
-            return;
-        }
-        // Split the proposal per database exactly as termination will if
-        // the slot decides as proposed: same targets, same slot order.
-        // Singleton splits are skipped — they would terminate as bare
-        // `Decide` messages, which never consult the speculation stash.
-        let mut per_db: BTreeMap<NodeId, Vec<(ResultId, Outcome)>> = BTreeMap::new();
-        for (rid, decision) in batch {
-            let targets = self
-                .terminate_targets
-                .get(rid)
-                .cloned()
-                .unwrap_or_else(|| self.topo.db_servers.clone());
-            for db in targets {
-                per_db.entry(db).or_default().push((*rid, decision.outcome));
-            }
-        }
-        self.spec_shipped = Some(slot);
-        for (db, entries) in per_db {
-            if entries.len() < 2 {
+        let proposals = self.log.inflight_proposals();
+        // Decided slots left the window; forget them so the set stays
+        // bounded by the window depth.
+        let live: BTreeSet<u64> = proposals.iter().map(|(slot, _)| *slot).collect();
+        self.spec_shipped.retain(|slot| live.contains(slot));
+        for (slot, batch) in proposals {
+            if !self.spec_shipped.insert(slot) {
                 continue;
             }
-            ctx.send(db, Payload::Db(DbMsg::SpecExec { slot, entries }));
+            // Split the proposal per database exactly as termination will
+            // if the slot decides as proposed: same targets, same slot
+            // order. Singleton splits are skipped — they would terminate
+            // as bare `Decide` messages, which never consult the
+            // speculation stash.
+            let mut per_db: BTreeMap<NodeId, Vec<(ResultId, Outcome)>> = BTreeMap::new();
+            for (rid, decision) in batch.iter() {
+                let targets = self
+                    .terminate_targets
+                    .get(rid)
+                    .cloned()
+                    .unwrap_or_else(|| self.topo.db_servers.clone());
+                for db in targets {
+                    per_db.entry(db).or_default().push((*rid, decision.outcome));
+                }
+            }
+            for (db, entries) in per_db {
+                if entries.len() < 2 {
+                    continue;
+                }
+                ctx.send(db, Payload::Db(DbMsg::SpecExec { slot, entries }));
+            }
+        }
+    }
+
+    /// Traces a new high-water mark of concurrently undecided slots. Only
+    /// depths ≥ 2 are traced (and each new peak once), so a depth-1
+    /// pipeline emits nothing — the PR 6/7/8 traces stay byte-identical —
+    /// while pipelined runs leave a marker of genuine cross-slot overlap
+    /// for tests and chaos runners to key on.
+    fn note_window(&mut self, ctx: &mut dyn Context) {
+        let open = self.log.inflight_len() as u32;
+        if open >= 2 && open > self.window_peak {
+            self.window_peak = open;
+            ctx.trace(TraceKind::PipelineWindow { open });
         }
     }
 
@@ -1359,6 +1388,7 @@ impl Process for AppServer {
                     // A decided slot lets the log pump the next pending
                     // batch into a fresh proposal — overlap that one too.
                     self.ship_speculation(ctx);
+                    self.note_window(ctx);
                     self.apply_slots(ctx, applied);
                 }
                 None => self.on_decided(ctx, reg, value),

@@ -24,7 +24,7 @@
 //! batch, where the same outcomes arriving as N separate `Decide`s would
 //! occupy it N times.
 
-use etx_base::config::{CostModel, ReadLeaseConfig, SpeculationConfig};
+use etx_base::config::{CostModel, PipelineConfig, ReadLeaseConfig, SpeculationConfig};
 use etx_base::ids::{NodeId, ResultId};
 use etx_base::msg::{DbMsg, DbReplyMsg, Payload, ReplMsg};
 use etx_base::runtime::{jittered, Context, Event, Process, TimerTag};
@@ -87,6 +87,11 @@ pub struct DbServer {
     /// eviction that dropped the buffer must drop the pre-paid instant
     /// too, and vice versa.
     spec_ready: HashMap<u64, Time>,
+    /// Decision-log pipelining knobs of the application tier, mirrored
+    /// here so the speculation-buffer cap can be floored at the window
+    /// depth — a cap below the depth would cascade-evict the whole stack
+    /// on every deep proposal.
+    pipeline: PipelineConfig,
     /// Read-lease knobs. Off by default: no grants, no renewal timer, no
     /// lease fields on any outgoing message — byte-identical behavior to
     /// the stamp-gated read path.
@@ -191,6 +196,7 @@ impl DbServer {
             read_busy_until: Time::ZERO,
             spec: SpeculationConfig::default(),
             spec_ready: HashMap::new(),
+            pipeline: PipelineConfig::default(),
             leases: ReadLeaseConfig::default(),
             lease_granted: Time::ZERO,
             lease_through: Time::ZERO,
@@ -212,6 +218,30 @@ impl DbServer {
     pub fn with_read_leases(mut self, leases: ReadLeaseConfig) -> Self {
         self.leases = leases;
         self
+    }
+
+    /// Sets the decision-log pipelining knobs (builder style).
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// The speculation-buffer cap actually enforced: the configured cap,
+    /// floored at the pipeline window so a deep window's stacked stashes
+    /// fit (see the `pipeline` field for why).
+    fn spec_cap(&self) -> usize {
+        self.spec.inflight_cap().max(self.pipeline.window())
+    }
+
+    /// Prunes the pre-paid completion instants to the engine's live stash
+    /// set — the lockstep rule. Run after anything that can evict stashes
+    /// (inflight-cap eviction at `SpecExec`, below-slot GC and the
+    /// mismatch cascade at `DecideBatch`): a dangling instant would
+    /// acknowledge a future decide at a time pre-paid for work that was
+    /// thrown away, and an instant-less stash could promote for free.
+    fn sync_spec_ready(&mut self) {
+        let live: HashSet<u64> = self.engine.spec_slot_ids().into_iter().collect();
+        self.spec_ready.retain(|s, _| live.contains(s));
     }
 
     /// Whether this server grants leases at all: a lease-enabled shard
@@ -632,7 +662,7 @@ impl DbServer {
                 } else {
                     Dur::ZERO
                 };
-                if !self.engine.speculate(slot, &entries, service, self.spec.inflight_cap()) {
+                if !self.engine.speculate(slot, &entries, service, self.spec_cap()) {
                     return; // a stash for this slot already exists
                 }
                 // Pre-pay the commit processing on the serial log device
@@ -649,8 +679,7 @@ impl DbServer {
                 // `spec_ready` alone would leave the engine holding a
                 // buffer that could later promote with no pre-paid
                 // instant — or leak forever on a never-decided slot.
-                let live: HashSet<u64> = self.engine.spec_slot_ids().into_iter().collect();
-                self.spec_ready.retain(|s, _| live.contains(s));
+                self.sync_spec_ready();
                 debug_assert!(self.spec_ready.contains_key(&slot));
                 ctx.trace(TraceKind::SpecExec { slot, len: entries.len() as u32 });
             }
@@ -677,8 +706,13 @@ impl DbServer {
                 // this is a no-op.
                 let had_stash = self.engine.speculation(slot).is_some();
                 let ready_at = self.spec_ready.remove(&slot);
-                self.spec_ready.retain(|&s, _| s > slot);
-                if let Some(p) = self.engine.promote_speculation(slot, &entries) {
+                let promoted = self.engine.promote_speculation(slot, &entries);
+                // Lockstep with whatever the resolution just evicted: the
+                // below-slot GC always, and — on a mismatch — the cascade
+                // over every stash above the slot (they were executed
+                // against a base this decide just invalidated).
+                self.sync_spec_ready();
+                if let Some(p) = promoted {
                     ctx.trace(TraceKind::SpecHit { slot, len: p.acks.len() as u32 });
                     if let Some(w) = p.writes.first() {
                         if matches!(w.rec, StableRecord::Group { .. }) {

@@ -4,8 +4,8 @@
 
 use crate::workloads::Workload;
 use etx_base::config::{
-    env_override, BatchingConfig, CostModel, FdConfig, FeatureExplicit, FeatureSet, ProtocolConfig,
-    ReadLeaseConfig, ReadPathConfig, SpeculationConfig,
+    env_override, BatchingConfig, CostModel, FdConfig, FeatureExplicit, FeatureSet, PipelineConfig,
+    ProtocolConfig, ReadLeaseConfig, ReadPathConfig, SpeculationConfig,
 };
 use etx_base::ids::{NodeId, ResultId, Topology};
 use etx_base::runtime::{Host, RuntimeKind};
@@ -213,10 +213,24 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Old two-argument spelling of [`ScenarioBuilder::batching`].
-    #[deprecated(note = "use `batching(BatchingConfig::new(size, window))`")]
-    pub fn batching_size_window(self, size: usize, window: Dur) -> Self {
-        self.batching(BatchingConfig::new(size, window))
+    /// Configures decision-log pipelining: with a depth above one, the
+    /// proposing application server keeps up to `cfg.depth` undecided
+    /// decision-log slots in flight at once, each running its own
+    /// write-once consensus round concurrently; decides may land out of
+    /// order but apply stays strictly in slot order. Depth 1 (the
+    /// default) is the single-slot pipeline of PR 6/7/8, byte-for-byte.
+    /// Combines with [`ScenarioBuilder::speculation`]: every proposed
+    /// slot ships for speculative execution, stacking per-slot buffers on
+    /// the shard primaries.
+    ///
+    /// The `ETX_PIPELINE_DEPTH` environment variable pins the depth for
+    /// scenarios that do **not** call this method — the CI matrix's hook
+    /// for running the whole suite under a deep window. An explicit
+    /// `pipeline` call always wins over the environment.
+    pub fn pipeline(mut self, cfg: PipelineConfig) -> Self {
+        self.pcfg.features.pipeline = cfg;
+        self.explicit.pipeline = true;
+        self
     }
 
     /// Configures speculative batch execution: with `enabled`, flushed
@@ -525,6 +539,7 @@ impl ScenarioBuilder {
             db_seeds.insert(node, data.clone());
             let spec = self.pcfg.features.speculation;
             let leases = self.pcfg.features.read_leases;
+            let pipeline = self.pcfg.features.pipeline;
             sim.add_node(
                 "db",
                 Box::new(move |_| {
@@ -536,7 +551,8 @@ impl ScenarioBuilder {
                             repl.clone(),
                         )
                         .with_speculation(spec)
-                        .with_read_leases(leases),
+                        .with_read_leases(leases)
+                        .with_pipeline(pipeline),
                     )
                 }),
             );
@@ -837,6 +853,22 @@ impl Scenario {
     /// replayed on the decide-then-execute path (mis-speculation).
     pub fn spec_aborts(&self) -> usize {
         self.count(|k| matches!(k, TraceKind::SpecAbort { .. }))
+    }
+
+    /// Deepest decision-log window any application server reached: the
+    /// maximum number of concurrently undecided slots observed. Returns 0
+    /// or 1 for runs that never overlapped rounds (depth-1 pipelines trace
+    /// no [`TraceKind::PipelineWindow`] events at all).
+    pub fn pipeline_window_peak(&self) -> u32 {
+        self.trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::PipelineWindow { open } => Some(open),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// Distinct attempts that took the read fast lane (classified

@@ -458,10 +458,17 @@ impl Engine {
     /// snapshot: computes the would-be acknowledgements and buffers the
     /// would-be writes as an overlay over committed state, without
     /// touching `data`, the lock table, the decision memo, the WAL or the
-    /// replication outbox. The stash is keyed by the proposed slot; the
-    /// first proposal stashed for a slot wins (a second is refused) and a
-    /// stash beyond `cap` evicts the oldest slot first. `cost` records
-    /// whatever device time the host pre-paid for the execution.
+    /// replication outbox. The stash is keyed by the proposed slot, and a
+    /// pipelined window stacks several stashes at once — each slot's
+    /// overlay layered over the one below it ([`Engine::speculative_view`]
+    /// reads youngest-first through the stack). The first proposal stashed
+    /// for a slot wins (a second is refused), and a stash beyond `cap`
+    /// evicts the oldest slot — **with every stash above it**, because the
+    /// slots above were executed against the evicted base
+    /// ([`Engine::evict_speculation`]); a cap below the pipeline depth
+    /// therefore thrashes the whole stack, which is why hosts floor the
+    /// cap at the configured depth. `cost` records whatever device time
+    /// the host pre-paid for the execution.
     ///
     /// Returns whether the batch was stashed. Refusals are harmless: the
     /// slot simply decides the ordinary decide-then-execute way.
@@ -503,10 +510,36 @@ impl Engine {
         }
         while self.spec.len() >= cap.max(1) {
             let oldest = *self.spec.keys().next().expect("non-empty stash");
-            self.spec.remove(&oldest);
+            self.evict_speculation(oldest);
         }
         self.spec.insert(slot, SpecSlot { entries: entries.to_vec(), acks, overlay, cost });
         true
+    }
+
+    /// Discards the stash for `slot` **and every stash above it** — the
+    /// cascading abort of the pipelined window: slots speculate in slot
+    /// order, so the stashes above `slot` were executed against a base
+    /// that included it; once that base is wrong (mismatch) or gone
+    /// (eviction), their buffered work is unsound to promote and must
+    /// replay decide-then-execute. Returns the evicted slot ids in
+    /// ascending order, so the host can drop its per-slot bookkeeping
+    /// (pre-paid completion instants) in lockstep.
+    pub fn evict_speculation(&mut self, slot: u64) -> Vec<u64> {
+        let evicted: Vec<u64> = self.spec.range(slot..).map(|(&s, _)| s).collect();
+        self.spec.retain(|&s, _| s < slot);
+        evicted
+    }
+
+    /// The value of `key` as the speculative stack sees it: youngest
+    /// stashed overlay first, committed state last. Diagnostics and tests
+    /// — committed reads ([`Engine::committed`]) never consult the stack.
+    pub fn speculative_view(&self, key: &str) -> Option<i64> {
+        for stash in self.spec.values().rev() {
+            if let Some(&v) = stash.overlay.get(key) {
+                return Some(v);
+            }
+        }
+        self.committed(key)
     }
 
     /// Resolves the speculation stash against slot `slot`'s **decided**
@@ -519,14 +552,22 @@ impl Engine {
     /// filtering changed the batch) the stash is discarded and `None`
     /// says "replay on the ordinary path".
     ///
-    /// Either way, every stash at or below `slot` is dropped: slots apply
-    /// in order, so those proposals can never be decided unchanged again.
+    /// Every stash at or below `slot` is always dropped: slots apply in
+    /// order, so those proposals can never be decided unchanged again. A
+    /// **mismatch additionally cascades upward** — the stashes above
+    /// `slot` were speculated over a base that assumed `slot` decided as
+    /// proposed, so once it decided differently their buffered work is
+    /// discarded too and those slots replay decide-then-execute from
+    /// `slot` up. On a match the stashes above survive: their base held.
     pub fn promote_speculation(
         &mut self,
         slot: u64,
         decided: &[(ResultId, Outcome)],
     ) -> Option<SpecPromotion> {
         let stash = self.spec.remove(&slot);
+        if stash.as_ref().is_some_and(|s| s.entries != decided) {
+            self.evict_speculation(slot);
+        }
         self.spec.retain(|&s, _| s > slot);
         let stash = stash.filter(|s| s.entries == decided)?;
         let (acks, writes) = self.decide_batch(decided);
@@ -1318,19 +1359,66 @@ mod tests {
     fn speculation_stash_is_capped_and_gcs_below_the_decided_slot() {
         let mut e = Engine::new();
         let entries = |i: u64| vec![(rid(i), Outcome::Abort)];
-        // Cap 2: stashing a third slot evicts the oldest.
+        // Cap 2: stashing a third slot evicts the oldest — and the
+        // cascade takes every stash above it (they were speculated over
+        // the evicted base), so only the new stash remains.
         assert!(e.speculate(0, &entries(1), Dur::ZERO, 2));
         assert!(e.speculate(1, &entries(2), Dur::ZERO, 2));
         assert!(e.speculate(2, &entries(3), Dur::ZERO, 2));
-        assert_eq!(e.spec_slots(), 2);
-        assert!(e.speculation(0).is_none(), "oldest slot evicted first");
-        // Resolving slot 1 drops every stash at or below it.
-        assert!(e.promote_speculation(1, &entries(2)).is_some());
-        assert_eq!(e.spec_slots(), 1, "slot 2's stash survives");
-        assert!(e.speculation(2).is_some());
+        assert_eq!(e.spec_slot_ids(), [2], "cap eviction cascades upward");
+        // Refill below the cap, then resolve a match mid-stack: the
+        // matched slot promotes and the stash *above* survives (its base
+        // held), while everything at or below is consumed.
+        assert!(e.speculate(3, &entries(4), Dur::ZERO, 2));
+        assert!(e.promote_speculation(2, &entries(3)).is_some());
+        assert_eq!(e.spec_slot_ids(), [3], "slot 3's stash survives a match below");
         // Resolving a later slot with no stash still GCs stale ones.
         assert!(e.promote_speculation(5, &entries(9)).is_none());
         assert_eq!(e.spec_slots(), 0);
+    }
+
+    #[test]
+    fn mid_window_eviction_and_mismatch_cascade_above() {
+        let mut e = Engine::new();
+        let entries = |i: u64| vec![(rid(i), Outcome::Abort)];
+        for slot in 0..3u64 {
+            assert!(e.speculate(slot, &entries(slot + 1), Dur::ZERO, 8));
+        }
+        // Evicting the middle of the window discards it and everything
+        // above; the stash below survives untouched.
+        assert_eq!(e.evict_speculation(1), [1, 2], "evicted ids reported for host lockstep");
+        assert_eq!(e.spec_slot_ids(), [0], "slot 0 speculated over committed state alone");
+        // A mismatched decide cascades the same way: refill the stack,
+        // then decide slot 1 with a different batch than was speculated.
+        assert!(e.speculate(1, &entries(2), Dur::ZERO, 8));
+        assert!(e.speculate(2, &entries(3), Dur::ZERO, 8));
+        assert!(e.promote_speculation(1, &entries(9)).is_none(), "mismatch");
+        assert_eq!(e.spec_slots(), 0, "mismatch at slot 1 cascades over slot 2 (and GCs slot 0)");
+    }
+
+    #[test]
+    fn speculative_view_reads_youngest_first_through_the_stack() {
+        let mut e = Engine::with_data([("k".to_string(), 1)]);
+        // Slot 0's batch writes k speculatively; its branch then decides
+        // on the bare path (stash left behind), freeing the lock for a
+        // second branch that writes k into slot 1's stash. Both overlays
+        // now carry k — the younger must shadow the older.
+        e.execute(rid(1), &[put("k", 2)]);
+        e.vote(rid(1));
+        assert!(e.speculate(0, &[(rid(1), Outcome::Commit)], Dur::ZERO, 8));
+        assert_eq!(e.speculative_view("k"), Some(2), "single overlay shadows committed");
+        assert_eq!(e.committed("k"), Some(1), "committed reads never consult the stack");
+        e.decide(rid(1), Outcome::Commit);
+        let r2 = ResultId::first(RequestId { client: NodeId(1), seq: 1 });
+        e.execute(r2, &[put("k", 3)]);
+        e.vote(r2);
+        assert!(e.speculate(1, &[(r2, Outcome::Commit)], Dur::ZERO, 8));
+        assert_eq!(e.speculative_view("k"), Some(3), "youngest overlay wins");
+        e.evict_speculation(1);
+        assert_eq!(e.speculative_view("k"), Some(2), "next layer down after eviction");
+        e.evict_speculation(0);
+        assert_eq!(e.speculative_view("k"), Some(2), "empty stack falls through to committed");
+        assert_eq!(e.committed("k"), Some(2));
     }
 
     #[test]

@@ -275,24 +275,3 @@ fn chaos_seed_varies_faults_independently_of_the_run_seed() {
     b.assert_ok();
     assert_ne!(a.faults, b.faults, "distinct chaos seeds must produce distinct schedules");
 }
-
-/// The deprecated two-argument spelling must keep routing through the
-/// `BatchingConfig` path (and keep winning over `ETX_BATCH_SIZE`) until
-/// its removal: a burst under the shim forms the same real batches the
-/// struct form does.
-#[test]
-#[allow(deprecated)]
-fn deprecated_batching_shim_still_configures_the_pipeline() {
-    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 4101)
-        .shards(4)
-        .clients(2)
-        .requests(12)
-        .batching_size_window(8, Dur::from_millis(1))
-        .workload(Workload::OpenLoopBurst { accounts: 32, amount: 1 })
-        .build();
-    let expected = s.requests as usize;
-    assert_eq!(s.run_until_settled(expected), RunOutcome::Predicate);
-    s.quiesce(Dur::from_millis(300));
-    assert_eq!(s.delivered_commits(), expected);
-    assert!(s.batched_slots() >= 1, "the shim must still produce multi-request slots");
-}

@@ -39,6 +39,16 @@ fn speculation_pinned() -> bool {
     )
 }
 
+/// `ETX_PIPELINE_DEPTH>1` lets concurrent flushes overlap consensus
+/// rounds (and trace `PipelineWindow` marks); the golden hashes pin the
+/// single-slot decision log.
+fn pipeline_pinned() -> bool {
+    std::env::var("ETX_PIPELINE_DEPTH")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .is_some_and(|d| d > 1)
+}
+
 /// `ETX_READ_LEASES=1` adds lease-renewal timers and grant frames to
 /// every read-path scenario with replication; the golden hashes pin the
 /// lease-*off* schedules, and the off leg is where the replay identity is
@@ -77,9 +87,10 @@ fn trace_bytes(mut s: Scenario, settle: usize) -> Vec<u8> {
 
 #[test]
 fn fast_path_off_replays_pre_existing_traces_byte_identically() {
-    if batching_pinned() || speculation_pinned() || leases_pinned() {
-        return; // hashes were captured at the default pipeline depth,
-                // with the strict decide-then-execute order, lease-free
+    if batching_pinned() || speculation_pinned() || leases_pinned() || pipeline_pinned() {
+        return; // hashes were captured at the default batch depth, the
+                // single-slot decision log, the strict
+                // decide-then-execute order, lease-free
     }
     // Scenario 1: flat back end, primary crash mid-protocol (the
     // determinism suite's failover run).
