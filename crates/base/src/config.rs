@@ -508,6 +508,15 @@ pub struct ProtocolConfig {
     /// against crash/recovery races; duplicates are absorbed by the
     /// protocol's idempotence).
     pub client_rebroadcast: Dur,
+    /// Ceiling of the re-broadcast cadence: the gap doubles per
+    /// re-broadcast of the same attempt, bounded by this value, and resets
+    /// when the attempt advances. Equal to [`client_rebroadcast`] (the
+    /// default) the cadence is flat — the paper's constant retransmission.
+    /// A larger ceiling keeps a client partitioned away from every server
+    /// from flooding the network at full cadence for the whole partition.
+    ///
+    /// [`client_rebroadcast`]: ProtocolConfig::client_rebroadcast
+    pub client_rebroadcast_max: Dur,
     /// Retransmission period of the terminate() repeat-loop (Figure 4
     /// lines 2–6) while waiting for every database's `AckDecide`.
     pub terminate_retry: Dur,
@@ -534,6 +543,7 @@ impl Default for ProtocolConfig {
         ProtocolConfig {
             client_backoff: Dur::from_millis(800),
             client_rebroadcast: Dur::from_millis(400),
+            client_rebroadcast_max: Dur::from_millis(400),
             terminate_retry: Dur::from_millis(150),
             cleaner_interval: Dur::from_millis(100),
             consensus_resync: Dur::from_millis(120),

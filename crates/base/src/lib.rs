@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod msg;
 pub mod retry;
@@ -45,6 +46,7 @@ pub mod wal;
 
 pub use config::{BatchingConfig, CostModel, FdConfig, ProtocolConfig};
 pub use error::IssueError;
+pub use fault::{CapabilityError, FaultOp, LinkFault, NemesisSchedule, NemesisWhen, TracePred};
 pub use ids::{NodeId, RegId, RegKind, RequestId, ResultId, Role};
 pub use msg::Payload;
 pub use retry::{AttemptDriver, IssuePlan, RetryTimer};

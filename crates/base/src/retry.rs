@@ -90,13 +90,14 @@ pub struct AttemptDriver {
     rid: ResultId,
     timers: [Option<TimerId>; 2],
     retries: u32,
+    rebroadcasts: u32,
 }
 
 impl AttemptDriver {
     /// Starts the attempt chain for `request` at attempt 1.
     pub fn new(request: Request) -> Self {
         let rid = ResultId::first(request.id);
-        AttemptDriver { request, rid, timers: [None, None], retries: 0 }
+        AttemptDriver { request, rid, timers: [None, None], retries: 0, rebroadcasts: 0 }
     }
 
     /// The request this chain answers.
@@ -191,12 +192,26 @@ impl AttemptDriver {
     }
 
     /// Advances to the next attempt (Figure 2 line 10: `j := j + 1`):
-    /// cancels timers, bumps the attempt and the retry counter.
+    /// cancels timers, bumps the attempt and the retry counter. The
+    /// re-broadcast back-off resets with the attempt — a fresh attempt
+    /// means a server answered, so the network is evidently passable and
+    /// the cadence starts over at its base.
     pub fn next_attempt(&mut self, ctx: &mut dyn Context) -> ResultId {
         self.cancel_all(ctx);
         self.rid = self.rid.next_attempt();
         self.retries += 1;
+        self.rebroadcasts = 0;
         self.rid
+    }
+
+    /// Records one broadcast of the current attempt and returns how many
+    /// came *before* it — the exponent of the bounded re-broadcast
+    /// back-off (0 for the initial post-patience broadcast, so the first
+    /// gap is the base cadence).
+    pub fn note_rebroadcast(&mut self) -> u32 {
+        let n = self.rebroadcasts;
+        self.rebroadcasts = self.rebroadcasts.saturating_add(1);
+        n
     }
 
     /// Counts a policy-level resend that did *not* advance the attempt
@@ -239,6 +254,14 @@ mod tests {
         assert!(!d.matches(d.rid().next_attempt()));
         let other = ResultId::first(RequestId { client: NodeId(9), seq: 3 });
         assert!(!d.same_request(other));
+    }
+
+    #[test]
+    fn note_rebroadcast_returns_prior_count() {
+        let mut d = AttemptDriver::new(req(1));
+        assert_eq!(d.note_rebroadcast(), 0, "first broadcast gets the base gap");
+        assert_eq!(d.note_rebroadcast(), 1);
+        assert_eq!(d.note_rebroadcast(), 2);
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //! the [`Host`] trait is the other half of that seam: a host owns node
 //! registration, the run loop, and the trace sink. Two hosts exist — the
 //! deterministic discrete-event simulator in `etx-sim` (virtual clock,
-//! byte-identical replay, first-class fault injection) and the
-//! multi-threaded backend in `etx-rt` (one OS thread and inbox per node,
-//! real monotonic clocks, wall-clock numbers). The *identical* protocol
-//! state machines run on both.
+//! byte-identical replay) and the multi-threaded backend in `etx-rt` (one
+//! OS thread and inbox per node, real monotonic clocks, wall-clock
+//! numbers). The *identical* protocol state machines run on both, and
+//! both implement the fault plane ([`Host::schedule_fault`]) — the sim
+//! with simulated faults, the threaded backend with real ones.
 
+use crate::fault::{CapabilityError, FaultOp, NemesisSchedule, NemesisWhen};
 use crate::ids::{NodeId, RegId, ResultId, TimerId};
 use crate::msg::Payload;
 use crate::time::{Dur, Time};
@@ -286,8 +288,9 @@ pub enum RuntimeKind {
     #[default]
     Sim,
     /// The multi-threaded backend (`etx-rt`): one OS thread and inbox per
-    /// node, real monotonic clocks, wall-clock throughput. No determinism,
-    /// no fault injection — by design.
+    /// node, real monotonic clocks, wall-clock throughput, and *real* fault
+    /// injection — a crash joins the victim's OS thread, a pause parks it.
+    /// Not deterministic — by design; golden traces stay on the simulator.
     Threaded,
 }
 
@@ -314,13 +317,16 @@ impl RuntimeKind {
 
 /// A runtime backend hosting a set of [`Process`] state machines.
 ///
-/// A host owns the three things the harness seam needs and nothing more:
+/// A host owns the four things the harness seam needs and nothing more:
 /// **node registration** (ids contiguous in registration order, so
-/// `Topology::new` layouts hold on every backend), the **run loop**, and
-/// the **trace/stats sink** the experiment accessors read. Everything
-/// beyond this — fault injection, virtual-time stepping, storage
-/// inspection mid-run — is a backend capability, exposed on the concrete
-/// type and gated by [`Host::supports_fault_injection`]-style probes.
+/// `Topology::new` layouts hold on every backend), the **run loop**, the
+/// **trace/stats sink** the experiment accessors read, and the **fault
+/// plane** ([`Host::schedule_fault`]) through which one nemesis-schedule
+/// representation drives simulated *and* real faults. Everything beyond
+/// this — virtual-time stepping, storage inspection mid-run — is a
+/// backend capability exposed on the concrete type. Hosts that cannot
+/// inject a given fault return [`CapabilityError`] rather than panicking,
+/// and advertise themselves through [`Host::supports_fault_injection`].
 pub trait Host {
     /// Registers a node. Ids are assigned contiguously in registration
     /// order. The factory builds the process at startup (and again at every
@@ -346,10 +352,31 @@ pub trait Host {
     /// Read access to the message statistics sink.
     fn with_stats(&self, f: &mut dyn FnMut(&MsgStats));
 
-    /// Whether this host can inject faults (crashes, partitions, link
-    /// blocks). Deterministic-chaos tooling must check this and reject
-    /// unsupported backends loudly rather than silently not injecting.
+    /// Whether this host can inject faults (crashes, pauses, link faults,
+    /// partitions). Chaos tooling may probe this before building a
+    /// schedule; [`Host::schedule_fault`] refuses with a typed error on
+    /// hosts that answer `false`, so an unsupported backend can never
+    /// silently turn a chaos run into a fault-free one.
     fn supports_fault_injection(&self) -> bool;
+
+    /// Schedules one fault-plane operation. `when` decides the trigger
+    /// (immediately, after a host-clock delay, or on the first matching
+    /// trace event); `op` is what happens. The default implementation is
+    /// the capability fence: it refuses with [`CapabilityError`].
+    fn schedule_fault(&mut self, when: NemesisWhen, op: FaultOp) -> Result<(), CapabilityError> {
+        let _ = when;
+        Err(CapabilityError::new("this", op.label()))
+    }
+
+    /// Applies a whole [`NemesisSchedule`] in order. Stops at the first
+    /// refused operation (all-or-nothing per prefix — a partially applied
+    /// schedule is reported, never silently truncated).
+    fn apply_schedule(&mut self, schedule: &NemesisSchedule) -> Result<(), CapabilityError> {
+        for (when, op) in &schedule.events {
+            self.schedule_fault(when.clone(), op.clone())?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -312,6 +312,14 @@ pub enum TraceKind {
     Crash,
     /// Process recovered (kernel-emitted).
     Recover,
+    /// Process paused by the fault plane (kernel-emitted): it stops
+    /// processing but loses nothing — the SIGSTOP story. A paused node is
+    /// the "arbitrarily slow process" §4's asynchrony assumption already
+    /// covers, so no §3 property may depend on its absence.
+    Pause,
+    /// Process resumed after a pause (kernel-emitted): queued messages
+    /// and overdue timers are processed from here, late.
+    Resume,
     /// A failure detector started suspecting `peer`.
     Suspect {
         /// The suspected application server.
@@ -391,6 +399,7 @@ pub struct MsgStats {
     total: u64,
     background: u64,
     dropped_to_down: u64,
+    dropped_on_link: u64,
 }
 
 impl MsgStats {
@@ -407,6 +416,12 @@ impl MsgStats {
     /// Host-internal.
     pub fn record_dropped_to_down(&mut self) {
         self.dropped_to_down += 1;
+    }
+
+    /// Records a message lost (or held) by a fault-plane link fault.
+    /// Host-internal.
+    pub fn record_dropped_on_link(&mut self) {
+        self.dropped_on_link += 1;
     }
 
     /// Messages sent with the given label.
@@ -432,6 +447,11 @@ impl MsgStats {
     /// Messages whose receiver was down at delivery time.
     pub fn dropped_to_down(&self) -> u64 {
         self.dropped_to_down
+    }
+
+    /// Messages lost (or held) by fault-plane link faults.
+    pub fn dropped_on_link(&self) -> u64 {
+        self.dropped_on_link
     }
 }
 

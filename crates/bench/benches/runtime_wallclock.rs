@@ -21,8 +21,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use etx_base::config::CostModel;
+use etx_base::fault::{FaultOp, NemesisWhen};
 use etx_base::runtime::RuntimeKind;
 use etx_base::time::Dur;
+use etx_base::trace::TraceKind;
 use etx_harness::{MiddleTier, ScenarioBuilder, Workload};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -63,6 +65,51 @@ fn best_of(kind: RuntimeKind, shards: u32) -> (Duration, usize) {
     (0..3).map(|i| run_once(kind, shards, 0x17E + i)).min_by_key(|&(wall, _)| wall).unwrap()
 }
 
+/// How long the shard-0 primary stays dead in the crash-recovery leg.
+const CRASH_DOWN_FOR: Duration = Duration::from_millis(10);
+
+/// The crash-recovery leg: the same burst on the threaded backend, but
+/// shard 0's primary database — a real OS thread — is killed on its first
+/// commit vote and restarted 10 ms later from its surviving `LogStore`.
+/// The wall time now includes the failover-and-replay detour, so the
+/// difference against the fault-free threaded leg is the price of one
+/// crash: retry traffic while the primary is down plus WAL replay on the
+/// way back up.
+fn run_crash_recovery(shards: u32, seed: u64) -> (Duration, usize) {
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, seed)
+        .runtime(RuntimeKind::Threaded)
+        .shards(shards)
+        .replication(2)
+        .clients(CLIENTS)
+        .requests(REQUESTS)
+        .cost(CostModel::zeroed())
+        .workload(Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 })
+        .build();
+    let victim = s.shard_primary(0);
+    s.schedule_fault(
+        NemesisWhen::on_trace(move |ev| {
+            ev.node == victim && matches!(ev.kind, TraceKind::DbVote { .. })
+        }),
+        FaultOp::CrashFor { node: victim, down_for: Dur(CRASH_DOWN_FOR.as_micros() as u64) },
+    )
+    .expect("the threaded backend supports fault injection");
+    let expected = s.requests as usize;
+    let started = Instant::now();
+    let out = s.run_until_settled(expected);
+    let wall = started.elapsed();
+    assert_eq!(out, etx_sim::RunOutcome::Predicate, "crash-recovery leg must settle");
+    s.quiesce(Dur::from_millis(20));
+    s.stop();
+    assert_eq!(s.trace().count_kind(|k| matches!(k, TraceKind::Crash)), 1, "crash must fire");
+    assert_eq!(s.trace().count_kind(|k| matches!(k, TraceKind::Recover)), 1, "node must recover");
+    assert_eq!(s.delivered_commits(), expected, "crash-recovery leg must commit everything");
+    (wall, expected)
+}
+
+fn best_crash_recovery(shards: u32) -> (Duration, usize) {
+    (0..3).map(|i| run_crash_recovery(shards, 0xC4A + i)).min_by_key(|&(wall, _)| wall).unwrap()
+}
+
 fn bench_runtime_wallclock(c: &mut Criterion) {
     // The sweep IS the experiment: the CI threaded job exports
     // ETX_RUNTIME=threaded, which would collapse the comparison.
@@ -87,6 +134,22 @@ fn bench_runtime_wallclock(c: &mut Criterion) {
                 wall.as_secs_f64() * 1_000.0
             );
         }
+    }
+    // The crash-recovery row: threaded backend only (the point is a real
+    // killed thread), 1 shard so the victim primary carries the whole
+    // burst. Reported next to the fault-free threaded row above, the
+    // extra wall time is the end-to-end cost of one primary crash —
+    // client retries through the 10 ms outage plus WAL replay at restart.
+    {
+        let (wall, committed) = best_crash_recovery(1);
+        assert!(wall < WALL_CAP, "crash-recovery leg took {wall:?} — pathological");
+        let cps = committed as f64 / wall.as_secs_f64();
+        println!(
+            "{:>8}{:>12}{:>14.2}{cps:>18.0}   (primary crashed for {CRASH_DOWN_FOR:?} mid-run)",
+            1,
+            "thr+crash",
+            wall.as_secs_f64() * 1_000.0
+        );
     }
     // Host-side criterion timing on the 1-shard legs only: the threaded
     // leg spawns and joins a full node fleet per iteration, so the group

@@ -31,6 +31,7 @@ use etx_base::ids::{NodeId, RequestId, ResultId};
 use etx_base::msg::{AppMsg, Payload};
 use etx_base::retry::{AttemptDriver, IssuePlan, RetryTimer};
 use etx_base::runtime::{Context, Event, Process, TimerTag};
+use etx_base::time::Dur;
 use etx_base::trace::TraceKind;
 use etx_base::value::{Decision, Outcome, Request};
 use std::collections::BTreeMap;
@@ -161,12 +162,20 @@ impl EtxClient {
     fn broadcast(&mut self, ctx: &mut dyn Context, id: RequestId) {
         let ack_below = self.ack_below();
         let alist = self.alist.clone();
-        let rebroadcast = self.cfg.client_rebroadcast;
+        let base = self.cfg.client_rebroadcast;
+        let max = self.cfg.client_rebroadcast_max;
         let stamps = self.stamp_vec();
         let Some(flight) = self.inflight.get_mut(&id) else { return };
         flight.broadcast(ctx, &alist, ack_below, &stamps);
         let rid = flight.rid();
-        flight.arm(ctx, RetryTimer::Secondary, rebroadcast, TimerTag::ClientRebroadcast { rid });
+        // Bounded back-off: the gap doubles per re-broadcast of this
+        // attempt, capped at the ceiling (equal base and ceiling — the
+        // default — is the paper's flat retransmission cadence). The
+        // counter resets with the attempt, so an answered retry starts
+        // over at the base.
+        let n = flight.note_rebroadcast();
+        let gap = Dur(base.0.checked_shl(n.min(16)).unwrap_or(u64::MAX).min(max.0));
+        flight.arm(ctx, RetryTimer::Secondary, gap, TimerTag::ClientRebroadcast { rid });
     }
 
     fn on_result(&mut self, ctx: &mut dyn Context, rid: ResultId, decision: Decision) {

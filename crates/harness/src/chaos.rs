@@ -5,16 +5,24 @@
 //! cycles, false-suspicion windows, message loss — and the runner checks
 //! the full e-Transaction specification on the resulting history. Every
 //! failure is reproducible from its seed.
+//!
+//! Faults are expressed through the backend-neutral fault plane
+//! ([`Scenario::schedule_fault`] / [`etx_base::fault::FaultOp`]), so one
+//! nemesis schedule drives either runtime: on the simulator it replays the
+//! historical direct-call schedules byte-identically, and the `*_on`
+//! runners accept a [`RuntimeKind`] to run the same schedule against the
+//! multi-threaded host — real threads, real crashes, the same §3 judge.
 
 use crate::properties::{check, LivenessChecks, PropertyReport};
-use crate::scenario::{MiddleTier, ScenarioBuilder};
+use crate::scenario::{MiddleTier, Scenario, ScenarioBuilder};
 use crate::workloads::Workload;
 use etx_base::config::{BatchingConfig, ReadPathConfig, SpeculationConfig};
+use etx_base::fault::{FaultOp, NemesisWhen};
 use etx_base::runtime::RuntimeKind;
 use etx_base::time::{Dur, Time};
 use etx_base::trace::TraceKind;
 use etx_fd::ForcedSuspicion;
-use etx_sim::{FaultAction, NetConfig, Rng, RunOutcome};
+use etx_sim::{NetConfig, Rng, RunOutcome};
 
 /// Knobs of the chaos generator.
 #[derive(Debug, Clone)]
@@ -118,6 +126,42 @@ impl ChaosOutcome {
     }
 }
 
+/// Shared tail of every chaos runner: run to settlement, drain background
+/// work, stop the backend (joining node threads and surfacing node-thread
+/// panics on the threaded host; a no-op on the simulator), check the full
+/// §3 specification, and assemble the outcome.
+fn settle_and_check(mut scenario: Scenario, seed: u64, faults: Vec<String>) -> ChaosOutcome {
+    let expected = scenario.requests as usize;
+    let run = scenario.run_until_settled(expected);
+    let settled = run == RunOutcome::Predicate;
+    // Give retransmissions / terminate loops time to finish (T.2 needs it).
+    scenario.quiesce(Dur::from_millis(400));
+    scenario.stop();
+
+    let report = check(
+        scenario.trace().events(),
+        &scenario.topo.clients,
+        LivenessChecks { t1: settled, t2: settled },
+    );
+    ChaosOutcome {
+        seed,
+        run,
+        settled,
+        report,
+        faults,
+        batched_slots: scenario.batched_slots(),
+        forwarded_reads: scenario.reads_forwarded(),
+        spec_hits: scenario.spec_hits(),
+        spec_aborts: scenario.spec_aborts(),
+        lease_grants: scenario.lease_grants(),
+        lease_expired_reads: scenario.lease_expired_reads(),
+    }
+}
+
+/// Every built-in backend implements the fault plane, so a refusal here is
+/// a wiring bug, not a runtime condition.
+const FAULT_PLANE: &str = "both built-in backends implement the fault plane";
+
 /// Runs one chaos schedule derived from `seed`.
 ///
 /// Two independent RNG streams are in play: the **workload stream**
@@ -126,6 +170,9 @@ impl ChaosOutcome {
 /// `seed`) times the faults. The split means chaos on/off — or a different
 /// fault budget — never changes which workload a given seed exercises, so
 /// sweeps stay comparable.
+///
+/// Pinned to the simulator: the schedule leans on the simulated network
+/// (message loss as delay) that the threaded host does not model.
 pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let mut wl_rng = Rng::new(seed ^ 0x3B0B_10AD); // workload stream
     let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0xC0FFEE); // chaos stream
@@ -203,7 +250,9 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         }
         crashed.push(node);
         let at = Time(rng.range_u64(0, horizon_ms) * 1_000);
-        scenario.sim_mut().crash_at(at, node);
+        scenario
+            .schedule_fault(NemesisWhen::After(Dur(at.0)), FaultOp::Crash(node))
+            .expect(FAULT_PLANE);
         faults.push(format!("crash app {node} at {at}"));
     }
 
@@ -214,41 +263,16 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
         let node = scenario.topo.db_servers[idx];
         let at = Time(rng.range_u64(0, horizon_ms) * 1_000);
         let back = at + Dur::from_millis(rng.range_u64(5, 60));
-        scenario.sim_mut().crash_at(at, node);
-        scenario.sim_mut().recover_at(back, node);
+        scenario
+            .schedule_fault(NemesisWhen::After(Dur(at.0)), FaultOp::Crash(node))
+            .expect(FAULT_PLANE);
+        scenario
+            .schedule_fault(NemesisWhen::After(Dur(back.0)), FaultOp::Recover(node))
+            .expect(FAULT_PLANE);
         faults.push(format!("cycle db {node} at {at} → {back}"));
     }
 
-    // Run ------------------------------------------------------------------
-    let expected = scenario.requests as usize;
-    let run = scenario.run_until_settled(expected);
-    let settled = run == RunOutcome::Predicate;
-    // Give retransmissions / terminate loops time to finish (T.2 needs it).
-    scenario.quiesce(Dur::from_millis(400));
-
-    let report = check(
-        scenario.trace().events(),
-        &scenario.topo.clients,
-        LivenessChecks { t1: settled, t2: settled },
-    );
-    let batched_slots = scenario.batched_slots();
-    let forwarded_reads = scenario.reads_forwarded();
-    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
-    let (lease_grants, lease_expired_reads) =
-        (scenario.lease_grants(), scenario.lease_expired_reads());
-    ChaosOutcome {
-        seed,
-        run,
-        settled,
-        report,
-        faults,
-        batched_slots,
-        forwarded_reads,
-        spec_hits,
-        spec_aborts,
-        lease_grants,
-        lease_expired_reads,
-    }
+    settle_and_check(scenario, seed, faults)
 }
 
 /// The hot-shard chaos scenario: a skewed key-addressed workload hammers
@@ -258,7 +282,16 @@ pub fn run_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
 /// proceeds throughout. Checks the full §3 specification afterwards — in
 /// particular that every request still terminates with a single outcome
 /// delivered exactly once.
-pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+///
+/// `runtime` picks the backend: the simulator replays the historical
+/// schedule byte-identically; the threaded host runs the same nemesis
+/// schedule against real threads (timed faults land on the wall clock,
+/// trace-triggered ones fire off the same events).
+pub fn run_hot_shard_chaos_on(
+    seed: u64,
+    opts: &ChaosOptions,
+    runtime: RuntimeKind,
+) -> ChaosOutcome {
     // Fault timing comes from the chaos stream only — the scenario (and
     // its workload RNG, seeded by `seed`) is identical with chaos on or
     // off, so `.shards()` sweeps compare like for like.
@@ -267,7 +300,7 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let replication = opts.replication.max(1);
     let workload = Workload::HotShard { accounts: shards * 4, hot_pct: 70, amount: 10 };
     let mut builder = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
-        .runtime(RuntimeKind::Sim)
+        .runtime(runtime)
         .shards(shards)
         .replication(replication)
         .clients(opts.clients)
@@ -288,49 +321,36 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     // is prepared/in-doubt, the decision push is about to land) and bring
     // it back shortly after — the paper's good-database model.
     let down_for = Dur::from_millis(rng.range_u64(10, 40));
-    scenario.sim_mut().on_trace(
-        move |ev| ev.node == hot_primary && matches!(ev.kind, TraceKind::DbVote { .. }),
-        FaultAction::CrashRecover(hot_primary, down_for),
-    );
+    scenario
+        .schedule_fault(
+            NemesisWhen::on_trace(move |ev| {
+                ev.node == hot_primary && matches!(ev.kind, TraceKind::DbVote { .. })
+            }),
+            FaultOp::CrashFor { node: hot_primary, down_for },
+        )
+        .expect(FAULT_PLANE);
     faults.push(format!("crash hot-shard primary {hot_primary} on first vote, back {down_for}"));
 
     // Cycle the hot shard's followers too, while the other shards proceed.
     for &f in hot_replicas.iter().skip(1) {
         let at = Time(rng.range_u64(0, 100) * 1_000);
         let back = at + Dur::from_millis(rng.range_u64(5, 50));
-        scenario.sim_mut().crash_at(at, f);
-        scenario.sim_mut().recover_at(back, f);
+        scenario
+            .schedule_fault(NemesisWhen::After(Dur(at.0)), FaultOp::Crash(f))
+            .expect(FAULT_PLANE);
+        scenario
+            .schedule_fault(NemesisWhen::After(Dur(back.0)), FaultOp::Recover(f))
+            .expect(FAULT_PLANE);
         faults.push(format!("cycle hot-shard follower {f} at {at} → {back}"));
     }
 
-    let expected = scenario.requests as usize;
-    let run = scenario.run_until_settled(expected);
-    let settled = run == RunOutcome::Predicate;
-    scenario.quiesce(Dur::from_millis(400));
+    settle_and_check(scenario, seed, faults)
+}
 
-    let report = check(
-        scenario.trace().events(),
-        &scenario.topo.clients,
-        LivenessChecks { t1: settled, t2: settled },
-    );
-    let batched_slots = scenario.batched_slots();
-    let forwarded_reads = scenario.reads_forwarded();
-    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
-    let (lease_grants, lease_expired_reads) =
-        (scenario.lease_grants(), scenario.lease_expired_reads());
-    ChaosOutcome {
-        seed,
-        run,
-        settled,
-        report,
-        faults,
-        batched_slots,
-        forwarded_reads,
-        spec_hits,
-        spec_aborts,
-        lease_grants,
-        lease_expired_reads,
-    }
+/// [`run_hot_shard_chaos_on`] pinned to the simulator (the historical
+/// entry point; byte-identical to the pre-fault-plane schedule).
+pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    run_hot_shard_chaos_on(seed, opts, RuntimeKind::Sim)
 }
 
 /// The mid-batch chaos scenario for the commit pipeline: an open-loop
@@ -349,13 +369,17 @@ pub fn run_hot_shard_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
 /// the batch atomicity claim: a decided batch is all-or-nothing per
 /// request — every request in it terminates with its slot outcome exactly
 /// once, and none is duplicated or split by the crashes.
-pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+pub fn run_mid_batch_chaos_on(
+    seed: u64,
+    opts: &ChaosOptions,
+    runtime: RuntimeKind,
+) -> ChaosOutcome {
     let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0x0BA7_C4A0);
     let shards = opts.shards.unwrap_or(4).max(1);
     let batch = opts.batch_size.max(8);
     let workload = Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 };
     let mut scenario = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
-        .runtime(RuntimeKind::Sim)
+        .runtime(runtime)
         .shards(shards)
         .replication(opts.replication.max(1))
         .clients(opts.clients)
@@ -366,55 +390,38 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
 
     let mut faults = Vec::new();
     let a1 = scenario.topo.primary();
-    scenario.sim_mut().on_trace(
-        move |ev| {
-            ev.node == a1 && matches!(ev.kind, TraceKind::BatchDecided { len, .. } if len >= 2)
-        },
-        FaultAction::Crash(a1),
-    );
+    scenario
+        .schedule_fault(
+            NemesisWhen::on_trace(move |ev| {
+                ev.node == a1 && matches!(ev.kind, TraceKind::BatchDecided { len, .. } if len >= 2)
+            }),
+            FaultOp::Crash(a1),
+        )
+        .expect(FAULT_PLANE);
     faults.push(format!("crash primary {a1} on its first applied multi-request batch"));
 
     let victim_shard = rng.range_u64(0, u64::from(shards) - 1) as u32;
     let victim = scenario.shard_primary(victim_shard);
     let down_for = Dur::from_millis(rng.range_u64(5, 30));
-    scenario.sim_mut().on_trace(
-        move |ev| {
-            ev.node == victim && matches!(ev.kind, TraceKind::GroupAppend { len } if len >= 2)
-        },
-        FaultAction::CrashRecover(victim, down_for),
-    );
+    scenario
+        .schedule_fault(
+            NemesisWhen::on_trace(move |ev| {
+                ev.node == victim && matches!(ev.kind, TraceKind::GroupAppend { len } if len >= 2)
+            }),
+            FaultOp::CrashFor { node: victim, down_for },
+        )
+        .expect(FAULT_PLANE);
     faults.push(format!(
         "cycle shard-{victim_shard} primary {victim} on its first group append, back {down_for}"
     ));
 
-    let expected = scenario.requests as usize;
-    let run = scenario.run_until_settled(expected);
-    let settled = run == RunOutcome::Predicate;
-    scenario.quiesce(Dur::from_millis(400));
+    settle_and_check(scenario, seed, faults)
+}
 
-    let report = check(
-        scenario.trace().events(),
-        &scenario.topo.clients,
-        LivenessChecks { t1: settled, t2: settled },
-    );
-    let batched_slots = scenario.batched_slots();
-    let forwarded_reads = scenario.reads_forwarded();
-    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
-    let (lease_grants, lease_expired_reads) =
-        (scenario.lease_grants(), scenario.lease_expired_reads());
-    ChaosOutcome {
-        seed,
-        run,
-        settled,
-        report,
-        faults,
-        batched_slots,
-        forwarded_reads,
-        spec_hits,
-        spec_aborts,
-        lease_grants,
-        lease_expired_reads,
-    }
+/// [`run_mid_batch_chaos_on`] pinned to the simulator (the historical
+/// entry point; byte-identical to the pre-fault-plane schedule).
+pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    run_mid_batch_chaos_on(seed, opts, RuntimeKind::Sim)
 }
 
 /// The speculation chaos scenario: an open-loop burst fills the pipeline
@@ -430,13 +437,17 @@ pub fn run_mid_batch_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
 /// batch is *not yet state* — it writes no WAL frame, ships nothing to
 /// followers, and a crash at the worst moment leaves exactly the
 /// recovery obligations of the non-speculative pipeline.
-pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+pub fn run_speculation_chaos_on(
+    seed: u64,
+    opts: &ChaosOptions,
+    runtime: RuntimeKind,
+) -> ChaosOutcome {
     let mut rng = Rng::new(opts.chaos_seed.unwrap_or(seed) ^ 0x5BEC_0DE5);
     let shards = opts.shards.unwrap_or(4).max(1);
     let batch = opts.batch_size.max(8);
     let workload = Workload::OpenLoopBurst { accounts: shards * 8, amount: 1 };
     let mut scenario = ScenarioBuilder::fast(MiddleTier::Etx { apps: opts.apps }, seed)
-        .runtime(RuntimeKind::Sim)
+        .runtime(runtime)
         .shards(shards)
         .replication(opts.replication.max(1))
         .clients(opts.clients)
@@ -450,43 +461,26 @@ pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let victim_shard = rng.range_u64(0, u64::from(shards) - 1) as u32;
     let victim = scenario.shard_primary(victim_shard);
     let down_for = Dur::from_millis(rng.range_u64(5, 30));
-    scenario.sim_mut().on_trace(
-        move |ev| ev.node == victim && matches!(ev.kind, TraceKind::SpecExec { .. }),
-        FaultAction::CrashRecover(victim, down_for),
-    );
+    scenario
+        .schedule_fault(
+            NemesisWhen::on_trace(move |ev| {
+                ev.node == victim && matches!(ev.kind, TraceKind::SpecExec { .. })
+            }),
+            FaultOp::CrashFor { node: victim, down_for },
+        )
+        .expect(FAULT_PLANE);
     faults.push(format!(
         "cycle shard-{victim_shard} primary {victim} on its first speculative batch, \
          back {down_for}"
     ));
 
-    let expected = scenario.requests as usize;
-    let run = scenario.run_until_settled(expected);
-    let settled = run == RunOutcome::Predicate;
-    scenario.quiesce(Dur::from_millis(400));
+    settle_and_check(scenario, seed, faults)
+}
 
-    let report = check(
-        scenario.trace().events(),
-        &scenario.topo.clients,
-        LivenessChecks { t1: settled, t2: settled },
-    );
-    let batched_slots = scenario.batched_slots();
-    let forwarded_reads = scenario.reads_forwarded();
-    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
-    let (lease_grants, lease_expired_reads) =
-        (scenario.lease_grants(), scenario.lease_expired_reads());
-    ChaosOutcome {
-        seed,
-        run,
-        settled,
-        report,
-        faults,
-        batched_slots,
-        forwarded_reads,
-        spec_hits,
-        spec_aborts,
-        lease_grants,
-        lease_expired_reads,
-    }
+/// [`run_speculation_chaos_on`] pinned to the simulator (the historical
+/// entry point; byte-identical to the pre-fault-plane schedule).
+pub fn run_speculation_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
+    run_speculation_chaos_on(seed, opts, RuntimeKind::Sim)
 }
 
 /// The read-path chaos scenario: a read-dominated open-loop workload runs
@@ -533,10 +527,12 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     // read — a read racing a crashing replica.
     let crash_victim = scenario.shard_replicas(0)[1];
     let down_for = Dur::from_millis(rng.range_u64(5, 30));
-    scenario.sim_mut().on_trace(
-        move |ev| matches!(ev.kind, TraceKind::ReadFastPath { .. }),
-        FaultAction::CrashRecover(crash_victim, down_for),
-    );
+    scenario
+        .schedule_fault(
+            NemesisWhen::on_trace(move |ev| matches!(ev.kind, TraceKind::ReadFastPath { .. })),
+            FaultOp::CrashFor { node: crash_victim, down_for },
+        )
+        .expect(FAULT_PLANE);
     faults.push(format!(
         "cycle shard-0 follower {crash_victim} on the first fast-path read, back {down_for}"
     ));
@@ -547,39 +543,14 @@ pub fn run_read_path_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let lag_primary = scenario.shard_replicas(1)[0];
     let lag_follower = scenario.shard_replicas(1)[1];
     let heal = Time(rng.range_u64(60, 150) * 1_000);
-    scenario.sim_mut().block_link(lag_primary, lag_follower, heal);
+    scenario
+        .fault(FaultOp::BlockLink { from: lag_primary, to: lag_follower, heal_after: Dur(heal.0) })
+        .expect(FAULT_PLANE);
     faults.push(format!(
         "block replication {lag_primary} → {lag_follower} until {heal} (lagging follower)"
     ));
 
-    let expected = scenario.requests as usize;
-    let run = scenario.run_until_settled(expected);
-    let settled = run == RunOutcome::Predicate;
-    scenario.quiesce(Dur::from_millis(400));
-
-    let report = check(
-        scenario.trace().events(),
-        &scenario.topo.clients,
-        LivenessChecks { t1: settled, t2: settled },
-    );
-    let batched_slots = scenario.batched_slots();
-    let forwarded_reads = scenario.reads_forwarded();
-    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
-    let (lease_grants, lease_expired_reads) =
-        (scenario.lease_grants(), scenario.lease_expired_reads());
-    ChaosOutcome {
-        seed,
-        run,
-        settled,
-        report,
-        faults,
-        batched_slots,
-        forwarded_reads,
-        spec_hits,
-        spec_aborts,
-        lease_grants,
-        lease_expired_reads,
-    }
+    settle_and_check(scenario, seed, faults)
 }
 
 /// The read-lease chaos scenario: the lease fast path (follower reads
@@ -629,10 +600,12 @@ pub fn run_read_lease_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     // and the recovered primary's fresh acknowledgements.
     let grantor = scenario.shard_replicas(0)[0];
     let down_for = Dur::from_millis(rng.range_u64(5, 30));
-    scenario.sim_mut().on_trace(
-        move |ev| matches!(ev.kind, TraceKind::ReadFastPath { .. }),
-        FaultAction::CrashRecover(grantor, down_for),
-    );
+    scenario
+        .schedule_fault(
+            NemesisWhen::on_trace(move |ev| matches!(ev.kind, TraceKind::ReadFastPath { .. })),
+            FaultOp::CrashFor { node: grantor, down_for },
+        )
+        .expect(FAULT_PLANE);
     faults.push(format!(
         "cycle shard-0 primary {grantor} on the first fast-path read, back {down_for}"
     ));
@@ -643,37 +616,12 @@ pub fn run_read_lease_chaos(seed: u64, opts: &ChaosOptions) -> ChaosOutcome {
     let lag_primary = scenario.shard_replicas(1)[0];
     let lag_follower = scenario.shard_replicas(1)[1];
     let heal = Time(rng.range_u64(60, 150) * 1_000);
-    scenario.sim_mut().block_link(lag_primary, lag_follower, heal);
+    scenario
+        .fault(FaultOp::BlockLink { from: lag_primary, to: lag_follower, heal_after: Dur(heal.0) })
+        .expect(FAULT_PLANE);
     faults.push(format!(
         "block replication {lag_primary} → {lag_follower} until {heal} (lease starvation)"
     ));
 
-    let expected = scenario.requests as usize;
-    let run = scenario.run_until_settled(expected);
-    let settled = run == RunOutcome::Predicate;
-    scenario.quiesce(Dur::from_millis(400));
-
-    let report = check(
-        scenario.trace().events(),
-        &scenario.topo.clients,
-        LivenessChecks { t1: settled, t2: settled },
-    );
-    let batched_slots = scenario.batched_slots();
-    let forwarded_reads = scenario.reads_forwarded();
-    let (spec_hits, spec_aborts) = (scenario.spec_hits(), scenario.spec_aborts());
-    let (lease_grants, lease_expired_reads) =
-        (scenario.lease_grants(), scenario.lease_expired_reads());
-    ChaosOutcome {
-        seed,
-        run,
-        settled,
-        report,
-        faults,
-        batched_slots,
-        forwarded_reads,
-        spec_hits,
-        spec_aborts,
-        lease_grants,
-        lease_expired_reads,
-    }
+    settle_and_check(scenario, seed, faults)
 }

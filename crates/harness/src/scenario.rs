@@ -7,6 +7,7 @@ use etx_base::config::{
     env_override, BatchingConfig, CostModel, FdConfig, FeatureExplicit, FeatureSet, PipelineConfig,
     ProtocolConfig, ReadLeaseConfig, ReadPathConfig, SpeculationConfig,
 };
+use etx_base::fault::{CapabilityError, FaultOp, NemesisSchedule, NemesisWhen};
 use etx_base::ids::{NodeId, ResultId, Topology};
 use etx_base::runtime::{Host, RuntimeKind};
 use etx_base::shard::{ShardId, ShardMap, ShardSpec};
@@ -77,6 +78,10 @@ pub struct ScenarioBuilder {
     client_timeout: Dur,
     client_retry: RetryPolicy,
     forced_suspicions: Vec<ForcedSuspicion>,
+    /// Run-time ceiling: wall clock for the threaded backend's watchdog,
+    /// virtual time for the simulator's `max_time` stop. `None` keeps each
+    /// backend's default.
+    wall_limit: Option<Dur>,
     /// Which runtime backend hosts the scenario (default: the simulator).
     runtime: RuntimeKind,
     /// Whether [`ScenarioBuilder::runtime`] was called: an explicit
@@ -109,6 +114,7 @@ impl ScenarioBuilder {
             client_timeout: Dur::from_millis(800),
             client_retry: RetryPolicy::GiveUp,
             forced_suspicions: Vec::new(),
+            wall_limit: None,
             runtime: RuntimeKind::Sim,
             runtime_explicit: false,
             explicit: FeatureExplicit::default(),
@@ -127,6 +133,7 @@ impl ScenarioBuilder {
         b.pcfg = ProtocolConfig {
             client_backoff: Dur::from_millis(30),
             client_rebroadcast: Dur::from_millis(20),
+            client_rebroadcast_max: Dur::from_millis(20),
             terminate_retry: Dur::from_millis(10),
             cleaner_interval: Dur::from_millis(5),
             consensus_resync: Dur::from_millis(8),
@@ -173,18 +180,31 @@ impl ScenarioBuilder {
     /// Selects the runtime backend: the deterministic simulator (default)
     /// or the multi-threaded host. On [`RuntimeKind::Threaded`] the
     /// scenario's network model is ignored (channels are genuinely
-    /// reliable and as fast as the machine) and fault injection is
-    /// unavailable — [`Scenario::sim_mut`] panics, pointing here.
+    /// reliable and undelayed unless a link fault says otherwise). Fault
+    /// injection works on both backends through the shared
+    /// [`Scenario::schedule_fault`] plane; only simulator *internals*
+    /// (virtual-time stepping, mid-run storage reads, deterministic
+    /// replay) stay behind [`Scenario::sim_mut`].
     ///
     /// The `ETX_RUNTIME` environment variable (`sim` | `threaded`) pins
     /// the backend for scenarios that do **not** call this method — the CI
     /// hook for running the equivalence suite on real threads. An explicit
-    /// `runtime` call always wins over the environment: a chaos test that
-    /// needs fault injection, or a golden-trace test that needs
-    /// determinism, means the simulator.
+    /// `runtime` call always wins over the environment: a golden-trace
+    /// test that needs determinism means the simulator.
     pub fn runtime(mut self, kind: RuntimeKind) -> Self {
         self.runtime = kind;
         self.runtime_explicit = true;
+        self
+    }
+
+    /// Caps the run on the hosting backend's clock: the threaded host's
+    /// wall-clock watchdog and the simulator's virtual-time stop both
+    /// return [`etx_sim::RunOutcome::TimeLimit`] instead of hanging the
+    /// test process when a fault wedges the run. The same limit means the
+    /// same thing on either backend — "this scenario is allowed this much
+    /// of its host's time".
+    pub fn wall_limit(mut self, limit: Dur) -> Self {
+        self.wall_limit = Some(limit);
         self
     }
 
@@ -382,6 +402,9 @@ impl ScenarioBuilder {
                 let mut sim_cfg = SimConfig::with_seed(self.seed);
                 sim_cfg.cost = self.cost.clone();
                 sim_cfg.net = self.net.clone();
+                if let Some(limit) = self.wall_limit {
+                    sim_cfg.max_time = Time(limit.0);
+                }
                 Backend::Sim(Sim::new(sim_cfg))
             }
             RuntimeKind::Threaded => {
@@ -390,6 +413,9 @@ impl ScenarioBuilder {
                 // *service* times (the cost model) are honored on both.
                 let mut tcfg = ThreadedConfig::with_seed(self.seed);
                 tcfg.cost = self.cost.clone();
+                if let Some(limit) = self.wall_limit {
+                    tcfg.wall_limit = std::time::Duration::from_micros(limit.0);
+                }
                 Backend::Threaded {
                     host: ThreadedHost::new(tcfg),
                     trace: Trace::default(),
@@ -589,6 +615,13 @@ pub enum Backend {
 }
 
 impl Backend {
+    fn host(&self) -> &dyn Host {
+        match self {
+            Backend::Sim(sim) => sim,
+            Backend::Threaded { host, .. } => host,
+        }
+    }
+
     fn host_mut(&mut self) -> &mut dyn Host {
         match self {
             Backend::Sim(sim) => sim,
@@ -630,35 +663,69 @@ impl Scenario {
         self.backend.kind()
     }
 
-    /// Whether the backend can inject faults (crashes, partitions, link
-    /// blocks). True on the simulator only; chaos tooling must check this
-    /// (or go through [`Scenario::sim_mut`], which checks it loudly).
+    /// Whether the backend can inject faults (crashes, pauses, link
+    /// faults, partitions). True on both built-in backends; chaos tooling
+    /// should still check it (or match on the [`CapabilityError`] from
+    /// [`Scenario::schedule_fault`]) so a future fault-blind host degrades
+    /// loudly instead of turning a chaos test into a green no-op.
     pub fn supports_fault_injection(&self) -> bool {
-        matches!(self.backend, Backend::Sim(_))
+        self.backend.host().supports_fault_injection()
     }
 
-    /// The simulator, for capabilities only it has (fault injection, live
-    /// trace callbacks, virtual-time stepping, mid-run storage reads).
+    /// Injects one fault right now, backend-neutral: the simulator applies
+    /// it at the current virtual instant, the threaded host applies it to
+    /// the live threads (or at startup when scheduled before the first
+    /// run). Returns [`CapabilityError`] if the hosting backend cannot
+    /// express the operation, so a chaos test can never silently no-op.
+    pub fn fault(&mut self, op: FaultOp) -> Result<(), CapabilityError> {
+        self.backend.host_mut().schedule_fault(NemesisWhen::Now, op)
+    }
+
+    /// Schedules one fault on the hosting backend: `when` is an offset on
+    /// the backend's own clock (virtual for the simulator, wall for the
+    /// threaded host) or a trace predicate evaluated as events land.
+    pub fn schedule_fault(
+        &mut self,
+        when: NemesisWhen,
+        op: FaultOp,
+    ) -> Result<(), CapabilityError> {
+        self.backend.host_mut().schedule_fault(when, op)
+    }
+
+    /// Schedules a whole nemesis schedule, in order. One schedule drives
+    /// either backend — this is the chaos runners' entry point.
+    pub fn apply_schedule(&mut self, schedule: &NemesisSchedule) -> Result<(), CapabilityError> {
+        self.backend.host_mut().apply_schedule(schedule)
+    }
+
+    /// The simulator, for internals only it has (live trace callbacks,
+    /// virtual-time stepping, mid-run storage reads, deterministic
+    /// replay). Fault injection is **not** such a capability any more —
+    /// use [`Scenario::schedule_fault`] / [`Scenario::apply_schedule`],
+    /// which work on both backends.
     ///
     /// # Panics
     ///
-    /// Panics on the threaded backend: determinism and chaos are simulator
-    /// capabilities by design, and silently not injecting a fault would
-    /// turn a chaos test into a green no-op.
+    /// Panics on the threaded backend: virtual time and deterministic
+    /// replay are simulator internals by design, and pretending otherwise
+    /// would silently change what a test measures.
     pub fn sim(&self) -> &Sim {
         match &self.backend {
             Backend::Sim(sim) => sim,
             Backend::Threaded { .. } => panic!(
-                "this scenario runs on the threaded backend, which supports no fault \
-                 injection, virtual time, or deterministic replay — build it with \
-                 RuntimeKind::Sim (and keep chaos tests pinned there via \
-                 ScenarioBuilder::runtime, which beats ETX_RUNTIME)"
+                "this scenario runs on the threaded backend: virtual time, mid-run \
+                 storage reads, and deterministic replay are simulator internals — \
+                 build with RuntimeKind::Sim for those, and use \
+                 Scenario::schedule_fault for fault injection, which works on both \
+                 backends"
             ),
         }
     }
 
-    /// Mutable simulator access (crash_at / recover_at / block_link /
-    /// on_trace / run_until*). Same capability gate as [`Scenario::sim`].
+    /// Mutable simulator access (run_until / virtual-time stepping / live
+    /// trace callbacks). Same capability gate as [`Scenario::sim`]; for
+    /// fault injection use the backend-neutral [`Scenario::schedule_fault`]
+    /// instead.
     ///
     /// # Panics
     ///
@@ -667,10 +734,11 @@ impl Scenario {
         match &mut self.backend {
             Backend::Sim(sim) => sim,
             Backend::Threaded { .. } => panic!(
-                "this scenario runs on the threaded backend, which supports no fault \
-                 injection, virtual time, or deterministic replay — build it with \
-                 RuntimeKind::Sim (and keep chaos tests pinned there via \
-                 ScenarioBuilder::runtime, which beats ETX_RUNTIME)"
+                "this scenario runs on the threaded backend: virtual time, mid-run \
+                 storage reads, and deterministic replay are simulator internals — \
+                 build with RuntimeKind::Sim for those, and use \
+                 Scenario::schedule_fault for fault injection, which works on both \
+                 backends"
             ),
         }
     }
@@ -771,9 +839,24 @@ impl Scenario {
     /// thread (unlocking post-run process/log introspection) and takes a
     /// final trace/stats snapshot. No-op on the simulator, which has no
     /// threads to join.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any node thread itself panicked during the run — a node
+    /// that died of a bug (rather than an injected crash) is a scenario
+    /// failure, not something to swallow in a join. Suppressed while
+    /// already unwinding so a failing assertion stays the primary error.
     pub fn stop(&mut self) {
         if let Backend::Threaded { host, .. } = &mut self.backend {
             host.stop();
+            let panicked = host.panicked_nodes();
+            if !panicked.is_empty() && !std::thread::panicking() {
+                panic!(
+                    "scenario failure: node thread(s) panicked during the run: {panicked:?} \
+                     (an injected FaultOp::Crash traces TraceKind::Crash instead — a \
+                     panicking node is a bug in the node, not a fault)"
+                );
+            }
         }
         self.sync();
     }

@@ -16,6 +16,7 @@ use crate::observe::{MsgStats, Trace};
 use crate::rng::Rng;
 use crate::storage::StableStorage;
 use etx_base::config::CostModel;
+use etx_base::fault::{CapabilityError, FaultOp, LinkFault, NemesisWhen};
 use etx_base::ids::{NodeId, TimerId};
 use etx_base::msg::Payload;
 use etx_base::runtime::{Context, Event, Host, NodeFactory, Process, TimerTag};
@@ -76,9 +77,19 @@ pub enum FaultAction {
     Recover(NodeId),
 }
 
+/// What a fired trace trigger does. `Legacy` is the original
+/// [`FaultAction`] path — kept as its own arm so the queue-entry sequence
+/// it produces (and therefore every pre-fault-plane golden trace) stays
+/// byte-identical. `Op` is the generalized fault-plane path used for
+/// operations the legacy enum cannot express (pause, link faults).
+enum TriggerFire {
+    Legacy(FaultAction),
+    Op(FaultOp),
+}
+
 struct Trigger {
     pred: Box<dyn FnMut(&TraceEvent) -> bool>,
-    action: FaultAction,
+    fire: TriggerFire,
     fired: bool,
 }
 
@@ -89,6 +100,26 @@ enum Action {
     Crash { node: NodeId },
     Recover { node: NodeId },
     NotifyPeer { node: NodeId, about: NodeId, up: bool },
+    Pause { node: NodeId },
+    Resume { node: NodeId },
+    Fault { op: FaultOp },
+}
+
+/// The node an action is *delivered to* — the one whose paused state
+/// gates it. Fault-plane actions themselves (crash, pause, link ops)
+/// return `None`: a paused node can still be crashed or resumed.
+fn action_target(a: &Action) -> Option<NodeId> {
+    match a {
+        Action::Init { node } => Some(*node),
+        Action::Deliver { to, .. } => Some(*to),
+        Action::Timer { node, .. } => Some(*node),
+        Action::NotifyPeer { node, .. } => Some(*node),
+        Action::Crash { .. }
+        | Action::Recover { .. }
+        | Action::Pause { .. }
+        | Action::Resume { .. }
+        | Action::Fault { .. } => None,
+    }
 }
 
 struct Entry {
@@ -117,6 +148,7 @@ impl Ord for Entry {
 struct Slot {
     name: &'static str,
     up: bool,
+    paused: bool,
     incarnation: u32,
     process: Option<Box<dyn Process>>,
     factory: Factory,
@@ -140,6 +172,13 @@ pub struct Sim {
     fd_subscribers: Vec<NodeId>,
     triggers: Vec<Trigger>,
     trace_scanned: usize,
+    /// Events popped while their target node was paused, in pop order;
+    /// replayed (with fresh sequence numbers, at resume time) when the
+    /// node resumes, discarded if it crashes first.
+    stash: Vec<(NodeId, Action)>,
+    /// Messages absorbed by a dropping link fault (the sim's reliable
+    /// channel holds rather than loses); re-injected at heal time.
+    held: Vec<(NodeId, NodeId, Payload, u32)>,
 }
 
 impl std::fmt::Debug for Sim {
@@ -173,6 +212,8 @@ impl Sim {
             fd_subscribers: Vec::new(),
             triggers: Vec::new(),
             trace_scanned: 0,
+            stash: Vec::new(),
+            held: Vec::new(),
         }
     }
 
@@ -186,6 +227,7 @@ impl Sim {
         self.nodes.push(Slot {
             name,
             up: true,
+            paused: false,
             incarnation: 0,
             process: Some(process),
             factory,
@@ -223,6 +265,11 @@ impl Sim {
     /// Whether a node is currently up.
     pub fn is_up(&self, node: NodeId) -> bool {
         self.nodes[node.0 as usize].up
+    }
+
+    /// Whether a node is currently paused by the fault plane.
+    pub fn is_paused(&self, node: NodeId) -> bool {
+        self.nodes[node.0 as usize].paused
     }
 
     /// Read access to a node's stable storage (test assertions).
@@ -268,7 +315,88 @@ impl Sim {
         pred: impl FnMut(&TraceEvent) -> bool + 'static,
         action: FaultAction,
     ) {
-        self.triggers.push(Trigger { pred: Box::new(pred), action, fired: false });
+        self.triggers.push(Trigger {
+            pred: Box::new(pred),
+            fire: TriggerFire::Legacy(action),
+            fired: false,
+        });
+    }
+
+    /// Applies a fault-plane operation at the current instant. Crash and
+    /// recovery go through the same internals as [`Sim::crash_at`]-queued
+    /// entries; link operations mutate [`LinkState`] directly (consuming
+    /// no queue sequence number, exactly like the pre-fault-plane
+    /// [`Sim::block_link`] / [`Sim::partition`] entry points).
+    pub fn apply_fault_now(&mut self, op: FaultOp) {
+        match op {
+            FaultOp::Crash(n) => self.do_crash(n),
+            FaultOp::Recover(n) => self.do_recover(n),
+            FaultOp::CrashFor { node, down_for } => {
+                self.do_crash(node);
+                let back = self.now + down_for;
+                self.push(back, Action::Recover { node });
+            }
+            FaultOp::Pause(n) => self.do_pause(n),
+            FaultOp::Resume(n) => self.do_resume(n),
+            FaultOp::PauseFor { node, down_for } => {
+                self.do_pause(node);
+                let back = self.now + down_for;
+                self.push(back, Action::Resume { node });
+            }
+            FaultOp::SetLink { from, to, fault } => self.set_link_fault(from, to, fault),
+            FaultOp::HealLink { from, to } => self.heal_link(from, to),
+            FaultOp::BlockLink { from, to, heal_after } => {
+                let heal_at = self.now + heal_after;
+                self.links.block(from, to, heal_at);
+            }
+            FaultOp::Partition { a, b, heal_after } => {
+                let heal_at = self.now + heal_after;
+                self.links.partition(&a, &b, heal_at);
+            }
+        }
+    }
+
+    fn set_link_fault(&mut self, from: NodeId, to: NodeId, fault: LinkFault) {
+        self.links.set_fault(from, to, fault);
+        if !fault.drop {
+            // Replacing a dropping fault with a non-dropping one releases
+            // what the dropping fault absorbed.
+            self.release_held(from, to);
+        }
+    }
+
+    fn heal_link(&mut self, from: NodeId, to: NodeId) {
+        self.links.clear_fault(from, to);
+        self.release_held(from, to);
+    }
+
+    /// Re-injects messages a dropping link fault absorbed on `from → to`,
+    /// in original send order, each with a freshly sampled delivery delay
+    /// from the current instant (the reliable channel's retransmission
+    /// finally getting through).
+    fn release_held(&mut self, from: NodeId, to: NodeId) {
+        let mut released = Vec::new();
+        let mut kept = Vec::new();
+        for entry in self.held.drain(..) {
+            if entry.0 == from && entry.1 == to {
+                released.push((entry.2, entry.3));
+            } else {
+                kept.push(entry);
+            }
+        }
+        self.held = kept;
+        for (payload, depth) in released {
+            let delay = sample_delivery_delay(
+                &self.cfg.net,
+                &self.links,
+                &mut self.rng,
+                from,
+                to,
+                self.now,
+            );
+            let at = self.now + delay;
+            self.push(at, Action::Deliver { from, to, payload, depth });
+        }
     }
 
     // ---- run loop --------------------------------------------------------
@@ -281,6 +409,16 @@ impl Sim {
         debug_assert!(entry.at >= self.now, "time went backwards");
         self.now = entry.at;
         self.processed += 1;
+        // A paused node's inputs are stashed, not dispatched — its inbox
+        // keeps filling while it makes no progress (the SIGSTOP story).
+        // Fault-plane actions have no target and always execute.
+        if let Some(target) = action_target(&entry.action) {
+            if self.nodes[target.0 as usize].paused {
+                self.stash.push((target, entry.action));
+                self.scan_triggers();
+                return true;
+            }
+        }
         match entry.action {
             Action::Init { node } => self.dispatch(node, Event::Init, 0),
             Action::Deliver { from, to, payload, depth } => {
@@ -307,6 +445,9 @@ impl Sim {
                     self.dispatch(node, ev, 0);
                 }
             }
+            Action::Pause { node } => self.do_pause(node),
+            Action::Resume { node } => self.do_resume(node),
+            Action::Fault { op } => self.apply_fault_now(op),
         }
         self.scan_triggers();
         true
@@ -367,6 +508,9 @@ impl Sim {
         }
         self.nodes[idx].up = false;
         self.nodes[idx].process = None;
+        // A paused node can crash; its undelivered inbox dies with it.
+        self.nodes[idx].paused = false;
+        self.stash.retain(|(n, _)| *n != node);
         self.trace.push(TraceEvent::new(self.now, node, TraceKind::Crash));
         let detect = self.cfg.net.min_delay;
         for &s in self.fd_subscribers.clone().iter() {
@@ -398,6 +542,39 @@ impl Sim {
         }
     }
 
+    fn do_pause(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if !self.nodes[idx].up || self.nodes[idx].paused {
+            return;
+        }
+        self.nodes[idx].paused = true;
+        self.trace.push(TraceEvent::new(self.now, node, TraceKind::Pause));
+    }
+
+    fn do_resume(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if !self.nodes[idx].paused {
+            return;
+        }
+        self.nodes[idx].paused = false;
+        self.trace.push(TraceEvent::new(self.now, node, TraceKind::Resume));
+        // Replay everything that arrived during the pause, in arrival
+        // order, at the current instant — late, like after a real SIGCONT.
+        let mut replay = Vec::new();
+        let mut kept = Vec::new();
+        for entry in self.stash.drain(..) {
+            if entry.0 == node {
+                replay.push(entry.1);
+            } else {
+                kept.push(entry);
+            }
+        }
+        self.stash = kept;
+        for action in replay {
+            self.push(self.now, action);
+        }
+    }
+
     fn dispatch(&mut self, node: NodeId, event: Event, depth: u32) {
         let idx = node.0 as usize;
         let mut process = match self.nodes[idx].process.take() {
@@ -424,6 +601,7 @@ impl Sim {
                 timer_seq: &mut self.timer_seq,
                 cancelled: &mut self.cancelled,
                 subscribe: &mut subscribe,
+                held: &mut self.held,
             };
             process.on_event(&mut ctx, event);
         }
@@ -442,7 +620,7 @@ impl Sim {
             self.trace_scanned = self.trace.len();
             return;
         }
-        let mut fired: Vec<FaultAction> = Vec::new();
+        let mut fired: Vec<TriggerFire> = Vec::new();
         {
             let events = &self.trace.events()[self.trace_scanned..];
             for t in self.triggers.iter_mut() {
@@ -452,21 +630,32 @@ impl Sim {
                 for ev in events {
                     if (t.pred)(ev) {
                         t.fired = true;
-                        fired.push(t.action);
+                        fired.push(match &t.fire {
+                            TriggerFire::Legacy(a) => TriggerFire::Legacy(*a),
+                            TriggerFire::Op(op) => TriggerFire::Op(op.clone()),
+                        });
                         break;
                     }
                 }
             }
         }
         self.trace_scanned = self.trace.len();
-        for action in fired {
-            match action {
-                FaultAction::Crash(n) => self.push(self.now, Action::Crash { node: n }),
-                FaultAction::CrashRecover(n, after) => {
+        for fire in fired {
+            match fire {
+                // The legacy arms must stay byte-identical to the
+                // pre-fault-plane kernel: same actions, same order, same
+                // sequence-number consumption.
+                TriggerFire::Legacy(FaultAction::Crash(n)) => {
+                    self.push(self.now, Action::Crash { node: n })
+                }
+                TriggerFire::Legacy(FaultAction::CrashRecover(n, after)) => {
                     self.push(self.now, Action::Crash { node: n });
                     self.push(self.now + after, Action::Recover { node: n });
                 }
-                FaultAction::Recover(n) => self.push(self.now, Action::Recover { node: n }),
+                TriggerFire::Legacy(FaultAction::Recover(n)) => {
+                    self.push(self.now, Action::Recover { node: n })
+                }
+                TriggerFire::Op(op) => self.push(self.now, Action::Fault { op }),
             }
         }
     }
@@ -485,8 +674,12 @@ impl Sim {
 }
 
 /// The simulator is the deterministic implementation of the runtime seam:
-/// virtual clock, byte-identical replay per seed, and (uniquely among the
-/// backends) first-class fault injection.
+/// virtual clock, byte-identical replay per seed, and simulated fault
+/// injection — [`Host::schedule_fault`] maps every fault-plane operation
+/// onto the kernel's existing machinery (crash/recover queue entries,
+/// trace triggers, link blocks), so a nemesis schedule expressed through
+/// the backend-neutral interface replays the same trace, byte for byte,
+/// as the original direct [`Sim`] fault calls.
 impl Host for Sim {
     fn add_node(&mut self, name: &'static str, factory: NodeFactory) -> NodeId {
         Sim::add_node(self, name, factory)
@@ -519,6 +712,52 @@ impl Host for Sim {
     fn supports_fault_injection(&self) -> bool {
         true
     }
+
+    fn schedule_fault(&mut self, when: NemesisWhen, op: FaultOp) -> Result<(), CapabilityError> {
+        match when {
+            NemesisWhen::Now => self.apply_fault_now(op),
+            NemesisWhen::After(d) => {
+                let at = self.now + d;
+                match op {
+                    // Crash-family timed ops map onto the exact entries
+                    // `crash_at` / `recover_at` push, in the same order —
+                    // this is what keeps old chaos schedules re-expressed
+                    // through the fault plane byte-identical.
+                    FaultOp::Crash(n) => self.crash_at(at, n),
+                    FaultOp::Recover(n) => self.recover_at(at, n),
+                    FaultOp::CrashFor { node, down_for } => {
+                        self.crash_at(at, node);
+                        self.recover_at(at + down_for, node);
+                    }
+                    FaultOp::Pause(n) => self.push(at, Action::Pause { node: n }),
+                    FaultOp::Resume(n) => self.push(at, Action::Resume { node: n }),
+                    FaultOp::PauseFor { node, down_for } => {
+                        self.push(at, Action::Pause { node });
+                        self.push(at + down_for, Action::Resume { node });
+                    }
+                    other => self.push(at, Action::Fault { op: other }),
+                }
+            }
+            NemesisWhen::OnTrace(pred) => {
+                let fire = match op {
+                    // Crash-family trace triggers ride the legacy path
+                    // (same firing actions, same sequence numbers).
+                    FaultOp::Crash(n) => TriggerFire::Legacy(FaultAction::Crash(n)),
+                    FaultOp::Recover(n) => TriggerFire::Legacy(FaultAction::Recover(n)),
+                    FaultOp::CrashFor { node, down_for } => {
+                        TriggerFire::Legacy(FaultAction::CrashRecover(node, down_for))
+                    }
+                    other => TriggerFire::Op(other),
+                };
+                self.triggers.push(Trigger {
+                    pred: Box::new(move |ev| pred(ev)),
+                    fire,
+                    fired: false,
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 struct SimCtx<'a> {
@@ -538,6 +777,7 @@ struct SimCtx<'a> {
     timer_seq: &'a mut u64,
     cancelled: &'a mut HashSet<u64>,
     subscribe: &'a mut bool,
+    held: &'a mut Vec<(NodeId, NodeId, Payload, u32)>,
 }
 
 impl SimCtx<'_> {
@@ -550,6 +790,34 @@ impl SimCtx<'_> {
         let background = payload.is_background();
         let depth = if background { 0 } else { depth_base + 1 };
         let depart = self.now + extra;
+        // Fault-plane link faults. With an empty fault table this lookup
+        // is the only cost — no randomness, no sequence numbers — so
+        // fault-free runs replay byte-identically to the pre-fault-plane
+        // kernel.
+        if let Some(fault) = self.links.fault_on(self.me, to) {
+            self.stats.record_sent(payload.label(), background);
+            if fault.drop {
+                // The sim's reliable channel absorbs rather than loses:
+                // held until the link heals, then re-injected.
+                self.stats.record_dropped_on_link();
+                self.held.push((self.me, to, payload, depth));
+                return;
+            }
+            let mut delay =
+                sample_delivery_delay(self.net, self.links, self.rng, self.me, to, depart);
+            if let Some(extra_delay) = fault.delay {
+                delay += extra_delay;
+            }
+            if fault.duplicate {
+                let dup = payload.clone();
+                self.push(
+                    depart + delay,
+                    Action::Deliver { from: self.me, to, payload: dup, depth },
+                );
+            }
+            self.push(depart + delay, Action::Deliver { from: self.me, to, payload, depth });
+            return;
+        }
         let delay = sample_delivery_delay(self.net, self.links, self.rng, self.me, to, depart);
         self.stats.record_sent(payload.label(), background);
         self.push(depart + delay, Action::Deliver { from: self.me, to, payload, depth });

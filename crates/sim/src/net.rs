@@ -14,6 +14,7 @@
 //! like the paper's algorithms.
 
 use crate::rng::Rng;
+use etx_base::fault::LinkFault;
 use etx_base::ids::NodeId;
 use etx_base::time::{Dur, Time};
 use std::collections::HashMap;
@@ -70,10 +71,13 @@ impl NetConfig {
     }
 }
 
-/// Dynamic link state: directional blocks with explicit heal times.
+/// Dynamic link state: directional blocks with explicit heal times, plus
+/// the fault plane's per-link [`LinkFault`] table (drop/delay/duplicate,
+/// installed via `Host::schedule_fault` and held until healed).
 #[derive(Debug, Default)]
 pub struct LinkState {
     blocked_until: HashMap<(NodeId, NodeId), Time>,
+    faults: HashMap<(NodeId, NodeId), LinkFault>,
 }
 
 impl LinkState {
@@ -106,6 +110,28 @@ impl LinkState {
     /// Drops expired entries (housekeeping; correctness never depends on it).
     pub fn compact(&mut self, now: Time) {
         self.blocked_until.retain(|_, &mut t| t > now);
+    }
+
+    /// Installs (or replaces) the fault on the directed link `from → to`.
+    /// A no-op fault clears the entry.
+    pub fn set_fault(&mut self, from: NodeId, to: NodeId, fault: LinkFault) {
+        if fault.is_noop() {
+            self.faults.remove(&(from, to));
+        } else {
+            self.faults.insert((from, to), fault);
+        }
+    }
+
+    /// Removes any fault on the directed link `from → to`.
+    pub fn clear_fault(&mut self, from: NodeId, to: NodeId) {
+        self.faults.remove(&(from, to));
+    }
+
+    /// The fault currently installed on `from → to`, if any. An empty
+    /// table costs one hash lookup per send and nothing else — the fault
+    /// plane is observationally invisible to runs that never use it.
+    pub fn fault_on(&self, from: NodeId, to: NodeId) -> Option<LinkFault> {
+        self.faults.get(&(from, to)).copied()
     }
 }
 

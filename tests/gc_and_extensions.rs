@@ -58,6 +58,7 @@ fn adaptive_routing_recovers_faster_after_primary_death() {
         let mut pcfg = ProtocolConfig {
             client_backoff: Dur::from_millis(30),
             client_rebroadcast: Dur::from_millis(20),
+            client_rebroadcast_max: Dur::from_millis(20),
             terminate_retry: Dur::from_millis(10),
             cleaner_interval: Dur::from_millis(5),
             consensus_resync: Dur::from_millis(8),

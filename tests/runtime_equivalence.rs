@@ -157,7 +157,7 @@ fn threaded_read_path_preserves_snapshot_invariants() {
         .workload(workload.clone())
         .build();
     assert_eq!(s.runtime_kind(), RuntimeKind::Threaded);
-    assert!(!s.supports_fault_injection(), "real threads admit no deterministic chaos");
+    assert!(s.supports_fault_injection(), "the fault plane spans both backends");
 
     let n = s.requests as usize;
     assert_eq!(s.run_until_settled(n), etx::sim::RunOutcome::Predicate);
@@ -190,16 +190,41 @@ fn threaded_read_path_preserves_snapshot_invariants() {
 
 // ---- the capability fence ---------------------------------------------------
 
-/// Fault injection, virtual time, and deterministic replay are simulator
-/// capabilities; a threaded scenario must refuse them loudly rather than
-/// silently no-op.
+/// Virtual time, mid-run storage reads, and deterministic replay are
+/// simulator internals; a threaded scenario must refuse direct simulator
+/// access loudly rather than silently no-op. (Fault injection is *not*
+/// behind this fence any more — `Scenario::schedule_fault` spans both
+/// backends; see the threaded_chaos suite.)
 #[test]
 #[should_panic(expected = "threaded backend")]
-fn threaded_scenarios_reject_fault_injection() {
+fn threaded_scenarios_reject_simulator_internals() {
     let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 1 }, 1)
         .runtime(RuntimeKind::Threaded)
         .build();
-    let _ = s.sim_mut(); // must panic: no chaos hooks on real threads
+    let _ = s.sim_mut(); // must panic: no virtual time on real threads
+}
+
+/// The fault plane is backend-neutral: a threaded scenario accepts a
+/// nemesis schedule and reports the capability, and a stopped host
+/// refuses with a typed [`CapabilityError`] instead of a panic.
+#[test]
+fn threaded_scenarios_accept_fault_schedules() {
+    use etx::base::fault::{FaultOp, NemesisSchedule};
+    let mut s = ScenarioBuilder::fast(MiddleTier::Etx { apps: 3 }, 3)
+        .runtime(RuntimeKind::Threaded)
+        .requests(1)
+        .build();
+    assert!(s.supports_fault_injection());
+    let app = s.topo.app_servers[2];
+    let schedule = NemesisSchedule::new()
+        .at(Dur::from_millis(1), FaultOp::PauseFor { node: app, down_for: Dur::from_millis(2) });
+    s.apply_schedule(&schedule).expect("threaded backend accepts nemesis schedules");
+    assert_eq!(s.run_until_settled(1), etx::sim::RunOutcome::Predicate);
+    s.stop();
+    let err =
+        s.fault(FaultOp::Pause(app)).expect_err("a stopped host cannot inject faults any more");
+    let msg = err.to_string();
+    assert!(msg.contains("stopped"), "error should say the host is stopped: {msg}");
 }
 
 // ---- ETX_RUNTIME precedence -------------------------------------------------
